@@ -1,0 +1,39 @@
+//! E13 bench: CDN simulation throughput (requests served per mode).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sww_core::cdn::{CatalogItem, CdnSimulation, EdgeMode};
+
+fn catalog() -> Vec<CatalogItem> {
+    (0..100)
+        .map(|i| CatalogItem {
+            id: format!("obj{i}"),
+            media_bytes: 131_072,
+            metadata_bytes: 428,
+            side: 1024,
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13_cdn");
+    for (label, mode) in [
+        ("store_media", EdgeMode::StoreMedia),
+        ("edge_generate", EdgeMode::StorePrompts { cache_generated: true }),
+        ("pass_prompts", EdgeMode::PassPrompts),
+    ] {
+        g.bench_function(format!("serve_1000_requests_{label}"), |b| {
+            b.iter(|| {
+                let mut sim = CdnSimulation::new(catalog(), 10, mode);
+                for r in 0..1000u64 {
+                    sim.request((r % 10) as u32, &format!("obj{}", r % 100));
+                }
+                black_box(sim.edge_to_user_bytes)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

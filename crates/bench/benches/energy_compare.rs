@@ -1,0 +1,34 @@
+//! E9/E10/E12 bench: the cost-model and accounting hot paths (these are
+//! evaluated per request in the server policy loop, so they must be cheap).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sww_energy::device::{profile, DeviceKind};
+use sww_energy::{carbon, cost, network};
+use sww_genai::diffusion::ImageModelKind;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_energy");
+    let ws = profile(DeviceKind::Workstation);
+    g.bench_function("image_generation_time", |b| {
+        b.iter(|| {
+            black_box(cost::image_generation_time(
+                ImageModelKind::Sd3Medium,
+                &ws,
+                1024,
+                1024,
+                15,
+            ))
+        })
+    });
+    g.bench_function("transmission_energy", |b| {
+        b.iter(|| black_box(network::transmission_energy(131_072).wh()))
+    });
+    g.bench_function("carbon_savings", |b| {
+        b.iter(|| black_box(carbon::storage_savings_kg_co2e(1e18, 157.0)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E2 bench: the real compute behind the Figure 2 experiment — per-image
+//! prompt-to-pixels generation at thumbnail size, metadata extraction from
+//! the 49-item page, and image encoding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sww_genai::diffusion::{DiffusionModel, ImageModelKind};
+use sww_genai::image::codec;
+use sww_html::gencontent;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_fig2");
+    g.sample_size(10);
+    let model = DiffusionModel::new(ImageModelKind::Sd3Medium);
+    g.bench_function("generate_thumbnail_256", |b| {
+        b.iter(|| black_box(model.generate("a wide alpine landscape", 256, 256, 15)))
+    });
+    let page = sww_workload::wikimedia::landscape_search_page();
+    g.bench_function("extract_49_items", |b| {
+        b.iter(|| {
+            let doc = sww_html::parse(&page.sww_html);
+            black_box(gencontent::extract(&doc).len())
+        })
+    });
+    let img = model.generate("a wide alpine landscape", 256, 256, 15);
+    g.bench_function("encode_thumbnail", |b| {
+        b.iter(|| black_box(codec::encode(&img, 60).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

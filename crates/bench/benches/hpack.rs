@@ -1,0 +1,47 @@
+//! Micro-bench: HPACK encode/decode and Huffman coding on SWW-typical
+//! header blocks (the protocol-overhead component of every request).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sww_http2::hpack::{huffman, Decoder, Encoder, HeaderField};
+
+fn headers() -> Vec<HeaderField> {
+    vec![
+        HeaderField::new(":method", "GET"),
+        HeaderField::new(":scheme", "https"),
+        HeaderField::new(":authority", "sww.example.org"),
+        HeaderField::new(":path", "/wiki/landscape?page=2"),
+        HeaderField::new("accept", "text/html,application/xhtml+xml"),
+        HeaderField::new("user-agent", "sww-generative-client/0.1"),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hpack");
+    g.bench_function("encode_block", |b| {
+        let h = headers();
+        let mut enc = Encoder::new();
+        b.iter(|| black_box(enc.encode(&h).len()))
+    });
+    g.bench_function("encode_decode_roundtrip", |b| {
+        let h = headers();
+        b.iter(|| {
+            let mut enc = Encoder::new();
+            let mut dec = Decoder::new();
+            let block = enc.encode(&h);
+            black_box(dec.decode(&block).unwrap().len())
+        })
+    });
+    let text = b"cache-control: max-age=3600, stale-while-revalidate=60";
+    g.bench_function("huffman_encode", |b| {
+        b.iter(|| black_box(huffman::encode(text).len()))
+    });
+    let enc = huffman::encode(text);
+    g.bench_function("huffman_decode", |b| {
+        b.iter(|| black_box(huffman::decode(&enc).unwrap().len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Micro-bench: the parsing substrates on every request's hot path —
+//! JSON metadata, HTML pages, and SHA-256 for the trust layer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parsing");
+    let metadata = r#"{"prompt":"a wide mountain landscape at golden hour, snow capped peaks above a green valley","name":"landscape_00.jpg","width":256,"height":256}"#;
+    g.bench_function("json_metadata_parse", |b| {
+        b.iter(|| black_box(sww_json::parse(metadata).unwrap()))
+    });
+    let v = sww_json::parse(metadata).unwrap();
+    g.bench_function("json_metadata_serialize", |b| {
+        b.iter(|| black_box(sww_json::to_string(&v).len()))
+    });
+    let page = sww_workload::wikimedia::landscape_search_page().sww_html;
+    g.bench_function("html_parse_49_item_page", |b| {
+        b.iter(|| black_box(sww_html::parse(&page).len()))
+    });
+    let doc = sww_html::parse(&page);
+    g.bench_function("gencontent_extract_49", |b| {
+        b.iter(|| black_box(sww_html::gencontent::extract(&doc).len()))
+    });
+    g.bench_function("sha256_128k", |b| {
+        let data = vec![0xa5u8; 128 * 1024];
+        b.iter(|| black_box(sww_hash::sha256(&data)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E6 bench: generation and decode compute across image sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sww_genai::diffusion::{DiffusionModel, ImageModelKind};
+use sww_genai::image::codec;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_size_sweep");
+    g.sample_size(10);
+    let model = DiffusionModel::new(ImageModelKind::Sd3Medium);
+    for side in [256u32, 512, 1024] {
+        g.bench_with_input(BenchmarkId::new("generate", side), &side, |b, &side| {
+            b.iter(|| black_box(model.generate("a beach", side, side, 15)))
+        });
+        let img = model.generate("a beach", side, side, 15);
+        let enc = codec::encode(&img, 55);
+        g.bench_with_input(BenchmarkId::new("decode", side), &enc, |b, enc| {
+            b.iter(|| black_box(codec::decode(enc).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! E5 bench: generation compute as a function of inference steps — the
+//! real cost grows linearly with steps, matching the modelled latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sww_genai::diffusion::{DiffusionModel, ImageModelKind};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_step_sweep");
+    g.sample_size(10);
+    let model = DiffusionModel::new(ImageModelKind::Sd3Medium);
+    for steps in [10u32, 20, 40, 60] {
+        g.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, &steps| {
+            b.iter(|| black_box(model.generate("a quiet forest", 224, 224, steps)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E4 bench: generation cost of each Table 1 model at the 224²/15-step
+//! operating point, plus the CLIP measurement itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sww_genai::diffusion::{DiffusionModel, ImageModelKind};
+use sww_genai::metrics::clip;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_table1");
+    g.sample_size(10);
+    for kind in ImageModelKind::table1() {
+        let model = DiffusionModel::new(kind);
+        g.bench_function(format!("generate_{}", model.profile().name.replace([' ', '.'], "_")), |b| {
+            b.iter(|| black_box(model.generate("a mountain lake at sunset", 224, 224, 15)))
+        });
+    }
+    let model = DiffusionModel::new(ImageModelKind::Sd3Medium);
+    let img = model.generate("a mountain lake at sunset", 224, 224, 15);
+    g.bench_function("clip_score", |b| {
+        b.iter(|| black_box(clip::clip_score(&img, "a mountain lake at sunset")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E8 bench: codec encode cost per Table 2 media class and metadata
+//! serialization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sww_genai::diffusion::{DiffusionModel, ImageModelKind};
+use sww_genai::image::codec;
+use sww_workload::media_classes::{table2_classes, worst_case_image_metadata};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_table2");
+    g.sample_size(10);
+    let model = DiffusionModel::new(ImageModelKind::Sd3Medium);
+    for class in table2_classes() {
+        if class.side == 0 {
+            continue;
+        }
+        let img = model.generate("a detailed landscape", class.side, class.side, 15);
+        g.bench_with_input(BenchmarkId::new("encode", class.side), &img, |b, img| {
+            b.iter(|| black_box(codec::encode(img, 55).len()))
+        });
+    }
+    g.bench_function("metadata_serialize", |b| {
+        b.iter(|| black_box(sww_json::to_string(&worst_case_image_metadata(1024)).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E3 bench: article → bullets conversion and bullets → article expansion
+//! with the paper's model of choice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sww_genai::text::{bullets, TextModel, TextModelKind};
+use sww_workload::article;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_text_expansion");
+    g.sample_size(20);
+    g.bench_function("article_to_bullets", |b| {
+        b.iter(|| black_box(bullets::to_bullets(article::ARTICLE, 6).len()))
+    });
+    let model = TextModel::new(TextModelKind::DeepSeekR1_8B);
+    let blist = article::article_bullets();
+    let target = article::target_words();
+    g.bench_function("expand_article", |b| {
+        b.iter(|| black_box(model.expand(&blist, target).len()))
+    });
+    g.bench_function("load_model", |b| {
+        b.iter(|| black_box(TextModel::new(TextModelKind::DeepSeekR1_8B)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E7 bench: expansion compute per text model and the SBERT measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sww_genai::metrics::sbert;
+use sww_genai::text::{TextModel, TextModelKind};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_text_models");
+    g.sample_size(20);
+    let bullets = vec![
+        "trail climbs forest pines".to_string(),
+        "ridge view valley peaks".to_string(),
+    ];
+    for kind in TextModelKind::all() {
+        let model = TextModel::new(kind);
+        g.bench_function(
+            format!("expand_{}", model.profile().name.replace([' ', '.'], "_")),
+            |b| b.iter(|| black_box(model.expand(&bullets, 150).len())),
+        );
+    }
+    let model = TextModel::new(TextModelKind::DeepSeekR1_8B);
+    let text = model.expand(&bullets, 150);
+    g.bench_function("sbert_score", |b| {
+        b.iter(|| black_box(sbert::sbert_score(&bullets, &text)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E11 bench: video negotiation decision cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sww_core::video::{negotiate, Resolution, StreamRequest};
+use sww_core::GenAbility;
+
+fn bench(c: &mut Criterion) {
+    let req = StreamRequest {
+        resolution: Resolution::Uhd4K,
+        fps: 60,
+        duration_s: 3600,
+        segment_s: 6,
+    };
+    let ability = GenAbility::from_bits(GenAbility::VIDEO);
+    c.bench_function("e11_video_negotiate", |b| {
+        b.iter(|| black_box(negotiate(req, ability, ability).wire_bytes))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

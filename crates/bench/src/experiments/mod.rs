@@ -1,0 +1,13 @@
+//! The experiment implementations, one per table/figure (DESIGN.md E1–E13)
+//! plus the design-choice ablations.
+
+pub mod ablations;
+pub mod article;
+pub mod compression;
+pub mod energy;
+pub mod fig1;
+pub mod mobile;
+pub mod models;
+pub mod negotiation;
+pub mod video_cdn;
+pub mod wikimedia;

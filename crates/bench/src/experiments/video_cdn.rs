@@ -1,0 +1,171 @@
+//! E11 — video negotiation savings (§3.2) and E13 — CDN storage and
+//! transmission across deployment modes (§2.2).
+
+use crate::table::{bytes, Table};
+use sww_core::cdn::{CatalogItem, CdnSimulation, EdgeMode};
+use sww_core::video::{negotiate, Resolution, StreamRequest};
+use sww_core::GenAbility;
+
+/// One video scenario row.
+#[derive(Debug, Clone)]
+pub struct VideoRow {
+    /// Scenario label.
+    pub label: String,
+    /// Bytes on the wire for one hour of content.
+    pub wire_bytes: u64,
+    /// Traditional bytes for the same hour.
+    pub traditional_bytes: u64,
+    /// Savings factor.
+    pub savings: f64,
+}
+
+/// Run E11: an hour of 4K60 under different capability combinations.
+pub fn video() -> Vec<VideoRow> {
+    let req = StreamRequest {
+        resolution: Resolution::Uhd4K,
+        fps: 60,
+        duration_s: 3600,
+        segment_s: 6,
+    };
+    let video_ability = GenAbility::from_bits(GenAbility::VIDEO);
+    let scenarios = [
+        ("both support video upscale", video_ability, video_ability),
+        ("client naive", GenAbility::none(), video_ability),
+        ("server naive", video_ability, GenAbility::none()),
+    ];
+    scenarios
+        .into_iter()
+        .map(|(label, client, server)| {
+            let s = negotiate(req, client, server);
+            VideoRow {
+                label: label.to_string(),
+                wire_bytes: s.wire_bytes,
+                traditional_bytes: s.traditional_bytes,
+                savings: s.savings_ratio(),
+            }
+        })
+        .collect()
+}
+
+/// Render E11.
+pub fn video_table(rows: &[VideoRow]) -> Table {
+    let mut t = Table::new(
+        "E11 — Video negotiation (§3.2): 1h of 4K60 (paper: 60→30fps halves data; 4K→HD saves 2.3x, 7GB/h → 3GB/h)",
+        &["Scenario", "Wire", "Traditional", "Savings"],
+    );
+    for r in rows {
+        t.row([
+            r.label.clone(),
+            bytes(r.wire_bytes),
+            bytes(r.traditional_bytes),
+            format!("{:.2}x", r.savings),
+        ]);
+    }
+    t
+}
+
+/// One CDN deployment row.
+#[derive(Debug, Clone)]
+pub struct CdnRow {
+    /// Mode label.
+    pub label: String,
+    /// Total edge storage.
+    pub storage_bytes: u64,
+    /// Edge→user transmission for the request trace.
+    pub egress_bytes: u64,
+    /// Edge generation energy (Wh) for the trace.
+    pub edge_generation_wh: f64,
+}
+
+/// Run E13: a 100-edge CDN over a 1000-item catalog of large images,
+/// serving a fixed request trace in each mode.
+pub fn cdn() -> Vec<CdnRow> {
+    let catalog: Vec<CatalogItem> = (0..1000)
+        .map(|i| CatalogItem {
+            id: format!("obj{i}"),
+            media_bytes: 131_072,
+            metadata_bytes: 428,
+            side: 1024,
+        })
+        .collect();
+    let modes = [
+        ("classic (store media)", EdgeMode::StoreMedia),
+        (
+            "SWW edge (store prompts, generate at edge)",
+            EdgeMode::StorePrompts {
+                cache_generated: true,
+            },
+        ),
+        ("full SWW (prompts to clients)", EdgeMode::PassPrompts),
+    ];
+    modes
+        .into_iter()
+        .map(|(label, mode)| {
+            let mut sim = CdnSimulation::new(catalog.clone(), 100, mode);
+            // Zipf-flavoured trace: popular objects dominate.
+            for r in 0..5000u64 {
+                let obj = (r * r % 97 % 1000) as usize;
+                let edge = (r % 100) as u32;
+                sim.request(edge, &format!("obj{obj}"));
+            }
+            CdnRow {
+                label: label.to_string(),
+                storage_bytes: sim.edge_storage_bytes(),
+                egress_bytes: sim.edge_to_user_bytes,
+                edge_generation_wh: sim.edge_generation_energy.wh(),
+            }
+        })
+        .collect()
+}
+
+/// Render E13.
+pub fn cdn_table(rows: &[CdnRow]) -> Table {
+    let mut t = Table::new(
+        "E13 — CDN deployment modes (§2.2): 100 edges, 1000 large images, 5000 requests",
+        &["Mode", "Edge storage", "Edge→user bytes", "Edge gen energy"],
+    );
+    for r in rows {
+        t.row([
+            r.label.clone(),
+            bytes(r.storage_bytes),
+            bytes(r.egress_bytes),
+            format!("{:.1}Wh", r.edge_generation_wh),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn video_savings_match_paper_factors() {
+        let rows = video();
+        // Both support: 2.33 × 2 ≈ 4.67×.
+        assert!((rows[0].savings - 4.67).abs() < 0.05, "{}", rows[0].savings);
+        assert_eq!(rows[0].traditional_bytes, 7_000_000_000);
+        // Either side naive → no savings.
+        assert!((rows[1].savings - 1.0).abs() < 1e-6);
+        assert!((rows[2].savings - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cdn_storage_and_transmission_tradeoffs() {
+        let rows = cdn();
+        let classic = &rows[0];
+        let edge_gen = &rows[1];
+        let full = &rows[2];
+        // Storage: both SWW modes shrink storage by the media/metadata
+        // ratio (≈306×) across all 100 edges.
+        assert!(classic.storage_bytes > edge_gen.storage_bytes * 250);
+        assert_eq!(edge_gen.storage_bytes, full.storage_bytes);
+        // Transmission: edge generation loses the transmission win.
+        assert_eq!(classic.egress_bytes, edge_gen.egress_bytes);
+        assert!(full.egress_bytes < classic.egress_bytes / 250);
+        // Energy: only the edge-generation mode pays generation energy.
+        assert_eq!(classic.edge_generation_wh, 0.0);
+        assert!(edge_gen.edge_generation_wh > 1.0);
+        assert_eq!(full.edge_generation_wh, 0.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Tiny argument parser for the `sww` binary (flags + positionals, no
+//! external dependency).
+
+use std::collections::HashMap;
+
+/// Parsed command line: subcommand, positionals, `--key value` options and
+/// `--flag` switches.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    /// Positional arguments after the subcommand.
+    pub positionals: Vec<String>,
+    /// `--key value` options.
+    pub options: HashMap<String, String>,
+    /// Bare `--flag` switches.
+    pub flags: Vec<String>,
+}
+
+/// Option keys that take a value (everything else after `--` is a switch).
+const VALUE_KEYS: [&str; 7] = ["addr", "device", "model", "steps", "out", "ability", "site"];
+
+impl Args {
+    /// Parse from an iterator of arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Args {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                if VALUE_KEYS.contains(&key) {
+                    if let Some(value) = iter.next() {
+                        out.options.insert(key.to_string(), value);
+                    }
+                } else {
+                    out.flags.push(key.to_string());
+                }
+            } else if out.command.is_empty() {
+                out.command = arg;
+            } else {
+                out.positionals.push(arg);
+            }
+        }
+        out
+    }
+
+    /// Option lookup with a default.
+    pub fn opt<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Whether a switch was given.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(str::to_string))
+    }
+
+    #[test]
+    fn subcommand_and_positionals() {
+        let a = parse("fetch http://x/page other");
+        assert_eq!(a.command, "fetch");
+        assert_eq!(a.positionals, ["http://x/page", "other"]);
+    }
+
+    #[test]
+    fn options_and_flags() {
+        let a = parse("serve --addr 127.0.0.1:8443 --naive --device laptop");
+        assert_eq!(a.opt("addr", ""), "127.0.0.1:8443");
+        assert_eq!(a.opt("device", "x"), "laptop");
+        assert!(a.has_flag("naive"));
+        assert!(!a.has_flag("verbose"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("generate prompt-here");
+        assert_eq!(a.opt("steps", "15"), "15");
+        assert_eq!(a.opt("model", "sd3"), "sd3");
+    }
+
+    #[test]
+    fn missing_value_is_ignored() {
+        let a = parse("serve --addr");
+        assert!(!a.options.contains_key("addr"));
+    }
+
+    #[test]
+    fn empty_input() {
+        let a = parse("");
+        assert!(a.command.is_empty());
+    }
+}

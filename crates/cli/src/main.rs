@@ -1,0 +1,235 @@
+//! `sww` — command-line front end to the SWW stack.
+//!
+//! ```text
+//! sww serve  [--addr 127.0.0.1:0] [--site blog|wikimedia] [--naive]
+//! sww fetch  <addr> <path> [--device laptop|workstation|mobile] [--naive] [--render] [--out DIR]
+//! sww generate <prompt...> [--model sd21|sd3|sd35|dalle3|flux] [--steps N] [--out FILE]
+//! sww expand <bullet;bullet;...> [--model llama|r1-1.5b|r1-8b|r1-14b]
+//! sww convert <html-file> [--out FILE]
+//! sww stock [category]
+//! ```
+
+mod args;
+
+use args::Args;
+use sww_core::cms::Cms;
+use sww_core::convert::Converter;
+use sww_core::{GenAbility, GenerativeClient, GenerativeServer, ServerPolicy, SiteContent};
+use sww_energy::device::{profile, DeviceKind};
+use sww_genai::diffusion::{DiffusionModel, ImageModelKind};
+use sww_genai::image::codec;
+use sww_genai::text::{TextModel, TextModelKind};
+
+fn device_from(name: &str) -> DeviceKind {
+    match name {
+        "workstation" | "ws" => DeviceKind::Workstation,
+        "mobile" => DeviceKind::Mobile,
+        _ => DeviceKind::Laptop,
+    }
+}
+
+fn image_model_from(name: &str) -> ImageModelKind {
+    match name {
+        "sd21" => ImageModelKind::Sd21Base,
+        "sd35" => ImageModelKind::Sd35Medium,
+        "dalle3" => ImageModelKind::Dalle3,
+        "flux" => ImageModelKind::FluxFast,
+        _ => ImageModelKind::Sd3Medium,
+    }
+}
+
+fn text_model_from(name: &str) -> TextModelKind {
+    match name {
+        "llama" => TextModelKind::Llama32,
+        "r1-1.5b" => TextModelKind::DeepSeekR1_1_5B,
+        "r1-14b" => TextModelKind::DeepSeekR1_14B,
+        _ => TextModelKind::DeepSeekR1_8B,
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sww <serve|fetch|generate|expand|convert|stock> [options]\n\
+         see crate docs for the full option list"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args = Args::parse(std::env::args().skip(1));
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(2)
+        .enable_all()
+        .build()
+        .expect("tokio runtime");
+    match args.command.as_str() {
+        "serve" => rt.block_on(cmd_serve(&args)),
+        "fetch" => rt.block_on(cmd_fetch(&args)),
+        "generate" => cmd_generate(&args),
+        "expand" => cmd_expand(&args),
+        "convert" => cmd_convert(&args),
+        "stock" => cmd_stock(&args),
+        _ => usage(),
+    }
+}
+
+async fn cmd_serve(args: &Args) {
+    let site: SiteContent = match args.opt("site", "blog") {
+        "wikimedia" => {
+            eprintln!("building the 49-image Wikimedia workload …");
+            let page = sww_workload::wikimedia::landscape_search_page();
+            let mut s = SiteContent::new();
+            s.add_page("/wiki/landscape", page.sww_html);
+            s
+        }
+        _ => sww_workload::blog::travel_blog(),
+    };
+    let ability = if args.has_flag("naive") {
+        GenAbility::none()
+    } else {
+        GenAbility::full()
+    };
+    let server = GenerativeServer::new(site, ability, ServerPolicy::default());
+    let addr = server
+        .spawn_tcp(args.opt("addr", "127.0.0.1:0"))
+        .await
+        .expect("bind");
+    println!("serving on {addr} (ability: {:?})", ability.bits());
+    println!("stored {} B (prompt form)", server.stored_bytes());
+    // Serve until interrupted.
+    loop {
+        tokio::time::sleep(std::time::Duration::from_secs(3600)).await;
+    }
+}
+
+async fn cmd_fetch(args: &Args) {
+    let (Some(addr), Some(path)) = (args.positionals.first(), args.positionals.get(1)) else {
+        usage();
+    };
+    let ability = if args.has_flag("naive") {
+        GenAbility::none()
+    } else {
+        GenAbility::full()
+    };
+    let device = profile(device_from(args.opt("device", "laptop")));
+    let sock = tokio::net::TcpStream::connect(addr).await.expect("connect");
+    let mut client = GenerativeClient::connect(sock, ability, device)
+        .await
+        .expect("handshake");
+    println!(
+        "negotiated: generate={}",
+        client.negotiated_ability().can_generate()
+    );
+    let (page, stats) = client.fetch_page(path).await.expect("fetch");
+    println!(
+        "generated {} items, fetched {}, wire {} B, traditional {} B ({:.1}x)",
+        stats.items_generated,
+        stats.items_fetched,
+        stats.wire_bytes,
+        stats.traditional_bytes,
+        stats.compression_ratio()
+    );
+    println!(
+        "modelled generation: {:.1} s, {:.3} Wh",
+        stats.generation_time_s,
+        stats.generation_energy.wh()
+    );
+    if args.has_flag("render") {
+        println!("\n{}\n", page.to_text());
+    }
+    if let Some(dir) = args.options.get("out") {
+        let files = page.dump_ppm(std::path::Path::new(dir)).expect("dump");
+        println!("wrote {} PPM files to {dir}", files.len());
+    }
+    let _ = client.close().await;
+}
+
+fn cmd_generate(args: &Args) {
+    if args.positionals.is_empty() {
+        usage();
+    }
+    let prompt = args.positionals.join(" ");
+    let model = DiffusionModel::new(image_model_from(args.opt("model", "sd3")));
+    let steps: u32 = args.opt("steps", "15").parse().unwrap_or(15);
+    let img = model.generate(&prompt, 256, 256, steps);
+    let encoded = codec::encode(&img, 55);
+    println!(
+        "generated 256x256 with {} at {steps} steps: {} B encoded",
+        model.profile().name,
+        encoded.len()
+    );
+    let out = args.opt("out", "generated.ppm").to_string();
+    std::fs::write(&out, img.to_ppm()).expect("write output");
+    println!("wrote {out}");
+}
+
+fn cmd_expand(args: &Args) {
+    let Some(joined) = args.positionals.first() else {
+        usage();
+    };
+    let bullets: Vec<String> = joined.split(';').map(|s| s.trim().to_string()).collect();
+    let model = TextModel::new(text_model_from(args.opt("model", "r1-8b")));
+    let text = model.expand(&bullets, 150);
+    println!("{text}");
+}
+
+fn cmd_convert(args: &Args) {
+    let Some(file) = args.positionals.first() else {
+        usage();
+    };
+    let html = std::fs::read_to_string(file).expect("read input html");
+    let cms = Cms::new();
+    let report = Converter::new(&cms).convert_page(&html, |_| None);
+    println!(
+        "converted {} items (skipped {}), {:.1}x over converted items",
+        report.items.len(),
+        report.skipped,
+        report.compression_ratio()
+    );
+    let out = args.opt("out", "converted.html").to_string();
+    std::fs::write(&out, report.html).expect("write output");
+    println!("wrote {out}");
+}
+
+fn cmd_stock(args: &Args) {
+    let items: Vec<_> = match args.positionals.first() {
+        Some(cat) => sww_workload::stock::by_category(cat),
+        None => sww_workload::stock::CATALOG.iter().collect(),
+    };
+    for p in items {
+        println!("{:<14} [{:?}] {}x{}  {}", p.id, p.licence, p.size.0, p.size.1, p.prompt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_names_map() {
+        assert_eq!(device_from("laptop"), DeviceKind::Laptop);
+        assert_eq!(device_from("workstation"), DeviceKind::Workstation);
+        assert_eq!(device_from("ws"), DeviceKind::Workstation);
+        assert_eq!(device_from("mobile"), DeviceKind::Mobile);
+        assert_eq!(device_from("unknown"), DeviceKind::Laptop, "default");
+    }
+
+    #[test]
+    fn image_model_names_map() {
+        assert_eq!(image_model_from("sd21"), ImageModelKind::Sd21Base);
+        assert_eq!(image_model_from("sd3"), ImageModelKind::Sd3Medium);
+        assert_eq!(image_model_from("sd35"), ImageModelKind::Sd35Medium);
+        assert_eq!(image_model_from("dalle3"), ImageModelKind::Dalle3);
+        assert_eq!(image_model_from("flux"), ImageModelKind::FluxFast);
+        assert_eq!(image_model_from("?"), ImageModelKind::Sd3Medium, "default");
+    }
+
+    #[test]
+    fn text_model_names_map() {
+        assert_eq!(text_model_from("llama"), TextModelKind::Llama32);
+        assert_eq!(text_model_from("r1-1.5b"), TextModelKind::DeepSeekR1_1_5B);
+        assert_eq!(text_model_from("r1-8b"), TextModelKind::DeepSeekR1_8B);
+        assert_eq!(text_model_from("r1-14b"), TextModelKind::DeepSeekR1_14B);
+        assert_eq!(text_model_from("?"), TextModelKind::DeepSeekR1_8B, "default");
+    }
+}

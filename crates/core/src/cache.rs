@@ -1,0 +1,206 @@
+//! Client-side cache of generated media.
+//!
+//! Generation is deterministic in `(prompt, model, size, steps)`, so a
+//! generated image is as cacheable as a fetched one — and because the
+//! cache key is the *recipe*, every page reusing a stock prompt hits the
+//! same entry. This is the client end of the paper's cache-placement
+//! observation (§7: traffic reduction "provides more flexibility in cache
+//! placement"); it also bounds the §6 generation-time cost to the first
+//! visit.
+
+use std::collections::HashMap;
+use sww_genai::diffusion::ImageModelKind;
+use sww_genai::ImageBuffer;
+
+/// Cache key: the full generation recipe.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Recipe {
+    /// The prompt text.
+    pub prompt: String,
+    /// Model used.
+    pub model: ImageModelKind,
+    /// Output width.
+    pub width: u32,
+    /// Output height.
+    pub height: u32,
+    /// Inference steps.
+    pub steps: u32,
+}
+
+#[derive(Debug)]
+struct Entry {
+    image: ImageBuffer,
+    /// Monotone counter value at last use (for LRU eviction).
+    last_used: u64,
+}
+
+/// An LRU cache of generated images, bounded by total pixel budget (a
+/// proxy for memory).
+#[derive(Debug)]
+pub struct GenerationCache {
+    entries: HashMap<Recipe, Entry>,
+    clock: u64,
+    /// Total pixels currently held.
+    pixels: u64,
+    /// Pixel budget.
+    capacity_pixels: u64,
+    /// Hits since creation.
+    pub hits: u64,
+    /// Misses since creation.
+    pub misses: u64,
+}
+
+impl GenerationCache {
+    /// A cache bounded to `capacity_pixels` total pixels (e.g. 32 MP ≈
+    /// a hundred thumbnails).
+    pub fn new(capacity_pixels: u64) -> GenerationCache {
+        GenerationCache {
+            entries: HashMap::new(),
+            clock: 0,
+            pixels: 0,
+            capacity_pixels: capacity_pixels.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a recipe, updating recency.
+    pub fn get(&mut self, recipe: &Recipe) -> Option<ImageBuffer> {
+        self.clock += 1;
+        match self.entries.get_mut(recipe) {
+            Some(e) => {
+                e.last_used = self.clock;
+                self.hits += 1;
+                Some(e.image.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a generated image, evicting least-recently-used entries to
+    /// stay within the pixel budget. Images larger than the whole budget
+    /// are not cached.
+    pub fn put(&mut self, recipe: Recipe, image: ImageBuffer) {
+        let cost = image.pixels();
+        if cost > self.capacity_pixels {
+            return;
+        }
+        self.clock += 1;
+        if let Some(old) = self.entries.remove(&recipe) {
+            self.pixels -= old.image.pixels();
+        }
+        self.pixels += cost;
+        self.entries.insert(
+            recipe,
+            Entry {
+                image,
+                last_used: self.clock,
+            },
+        );
+        while self.pixels > self.capacity_pixels {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("pixels>0 implies entries");
+            let removed = self.entries.remove(&victim).expect("victim exists");
+            self.pixels -= removed.image.pixels();
+        }
+    }
+
+    /// Hit rate so far.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recipe(p: &str, side: u32) -> Recipe {
+        Recipe {
+            prompt: p.into(),
+            model: ImageModelKind::Sd3Medium,
+            width: side,
+            height: side,
+            steps: 15,
+        }
+    }
+
+    fn image(side: u32) -> ImageBuffer {
+        ImageBuffer::new(side, side)
+    }
+
+    #[test]
+    fn hit_after_put() {
+        let mut c = GenerationCache::new(1_000_000);
+        assert!(c.get(&recipe("a", 64)).is_none());
+        c.put(recipe("a", 64), image(64));
+        assert!(c.get(&recipe("a", 64)).is_some());
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 1);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn key_includes_full_recipe() {
+        let mut c = GenerationCache::new(1_000_000);
+        c.put(recipe("a", 64), image(64));
+        // Different steps → different entry.
+        let mut other = recipe("a", 64);
+        other.steps = 30;
+        assert!(c.get(&other).is_none());
+        let mut other = recipe("a", 64);
+        other.model = ImageModelKind::Sd21Base;
+        assert!(c.get(&other).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_by_pixel_budget() {
+        // Budget for exactly two 64² images.
+        let mut c = GenerationCache::new(2 * 64 * 64);
+        c.put(recipe("a", 64), image(64));
+        c.put(recipe("b", 64), image(64));
+        // Touch "a" so "b" is the LRU victim.
+        assert!(c.get(&recipe("a", 64)).is_some());
+        c.put(recipe("c", 64), image(64));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&recipe("a", 64)).is_some());
+        assert!(c.get(&recipe("b", 64)).is_none(), "b evicted");
+        assert!(c.get(&recipe("c", 64)).is_some());
+    }
+
+    #[test]
+    fn oversized_entries_skipped() {
+        let mut c = GenerationCache::new(100);
+        c.put(recipe("big", 64), image(64));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reinsert_replaces() {
+        let mut c = GenerationCache::new(1_000_000);
+        c.put(recipe("a", 64), image(64));
+        c.put(recipe("a", 64), image(64));
+        assert_eq!(c.len(), 1);
+    }
+}

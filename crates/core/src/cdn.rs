@@ -1,0 +1,272 @@
+//! CDN deployment simulation (paper §2.2).
+//!
+//! CDNs replicate content across many edge sites, so prompt-form storage
+//! multiplies its savings by the replica count. The intermediate mode —
+//! prompts at the edge, generation at the edge on request — "maintains
+//! the storage benefits, but loses data transmission benefits", and
+//! trades network energy for edge generation energy.
+
+use crate::stats::PageStats;
+use std::collections::HashMap;
+use sww_energy::device::{profile, DeviceKind};
+use sww_energy::{cost, network, Energy};
+use sww_genai::diffusion::ImageModelKind;
+
+/// What the edge stores and does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeMode {
+    /// Classic CDN: media files replicated to every edge.
+    StoreMedia,
+    /// SWW edge: prompts replicated; media generated at the edge per
+    /// request (and optionally cached).
+    StorePrompts {
+        /// Cache generated media for subsequent hits.
+        cache_generated: bool,
+    },
+    /// Full SWW: prompts pass through the edge to generating clients.
+    PassPrompts,
+}
+
+/// One media object in the catalog.
+#[derive(Debug, Clone)]
+pub struct CatalogItem {
+    /// Identifier.
+    pub id: String,
+    /// Media bytes in traditional form.
+    pub media_bytes: u64,
+    /// Metadata (prompt dictionary) bytes in SWW form.
+    pub metadata_bytes: u64,
+    /// Image side in pixels (drives edge generation cost).
+    pub side: u32,
+}
+
+/// The simulated CDN: one origin, `edge_count` identical edges.
+#[derive(Debug)]
+pub struct CdnSimulation {
+    catalog: Vec<CatalogItem>,
+    edge_count: u32,
+    mode: EdgeMode,
+    /// Per-edge cache of generated media ids.
+    generated_cache: HashMap<(u32, String), u64>,
+    /// Octets sent from edges to users.
+    pub edge_to_user_bytes: u64,
+    /// Octets pulled from the origin to fill edges.
+    pub origin_to_edge_bytes: u64,
+    /// Modelled seconds of edge generation.
+    pub edge_generation_time_s: f64,
+    /// Modelled energy of edge generation.
+    pub edge_generation_energy: Energy,
+    /// Requests served.
+    pub requests: u64,
+    /// Generated-media cache hits at edges.
+    pub cache_hits: u64,
+}
+
+impl CdnSimulation {
+    /// Build a CDN over a catalog.
+    pub fn new(catalog: Vec<CatalogItem>, edge_count: u32, mode: EdgeMode) -> CdnSimulation {
+        CdnSimulation {
+            catalog,
+            edge_count: edge_count.max(1),
+            mode,
+            generated_cache: HashMap::new(),
+            edge_to_user_bytes: 0,
+            origin_to_edge_bytes: 0,
+            edge_generation_time_s: 0.0,
+            edge_generation_energy: Energy::ZERO,
+            requests: 0,
+            cache_hits: 0,
+        }
+    }
+
+    /// Total storage across all edges in the current mode.
+    pub fn edge_storage_bytes(&self) -> u64 {
+        let per_edge: u64 = match self.mode {
+            EdgeMode::StoreMedia => self.catalog.iter().map(|c| c.media_bytes).sum(),
+            EdgeMode::StorePrompts { .. } | EdgeMode::PassPrompts => {
+                self.catalog.iter().map(|c| c.metadata_bytes).sum()
+            }
+        };
+        per_edge * u64::from(self.edge_count)
+    }
+
+    /// Storage the same catalog needs under classic replication — the
+    /// baseline the paper's storage claim compares against.
+    pub fn baseline_storage_bytes(&self) -> u64 {
+        let per_edge: u64 = self.catalog.iter().map(|c| c.media_bytes).sum();
+        per_edge * u64::from(self.edge_count)
+    }
+
+    /// Serve one request for `item_id` at `edge`. Returns bytes sent to
+    /// the user.
+    pub fn request(&mut self, edge: u32, item_id: &str) -> u64 {
+        self.requests += 1;
+        let edge = edge % self.edge_count;
+        let item = self
+            .catalog
+            .iter()
+            .find(|c| c.id == item_id)
+            .cloned()
+            .expect("item in catalog");
+        match self.mode {
+            EdgeMode::StoreMedia => {
+                // Replicated media: edge hit, send the file.
+                self.edge_to_user_bytes += item.media_bytes;
+                item.media_bytes
+            }
+            EdgeMode::PassPrompts => {
+                // The client generates: only metadata travels.
+                self.edge_to_user_bytes += item.metadata_bytes;
+                item.metadata_bytes
+            }
+            EdgeMode::StorePrompts { cache_generated } => {
+                let key = (edge, item.id.clone());
+                let cached = cache_generated && self.generated_cache.contains_key(&key);
+                if cached {
+                    self.cache_hits += 1;
+                } else {
+                    // Generate at the edge (workstation-class hardware).
+                    let ws = profile(DeviceKind::Workstation);
+                    let t = cost::image_generation_time(
+                        ImageModelKind::Sd3Medium,
+                        &ws,
+                        item.side,
+                        item.side,
+                        15,
+                    )
+                    .expect("edge model is local");
+                    self.edge_generation_time_s += t;
+                    self.edge_generation_energy =
+                        self.edge_generation_energy + Energy::from_power(ws.image_power_w, t);
+                    if cache_generated {
+                        self.generated_cache.insert(key, item.media_bytes);
+                    }
+                }
+                // Media still crosses the edge→user link.
+                self.edge_to_user_bytes += item.media_bytes;
+                item.media_bytes
+            }
+        }
+    }
+
+    /// Network energy spent on edge→user traffic so far.
+    pub fn transmission_energy(&self) -> Energy {
+        network::transmission_energy(self.edge_to_user_bytes)
+    }
+
+    /// Aggregate stats snapshot.
+    pub fn stats(&self) -> PageStats {
+        PageStats {
+            wire_bytes: self.edge_to_user_bytes,
+            traditional_bytes: self.requests
+                * (self.catalog.iter().map(|c| c.media_bytes).sum::<u64>()
+                    / self.catalog.len().max(1) as u64),
+            generation_time_s: self.edge_generation_time_s,
+            generation_energy: self.edge_generation_energy,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Vec<CatalogItem> {
+        (0..10)
+            .map(|i| CatalogItem {
+                id: format!("img{i}"),
+                media_bytes: 131_072,
+                metadata_bytes: 428,
+                side: 1024,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prompt_storage_shrinks_by_media_ratio() {
+        let media = CdnSimulation::new(catalog(), 100, EdgeMode::StoreMedia);
+        let prompts = CdnSimulation::new(
+            catalog(),
+            100,
+            EdgeMode::StorePrompts {
+                cache_generated: false,
+            },
+        );
+        let ratio = media.edge_storage_bytes() as f64 / prompts.edge_storage_bytes() as f64;
+        // 131072 / 428 ≈ 306× per object (the Table 2 large-image ratio).
+        assert!((300.0..315.0).contains(&ratio), "ratio={ratio:.1}");
+        assert_eq!(media.edge_storage_bytes(), media.baseline_storage_bytes());
+    }
+
+    #[test]
+    fn edge_generation_keeps_storage_wins_but_not_transmission() {
+        // Paper §2.2: "This approach maintains the storage benefits, but
+        // loses data transmission benefits."
+        let mut edge_gen = CdnSimulation::new(
+            catalog(),
+            10,
+            EdgeMode::StorePrompts {
+                cache_generated: false,
+            },
+        );
+        let mut classic = CdnSimulation::new(catalog(), 10, EdgeMode::StoreMedia);
+        for r in 0..50 {
+            edge_gen.request(r % 10, &format!("img{}", r % 10));
+            classic.request(r % 10, &format!("img{}", r % 10));
+        }
+        assert!(edge_gen.edge_storage_bytes() < classic.edge_storage_bytes() / 100);
+        assert_eq!(edge_gen.edge_to_user_bytes, classic.edge_to_user_bytes);
+        assert!(edge_gen.edge_generation_time_s > 0.0);
+        assert_eq!(classic.edge_generation_time_s, 0.0);
+    }
+
+    #[test]
+    fn pass_prompts_saves_transmission_too() {
+        let mut sww = CdnSimulation::new(catalog(), 10, EdgeMode::PassPrompts);
+        let mut classic = CdnSimulation::new(catalog(), 10, EdgeMode::StoreMedia);
+        for r in 0..20 {
+            sww.request(0, &format!("img{}", r % 10));
+            classic.request(0, &format!("img{}", r % 10));
+        }
+        let ratio = classic.edge_to_user_bytes as f64 / sww.edge_to_user_bytes as f64;
+        assert!(ratio > 100.0, "transmission ratio {ratio:.0}");
+        assert!(sww.transmission_energy() < classic.transmission_energy());
+    }
+
+    #[test]
+    fn generated_cache_avoids_regeneration() {
+        let mut cdn = CdnSimulation::new(
+            catalog(),
+            2,
+            EdgeMode::StorePrompts {
+                cache_generated: true,
+            },
+        );
+        cdn.request(0, "img0");
+        let t_first = cdn.edge_generation_time_s;
+        cdn.request(0, "img0");
+        assert_eq!(cdn.edge_generation_time_s, t_first, "second hit cached");
+        assert_eq!(cdn.cache_hits, 1);
+        // A different edge must generate its own copy.
+        cdn.request(1, "img0");
+        assert!(cdn.edge_generation_time_s > t_first);
+    }
+
+    #[test]
+    fn energy_tradeoff_visible() {
+        // Edge generation energy dwarfs the transmission energy it could
+        // ever save — the paper's "not encouraging" present-day result.
+        let mut cdn = CdnSimulation::new(
+            catalog(),
+            1,
+            EdgeMode::StorePrompts {
+                cache_generated: false,
+            },
+        );
+        for _ in 0..10 {
+            cdn.request(0, "img0");
+        }
+        assert!(cdn.edge_generation_energy.wh() > cdn.transmission_energy().wh() * 10.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! The generative client (paper §5.2): connect, exchange settings
+//! (advertising generation ability), request a page, parse it, generate
+//! the content, fetch unique assets, and produce the rendered page with
+//! full byte/time/energy accounting.
+
+use crate::cache::{GenerationCache, Recipe};
+use crate::mediagen::{GeneratedMedia, MediaGenerator};
+use crate::render::{RenderedPage, RenderedResource};
+use crate::stats::PageStats;
+use sww_energy::device::DeviceProfile;
+use sww_genai::image::codec;
+use sww_http2::{ClientConnection, GenAbility, H2Error, Request};
+use sww_html::{gencontent, parse, query, serialize};
+use tokio::io::{AsyncRead, AsyncWrite};
+
+/// Default generation-cache budget: 64 megapixels (≈ a few hundred
+/// thumbnails or a handful of large images).
+pub const DEFAULT_CACHE_PIXELS: u64 = 64_000_000;
+
+/// The generative client.
+pub struct GenerativeClient<T> {
+    conn: ClientConnection<T>,
+    generator: MediaGenerator,
+    cache: GenerationCache,
+    profile: Option<crate::personalize::UserProfile>,
+}
+
+impl<T: AsyncRead + AsyncWrite + Unpin> GenerativeClient<T> {
+    /// Connect over an established stream, advertising `ability`, with
+    /// generation running on `device`. The media generator is configured
+    /// from the *negotiated* model levels (§7 model negotiation): both
+    /// peers must support a model generation for it to be used, so the
+    /// client and any server-side fallback render identical content.
+    pub async fn connect(
+        io: T,
+        ability: GenAbility,
+        device: DeviceProfile,
+    ) -> Result<GenerativeClient<T>, H2Error> {
+        let conn = ClientConnection::handshake(io, ability).await?;
+        let (image_model, text_model) =
+            crate::negotiate::select_models(conn.negotiated_ability());
+        Ok(GenerativeClient {
+            conn,
+            generator: MediaGenerator::with_models(device, image_model, text_model),
+            cache: GenerationCache::new(DEFAULT_CACHE_PIXELS),
+            profile: None,
+        })
+    }
+
+    /// Opt in to personalized generation (§2.3): image prompts are
+    /// adjusted with the user's interests *after* delivery, on-device —
+    /// the profile never leaves the client. Pass `None` to opt out.
+    pub fn set_profile(&mut self, profile: Option<crate::personalize::UserProfile>) {
+        self.profile = profile;
+    }
+
+    /// Cache observability (hits/misses across fetches).
+    pub fn cache(&self) -> &GenerationCache {
+        &self.cache
+    }
+
+    /// The ability the server advertised.
+    pub fn server_ability(&self) -> GenAbility {
+        self.conn.server_ability()
+    }
+
+    /// The negotiated (shared) ability.
+    pub fn negotiated_ability(&self) -> GenAbility {
+        self.conn.negotiated_ability()
+    }
+
+    /// Direct access to the media generator (e.g. to change step count).
+    pub fn generator_mut(&mut self) -> &mut MediaGenerator {
+        &mut self.generator
+    }
+
+    /// Fetch and fully resolve a page: request, parse, generate, fetch
+    /// unique assets, rewrite — returning the rendered page and its
+    /// accounting.
+    pub async fn fetch_page(&mut self, path: &str) -> Result<(RenderedPage, PageStats), H2Error> {
+        let mut stats = PageStats::default();
+        let resp = self.conn.send_request(&Request::get(path)).await?;
+        if resp.status != 200 {
+            return Err(H2Error::protocol(format!(
+                "GET {path} returned status {}",
+                resp.status
+            )));
+        }
+        let html_bytes = resp.body.len() as u64;
+        stats.wire_bytes += html_bytes;
+        stats.traditional_bytes += html_bytes;
+        let html = String::from_utf8_lossy(&resp.body).into_owned();
+        let mut doc = parse(&html);
+        let mut page = RenderedPage::default();
+
+        // 1. Generate declared content if we negotiated the capability.
+        if self.negotiated_ability().can_generate() {
+            for mut item in gencontent::extract(&doc) {
+                stats.metadata_bytes += item.metadata_size() as u64;
+                // Opt-in personalization (§2.3): adjust the prompt locally.
+                if let Some(profile) = &self.profile {
+                    if item.content_type == gencontent::ContentType::Img {
+                        let adjusted =
+                            crate::personalize::personalize(item.prompt(), profile, 2);
+                        if adjusted.modified {
+                            if let Some(map) = item.metadata.as_object_mut() {
+                                map.insert("prompt".into(), adjusted.prompt.into());
+                            }
+                        }
+                    }
+                }
+                // Cache lookup first: generation is deterministic in the
+                // recipe, so a hit costs no generation time or energy.
+                let recipe = (item.content_type == gencontent::ContentType::Img).then(|| Recipe {
+                    prompt: item.prompt().to_owned(),
+                    model: self.generator.image_model(),
+                    width: item.width(),
+                    height: item.height(),
+                    steps: self.generator.inference_steps(),
+                });
+                let cached = recipe.as_ref().and_then(|r| self.cache.get(r));
+                let (media, cost) = match cached {
+                    Some(image) => {
+                        stats.items_cached += 1;
+                        let encoded = codec::encode(&image, crate::mediagen::DEFAULT_CODEC_QUALITY);
+                        (
+                            GeneratedMedia::Image {
+                                name: item.name().to_owned(),
+                                image,
+                                encoded,
+                            },
+                            crate::mediagen::GenerationCost {
+                                time_s: 0.0,
+                                energy: sww_energy::Energy::ZERO,
+                            },
+                        )
+                    }
+                    None => {
+                        let (media, cost) = self.generator.generate(&item);
+                        if let (Some(r), GeneratedMedia::Image { image, .. }) = (recipe, &media) {
+                            self.cache.put(r, image.clone());
+                        }
+                        (media, cost)
+                    }
+                };
+                stats.items_generated += 1;
+                stats.generation_time_s += cost.time_s;
+                stats.generation_energy = stats.generation_energy + cost.energy;
+                let media_bytes = media.media_bytes() as u64;
+                stats.generated_media_bytes += media_bytes;
+                // Traditionally those bytes would have crossed the wire
+                // instead of the metadata (already counted inside the HTML).
+                stats.traditional_bytes += media_bytes;
+                stats.traditional_bytes =
+                    stats.traditional_bytes.saturating_sub(item.metadata_size() as u64);
+                match media {
+                    GeneratedMedia::Image { name, image, encoded } => {
+                        let path = format!("generated/{name}");
+                        gencontent::replace_with_image(
+                            &mut doc,
+                            item.node,
+                            &path,
+                            image.width(),
+                            image.height(),
+                        );
+                        page.resources.push(RenderedResource {
+                            path,
+                            image,
+                            encoded_bytes: encoded.len(),
+                            generated: true,
+                        });
+                    }
+                    GeneratedMedia::Text { text } => {
+                        gencontent::replace_with_text(&mut doc, item.node, &text);
+                        page.expanded_texts.push(text);
+                    }
+                }
+            }
+        }
+
+        // 2. Fetch remaining referenced images (unique content and, for
+        //    naive negotiation, server-materialized media).
+        for img in query::by_tag(&doc, doc.root(), "img") {
+            let Some(src) = doc.attr(img, "src") else {
+                continue;
+            };
+            if src.starts_with("generated/") {
+                continue; // produced locally above
+            }
+            let src = src.to_owned();
+            let resp = self.conn.send_request(&Request::get(src.clone())).await?;
+            if resp.status != 200 {
+                continue;
+            }
+            let n = resp.body.len() as u64;
+            stats.wire_bytes += n;
+            stats.traditional_bytes += n;
+            stats.items_fetched += 1;
+            let decoded = codec::decode(&resp.body).ok();
+            page.resources.push(RenderedResource {
+                path: src,
+                image: decoded.unwrap_or_else(|| sww_genai::ImageBuffer::new(1, 1)),
+                encoded_bytes: resp.body.len(),
+                generated: false,
+            });
+        }
+
+        page.html = serialize(&doc);
+        Ok((page, stats))
+    }
+
+    /// Liveness check.
+    pub async fn ping(&mut self) -> Result<(), H2Error> {
+        self.conn.ping().await
+    }
+
+    /// Graceful shutdown.
+    pub async fn close(&mut self) -> Result<(), H2Error> {
+        self.conn.close().await
+    }
+}

@@ -1,0 +1,176 @@
+//! CMS tagging (paper §4.2): "The feature would tag every content item as
+//! generatable or unique. This one-bit flag will be associated with every
+//! linked file. Text blocks can be similarly tagged. Webpage templates can
+//! have different default values for conversion tags."
+
+use std::collections::HashMap;
+
+/// The one-bit conversion flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContentTag {
+    /// Safe to convert to a prompt and regenerate.
+    Generatable,
+    /// Must be preserved byte-exact (news photos, user uploads, …).
+    Unique,
+}
+
+/// A content item registered with the CMS.
+#[derive(Debug, Clone)]
+pub struct CmsItem {
+    /// Path or identifier of the linked file / text block.
+    pub path: String,
+    /// The conversion flag.
+    pub tag: ContentTag,
+}
+
+/// Site templates with different conversion defaults (§4.2: company sites
+/// and blogs are mostly generatable; news sites are mostly unique).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Template {
+    /// Travel blogs, company sites: media defaults to generatable.
+    Blog,
+    /// News: content defaults to unique (frequent updates, factual media).
+    News,
+    /// Stock-photo style galleries: everything generatable.
+    Gallery,
+}
+
+impl Template {
+    /// The default tag this template assigns to a new item.
+    pub fn default_tag(self, path: &str) -> ContentTag {
+        let looks_unique = path.contains("upload") || path.contains("photo") || path.contains("user");
+        match self {
+            Template::Gallery => ContentTag::Generatable,
+            Template::Blog => {
+                if looks_unique {
+                    ContentTag::Unique
+                } else {
+                    ContentTag::Generatable
+                }
+            }
+            Template::News => {
+                if path.ends_with(".css") || path.contains("stock") {
+                    ContentTag::Generatable
+                } else {
+                    ContentTag::Unique
+                }
+            }
+        }
+    }
+}
+
+/// A minimal content management system: items with tags, created from a
+/// template's defaults, overridable by an editor.
+#[derive(Debug, Default)]
+pub struct Cms {
+    items: HashMap<String, CmsItem>,
+}
+
+impl Cms {
+    /// An empty CMS.
+    pub fn new() -> Cms {
+        Cms::default()
+    }
+
+    /// Register an item using the template default.
+    pub fn register(&mut self, template: Template, path: impl Into<String>) -> ContentTag {
+        let path = path.into();
+        let tag = template.default_tag(&path);
+        self.items.insert(
+            path.clone(),
+            CmsItem {
+                path,
+                tag,
+            },
+        );
+        tag
+    }
+
+    /// Editor override (§4.2: "human intervention may be required to audit
+    /// conversion results — a webpage editor").
+    pub fn set_tag(&mut self, path: &str, tag: ContentTag) -> bool {
+        match self.items.get_mut(path) {
+            Some(item) => {
+                item.tag = tag;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Look up an item's tag.
+    pub fn tag(&self, path: &str) -> Option<ContentTag> {
+        self.items.get(path).map(|i| i.tag)
+    }
+
+    /// All generatable items.
+    pub fn generatable(&self) -> Vec<&CmsItem> {
+        let mut v: Vec<&CmsItem> = self
+            .items
+            .values()
+            .filter(|i| i.tag == ContentTag::Generatable)
+            .collect();
+        v.sort_by(|a, b| a.path.cmp(&b.path));
+        v
+    }
+
+    /// Number of registered items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the CMS is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_defaults() {
+        assert_eq!(
+            Template::Blog.default_tag("img/banner.jpg"),
+            ContentTag::Generatable
+        );
+        assert_eq!(
+            Template::Blog.default_tag("uploads/hike-photo.jpg"),
+            ContentTag::Unique
+        );
+        assert_eq!(
+            Template::News.default_tag("img/event.jpg"),
+            ContentTag::Unique
+        );
+        assert_eq!(
+            Template::News.default_tag("img/stock-banner.jpg"),
+            ContentTag::Generatable
+        );
+        assert_eq!(
+            Template::Gallery.default_tag("uploads/whatever.jpg"),
+            ContentTag::Generatable
+        );
+    }
+
+    #[test]
+    fn register_and_override() {
+        let mut cms = Cms::new();
+        let tag = cms.register(Template::Blog, "img/banner.jpg");
+        assert_eq!(tag, ContentTag::Generatable);
+        assert!(cms.set_tag("img/banner.jpg", ContentTag::Unique));
+        assert_eq!(cms.tag("img/banner.jpg"), Some(ContentTag::Unique));
+        assert!(!cms.set_tag("nope", ContentTag::Unique));
+    }
+
+    #[test]
+    fn generatable_listing_is_sorted() {
+        let mut cms = Cms::new();
+        cms.register(Template::Gallery, "b.jpg");
+        cms.register(Template::Gallery, "a.jpg");
+        cms.register(Template::News, "news/event.jpg");
+        let generatable: Vec<&str> = cms.generatable().iter().map(|i| i.path.as_str()).collect();
+        assert_eq!(generatable, ["a.jpg", "b.jpg"]);
+        assert_eq!(cms.len(), 3);
+    }
+}

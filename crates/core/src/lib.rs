@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! The SWW protocol layer — the paper's primary contribution, assembled
+//! from the substrates: capability negotiation over HTTP/2 SETTINGS (§3),
+//! the generative server (§5.1) and client (§5.2), the media generator
+//! (§4.1), webpage conversion and CMS tagging (§4.2), CDN deployment
+//! (§2.2), video negotiation (§3.2), and the byte/energy accounting the
+//! evaluation (§6) is built on.
+
+pub mod cache;
+pub mod cdn;
+pub mod client;
+pub mod cms;
+pub mod convert;
+pub mod hls;
+pub mod mediagen;
+pub mod negotiate;
+pub mod personalize;
+pub mod policy;
+pub mod render;
+pub mod server;
+pub mod stats;
+pub mod trust;
+pub mod video;
+
+pub use client::GenerativeClient;
+pub use mediagen::MediaGenerator;
+pub use negotiate::ServeMode;
+pub use policy::ServerPolicy;
+pub use render::RenderedPage;
+pub use server::{GenerativeServer, SiteContent, SwwPage};
+pub use stats::PageStats;
+
+/// Re-export of the wire-level capability type.
+pub use sww_http2::GenAbility;

@@ -1,0 +1,437 @@
+//! The generative server (paper §5.1).
+//!
+//! Stores pages in prompt form (that is the storage saving), negotiates
+//! generative ability during the HTTP/2 SETTINGS exchange, and serves each
+//! request according to the negotiated mode: prompt-form HTML to capable
+//! clients, server-side-expanded media to naive ones ("the server uses
+//! the prompt to generate the content before sending it to the client.
+//! This saves storage space, and avoids saving two copies of content").
+
+use crate::hls::{self, VideoAsset};
+use crate::mediagen::{GeneratedMedia, MediaGenerator};
+use crate::negotiate::{decide, ServeMode};
+use crate::policy::ServerPolicy;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use sww_energy::device::{profile as device_profile, DeviceKind};
+use sww_http2::server::{serve_connection, ServeStats};
+use sww_hash::{sha256, to_hex};
+use sww_http2::{GenAbility, H2Error, Request, Response};
+use sww_html::{gencontent, parse, serialize};
+use tokio::io::{AsyncRead, AsyncWrite};
+
+/// One page of site content, stored in SWW (prompt) form.
+#[derive(Debug, Clone)]
+pub struct SwwPage {
+    /// HTML that may contain generated-content divisions and references
+    /// to unique assets.
+    pub html: String,
+}
+
+/// A site: pages plus unique (non-generatable) assets and published
+/// video streams (§3.2).
+#[derive(Debug, Clone, Default)]
+pub struct SiteContent {
+    pages: HashMap<String, SwwPage>,
+    assets: HashMap<String, Bytes>,
+    videos: HashMap<String, VideoAsset>,
+}
+
+impl SiteContent {
+    /// An empty site.
+    pub fn new() -> SiteContent {
+        SiteContent::default()
+    }
+
+    /// Add a page at `path`.
+    pub fn add_page(&mut self, path: impl Into<String>, html: impl Into<String>) {
+        self.pages.insert(path.into(), SwwPage { html: html.into() });
+    }
+
+    /// Add a unique asset (e.g. the photographs from the specific hike).
+    pub fn add_asset(&mut self, path: impl Into<String>, bytes: impl Into<Bytes>) {
+        self.assets.insert(path.into(), bytes.into());
+    }
+
+    /// Octets the site occupies in prompt form: HTML + unique assets.
+    /// This is what the server actually stores.
+    pub fn stored_bytes(&self) -> u64 {
+        let pages: usize = self.pages.values().map(|p| p.html.len()).sum();
+        let assets: usize = self.assets.values().map(|a| a.len()).sum();
+        (pages + assets) as u64
+    }
+
+    /// Publish a video stream; its playlist appears at
+    /// `/video/<name>/playlist.m3u8` with a rendition negotiated from the
+    /// client's VIDEO ability (§3.2).
+    pub fn add_video(&mut self, asset: VideoAsset) {
+        self.videos.insert(asset.name.clone(), asset);
+    }
+
+    /// Page lookup.
+    pub fn page(&self, path: &str) -> Option<&SwwPage> {
+        self.pages.get(path)
+    }
+
+    /// Number of pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+struct ServerState {
+    site: SiteContent,
+    policy: ServerPolicy,
+    /// Server-side generator for naive clients (workstation-class device).
+    generator: MediaGenerator,
+    /// Media materialized for naive clients, keyed by URL path.
+    generated_assets: HashMap<String, Bytes>,
+    /// Accounting: how many times each mode was served.
+    served_modes: HashMap<&'static str, u64>,
+    /// Modelled server-side generation seconds accumulated.
+    server_generation_time_s: f64,
+}
+
+/// The generative server.
+#[derive(Clone)]
+pub struct GenerativeServer {
+    ability: GenAbility,
+    state: Arc<Mutex<ServerState>>,
+}
+
+impl GenerativeServer {
+    /// A server advertising `ability` and holding `site` in prompt form.
+    pub fn new(site: SiteContent, ability: GenAbility, policy: ServerPolicy) -> GenerativeServer {
+        GenerativeServer {
+            ability,
+            state: Arc::new(Mutex::new(ServerState {
+                site,
+                policy,
+                generator: MediaGenerator::new(device_profile(DeviceKind::Workstation)),
+                generated_assets: HashMap::new(),
+                served_modes: HashMap::new(),
+                server_generation_time_s: 0.0,
+            })),
+        }
+    }
+
+    /// The ability this server advertises.
+    pub fn ability(&self) -> GenAbility {
+        self.ability
+    }
+
+    /// Serve one accepted connection (duplex stream or TCP socket).
+    pub async fn serve_stream<T>(&self, io: T) -> Result<ServeStats, H2Error>
+    where
+        T: AsyncRead + AsyncWrite + Unpin,
+    {
+        let state = Arc::clone(&self.state);
+        let ability = self.ability;
+        serve_connection(io, ability, move |req, ctx| {
+            let mut st = state.lock();
+            handle_request(&mut st, ability, ctx.client_ability, &req)
+        })
+        .await
+    }
+
+    /// Answer one request directly (the transport-independent core used
+    /// by both the HTTP/2 and HTTP/3 front ends).
+    pub fn handle(&self, req: &Request, client_ability: GenAbility) -> Response {
+        let mut st = self.state.lock();
+        handle_request(&mut st, self.ability, client_ability, req)
+    }
+
+    /// Bind a TCP listener and serve connections until the task is
+    /// dropped. Returns the bound address.
+    pub async fn spawn_tcp(&self, addr: &str) -> std::io::Result<std::net::SocketAddr> {
+        let listener = tokio::net::TcpListener::bind(addr).await?;
+        let local = listener.local_addr()?;
+        let this = self.clone();
+        tokio::spawn(async move {
+            while let Ok((sock, _)) = listener.accept().await {
+                let server = this.clone();
+                tokio::spawn(async move {
+                    let _ = server.serve_stream(sock).await;
+                });
+            }
+        });
+        Ok(local)
+    }
+
+    /// Octets the site occupies in prompt form.
+    pub fn stored_bytes(&self) -> u64 {
+        self.state.lock().site.stored_bytes()
+    }
+
+    /// Octets the site would occupy traditionally: every generated-content
+    /// element materialized to media (measured via the codec) plus HTML
+    /// and unique assets.
+    pub fn traditional_bytes(&self) -> u64 {
+        let mut st = self.state.lock();
+        let pages: Vec<SwwPage> = st.site.pages.values().cloned().collect();
+        let mut total = st.site.stored_bytes();
+        for page in pages {
+            let doc = parse(&page.html);
+            for item in gencontent::extract(&doc) {
+                let (media, _) = st.generator.generate(&item);
+                total += media.media_bytes() as u64;
+                // Prompt-form metadata would not be stored traditionally.
+                total = total.saturating_sub(item.metadata_size() as u64);
+            }
+        }
+        total
+    }
+
+    /// How many requests were served in each mode (for tests/benches).
+    pub fn served_modes(&self) -> HashMap<&'static str, u64> {
+        self.state.lock().served_modes.clone()
+    }
+
+    /// Accumulated modelled server-side generation time.
+    pub fn server_generation_time_s(&self) -> f64 {
+        self.state.lock().server_generation_time_s
+    }
+}
+
+fn mode_label(mode: ServeMode) -> &'static str {
+    match mode {
+        ServeMode::Generative => "generative",
+        ServeMode::UpscaleAssisted => "upscale",
+        ServeMode::ServerGenerated => "server-generated",
+        ServeMode::Traditional => "traditional",
+    }
+}
+
+fn handle_request(
+    st: &mut ServerState,
+    server_ability: GenAbility,
+    client_ability: GenAbility,
+    req: &Request,
+) -> Response {
+    if req.method != "GET" {
+        return Response::status(405);
+    }
+    // Generated/unique assets first.
+    if let Some(bytes) = st
+        .generated_assets
+        .get(&req.path)
+        .cloned()
+        .or_else(|| st.site.assets.get(&req.path).cloned())
+    {
+        let mut resp = Response::ok(bytes);
+        resp.headers.insert("content-type", "image/swim");
+        return resp;
+    }
+    // Video routes (§3.2): /video/<name>/playlist.m3u8 and segments.
+    if let Some(rest) = req.path.strip_prefix("/video/") {
+        return handle_video(st, server_ability, client_ability, rest);
+    }
+    let Some(page) = st.site.page(&req.path).cloned() else {
+        return Response::status(404);
+    };
+    let mode = decide(server_ability, client_ability, &st.policy);
+    *st.served_modes.entry(mode_label(mode)).or_default() += 1;
+    let html = match mode {
+        ServeMode::Generative | ServeMode::UpscaleAssisted => page.html,
+        ServeMode::ServerGenerated | ServeMode::Traditional => {
+            materialize(st, &page.html)
+        }
+    };
+    // Conditional requests: the page body is content-addressed, so a
+    // client that revalidates with If-None-Match skips the transfer —
+    // prompt-form pages are as cacheable as any static resource.
+    let etag = format!("\"{}\"", &to_hex(&sha256(html.as_bytes()))[..16]);
+    if req.headers.get("if-none-match") == Some(etag.as_str()) {
+        let mut resp = Response::status(304);
+        resp.headers.insert("etag", etag);
+        resp.headers.insert("x-sww-mode", mode_label(mode));
+        return resp;
+    }
+    let mut resp = Response::ok(Bytes::from(html));
+    resp.headers.insert("content-type", "text/html");
+    resp.headers.insert("etag", etag);
+    resp.headers.insert("x-sww-mode", mode_label(mode));
+    resp
+}
+
+/// Serve a video playlist or segment. The rendition is negotiated per
+/// request from the latest advertised abilities, so a client that
+/// withdraws VIDEO mid-connection falls back to full rate.
+fn handle_video(
+    st: &mut ServerState,
+    server_ability: GenAbility,
+    client_ability: GenAbility,
+    rest: &str,
+) -> Response {
+    let Some((name, file)) = rest.split_once('/') else {
+        return Response::status(404);
+    };
+    let Some(asset) = st.site.videos.get(name).cloned() else {
+        return Response::status(404);
+    };
+    let playlist = hls::build_playlist(&asset, client_ability, server_ability);
+    if file == "playlist.m3u8" {
+        let mut resp = Response::ok(Bytes::from(playlist.to_m3u8(&asset)));
+        resp.headers.insert("content-type", "application/vnd.apple.mpegurl");
+        resp.headers
+            .insert("x-sww-sent-fps", playlist.stream.sent_fps.to_string());
+        return resp;
+    }
+    // Segment: segNNNN.ts
+    let Some(index) = file
+        .strip_prefix("seg")
+        .and_then(|f| f.strip_suffix(".ts"))
+        .and_then(|n| n.parse::<u64>().ok())
+    else {
+        return Response::status(404);
+    };
+    if index >= playlist.stream.segments {
+        return Response::status(404);
+    }
+    let mut resp = Response::ok(Bytes::from(hls::segment_payload(&playlist, index)));
+    resp.headers.insert("content-type", "video/mp2t");
+    resp
+}
+
+/// Expand every generated-content element server-side, store the media as
+/// a servable asset, and rewrite the page to point at it.
+fn materialize(st: &mut ServerState, html: &str) -> String {
+    let mut doc = parse(html);
+    let items = gencontent::extract(&doc);
+    for item in items {
+        let (media, cost) = st.generator.generate(&item);
+        st.server_generation_time_s += cost.time_s;
+        match media {
+            GeneratedMedia::Image { name, encoded, image } => {
+                let path = format!("/generated/{name}");
+                st.generated_assets.insert(path.clone(), Bytes::from(encoded));
+                gencontent::replace_with_image(&mut doc, item.node, &path, image.width(), image.height());
+            }
+            GeneratedMedia::Text { text } => {
+                gencontent::replace_with_text(&mut doc, item.node, &text);
+            }
+        }
+    }
+    serialize(&doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_site() -> SiteContent {
+        let mut site = SiteContent::new();
+        let html = format!(
+            "<html><body><h1>Hike</h1>{}{}<img src=\"/photos/me.jpg\"></body></html>",
+            gencontent::image_div("a mountain trail at dawn", "trail.jpg", 128, 128),
+            gencontent::text_div(&["trail steep rocky".into()], 80),
+        );
+        site.add_page("/hike", html);
+        site.add_asset("/photos/me.jpg", Bytes::from_static(b"unique-photo-bytes"));
+        site
+    }
+
+    #[test]
+    fn stored_bytes_counts_prompt_form() {
+        let site = demo_site();
+        let stored = site.stored_bytes();
+        assert!(stored > 100);
+        assert_eq!(site.page_count(), 1);
+    }
+
+    #[test]
+    fn traditional_exceeds_prompt_form() {
+        let server = GenerativeServer::new(demo_site(), GenAbility::full(), ServerPolicy::default());
+        let stored = server.stored_bytes();
+        let traditional = server.traditional_bytes();
+        assert!(
+            traditional > stored,
+            "traditional {traditional} must exceed prompt-form {stored}"
+        );
+    }
+
+    #[tokio::test]
+    async fn serves_prompt_form_to_capable_client() {
+        let server = GenerativeServer::new(demo_site(), GenAbility::full(), ServerPolicy::default());
+        let (a, b) = tokio::io::duplex(1 << 20);
+        let srv = server.clone();
+        tokio::spawn(async move {
+            let _ = srv.serve_stream(b).await;
+        });
+        let mut client = sww_http2::ClientConnection::handshake(a, GenAbility::full())
+            .await
+            .unwrap();
+        let resp = client.send_request(&Request::get("/hike")).await.unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.headers.get("x-sww-mode"), Some("generative"));
+        let body = String::from_utf8(resp.body.to_vec()).unwrap();
+        assert!(body.contains("generated-content"), "prompt form expected");
+        assert_eq!(server.served_modes()["generative"], 1);
+    }
+
+    #[tokio::test]
+    async fn materializes_for_naive_client() {
+        let server = GenerativeServer::new(demo_site(), GenAbility::full(), ServerPolicy::default());
+        let (a, b) = tokio::io::duplex(1 << 20);
+        let srv = server.clone();
+        tokio::spawn(async move {
+            let _ = srv.serve_stream(b).await;
+        });
+        let mut client = sww_http2::ClientConnection::handshake(a, GenAbility::none())
+            .await
+            .unwrap();
+        let resp = client.send_request(&Request::get("/hike")).await.unwrap();
+        assert_eq!(resp.headers.get("x-sww-mode"), Some("server-generated"));
+        let body = String::from_utf8(resp.body.to_vec()).unwrap();
+        assert!(!body.contains("generated-content"));
+        assert!(body.contains("/generated/trail.jpg"));
+        // The generated asset is servable.
+        let img = client
+            .send_request(&Request::get("/generated/trail.jpg"))
+            .await
+            .unwrap();
+        assert_eq!(img.status, 200);
+        assert!(sww_genai::codec::decode(&img.body).is_ok());
+        // Server spent modelled generation time.
+        assert!(server.server_generation_time_s() > 0.0);
+    }
+
+    #[tokio::test]
+    async fn unknown_path_is_404_and_post_is_405() {
+        let server = GenerativeServer::new(demo_site(), GenAbility::full(), ServerPolicy::default());
+        let (a, b) = tokio::io::duplex(1 << 20);
+        let srv = server.clone();
+        tokio::spawn(async move {
+            let _ = srv.serve_stream(b).await;
+        });
+        let mut client = sww_http2::ClientConnection::handshake(a, GenAbility::full())
+            .await
+            .unwrap();
+        let resp = client.send_request(&Request::get("/missing")).await.unwrap();
+        assert_eq!(resp.status, 404);
+        let mut post = Request::get("/hike");
+        post.method = "POST".into();
+        let resp = client.send_request(&post).await.unwrap();
+        assert_eq!(resp.status, 405);
+    }
+
+    #[tokio::test]
+    async fn unique_assets_served_as_is() {
+        let server = GenerativeServer::new(demo_site(), GenAbility::full(), ServerPolicy::default());
+        let (a, b) = tokio::io::duplex(1 << 20);
+        let srv = server.clone();
+        tokio::spawn(async move {
+            let _ = srv.serve_stream(b).await;
+        });
+        let mut client = sww_http2::ClientConnection::handshake(a, GenAbility::full())
+            .await
+            .unwrap();
+        let resp = client
+            .send_request(&Request::get("/photos/me.jpg"))
+            .await
+            .unwrap();
+        assert_eq!(&resp.body[..], b"unique-photo-bytes");
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Device, energy and carbon modelling for SWW (paper §6.1, §6.4).
+//!
+//! The paper's latency and energy numbers are properties of its two test
+//! machines (an M1 Pro MacBook and a Threadripper workstation with two
+//! ADA 4000 GPUs). This crate models both devices with cost functions
+//! calibrated to every measured anchor the paper reports, so the benches
+//! regenerate Tables 1–2 and the §6.4 energy comparisons with the right
+//! magnitudes, crossovers and scaling shapes:
+//!
+//! * [`device`] — the laptop / workstation / mobile profiles,
+//! * [`cost`] — generation latency: per-step model costs, resolution
+//!   scaling (linear on the GPU workstation, superlinear on the
+//!   memory-constrained laptop where attention splitting kicks in), and
+//!   text generation dominated by the reasoning phase,
+//! * [`power`] — seconds × watts → watt-hours accounting,
+//! * [`network`] — transmission time and the Telefónica 38 MWh/PB energy
+//!   intensity,
+//! * [`carbon`] — embodied carbon of storage (6–7 kgCO₂e per TB of SSD).
+
+pub mod carbon;
+pub mod cost;
+pub mod device;
+pub mod network;
+pub mod power;
+
+pub use cost::{image_generation_time, text_generation_time, upscale_time};
+pub use device::{DeviceKind, DeviceProfile};
+pub use network::LinkModel;
+pub use power::Energy;

@@ -1,0 +1,104 @@
+//! Network transmission model (paper §6.4).
+//!
+//! Two quantities matter to the paper's comparison: how long content takes
+//! to transmit on a typical access link (a large image ≈10 ms at
+//! 100 Mbps, which workstation generation exceeds by ≈620×), and how much
+//! energy the network spends per byte — Telefónica's 2024 intensity of
+//! 38 MWh/PB ≈ 0.038 Wh/MB, which makes transmission ≈2.5% of the
+//! workstation's generation energy for a large image.
+
+use crate::power::Energy;
+
+/// Telefónica 2024: 38 MWh per petabyte of traffic ⇒ Wh per megabyte.
+pub const WH_PER_MB: f64 = 0.038;
+
+/// Bytes per megabyte in the paper's accounting (decimal, as operators use).
+pub const BYTES_PER_MB: f64 = 1_000_000.0;
+
+/// An access link.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkModel {
+    /// Line rate in megabits per second.
+    pub mbps: f64,
+    /// One-way propagation + processing latency added per transfer.
+    pub base_latency_s: f64,
+}
+
+impl LinkModel {
+    /// The paper's "typical 100 Mbps link".
+    pub fn typical() -> LinkModel {
+        LinkModel {
+            mbps: 100.0,
+            base_latency_s: 0.0,
+        }
+    }
+
+    /// A link with explicit parameters.
+    pub fn new(mbps: f64, base_latency_s: f64) -> LinkModel {
+        LinkModel {
+            mbps,
+            base_latency_s,
+        }
+    }
+
+    /// Seconds to transmit `bytes`.
+    pub fn transmit_time(&self, bytes: u64) -> f64 {
+        self.base_latency_s + (bytes as f64 * 8.0) / (self.mbps * 1e6)
+    }
+}
+
+/// Network energy to carry `bytes`, at the Telefónica intensity.
+pub fn transmission_energy(bytes: u64) -> Energy {
+    Energy::from_wh(bytes as f64 / BYTES_PER_MB * WH_PER_MB)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_image_transmits_in_about_ten_ms() {
+        // Paper: "sending a large image on a typical 100 Mbps link would
+        // take about ten milliseconds". Large image = 131072 B.
+        let t = LinkModel::typical().transmit_time(131_072);
+        assert!((0.008..0.013).contains(&t), "t={t}");
+    }
+
+    #[test]
+    fn large_image_energy_is_about_5_mwh() {
+        // Paper: "a large image would cost roughly 0.005 Wh to transmit".
+        let e = transmission_energy(131_072);
+        assert!((e.wh() - 0.005).abs() < 0.0005, "e={} Wh", e.wh());
+    }
+
+    #[test]
+    fn transmission_is_small_share_of_generation() {
+        // Paper: transmission ≈ 2.5% of workstation generation energy
+        // (0.005 Wh vs 0.21 Wh).
+        let tx = transmission_energy(131_072).wh();
+        let gen = 0.21;
+        let share = tx / gen;
+        assert!((0.015..0.04).contains(&share), "share={share:.3}");
+    }
+
+    #[test]
+    fn slower_link_takes_longer() {
+        let fast = LinkModel::new(1000.0, 0.0).transmit_time(1_000_000);
+        let slow = LinkModel::new(10.0, 0.0).transmit_time(1_000_000);
+        assert!(slow > fast * 90.0);
+    }
+
+    #[test]
+    fn base_latency_added() {
+        let l = LinkModel::new(100.0, 0.02);
+        assert!(l.transmit_time(0) >= 0.02);
+    }
+
+    #[test]
+    fn energy_linear_in_bytes() {
+        let e1 = transmission_energy(1_000_000).wh();
+        let e2 = transmission_energy(2_000_000).wh();
+        assert!((e2 - 2.0 * e1).abs() < 1e-12);
+        assert!((e1 - WH_PER_MB).abs() < 1e-12);
+    }
+}

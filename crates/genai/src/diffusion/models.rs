@@ -1,0 +1,167 @@
+//! Named image-model profiles, calibrated to the paper's Table 1.
+//!
+//! `quality` is the feature-space fidelity planted by the generator (the
+//! CLIP-sim metric then *measures* it from pixels); `elo` carries the
+//! published Artificial Analysis arena ratings the paper cites; the
+//! per-step times are the paper's measured anchors at 224×224 / FP16 /
+//! 15 steps.
+
+/// The image models the paper evaluates, plus the fast model its §7
+/// outlook points at (FLUX.1-class, "models aimed at speed").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImageModelKind {
+    /// Stable Diffusion 2.1 Base — fast but significantly worse quality.
+    Sd21Base,
+    /// Stable Diffusion 3 Medium — the prototype's model of choice.
+    Sd3Medium,
+    /// Stable Diffusion 3.5 Medium.
+    Sd35Medium,
+    /// DALL·E 3 — server-side only in the paper's comparison.
+    Dalle3,
+    /// A future-fast profile (§7): better than SD 3.5 and much quicker.
+    FluxFast,
+}
+
+impl ImageModelKind {
+    /// All models in the paper's Table 1 comparison, in table order.
+    pub fn table1() -> [ImageModelKind; 4] {
+        [
+            ImageModelKind::Sd21Base,
+            ImageModelKind::Sd3Medium,
+            ImageModelKind::Sd35Medium,
+            ImageModelKind::Dalle3,
+        ]
+    }
+}
+
+/// Static description of one image model.
+#[derive(Debug, Clone)]
+pub struct ImageModelProfile {
+    /// Which model this is.
+    pub kind: ImageModelKind,
+    /// Human-readable name as printed in Table 1.
+    pub name: &'static str,
+    /// Feature-space fidelity in `[0, 1]` (drives measured CLIP-sim).
+    pub quality: f64,
+    /// Published arena ELO rating (calibration data, paper §6.3.1).
+    pub elo: u32,
+    /// Seconds per inference step on the laptop (M1 Pro), 224², FP16.
+    /// `None` for server-only models.
+    pub laptop_s_per_step: Option<f64>,
+    /// Seconds per inference step on the workstation (2× ADA 4000).
+    pub workstation_s_per_step: Option<f64>,
+    /// Whether the model only runs server-side (DALL·E 3).
+    pub server_only: bool,
+    /// Salt mixed into generation seeds so models diverge visually.
+    pub seed_salt: u64,
+}
+
+/// Look up a model profile.
+pub fn profile(kind: ImageModelKind) -> ImageModelProfile {
+    match kind {
+        ImageModelKind::Sd21Base => ImageModelProfile {
+            kind,
+            name: "SD 2.1",
+            quality: 0.23,
+            elo: 688,
+            laptop_s_per_step: Some(0.18),
+            workstation_s_per_step: Some(0.02),
+            server_only: false,
+            seed_salt: 0x5d21,
+        },
+        ImageModelKind::Sd3Medium => ImageModelProfile {
+            kind,
+            name: "SD 3 Med.",
+            quality: 0.44,
+            elo: 895,
+            laptop_s_per_step: Some(0.38),
+            workstation_s_per_step: Some(0.05),
+            server_only: false,
+            seed_salt: 0x5d30,
+        },
+        ImageModelKind::Sd35Medium => ImageModelProfile {
+            kind,
+            name: "SD 3.5 Med.",
+            quality: 0.46,
+            elo: 927,
+            laptop_s_per_step: Some(0.59),
+            workstation_s_per_step: Some(0.06),
+            server_only: false,
+            seed_salt: 0x5d35,
+        },
+        ImageModelKind::Dalle3 => ImageModelProfile {
+            kind,
+            name: "DALLE 3",
+            quality: 0.63,
+            elo: 923,
+            laptop_s_per_step: None,
+            workstation_s_per_step: None,
+            server_only: true,
+            seed_salt: 0xda11e3,
+        },
+        ImageModelKind::FluxFast => ImageModelProfile {
+            kind,
+            name: "FLUX-fast",
+            quality: 0.52,
+            elo: 1050,
+            laptop_s_per_step: Some(0.06),
+            workstation_s_per_step: Some(0.008),
+            server_only: false,
+            seed_salt: 0xf1f1,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_anchors_match_paper() {
+        let sd21 = profile(ImageModelKind::Sd21Base);
+        assert_eq!(sd21.elo, 688);
+        assert_eq!(sd21.laptop_s_per_step, Some(0.18));
+        assert_eq!(sd21.workstation_s_per_step, Some(0.02));
+        let sd3 = profile(ImageModelKind::Sd3Medium);
+        assert_eq!(sd3.elo, 895);
+        assert_eq!(sd3.laptop_s_per_step, Some(0.38));
+        let sd35 = profile(ImageModelKind::Sd35Medium);
+        assert_eq!(sd35.elo, 927);
+        let dalle = profile(ImageModelKind::Dalle3);
+        assert!(dalle.server_only);
+        assert!(dalle.laptop_s_per_step.is_none());
+    }
+
+    #[test]
+    fn sd3_faster_than_sd35_by_paper_margins() {
+        // Paper: SD 3 is 35% faster on laptop, 13% faster on workstation.
+        let sd3 = profile(ImageModelKind::Sd3Medium);
+        let sd35 = profile(ImageModelKind::Sd35Medium);
+        let laptop_speedup =
+            1.0 - sd3.laptop_s_per_step.unwrap() / sd35.laptop_s_per_step.unwrap();
+        assert!((0.30..0.40).contains(&laptop_speedup), "{laptop_speedup}");
+        let ws_speedup =
+            1.0 - sd3.workstation_s_per_step.unwrap() / sd35.workstation_s_per_step.unwrap();
+        assert!((0.10..0.20).contains(&ws_speedup), "{ws_speedup}");
+    }
+
+    #[test]
+    fn quality_ordering_matches_clip_ordering() {
+        // Paper Table 1 CLIP ordering: SD2.1 < SD3 ≈ SD3.5 < DALLE-3.
+        let q = |k| profile(k).quality;
+        assert!(q(ImageModelKind::Sd21Base) < q(ImageModelKind::Sd3Medium));
+        assert!((q(ImageModelKind::Sd3Medium) - q(ImageModelKind::Sd35Medium)).abs() < 0.05);
+        assert!(q(ImageModelKind::Sd35Medium) < q(ImageModelKind::Dalle3));
+    }
+
+    #[test]
+    fn future_model_is_strictly_better_and_faster() {
+        // §7: "already some models perform better (CLIP, ELO) and generate
+        // faster than SD 3.5 Medium".
+        let flux = profile(ImageModelKind::FluxFast);
+        let sd35 = profile(ImageModelKind::Sd35Medium);
+        assert!(flux.quality > sd35.quality);
+        assert!(flux.elo > sd35.elo);
+        assert!(flux.laptop_s_per_step.unwrap() < sd35.laptop_s_per_step.unwrap());
+    }
+}

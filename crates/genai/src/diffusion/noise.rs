@@ -1,0 +1,99 @@
+//! Seeded value noise and fractional Brownian motion, the spatial
+//! randomness source of the procedural generator.
+
+use crate::fnv1a;
+
+/// Hash lattice coordinates to a value in `[-1, 1]`.
+fn lattice(seed: u64, xi: i64, yi: i64) -> f64 {
+    let mut buf = [0u8; 24];
+    buf[..8].copy_from_slice(&seed.to_le_bytes());
+    buf[8..16].copy_from_slice(&xi.to_le_bytes());
+    buf[16..].copy_from_slice(&yi.to_le_bytes());
+    let h = fnv1a(&buf);
+    (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+}
+
+fn smoothstep(t: f64) -> f64 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Smooth value noise at `(x, y)`, in `[-1, 1]`.
+pub fn value_noise(seed: u64, x: f64, y: f64) -> f64 {
+    let x0 = x.floor();
+    let y0 = y.floor();
+    let fx = smoothstep(x - x0);
+    let fy = smoothstep(y - y0);
+    let (xi, yi) = (x0 as i64, y0 as i64);
+    let v00 = lattice(seed, xi, yi);
+    let v10 = lattice(seed, xi + 1, yi);
+    let v01 = lattice(seed, xi, yi + 1);
+    let v11 = lattice(seed, xi + 1, yi + 1);
+    let a = v00 + (v10 - v00) * fx;
+    let b = v01 + (v11 - v01) * fx;
+    a + (b - a) * fy
+}
+
+/// Fractional Brownian motion: `octaves` layers of value noise with
+/// doubling frequency and halving amplitude, normalized to `[-1, 1]`.
+pub fn fbm(seed: u64, x: f64, y: f64, octaves: u32) -> f64 {
+    let mut total = 0.0;
+    let mut amplitude = 1.0;
+    let mut frequency = 1.0;
+    let mut norm = 0.0;
+    for o in 0..octaves.max(1) {
+        total += value_noise(seed.wrapping_add(u64::from(o) * 0x9e37), x * frequency, y * frequency)
+            * amplitude;
+        norm += amplitude;
+        amplitude *= 0.5;
+        frequency *= 2.0;
+    }
+    total / norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded() {
+        for i in 0..500 {
+            let x = i as f64 * 0.173;
+            let y = i as f64 * 0.311;
+            let v = value_noise(9, x, y);
+            assert!((-1.0..=1.0).contains(&v), "v={v}");
+            let f = fbm(9, x, y, 4);
+            assert!((-1.0..=1.0).contains(&f), "f={f}");
+        }
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        assert_eq!(value_noise(1, 2.5, 3.5), value_noise(1, 2.5, 3.5));
+        assert_ne!(value_noise(1, 2.5, 3.5), value_noise(2, 2.5, 3.5));
+    }
+
+    #[test]
+    fn continuous_across_lattice() {
+        // Values just either side of an integer lattice line are close.
+        let a = value_noise(5, 3.0 - 1e-9, 0.4);
+        let b = value_noise(5, 3.0 + 1e-9, 0.4);
+        assert!((a - b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lattice_points_match_hash() {
+        // At integer coordinates the noise equals the lattice value.
+        let v = value_noise(7, 4.0, 9.0);
+        assert!((v - lattice(7, 4, 9)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fbm_roughly_zero_mean() {
+        let n = 4000;
+        let mean: f64 = (0..n)
+            .map(|i| fbm(3, (i % 63) as f64 * 0.37, (i / 63) as f64 * 0.29, 3))
+            .sum::<f64>()
+            / n as f64;
+        assert!(mean.abs() < 0.1, "mean={mean}");
+    }
+}

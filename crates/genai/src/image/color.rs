@@ -1,0 +1,77 @@
+//! RGB ↔ YCbCr color conversion (BT.601 full-range, as JPEG uses) for the
+//! codec's chroma-subsampled mode.
+
+/// RGB → YCbCr. All components in `[0, 255]`.
+pub fn rgb_to_ycbcr(rgb: [f64; 3]) -> [f64; 3] {
+    let [r, g, b] = rgb;
+    let y = 0.299 * r + 0.587 * g + 0.114 * b;
+    let cb = 128.0 - 0.168_736 * r - 0.331_264 * g + 0.5 * b;
+    let cr = 128.0 + 0.5 * r - 0.418_688 * g - 0.081_312 * b;
+    [y, cb, cr]
+}
+
+/// YCbCr → RGB, clamped to `[0, 255]`.
+pub fn ycbcr_to_rgb(ycbcr: [f64; 3]) -> [f64; 3] {
+    let [y, cb, cr] = ycbcr;
+    let r = y + 1.402 * (cr - 128.0);
+    let g = y - 0.344_136 * (cb - 128.0) - 0.714_136 * (cr - 128.0);
+    let b = y + 1.772 * (cb - 128.0);
+    [r.clamp(0.0, 255.0), g.clamp(0.0, 255.0), b.clamp(0.0, 255.0)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primaries_roundtrip() {
+        for rgb in [
+            [0.0, 0.0, 0.0],
+            [255.0, 255.0, 255.0],
+            [255.0, 0.0, 0.0],
+            [0.0, 255.0, 0.0],
+            [0.0, 0.0, 255.0],
+            [128.0, 64.0, 200.0],
+        ] {
+            let back = ycbcr_to_rgb(rgb_to_ycbcr(rgb));
+            for c in 0..3 {
+                assert!(
+                    (back[c] - rgb[c]).abs() < 0.01,
+                    "{rgb:?} → {back:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grey_has_neutral_chroma() {
+        for v in [0.0, 100.0, 255.0] {
+            let [y, cb, cr] = rgb_to_ycbcr([v, v, v]);
+            assert!((y - v).abs() < 1e-9);
+            assert!((cb - 128.0).abs() < 1e-9);
+            assert!((cr - 128.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn luma_weights_sum_to_one() {
+        let [y, _, _] = rgb_to_ycbcr([255.0, 255.0, 255.0]);
+        assert!((y - 255.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhaustive_roundtrip_error_bounded() {
+        // Sampled sweep: conversion error stays sub-pixel.
+        for r in (0..=255).step_by(51) {
+            for g in (0..=255).step_by(51) {
+                for b in (0..=255).step_by(51) {
+                    let rgb = [f64::from(r), f64::from(g), f64::from(b)];
+                    let back = ycbcr_to_rgb(rgb_to_ycbcr(rgb));
+                    for c in 0..3 {
+                        assert!((back[c] - rgb[c]).abs() < 0.01);
+                    }
+                }
+            }
+        }
+    }
+}

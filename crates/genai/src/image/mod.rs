@@ -1,0 +1,8 @@
+//! Image representation and codecs.
+
+pub mod buffer;
+pub mod codec;
+pub mod color;
+pub mod dct;
+
+pub use buffer::ImageBuffer;

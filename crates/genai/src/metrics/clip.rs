@@ -1,0 +1,126 @@
+//! CLIP-style prompt↔image similarity (the paper's quantitative image
+//! metric, §6.3.1, citing CLIPScore).
+//!
+//! The cosine between the prompt embedding and the image's measured
+//! feature-space embedding is mapped into CLIP-score range by a fixed
+//! affine calibration: real CLIP similarities are anisotropic (a random
+//! image scores ≈0.09 against any prompt, per the paper's baseline), so
+//! `score = 0.09 + 0.30 · max(cos, 0)`. The cosine itself is computed
+//! from pixels; nothing about the model's quality enters this function.
+
+use crate::diffusion::DiffusionModel;
+use crate::image::ImageBuffer;
+use crate::prompt::{cosine, PromptFeatures};
+
+/// The paper's measured CLIP score for a random (promptless) image.
+pub const RANDOM_BASELINE: f64 = 0.09;
+
+/// Slope of the cosine → CLIP-score calibration.
+pub const CALIBRATION_SLOPE: f64 = 0.30;
+
+/// Raw cosine similarity between an image and a prompt in the shared
+/// feature space.
+pub fn similarity(image: &ImageBuffer, prompt: &str) -> f64 {
+    let features = PromptFeatures::analyze(prompt);
+    let img_embedding = DiffusionModel::image_embedding(image);
+    cosine(&img_embedding, &features.embedding)
+}
+
+/// CLIP score of an image against a prompt.
+pub fn clip_score(image: &ImageBuffer, prompt: &str) -> f64 {
+    RANDOM_BASELINE + CALIBRATION_SLOPE * similarity(image, prompt).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diffusion::{DiffusionModel, ImageModelKind};
+    use crate::rng::Rng;
+
+    fn random_image(w: u32, h: u32, seed: u64) -> ImageBuffer {
+        let mut rng = Rng::new(seed);
+        let mut img = ImageBuffer::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                img.set(
+                    x,
+                    y,
+                    [
+                        (rng.next_u64() & 0xff) as u8,
+                        (rng.next_u64() & 0xff) as u8,
+                        (rng.next_u64() & 0xff) as u8,
+                    ],
+                );
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn random_image_scores_near_baseline() {
+        // Paper: "the CLIP score of a randomly generated image (no prompt)
+        // was 0.09".
+        let prompt = "a serene mountain landscape with a lake";
+        let mut total = 0.0;
+        for seed in 0..8 {
+            total += clip_score(&random_image(224, 224, seed), prompt);
+        }
+        let mean = total / 8.0;
+        assert!(
+            (RANDOM_BASELINE - 0.02..RANDOM_BASELINE + 0.04).contains(&mean),
+            "random baseline {mean:.3}"
+        );
+    }
+
+    #[test]
+    fn generated_image_beats_random() {
+        let prompt = "a serene mountain landscape with a lake";
+        let img = DiffusionModel::new(ImageModelKind::Sd3Medium).generate(prompt, 224, 224, 15);
+        let s_gen = clip_score(&img, prompt);
+        let s_rand = clip_score(&random_image(224, 224, 1), prompt);
+        assert!(s_gen > s_rand + 0.05, "gen {s_gen:.3} vs random {s_rand:.3}");
+    }
+
+    #[test]
+    fn matching_prompt_beats_mismatched() {
+        let prompt = "rolling hills landscape with morning fog";
+        let img = DiffusionModel::new(ImageModelKind::Sd35Medium).generate(prompt, 224, 224, 15);
+        let matched = clip_score(&img, prompt);
+        let mismatched = clip_score(&img, "a red sports car in a parking garage");
+        assert!(
+            matched > mismatched,
+            "matched {matched:.3} vs mismatched {mismatched:.3}"
+        );
+    }
+
+    #[test]
+    fn table1_model_ordering_is_measured() {
+        // The CLIP ordering of Table 1 must emerge from pixels: SD 2.1
+        // well below SD 3 ≈ SD 3.5 below DALLE-3. Average over prompts to
+        // tame per-prompt noise.
+        let prompts = [
+            "a mountain landscape at sunset with a lake",
+            "a dense forest trail in autumn",
+            "a sandy beach with turquoise ocean water",
+            "storm clouds over a wheat field",
+        ];
+        let mean_score = |kind: ImageModelKind| -> f64 {
+            prompts
+                .iter()
+                .map(|p| clip_score(&DiffusionModel::new(kind).generate(p, 224, 224, 15), p))
+                .sum::<f64>()
+                / prompts.len() as f64
+        };
+        let sd21 = mean_score(ImageModelKind::Sd21Base);
+        let sd3 = mean_score(ImageModelKind::Sd3Medium);
+        let sd35 = mean_score(ImageModelKind::Sd35Medium);
+        let dalle = mean_score(ImageModelKind::Dalle3);
+        assert!(sd21 < sd3, "sd21 {sd21:.3} < sd3 {sd3:.3}");
+        assert!((sd3 - sd35).abs() < 0.04, "sd3 {sd3:.3} ≈ sd35 {sd35:.3}");
+        assert!(sd35 < dalle, "sd35 {sd35:.3} < dalle {dalle:.3}");
+        // Ranges near the paper's Table 1 values.
+        assert!((0.14..0.25).contains(&sd21), "sd21={sd21:.3}");
+        assert!((0.22..0.32).contains(&sd3), "sd3={sd3:.3}");
+        assert!((0.26..0.37).contains(&dalle), "dalle={dalle:.3}");
+    }
+}

@@ -1,0 +1,6 @@
+//! Quality metrics: CLIP-sim (prompt↔image), SBERT-sim (bullets↔text)
+//! and ELO rating math.
+
+pub mod clip;
+pub mod elo;
+pub mod sbert;

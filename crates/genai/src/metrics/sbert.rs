@@ -1,0 +1,146 @@
+//! SBERT-style sentence similarity (the paper's text metric, §6.3.2).
+//!
+//! Sentences embed as bags of content words (unigrams + bigrams) with
+//! sub-linear term weighting; similarity is the cosine, mapped into
+//! SBERT range by a fixed affine calibration — semantically related
+//! paragraph pairs score high (the paper's band is 0.82–0.91), unrelated
+//! pairs considerably lower but rarely near zero.
+
+use crate::text::bullets::{is_stopword, normalize_word};
+use std::collections::HashMap;
+
+/// Calibration intercept of the cosine → SBERT mapping.
+pub const CALIBRATION_BASE: f64 = 0.70;
+
+/// Calibration slope.
+pub const CALIBRATION_SLOPE: f64 = 0.58;
+
+/// Bag-of-terms embedding: content unigrams and bigrams, weight
+/// `1 + ln(count)`.
+fn embed(text: &str) -> HashMap<String, f64> {
+    let words: Vec<String> = text
+        .split_whitespace()
+        .map(normalize_word)
+        .filter(|w| !w.is_empty() && !is_stopword(w))
+        .collect();
+    let mut counts: HashMap<String, f64> = HashMap::new();
+    for w in &words {
+        *counts.entry(w.clone()).or_default() += 1.0;
+    }
+    for pair in words.windows(2) {
+        *counts.entry(format!("{} {}", pair[0], pair[1])).or_default() += 1.0;
+    }
+    counts
+        .into_iter()
+        .map(|(term, c)| (term, 1.0 + c.ln()))
+        .collect()
+}
+
+fn cosine(a: &HashMap<String, f64>, b: &HashMap<String, f64>) -> f64 {
+    let dot: f64 = a
+        .iter()
+        .filter_map(|(term, wa)| b.get(term).map(|wb| wa * wb))
+        .sum();
+    let na: f64 = a.values().map(|v| v * v).sum::<f64>().sqrt();
+    let nb: f64 = b.values().map(|v| v * v).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Raw cosine between two texts' term bags.
+pub fn similarity(a: &str, b: &str) -> f64 {
+    cosine(&embed(a), &embed(b))
+}
+
+/// SBERT-calibrated score between source bullets and expanded text.
+pub fn sbert_score(bullets: &[String], text: &str) -> f64 {
+    let source = bullets.join(" ");
+    (CALIBRATION_BASE + CALIBRATION_SLOPE * similarity(&source, text)).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::{TextModel, TextModelKind};
+
+    #[test]
+    fn identical_text_scores_maximal() {
+        let s = similarity("the mountain trail is steep", "the mountain trail is steep");
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unrelated_text_scores_low() {
+        let s = similarity(
+            "mountain trail hiking boots summit views",
+            "quarterly earnings exceeded analyst forecasts substantially",
+        );
+        assert!(s < 0.1, "s={s}");
+    }
+
+    #[test]
+    fn stopwords_do_not_inflate() {
+        let s = similarity(
+            "the a of and mountain",
+            "the a of and spreadsheet",
+        );
+        assert!(s < 1e-9);
+    }
+
+    #[test]
+    fn expansions_land_in_paper_band() {
+        // Paper: all models achieve SBERT means 0.82–0.91.
+        let bullets = vec![
+            "trail climbs forest pines morning light".to_string(),
+            "ridge view valley snow peaks river".to_string(),
+            "route marked moderate fitness boots scree water".to_string(),
+        ];
+        for kind in TextModelKind::all() {
+            let m = TextModel::new(kind);
+            let mut total = 0.0;
+            let n = 6;
+            for i in 0..n {
+                let mut b = bullets.clone();
+                b.push(format!("detail variation {i}"));
+                total += sbert_score(&b, &m.expand(&b, 150));
+            }
+            let mean = total / n as f64;
+            assert!(
+                (0.78..=0.95).contains(&mean),
+                "{kind:?} mean SBERT {mean:.3} outside band"
+            );
+        }
+    }
+
+    #[test]
+    fn better_model_scores_higher() {
+        let bullets = vec![
+            "council approved transit plan".to_string(),
+            "construction begins spring".to_string(),
+            "commute times reduced twenty percent".to_string(),
+        ];
+        let score = |kind| {
+            let m = TextModel::new(kind);
+            (0..8)
+                .map(|i| {
+                    let mut b = bullets.clone();
+                    b.push(format!("v{i}"));
+                    sbert_score(&b, &m.expand(&b, 120))
+                })
+                .sum::<f64>()
+                / 8.0
+        };
+        let weak = score(TextModelKind::DeepSeekR1_1_5B);
+        let strong = score(TextModelKind::DeepSeekR1_8B);
+        assert!(strong > weak, "8B {strong:.3} should beat 1.5B {weak:.3}");
+    }
+
+    #[test]
+    fn score_capped_at_one() {
+        let b = vec!["exact words repeated".to_string()];
+        assert!(sbert_score(&b, "exact words repeated") <= 1.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Built-in training corpus for the Markov language model: the generic
+//! travel-blog / news-article register the paper's examples live in
+//! ("every travel blog seems to describe the same hiking trail").
+
+/// The corpus, one passage per entry. Written for this repository; the
+/// deliberately boilerplate tone mirrors the web content the paper argues
+/// is generic enough to regenerate from prompts.
+pub static CORPUS: &[&str] = &[
+    "The trail begins at the edge of the village and climbs steadily through a forest of old pines. \
+     Morning light filters through the branches and the air carries the smell of resin and damp earth. \
+     After an hour of walking the trees thin out and the path opens onto a wide meadow dotted with wildflowers.",
+    "From the ridge the view stretches across the whole valley. Snow capped peaks rise in the distance \
+     and a river winds silver through the fields below. Hikers often pause here to catch their breath \
+     and take photographs before the final push to the summit.",
+    "The route is well marked and suitable for walkers of moderate fitness. Sturdy boots are recommended \
+     because the upper section crosses loose scree. Water sources are scarce beyond the last hut so carry \
+     at least two litres per person on warm days.",
+    "We reached the lake just before noon. The water was impossibly clear and cold, reflecting the clouds \
+     that drifted over the ridge. A small stone shelter stands on the northern shore where travellers can \
+     rest and cook a simple meal.",
+    "The old town rewards visitors who wander without a map. Narrow lanes open onto quiet squares where \
+     cafes set their tables in the shade of plane trees. Local bakers sell bread and pastries from early \
+     morning, and the market on the main square runs every weekend.",
+    "Autumn is the best season for this walk. The beech forests turn copper and gold, the summer crowds \
+     are gone, and the mountain huts still serve hot soup to anyone who arrives before dusk. Check the \
+     weather forecast carefully because conditions change quickly above the tree line.",
+    "Public transport makes the trailhead easy to reach. A regional bus leaves the station every hour and \
+     stops directly at the visitor centre. The last return service departs at six in the evening, so plan \
+     the descent with time to spare.",
+    "The city has invested heavily in new infrastructure over the past decade. Officials announced this week \
+     that the expanded transit line will open ahead of schedule, connecting the airport with the northern \
+     districts. Commuters welcomed the news after years of construction delays.",
+    "Researchers at the university published a study describing how changing rainfall patterns affect the \
+     region's rivers. The team collected measurements over five years and found that spring floods now \
+     arrive almost two weeks earlier than they did a generation ago.",
+    "The festival returns next month with a programme of music, food and street performance. Organisers \
+     expect record attendance this year and advise visitors to book accommodation early. Local businesses \
+     say the event brings an important boost to the economy at the end of the season.",
+    "Breakfast is served on the terrace overlooking the harbour. Fresh fruit, warm bread and strong coffee \
+     arrive at the table while fishing boats return with the morning catch. It is the kind of slow start \
+     that sets the tone for a day of unhurried exploration.",
+    "The coastal path follows the cliffs for twelve kilometres between the two villages. Seabirds nest in \
+     the rock faces below and in spring the slopes are covered with thrift and sea campion. There are no \
+     shops along the way, so pack a picnic and plenty of water.",
+    "Winter transforms the high plateau into a quiet world of snow and silence. Cross country ski tracks \
+     are groomed daily and snowshoe routes lead through the frozen forest to viewpoints over the gorge. \
+     Equipment can be rented in the village at reasonable prices.",
+    "The museum's new wing houses a collection of regional crafts gathered over two centuries. Exhibits \
+     trace the development of weaving, pottery and woodwork, and a workshop space invites visitors to try \
+     the techniques themselves under the guidance of local artisans.",
+    "Markets across the region reported steady growth in the last quarter. Analysts point to strong demand \
+     for local produce and a recovery in tourism as the main drivers. Small producers, however, warn that \
+     rising costs continue to squeeze their margins.",
+    "Set out early to avoid the afternoon heat. The first section of the climb is exposed and shadeless, \
+     but the gradient eases once the path enters the old cedar forest. Near the top a cold spring offers \
+     the sweetest water of the whole walk.",
+    "The guesthouse sits at the end of a quiet lane surrounded by olive trees. Rooms are simple and clean, \
+     with shuttered windows that open onto the garden. Dinner is cooked by the owners and served family \
+     style at a long wooden table.",
+    "Conservation teams completed the restoration of the medieval bridge this spring. The crossing had been \
+     closed for two years after flood damage weakened the central arch. Pedestrians and cyclists can now \
+     use the bridge again, while heavier traffic is diverted to the new road.",
+    "Every evening the square fills with families taking their customary walk before dinner. Children chase \
+     pigeons between the fountains while their grandparents debate football and politics on the benches. \
+     Visitors soon find themselves drawn into the gentle rhythm of the town.",
+    "The report highlights the growing importance of renewable energy for the national grid. Wind and solar \
+     installations supplied nearly forty percent of demand during the summer months, a record share that \
+     exceeded government projections for the year.",
+    "Start from the harbour and follow the painted marks along the sea wall. The route climbs gently past \
+     the old lighthouse before turning inland through terraced fields. Most walkers complete the loop in \
+     about three hours, with plenty of places to stop for photographs along the way.",
+    "The valley is famous for its spring festivals, when every village decorates its square with flowers \
+     and the sound of brass bands carries across the fields. Visitors who arrive early can watch the \
+     preparations and share breakfast with the performers before the crowds gather.",
+    "Accommodation in the area ranges from simple mountain huts to comfortable family hotels. Booking \
+     ahead is essential during the summer season, while spring and autumn offer quieter trails and lower \
+     prices. Many hosts will prepare a packed lunch for guests heading out on the long routes.",
+    "The regional rail line follows the river for most of its length, and the views from the left side of \
+     the train are worth the journey on their own. Services run hourly in the high season and connect \
+     with local buses at each of the larger stations.",
+    "The old mill has been converted into a small museum of rural life, with working machinery and a cafe \
+     in the former grain store. Entry is free on the first weekend of each month, and guided tours can be \
+     arranged for groups with a few days of notice.",
+    "Weather in the high country changes without much warning. Experienced walkers carry an extra layer \
+     and a light waterproof even on clear mornings, and turn back early when clouds build over the \
+     western ridges. The huts post daily forecasts at the door.",
+    "Local cooking leans on what the valley produces: mountain cheese, dark bread, river trout and \
+     orchard fruit. The small restaurants near the square serve a set lunch that changes with the season, \
+     and most dishes come with a story from the owner if you ask.",
+    "Officials confirmed that the hiking network will gain three new marked routes next year, including a \
+     path suitable for wheelchairs along the lake shore. Volunteers from the alpine club will maintain \
+     the signage, as they have done for the older trails since the programme began.",
+    "The lookout tower on the eastern summit was rebuilt after the storm and now offers a sheltered \
+     platform with a panoramic table naming every visible peak. On clear autumn days the view reaches \
+     the coastal hills, nearly a hundred kilometres away.",
+    "Cyclists share the lower trails with walkers, and a simple code keeps everyone moving: bells before \
+     blind corners, downhill riders give way, and groups ride in single file through the narrow section \
+     beside the stream. The arrangement has worked well for years.",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_substantial() {
+        let words: usize = CORPUS.iter().map(|p| p.split_whitespace().count()).sum();
+        assert!(words > 800, "corpus has {words} words; need enough for an order-2 chain");
+        assert!(CORPUS.len() >= 20);
+    }
+
+    #[test]
+    fn passages_are_prose() {
+        for p in CORPUS {
+            assert!(p.ends_with('.'), "passage should end with a period");
+            assert!(p.split_whitespace().count() > 20);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Named text-model profiles (paper §6.3.2): Llama 3.2 and three
+//! DeepSeek-R1 distillations. Cost anchors come from the paper's measured
+//! ranges (workstation 6.98–14.33 s, laptop 16.06–34.04 s, weak dependence
+//! on output length, ≈2.5× workstation advantage).
+
+/// The text models the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TextModelKind {
+    /// Llama 3.2 (3B-class instruction model).
+    Llama32,
+    /// DeepSeek-R1 distilled, 1.5B parameters.
+    DeepSeekR1_1_5B,
+    /// DeepSeek-R1 distilled, 8B — the paper's model of choice.
+    DeepSeekR1_8B,
+    /// DeepSeek-R1 distilled, 14B.
+    DeepSeekR1_14B,
+}
+
+impl TextModelKind {
+    /// All evaluated models, in the paper's order.
+    pub fn all() -> [TextModelKind; 4] {
+        [
+            TextModelKind::Llama32,
+            TextModelKind::DeepSeekR1_1_5B,
+            TextModelKind::DeepSeekR1_8B,
+            TextModelKind::DeepSeekR1_14B,
+        ]
+    }
+}
+
+/// Static description of one text model.
+#[derive(Debug, Clone)]
+pub struct TextModelProfile {
+    /// Which model this is.
+    pub kind: TextModelKind,
+    /// Display name.
+    pub name: &'static str,
+    /// Probability of faithfully weaving a source keyword into each
+    /// sentence — drives the *measured* SBERT similarity.
+    pub keyword_fidelity: f64,
+    /// Std-dev of relative word-count deviation (length discipline);
+    /// deviations are clamped at the paper's observed 20% ceiling.
+    pub length_sigma: f64,
+    /// Reasoning/"thinking" phase seconds on the workstation. R1 models
+    /// spend most of their budget here, which is why the paper sees only
+    /// weak dependence of total time on output length.
+    pub workstation_think_s: f64,
+    /// Per-output-word seconds on the workstation.
+    pub workstation_s_per_word: f64,
+    /// Laptop-to-workstation slowdown (paper: "only 2.5×").
+    pub laptop_slowdown: f64,
+}
+
+/// Look up a model profile.
+pub fn profile(kind: TextModelKind) -> TextModelProfile {
+    match kind {
+        TextModelKind::Llama32 => TextModelProfile {
+            kind,
+            name: "Llama 3.2",
+            keyword_fidelity: 0.62,
+            length_sigma: 0.10,
+            workstation_think_s: 5.6,
+            workstation_s_per_word: 0.011,
+            laptop_slowdown: 2.4,
+        },
+        TextModelKind::DeepSeekR1_1_5B => TextModelProfile {
+            kind,
+            name: "DeepSeek R1 1.5B",
+            keyword_fidelity: 0.48,
+            length_sigma: 0.13,
+            workstation_think_s: 7.4,
+            workstation_s_per_word: 0.009,
+            laptop_slowdown: 2.3,
+        },
+        TextModelKind::DeepSeekR1_8B => TextModelProfile {
+            kind,
+            name: "DeepSeek R1 8B",
+            keyword_fidelity: 0.85,
+            length_sigma: 0.045,
+            workstation_think_s: 10.6,
+            workstation_s_per_word: 0.012,
+            laptop_slowdown: 2.5,
+        },
+        TextModelKind::DeepSeekR1_14B => TextModelProfile {
+            kind,
+            name: "DeepSeek R1 14B",
+            keyword_fidelity: 0.88,
+            length_sigma: 0.055,
+            workstation_think_s: 12.2,
+            workstation_s_per_word: 0.006,
+            laptop_slowdown: 2.6,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_of_choice_has_best_length_discipline() {
+        // Paper: "DeepSeek R1 8B … has a consistently high SBERT score and
+        // small length deviation … compared to smaller models".
+        let r8 = profile(TextModelKind::DeepSeekR1_8B);
+        let r15 = profile(TextModelKind::DeepSeekR1_1_5B);
+        assert!(r8.length_sigma < r15.length_sigma);
+        assert!(r8.keyword_fidelity > r15.keyword_fidelity);
+        for k in TextModelKind::all() {
+            assert!(r8.length_sigma <= profile(k).length_sigma);
+        }
+    }
+
+    #[test]
+    fn workstation_times_land_in_paper_range() {
+        // 6.98–14.33 s on the workstation for 50–250 word outputs.
+        for k in TextModelKind::all() {
+            let p = profile(k);
+            for words in [50.0, 150.0, 250.0] {
+                let t = p.workstation_think_s + words * p.workstation_s_per_word;
+                assert!(
+                    (5.5..=17.0).contains(&t),
+                    "{:?} at {words} words: {t}s",
+                    k
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn laptop_slowdown_near_2_5x() {
+        for k in TextModelKind::all() {
+            let s = profile(k).laptop_slowdown;
+            assert!((2.2..=2.8).contains(&s));
+        }
+    }
+
+    #[test]
+    fn thinking_dominates_per_word_cost() {
+        // The weak length dependence the paper observes requires the fixed
+        // phase to dwarf the per-word phase over the tested range.
+        for k in TextModelKind::all() {
+            let p = profile(k);
+            assert!(p.workstation_think_s > 100.0 * p.workstation_s_per_word * 2.0);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! SHA-256 (FIPS 180-4) and HMAC-SHA-256 (RFC 2104), implemented from
+//! scratch as the integrity substrate for SWW's trust layer (paper §7:
+//! "verifying generated content on end-user devices … should be
+//! accompanied by other mechanisms for trustworthy AI").
+
+mod hmac;
+mod sha256;
+
+pub use hmac::{hmac_sha256, verify_hmac};
+pub use sha256::{sha256, Sha256};
+
+/// Render a digest as lowercase hex.
+pub fn to_hex(digest: &[u8]) -> String {
+    let mut out = String::with_capacity(digest.len() * 2);
+    for b in digest {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_rendering() {
+        assert_eq!(to_hex(&[0x00, 0xff, 0x1a]), "00ff1a");
+        assert_eq!(to_hex(&[]), "");
+    }
+}

@@ -1,0 +1,156 @@
+//! Character entity references: the named set real pages actually use plus
+//! full numeric (`&#123;` / `&#x1F600;`) support.
+
+/// Named entities recognised by the tokenizer.
+static NAMED: [(&str, &str); 22] = [
+    ("amp", "&"),
+    ("lt", "<"),
+    ("gt", ">"),
+    ("quot", "\""),
+    ("apos", "'"),
+    ("nbsp", "\u{a0}"),
+    ("copy", "\u{a9}"),
+    ("reg", "\u{ae}"),
+    ("trade", "\u{2122}"),
+    ("hellip", "\u{2026}"),
+    ("mdash", "\u{2014}"),
+    ("ndash", "\u{2013}"),
+    ("lsquo", "\u{2018}"),
+    ("rsquo", "\u{2019}"),
+    ("ldquo", "\u{201c}"),
+    ("rdquo", "\u{201d}"),
+    ("deg", "\u{b0}"),
+    ("middot", "\u{b7}"),
+    ("times", "\u{d7}"),
+    ("laquo", "\u{ab}"),
+    ("raquo", "\u{bb}"),
+    ("eacute", "\u{e9}"),
+];
+
+/// Decode the entity *name* between `&` and `;`. Returns `None` for
+/// unknown names (the tokenizer then emits the raw text, as browsers do).
+pub fn decode_named(name: &str) -> Option<&'static str> {
+    NAMED.iter().find(|&&(n, _)| n == name).map(|&(_, v)| v)
+}
+
+/// Decode a numeric reference body (after `#`), e.g. `38` or `x26`.
+pub fn decode_numeric(body: &str) -> Option<char> {
+    let code = if let Some(hex) = body.strip_prefix(['x', 'X']) {
+        u32::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<u32>().ok()?
+    };
+    // Reject NUL and surrogates like the HTML spec does.
+    if code == 0 {
+        return None;
+    }
+    char::from_u32(code)
+}
+
+/// Decode all entities in `text`. Malformed references pass through raw.
+pub fn decode_text(text: &str) -> String {
+    if !text.contains('&') {
+        return text.to_owned();
+    }
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        // Entities are short; only look at a bounded window for the ';'.
+        match after.char_indices().take(12).find(|&(_, c)| c == ';') {
+            Some((semi, _)) => {
+                let body = &after[..semi];
+                let decoded = if let Some(num) = body.strip_prefix('#') {
+                    decode_numeric(num).map(|c| c.to_string())
+                } else {
+                    decode_named(body).map(str::to_owned)
+                };
+                match decoded {
+                    Some(s) => {
+                        out.push_str(&s);
+                        rest = &after[semi + 1..];
+                    }
+                    None => {
+                        out.push('&');
+                        rest = after;
+                    }
+                }
+            }
+            None => {
+                out.push('&');
+                rest = after;
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Escape text for placement inside an element body.
+pub fn escape_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape text for placement inside a double-quoted attribute value.
+pub fn escape_attr(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '<' => out.push_str("&lt;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_entities() {
+        assert_eq!(decode_text("a &amp; b"), "a & b");
+        assert_eq!(decode_text("&lt;div&gt;"), "<div>");
+        assert_eq!(decode_text("caf&eacute;"), "café");
+    }
+
+    #[test]
+    fn numeric_entities() {
+        assert_eq!(decode_text("&#38;"), "&");
+        assert_eq!(decode_text("&#x26;"), "&");
+        assert_eq!(decode_text("&#x1F600;"), "😀");
+    }
+
+    #[test]
+    fn malformed_passes_through() {
+        assert_eq!(decode_text("AT&T rocks"), "AT&T rocks");
+        assert_eq!(decode_text("&unknown;"), "&unknown;");
+        assert_eq!(decode_text("&#zzz;"), "&#zzz;");
+        assert_eq!(decode_text("trailing &"), "trailing &");
+        assert_eq!(decode_text("&#0;"), "&#0;");
+    }
+
+    #[test]
+    fn escape_roundtrip() {
+        let s = "a < b & \"c\" > d";
+        assert_eq!(decode_text(&escape_text(s)), s);
+        assert_eq!(decode_text(&escape_attr(s)), s);
+    }
+
+    #[test]
+    fn no_amp_fast_path() {
+        assert_eq!(decode_text("plain text"), "plain text");
+    }
+}

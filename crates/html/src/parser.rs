@@ -1,0 +1,124 @@
+//! Tree builder: token stream → [`Document`].
+//!
+//! A simplified HTML tree construction: maintains an open-element stack,
+//! auto-closes void elements, recovers from mismatched end tags by
+//! unwinding to the nearest matching open element (or ignoring the tag),
+//! and never fails — any input produces a tree.
+
+use crate::dom::{Document, NodeId, NodeKind};
+use crate::tokenizer::{is_void_element, tokenize, Token};
+
+/// Parse markup into a document.
+pub fn parse(input: &str) -> Document {
+    let mut doc = Document::new();
+    let mut stack: Vec<NodeId> = vec![doc.root()];
+    for token in tokenize(input) {
+        let top = *stack.last().expect("root never popped");
+        match token {
+            Token::Doctype(d) => {
+                doc.append(doc.root(), NodeKind::Doctype(d));
+            }
+            Token::Comment(c) => {
+                doc.append(top, NodeKind::Comment(c));
+            }
+            Token::Text(t) => {
+                doc.append(top, NodeKind::Text(t));
+            }
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
+                let id = doc.append(
+                    top,
+                    NodeKind::Element {
+                        name: name.clone(),
+                        attrs,
+                    },
+                );
+                if !self_closing && !is_void_element(&name) {
+                    stack.push(id);
+                }
+            }
+            Token::EndTag { name } => {
+                // Find the matching open element, if any.
+                if let Some(depth) = stack
+                    .iter()
+                    .rposition(|&id| doc.tag_name(id) == Some(name.as_str()))
+                {
+                    if depth > 0 {
+                        stack.truncate(depth);
+                    }
+                }
+                // No match: stray end tag, ignored (browser behaviour).
+            }
+        }
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_structure() {
+        let doc = parse("<html><body><div><p>a</p><p>b</p></div></body></html>");
+        let html = doc.children(doc.root())[0];
+        assert_eq!(doc.tag_name(html), Some("html"));
+        let body = doc.children(html)[0];
+        let div = doc.children(body)[0];
+        assert_eq!(doc.children(div).len(), 2);
+        assert_eq!(doc.text_content(div), "ab");
+    }
+
+    #[test]
+    fn void_elements_dont_nest() {
+        let doc = parse("<p>a<br>b<img src=\"x\">c</p>");
+        let p = doc.children(doc.root())[0];
+        assert_eq!(doc.text_content(p), "abc");
+        let tags: Vec<_> = doc
+            .children(p)
+            .iter()
+            .filter_map(|&c| doc.tag_name(c))
+            .collect();
+        assert_eq!(tags, ["br", "img"]);
+    }
+
+    #[test]
+    fn mismatched_end_tags_recover() {
+        // </b> closes nothing open at that level; </i> unwinds.
+        let doc = parse("<div><i>x</b>y</i>z</div>");
+        let div = doc.children(doc.root())[0];
+        assert_eq!(doc.text_content(div), "xyz");
+        // "z" must be a direct child of div (the </i> unwound the stack).
+        let last = *doc.children(div).last().unwrap();
+        assert!(matches!(doc.node(last).kind, NodeKind::Text(ref t) if t == "z"));
+    }
+
+    #[test]
+    fn stray_end_tag_ignored() {
+        let doc = parse("</div><p>ok</p>");
+        assert_eq!(doc.text_content(doc.root()), "ok");
+    }
+
+    #[test]
+    fn doctype_attaches_to_root() {
+        let doc = parse("<!DOCTYPE html><html></html>");
+        let first = doc.children(doc.root())[0];
+        assert!(matches!(doc.node(first).kind, NodeKind::Doctype(_)));
+    }
+
+    #[test]
+    fn unclosed_elements_terminate_at_eof() {
+        let doc = parse("<div><p>never closed");
+        assert_eq!(doc.text_content(doc.root()), "never closed");
+    }
+
+    #[test]
+    fn deeply_nested_does_not_overflow() {
+        let html = "<div>".repeat(5000) + "x" + &"</div>".repeat(5000);
+        let doc = parse(&html);
+        assert_eq!(doc.text_content(doc.root()), "x");
+    }
+}

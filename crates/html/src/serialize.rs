@@ -1,0 +1,133 @@
+//! Serializer: [`Document`] → markup. Together with the parser this gives
+//! a parse → serialize → parse fixed point, which the byte-accounting
+//! experiments rely on when measuring page sizes.
+
+use crate::dom::{Document, NodeId, NodeKind};
+use crate::entities::{escape_attr, escape_text};
+use crate::tokenizer::{is_raw_text_element, is_void_element};
+
+/// Serialize the whole document.
+pub fn serialize(doc: &Document) -> String {
+    let mut out = String::new();
+    for &child in doc.children(doc.root()) {
+        serialize_node(doc, child, &mut out);
+    }
+    out
+}
+
+/// Serialize the subtree rooted at `id`.
+pub fn serialize_node(doc: &Document, id: NodeId, out: &mut String) {
+    match &doc.node(id).kind {
+        NodeKind::Document => {
+            for &child in doc.children(id) {
+                serialize_node(doc, child, out);
+            }
+        }
+        NodeKind::Doctype(d) => {
+            out.push_str("<!");
+            out.push_str(d);
+            out.push('>');
+        }
+        NodeKind::Comment(c) => {
+            out.push_str("<!--");
+            out.push_str(c);
+            out.push_str("-->");
+        }
+        NodeKind::Text(t) => {
+            // Raw-text element bodies must not be entity-escaped.
+            let raw_parent = doc
+                .parent(id)
+                .and_then(|p| doc.tag_name(p))
+                .is_some_and(is_raw_text_element);
+            if raw_parent {
+                out.push_str(t);
+            } else {
+                out.push_str(&escape_text(t));
+            }
+        }
+        NodeKind::Element { name, attrs } => {
+            out.push('<');
+            out.push_str(name);
+            for a in attrs {
+                out.push(' ');
+                out.push_str(&a.name);
+                if !a.value.is_empty() {
+                    out.push_str("=\"");
+                    out.push_str(&escape_attr(&a.value));
+                    out.push('"');
+                }
+            }
+            out.push('>');
+            if is_void_element(name) {
+                return;
+            }
+            for &child in doc.children(id) {
+                serialize_node(doc, child, out);
+            }
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(html: &str) -> String {
+        serialize(&parse(html))
+    }
+
+    #[test]
+    fn simple_roundtrip() {
+        let html = r#"<html><body><p class="x">hi</p></body></html>"#;
+        assert_eq!(roundtrip(html), html);
+    }
+
+    #[test]
+    fn fixed_point() {
+        // serialize ∘ parse is a fixed point after one application.
+        let messy = "<DIV Class='a'>x<br/><img src=a.jpg>Y</div>";
+        let once = roundtrip(messy);
+        let twice = roundtrip(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn entities_escaped() {
+        let html = "<p>a &amp; b &lt; c</p>";
+        assert_eq!(roundtrip(html), html);
+    }
+
+    #[test]
+    fn attr_quotes_escaped() {
+        let doc = parse(r#"<div title="say &quot;hi&quot;"></div>"#);
+        let out = serialize(&doc);
+        assert_eq!(out, r#"<div title="say &quot;hi&quot;"></div>"#);
+    }
+
+    #[test]
+    fn void_elements_no_end_tag() {
+        assert_eq!(roundtrip("<br>"), "<br>");
+        assert_eq!(roundtrip("<img src=\"x\">"), "<img src=\"x\">");
+    }
+
+    #[test]
+    fn script_body_not_escaped() {
+        let html = "<script>if (a < b) t();</script>";
+        assert_eq!(roundtrip(html), html);
+    }
+
+    #[test]
+    fn comments_and_doctype_preserved() {
+        let html = "<!DOCTYPE html><!-- c --><p>x</p>";
+        assert_eq!(roundtrip(html), html);
+    }
+
+    #[test]
+    fn boolean_attributes() {
+        assert_eq!(roundtrip("<input disabled>"), "<input disabled>");
+    }
+}

@@ -1,0 +1,423 @@
+//! HTML tokenizer: turns markup into a stream of [`Token`]s.
+//!
+//! Covers the constructs SWW pages and the paper's evaluation pages use:
+//! start/end tags with single-, double- and un-quoted attributes,
+//! self-closing tags, void elements, comments, doctype, CDATA-free raw
+//! text elements (`script`, `style`) and character entities in text and
+//! attribute values.
+
+use crate::entities::decode_text;
+
+/// One attribute: lowercase name and decoded value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name, lowercased.
+    pub name: String,
+    /// Decoded value (empty for boolean attributes).
+    pub value: String,
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<name attr=...>`; `self_closing` for `<br/>` style.
+    StartTag {
+        /// Tag name, lowercased.
+        name: String,
+        /// Attributes in document order.
+        attrs: Vec<Attribute>,
+        /// Trailing `/>`.
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndTag {
+        /// Tag name, lowercased.
+        name: String,
+    },
+    /// Character data with entities decoded.
+    Text(String),
+    /// `<!-- ... -->`.
+    Comment(String),
+    /// `<!DOCTYPE ...>`; the raw content after `<!`.
+    Doctype(String),
+}
+
+/// Elements whose content is raw text until the matching end tag.
+pub fn is_raw_text_element(name: &str) -> bool {
+    matches!(name, "script" | "style")
+}
+
+/// HTML void elements (no end tag, no children).
+pub fn is_void_element(name: &str) -> bool {
+    matches!(
+        name,
+        "area" | "base" | "br" | "col" | "embed" | "hr" | "img" | "input" | "link" | "meta"
+            | "param" | "source" | "track" | "wbr"
+    )
+}
+
+/// Tokenize the input. The tokenizer is total: any input yields a token
+/// stream (malformed markup degrades to text), mirroring browser behaviour.
+pub fn tokenize(input: &str) -> Vec<Token> {
+    Tokenizer {
+        bytes: input.as_bytes(),
+        input,
+        pos: 0,
+        tokens: Vec::new(),
+        raw_until: None,
+    }
+    .run()
+}
+
+struct Tokenizer<'a> {
+    bytes: &'a [u8],
+    input: &'a str,
+    pos: usize,
+    tokens: Vec<Token>,
+    /// When inside a raw-text element, its name.
+    raw_until: Option<String>,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            if let Some(raw) = self.raw_until.clone() {
+                self.raw_text(&raw);
+                continue;
+            }
+            if self.bytes[self.pos] == b'<' {
+                self.tag();
+            } else {
+                self.text();
+            }
+        }
+        self.tokens
+    }
+
+    fn text(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'<' {
+            self.pos += 1;
+        }
+        let raw = &self.input[start..self.pos];
+        if !raw.is_empty() {
+            self.tokens.push(Token::Text(decode_text(raw)));
+        }
+    }
+
+    /// Raw text runs until `</name` (ASCII case-insensitive).
+    fn raw_text(&mut self, name: &str) {
+        let hay = &self.input[self.pos..];
+        let lower = hay.to_ascii_lowercase();
+        let needle = format!("</{name}");
+        let end = lower.find(&needle).unwrap_or(hay.len());
+        if end > 0 {
+            self.tokens.push(Token::Text(hay[..end].to_owned()));
+        }
+        self.pos += end;
+        self.raw_until = None;
+        // The end tag itself is tokenized by the main loop.
+    }
+
+    fn tag(&mut self) {
+        debug_assert_eq!(self.bytes[self.pos], b'<');
+        let rest = &self.input[self.pos..];
+        if rest.starts_with("<!--") {
+            self.comment();
+            return;
+        }
+        if rest.starts_with("<!") {
+            self.doctype();
+            return;
+        }
+        if rest.starts_with("</") {
+            self.end_tag();
+            return;
+        }
+        // `<` not followed by a name character is literal text.
+        match self.bytes.get(self.pos + 1) {
+            Some(c) if c.is_ascii_alphabetic() => self.start_tag(),
+            _ => {
+                self.tokens.push(Token::Text("<".into()));
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn comment(&mut self) {
+        self.pos += 4; // "<!--"
+        let rest = &self.input[self.pos..];
+        let end = rest.find("-->").unwrap_or(rest.len());
+        self.tokens.push(Token::Comment(rest[..end].to_owned()));
+        self.pos += end + 3.min(rest.len() - end);
+    }
+
+    fn doctype(&mut self) {
+        self.pos += 2; // "<!"
+        let rest = &self.input[self.pos..];
+        let end = rest.find('>').unwrap_or(rest.len());
+        self.tokens.push(Token::Doctype(rest[..end].trim().to_owned()));
+        self.pos += (end + 1).min(rest.len());
+    }
+
+    fn end_tag(&mut self) {
+        self.pos += 2; // "</"
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'>' {
+            self.pos += 1;
+        }
+        let name = self.input[start..self.pos]
+            .trim()
+            .to_ascii_lowercase();
+        if self.pos < self.bytes.len() {
+            self.pos += 1; // '>'
+        }
+        if !name.is_empty() {
+            self.tokens.push(Token::EndTag { name });
+        }
+    }
+
+    fn start_tag(&mut self) {
+        self.pos += 1; // '<'
+        let name = self.tag_name();
+        let mut attrs = Vec::new();
+        let mut self_closing = false;
+        loop {
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                None => break,
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.bytes.get(self.pos) == Some(&b'>') {
+                        self.pos += 1;
+                        self_closing = true;
+                        break;
+                    }
+                }
+                Some(_) => {
+                    if let Some(attr) = self.attribute() {
+                        attrs.push(attr);
+                    } else {
+                        // Unparseable junk: skip a byte to guarantee progress.
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+        if is_raw_text_element(&name) && !self_closing {
+            self.raw_until = Some(name.clone());
+        }
+        self.tokens.push(Token::StartTag {
+            name,
+            attrs,
+            self_closing,
+        });
+    }
+
+    fn tag_name(&mut self) -> String {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'-' || *c == b'_')
+        {
+            self.pos += 1;
+        }
+        self.input[start..self.pos].to_ascii_lowercase()
+    }
+
+    fn attribute(&mut self) -> Option<Attribute> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|&c| {
+            !c.is_ascii_whitespace() && c != b'=' && c != b'>' && c != b'/'
+        }) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        let name = self.input[start..self.pos].to_ascii_lowercase();
+        self.skip_ws();
+        if self.bytes.get(self.pos) != Some(&b'=') {
+            return Some(Attribute {
+                name,
+                value: String::new(),
+            });
+        }
+        self.pos += 1; // '='
+        self.skip_ws();
+        let value = match self.bytes.get(self.pos) {
+            Some(&q @ (b'"' | b'\'')) => {
+                self.pos += 1;
+                let vstart = self.pos;
+                while self.bytes.get(self.pos).is_some_and(|&c| c != q) {
+                    self.pos += 1;
+                }
+                let raw = &self.input[vstart..self.pos];
+                if self.pos < self.bytes.len() {
+                    self.pos += 1; // closing quote
+                }
+                decode_text(raw)
+            }
+            _ => {
+                let vstart = self.pos;
+                while self
+                    .bytes
+                    .get(self.pos)
+                    .is_some_and(|&c| !c.is_ascii_whitespace() && c != b'>')
+                {
+                    self.pos += 1;
+                }
+                decode_text(&self.input[vstart..self.pos])
+            }
+        };
+        Some(Attribute { name, value })
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(name: &str, attrs: &[(&str, &str)]) -> Token {
+        Token::StartTag {
+            name: name.into(),
+            attrs: attrs
+                .iter()
+                .map(|&(n, v)| Attribute {
+                    name: n.into(),
+                    value: v.into(),
+                })
+                .collect(),
+            self_closing: false,
+        }
+    }
+
+    #[test]
+    fn simple_document() {
+        let toks = tokenize("<html><body>Hi</body></html>");
+        assert_eq!(
+            toks,
+            vec![
+                start("html", &[]),
+                start("body", &[]),
+                Token::Text("Hi".into()),
+                Token::EndTag { name: "body".into() },
+                Token::EndTag { name: "html".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_all_quote_styles() {
+        let toks = tokenize(r#"<div class="generated-content" id='g1' data-n=42 hidden>"#);
+        assert_eq!(
+            toks,
+            vec![start(
+                "div",
+                &[
+                    ("class", "generated-content"),
+                    ("id", "g1"),
+                    ("data-n", "42"),
+                    ("hidden", ""),
+                ]
+            )]
+        );
+    }
+
+    #[test]
+    fn self_closing_and_void() {
+        let toks = tokenize("<img src=\"x.jpg\"/><br>");
+        assert!(matches!(
+            &toks[0],
+            Token::StartTag { name, self_closing: true, .. } if name == "img"
+        ));
+        assert!(matches!(
+            &toks[1],
+            Token::StartTag { name, self_closing: false, .. } if name == "br"
+        ));
+    }
+
+    #[test]
+    fn comment_and_doctype() {
+        let toks = tokenize("<!DOCTYPE html><!-- note --><p>x</p>");
+        assert_eq!(toks[0], Token::Doctype("DOCTYPE html".into()));
+        assert_eq!(toks[1], Token::Comment(" note ".into()));
+    }
+
+    #[test]
+    fn entities_in_text_and_attrs() {
+        let toks = tokenize(r#"<a title="Tom &amp; Jerry">&lt;link&gt;</a>"#);
+        assert_eq!(toks[0], start("a", &[("title", "Tom & Jerry")]));
+        assert_eq!(toks[1], Token::Text("<link>".into()));
+    }
+
+    #[test]
+    fn raw_text_script_not_parsed() {
+        let toks = tokenize("<script>if (a < b) { x(\"<div>\"); }</script>");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(
+            toks[1],
+            Token::Text("if (a < b) { x(\"<div>\"); }".into())
+        );
+        assert_eq!(toks[2], Token::EndTag { name: "script".into() });
+    }
+
+    #[test]
+    fn uppercase_normalized() {
+        let toks = tokenize("<DIV CLASS=\"X\">a</DIV>");
+        assert_eq!(toks[0], start("div", &[("class", "X")]));
+        assert_eq!(toks[2], Token::EndTag { name: "div".into() });
+    }
+
+    #[test]
+    fn stray_lt_is_text() {
+        let toks = tokenize("a < b");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Text("a ".into()),
+                Token::Text("<".into()),
+                Token::Text(" b".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_never_panics() {
+        for bad in [
+            "<", "</", "<!", "<div", "<div attr", "<div attr=", "<div attr='x", "<!-- unclosed",
+            "</>", "<<<>>>", "<div//>",
+        ] {
+            let _ = tokenize(bad);
+        }
+    }
+
+    #[test]
+    fn json_metadata_attribute_survives() {
+        // The paper's Figure 1 pattern: JSON in a single-quoted attribute.
+        let html = r#"<div class="generated-content" data-content-type="img" data-metadata='{"prompt":"A cartoon goldfish","width":256,"height":256}'></div>"#;
+        let toks = tokenize(html);
+        if let Token::StartTag { attrs, .. } = &toks[0] {
+            let md = attrs.iter().find(|a| a.name == "data-metadata").unwrap();
+            let v = sww_json::parse(&md.value).unwrap();
+            assert_eq!(v["prompt"].as_str().unwrap(), "A cartoon goldfish");
+        } else {
+            panic!("expected start tag");
+        }
+    }
+}

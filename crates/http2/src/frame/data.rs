@@ -1,0 +1,107 @@
+//! DATA frames (RFC 9113 §6.1).
+
+use super::{flags, strip_padding, FrameHeader, FrameType};
+use crate::error::H2Error;
+use bytes::{Bytes, BytesMut};
+
+/// A DATA frame carrying request or response content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataFrame {
+    /// Stream the data belongs to (never 0).
+    pub stream_id: u32,
+    /// Application payload after padding removal.
+    pub data: Bytes,
+    /// Whether this frame ends the stream.
+    pub end_stream: bool,
+}
+
+impl DataFrame {
+    /// Construct a DATA frame.
+    pub fn new(stream_id: u32, data: impl Into<Bytes>, end_stream: bool) -> Self {
+        DataFrame {
+            stream_id,
+            data: data.into(),
+            end_stream,
+        }
+    }
+
+    pub(crate) fn parse(header: FrameHeader, payload: Bytes) -> Result<DataFrame, H2Error> {
+        if header.stream_id == 0 {
+            return Err(H2Error::protocol("DATA on stream 0"));
+        }
+        let data = if header.flags & flags::PADDED != 0 {
+            strip_padding(payload)?
+        } else {
+            payload
+        };
+        Ok(DataFrame {
+            stream_id: header.stream_id,
+            data,
+            end_stream: header.flags & flags::END_STREAM != 0,
+        })
+    }
+
+    pub(crate) fn encode(&self, out: &mut BytesMut) {
+        let mut f = 0;
+        if self.end_stream {
+            f |= flags::END_STREAM;
+        }
+        FrameHeader {
+            length: self.data.len() as u32,
+            kind: FrameType::Data as u8,
+            flags: f,
+            stream_id: self.stream_id,
+        }
+        .encode(out);
+        out.extend_from_slice(&self.data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{Frame, FRAME_HEADER_LEN};
+
+    fn roundtrip(f: &DataFrame) -> Frame {
+        let mut buf = BytesMut::new();
+        f.encode(&mut buf);
+        let h = FrameHeader::parse(buf[..FRAME_HEADER_LEN].try_into().unwrap());
+        Frame::parse(h, Bytes::copy_from_slice(&buf[FRAME_HEADER_LEN..])).unwrap()
+    }
+
+    #[test]
+    fn data_roundtrip() {
+        let f = DataFrame::new(3, Bytes::from_static(b"<html>...</html>"), true);
+        assert_eq!(roundtrip(&f), Frame::Data(f.clone()));
+    }
+
+    #[test]
+    fn empty_end_stream() {
+        let f = DataFrame::new(1, Bytes::new(), true);
+        assert_eq!(roundtrip(&f), Frame::Data(f.clone()));
+    }
+
+    #[test]
+    fn stream_zero_rejected() {
+        let h = FrameHeader {
+            length: 0,
+            kind: FrameType::Data as u8,
+            flags: 0,
+            stream_id: 0,
+        };
+        assert!(DataFrame::parse(h, Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn padded_data_parses() {
+        let h = FrameHeader {
+            length: 5,
+            kind: FrameType::Data as u8,
+            flags: flags::PADDED | flags::END_STREAM,
+            stream_id: 7,
+        };
+        let f = DataFrame::parse(h, Bytes::from_static(&[2, b'h', b'i', 0, 0])).unwrap();
+        assert_eq!(f.data, Bytes::from_static(b"hi"));
+        assert!(f.end_stream);
+    }
+}

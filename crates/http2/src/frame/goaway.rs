@@ -1,0 +1,91 @@
+//! GOAWAY frames (RFC 9113 §6.8).
+
+use super::{FrameHeader, FrameType};
+use crate::error::{ErrorCode, H2Error};
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// A GOAWAY frame initiating connection shutdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoAwayFrame {
+    /// Highest stream id the sender processed (or will process).
+    pub last_stream_id: u32,
+    /// Why the connection is closing.
+    pub error_code: ErrorCode,
+    /// Optional opaque debug data.
+    pub debug_data: Bytes,
+}
+
+impl GoAwayFrame {
+    /// A graceful shutdown frame.
+    pub fn new(last_stream_id: u32, error_code: ErrorCode, debug: impl Into<Bytes>) -> Self {
+        GoAwayFrame {
+            last_stream_id,
+            error_code,
+            debug_data: debug.into(),
+        }
+    }
+
+    pub(crate) fn parse(header: FrameHeader, payload: Bytes) -> Result<GoAwayFrame, H2Error> {
+        if header.stream_id != 0 {
+            return Err(H2Error::protocol("GOAWAY on non-zero stream"));
+        }
+        if payload.len() < 8 {
+            return Err(H2Error::frame_size("GOAWAY payload too short"));
+        }
+        let last = u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]) & 0x7fff_ffff;
+        let code = u32::from_be_bytes([payload[4], payload[5], payload[6], payload[7]]);
+        Ok(GoAwayFrame {
+            last_stream_id: last,
+            error_code: ErrorCode::from_u32(code),
+            debug_data: payload.slice(8..),
+        })
+    }
+
+    pub(crate) fn encode(&self, out: &mut BytesMut) {
+        FrameHeader {
+            length: (8 + self.debug_data.len()) as u32,
+            kind: FrameType::GoAway as u8,
+            flags: 0,
+            stream_id: 0,
+        }
+        .encode(out);
+        out.put_u32(self.last_stream_id & 0x7fff_ffff);
+        out.put_u32(self.error_code as u32);
+        out.extend_from_slice(&self.debug_data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{Frame, FRAME_HEADER_LEN};
+
+    #[test]
+    fn goaway_roundtrip() {
+        let f = GoAwayFrame::new(7, ErrorCode::EnhanceYourCalm, Bytes::from_static(b"slow down"));
+        let mut buf = BytesMut::new();
+        f.encode(&mut buf);
+        let h = FrameHeader::parse(buf[..FRAME_HEADER_LEN].try_into().unwrap());
+        let parsed = Frame::parse(h, Bytes::copy_from_slice(&buf[FRAME_HEADER_LEN..])).unwrap();
+        assert_eq!(parsed, Frame::GoAway(f));
+    }
+
+    #[test]
+    fn short_payload_rejected() {
+        let h = FrameHeader {
+            length: 4,
+            kind: FrameType::GoAway as u8,
+            flags: 0,
+            stream_id: 0,
+        };
+        assert!(GoAwayFrame::parse(h, Bytes::from_static(&[0; 4])).is_err());
+    }
+
+    #[test]
+    fn no_debug_data() {
+        let f = GoAwayFrame::new(0, ErrorCode::NoError, Bytes::new());
+        let mut buf = BytesMut::new();
+        f.encode(&mut buf);
+        assert_eq!(buf.len(), FRAME_HEADER_LEN + 8);
+    }
+}

@@ -1,0 +1,205 @@
+//! HEADERS and CONTINUATION frames (RFC 9113 §6.2, §6.10).
+
+use super::{flags, strip_padding, FrameHeader, FrameType};
+use crate::error::H2Error;
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// The optional priority block inside a HEADERS frame with the PRIORITY
+/// flag (RFC 9113 §6.2). Deprecated by the RFC but still on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PriorityBlock {
+    /// Whether the dependency is exclusive.
+    pub exclusive: bool,
+    /// Stream this one depends on.
+    pub depends_on: u32,
+    /// Weight 1..=256 (wire value + 1).
+    pub weight: u16,
+}
+
+/// A HEADERS frame carrying an HPACK-encoded header block fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeadersFrame {
+    /// Stream being opened or continued (never 0).
+    pub stream_id: u32,
+    /// HPACK header block fragment.
+    pub fragment: Bytes,
+    /// END_STREAM flag.
+    pub end_stream: bool,
+    /// END_HEADERS flag; when false, CONTINUATION frames follow.
+    pub end_headers: bool,
+    /// Optional priority block.
+    pub priority: Option<PriorityBlock>,
+}
+
+impl HeadersFrame {
+    /// A complete header block on one frame.
+    pub fn new(stream_id: u32, fragment: impl Into<Bytes>, end_stream: bool) -> Self {
+        HeadersFrame {
+            stream_id,
+            fragment: fragment.into(),
+            end_stream,
+            end_headers: true,
+            priority: None,
+        }
+    }
+
+    pub(crate) fn parse(header: FrameHeader, payload: Bytes) -> Result<HeadersFrame, H2Error> {
+        if header.stream_id == 0 {
+            return Err(H2Error::protocol("HEADERS on stream 0"));
+        }
+        let mut body = if header.flags & flags::PADDED != 0 {
+            strip_padding(payload)?
+        } else {
+            payload
+        };
+        let priority = if header.flags & flags::PRIORITY != 0 {
+            if body.len() < 5 {
+                return Err(H2Error::frame_size("HEADERS priority block truncated"));
+            }
+            let raw = u32::from_be_bytes([body[0], body[1], body[2], body[3]]);
+            let weight = u16::from(body[4]) + 1;
+            let block = PriorityBlock {
+                exclusive: raw & 0x8000_0000 != 0,
+                depends_on: raw & 0x7fff_ffff,
+                weight,
+            };
+            body = body.slice(5..);
+            Some(block)
+        } else {
+            None
+        };
+        Ok(HeadersFrame {
+            stream_id: header.stream_id,
+            fragment: body,
+            end_stream: header.flags & flags::END_STREAM != 0,
+            end_headers: header.flags & flags::END_HEADERS != 0,
+            priority,
+        })
+    }
+
+    pub(crate) fn encode(&self, out: &mut BytesMut) {
+        let mut f = 0;
+        if self.end_stream {
+            f |= flags::END_STREAM;
+        }
+        if self.end_headers {
+            f |= flags::END_HEADERS;
+        }
+        let prio_len = if self.priority.is_some() { 5 } else { 0 };
+        if self.priority.is_some() {
+            f |= flags::PRIORITY;
+        }
+        FrameHeader {
+            length: (self.fragment.len() + prio_len) as u32,
+            kind: FrameType::Headers as u8,
+            flags: f,
+            stream_id: self.stream_id,
+        }
+        .encode(out);
+        if let Some(p) = self.priority {
+            let mut raw = p.depends_on & 0x7fff_ffff;
+            if p.exclusive {
+                raw |= 0x8000_0000;
+            }
+            out.put_u32(raw);
+            out.put_u8((p.weight.clamp(1, 256) - 1) as u8);
+        }
+        out.extend_from_slice(&self.fragment);
+    }
+}
+
+/// A CONTINUATION frame extending a header block (RFC 9113 §6.10).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContinuationFrame {
+    /// Stream whose header block continues.
+    pub stream_id: u32,
+    /// Next header block fragment.
+    pub fragment: Bytes,
+    /// END_HEADERS flag.
+    pub end_headers: bool,
+}
+
+impl ContinuationFrame {
+    pub(crate) fn parse(header: FrameHeader, payload: Bytes) -> Result<ContinuationFrame, H2Error> {
+        if header.stream_id == 0 {
+            return Err(H2Error::protocol("CONTINUATION on stream 0"));
+        }
+        Ok(ContinuationFrame {
+            stream_id: header.stream_id,
+            fragment: payload,
+            end_headers: header.flags & flags::END_HEADERS != 0,
+        })
+    }
+
+    pub(crate) fn encode(&self, out: &mut BytesMut) {
+        let f = if self.end_headers { flags::END_HEADERS } else { 0 };
+        FrameHeader {
+            length: self.fragment.len() as u32,
+            kind: FrameType::Continuation as u8,
+            flags: f,
+            stream_id: self.stream_id,
+        }
+        .encode(out);
+        out.extend_from_slice(&self.fragment);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{Frame, FRAME_HEADER_LEN};
+
+    fn roundtrip_frame(buf: &BytesMut) -> Frame {
+        let h = FrameHeader::parse(buf[..FRAME_HEADER_LEN].try_into().unwrap());
+        Frame::parse(h, Bytes::copy_from_slice(&buf[FRAME_HEADER_LEN..])).unwrap()
+    }
+
+    #[test]
+    fn headers_roundtrip() {
+        let f = HeadersFrame::new(1, Bytes::from_static(&[0x82, 0x86]), false);
+        let mut buf = BytesMut::new();
+        f.encode(&mut buf);
+        assert_eq!(roundtrip_frame(&buf), Frame::Headers(f));
+    }
+
+    #[test]
+    fn headers_with_priority_roundtrip() {
+        let f = HeadersFrame {
+            stream_id: 5,
+            fragment: Bytes::from_static(b"frag"),
+            end_stream: true,
+            end_headers: true,
+            priority: Some(PriorityBlock {
+                exclusive: true,
+                depends_on: 3,
+                weight: 200,
+            }),
+        };
+        let mut buf = BytesMut::new();
+        f.encode(&mut buf);
+        assert_eq!(roundtrip_frame(&buf), Frame::Headers(f));
+    }
+
+    #[test]
+    fn continuation_roundtrip() {
+        let f = ContinuationFrame {
+            stream_id: 9,
+            fragment: Bytes::from_static(b"more"),
+            end_headers: true,
+        };
+        let mut buf = BytesMut::new();
+        f.encode(&mut buf);
+        assert_eq!(roundtrip_frame(&buf), Frame::Continuation(f));
+    }
+
+    #[test]
+    fn truncated_priority_rejected() {
+        let h = FrameHeader {
+            length: 3,
+            kind: FrameType::Headers as u8,
+            flags: flags::PRIORITY,
+            stream_id: 1,
+        };
+        assert!(HeadersFrame::parse(h, Bytes::from_static(&[0, 0, 0])).is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! PING frames (RFC 9113 §6.7).
+
+use super::{flags, FrameHeader, FrameType};
+use crate::error::H2Error;
+use bytes::{Bytes, BytesMut};
+
+/// A PING frame: 8 opaque octets, optionally an ACK.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PingFrame {
+    /// Opaque payload echoed back by the peer.
+    pub payload: [u8; 8],
+    /// ACK flag.
+    pub ack: bool,
+}
+
+impl PingFrame {
+    /// A new ping carrying `payload`.
+    pub fn new(payload: [u8; 8]) -> PingFrame {
+        PingFrame { payload, ack: false }
+    }
+
+    /// The acknowledgement for this ping.
+    pub fn to_ack(self) -> PingFrame {
+        PingFrame {
+            payload: self.payload,
+            ack: true,
+        }
+    }
+
+    pub(crate) fn parse(header: FrameHeader, payload: Bytes) -> Result<PingFrame, H2Error> {
+        if header.stream_id != 0 {
+            return Err(H2Error::protocol("PING on non-zero stream"));
+        }
+        if payload.len() != 8 {
+            return Err(H2Error::frame_size("PING payload must be 8 octets"));
+        }
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&payload);
+        Ok(PingFrame {
+            payload: buf,
+            ack: header.flags & flags::ACK != 0,
+        })
+    }
+
+    pub(crate) fn encode(&self, out: &mut BytesMut) {
+        FrameHeader {
+            length: 8,
+            kind: FrameType::Ping as u8,
+            flags: if self.ack { flags::ACK } else { 0 },
+            stream_id: 0,
+        }
+        .encode(out);
+        out.extend_from_slice(&self.payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{Frame, FRAME_HEADER_LEN};
+
+    #[test]
+    fn ping_roundtrip() {
+        let f = PingFrame::new(*b"sww-ping");
+        let mut buf = BytesMut::new();
+        f.encode(&mut buf);
+        let h = FrameHeader::parse(buf[..FRAME_HEADER_LEN].try_into().unwrap());
+        let parsed = Frame::parse(h, Bytes::copy_from_slice(&buf[FRAME_HEADER_LEN..])).unwrap();
+        assert_eq!(parsed, Frame::Ping(f));
+    }
+
+    #[test]
+    fn ack_echoes_payload() {
+        let f = PingFrame::new([1, 2, 3, 4, 5, 6, 7, 8]);
+        let ack = f.to_ack();
+        assert!(ack.ack);
+        assert_eq!(ack.payload, f.payload);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let h = FrameHeader {
+            length: 4,
+            kind: FrameType::Ping as u8,
+            flags: 0,
+            stream_id: 0,
+        };
+        assert!(PingFrame::parse(h, Bytes::from_static(&[0; 4])).is_err());
+    }
+}

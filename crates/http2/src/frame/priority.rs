@@ -1,0 +1,92 @@
+//! PRIORITY frames (RFC 9113 §6.3). Deprecated by the RFC; parsed and
+//! ignored by the connection layer, like real-world stacks do.
+
+use super::{headers::PriorityBlock, FrameHeader, FrameType};
+use crate::error::H2Error;
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// A standalone PRIORITY frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PriorityFrame {
+    /// Stream being (re)prioritised.
+    pub stream_id: u32,
+    /// The dependency/weight block.
+    pub block: PriorityBlock,
+}
+
+impl PriorityFrame {
+    pub(crate) fn parse(header: FrameHeader, payload: Bytes) -> Result<PriorityFrame, H2Error> {
+        if header.stream_id == 0 {
+            return Err(H2Error::protocol("PRIORITY on stream 0"));
+        }
+        if payload.len() != 5 {
+            // §6.3: wrong size is a *stream* error, surfaced as such so the
+            // connection can RST just the stream.
+            return Err(H2Error::Stream(
+                header.stream_id,
+                crate::error::ErrorCode::FrameSize,
+                "PRIORITY payload must be 5 octets".into(),
+            ));
+        }
+        let raw = u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]);
+        Ok(PriorityFrame {
+            stream_id: header.stream_id,
+            block: PriorityBlock {
+                exclusive: raw & 0x8000_0000 != 0,
+                depends_on: raw & 0x7fff_ffff,
+                weight: u16::from(payload[4]) + 1,
+            },
+        })
+    }
+
+    pub(crate) fn encode(&self, out: &mut BytesMut) {
+        FrameHeader {
+            length: 5,
+            kind: FrameType::Priority as u8,
+            flags: 0,
+            stream_id: self.stream_id,
+        }
+        .encode(out);
+        let mut raw = self.block.depends_on & 0x7fff_ffff;
+        if self.block.exclusive {
+            raw |= 0x8000_0000;
+        }
+        out.put_u32(raw);
+        out.put_u8((self.block.weight.clamp(1, 256) - 1) as u8);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{Frame, FRAME_HEADER_LEN};
+
+    #[test]
+    fn priority_roundtrip() {
+        let f = PriorityFrame {
+            stream_id: 3,
+            block: PriorityBlock {
+                exclusive: false,
+                depends_on: 1,
+                weight: 16,
+            },
+        };
+        let mut buf = BytesMut::new();
+        f.encode(&mut buf);
+        let h = FrameHeader::parse(buf[..FRAME_HEADER_LEN].try_into().unwrap());
+        let parsed = Frame::parse(h, Bytes::copy_from_slice(&buf[FRAME_HEADER_LEN..])).unwrap();
+        assert_eq!(parsed, Frame::Priority(f));
+    }
+
+    #[test]
+    fn wrong_size_is_stream_error() {
+        let h = FrameHeader {
+            length: 4,
+            kind: FrameType::Priority as u8,
+            flags: 0,
+            stream_id: 3,
+        };
+        let err = PriorityFrame::parse(h, Bytes::from_static(&[0; 4])).unwrap_err();
+        assert!(matches!(err, H2Error::Stream(3, _, _)));
+    }
+}

@@ -1,0 +1,88 @@
+//! PUSH_PROMISE frames (RFC 9113 §6.6). The SWW prototype never pushes, but
+//! the codec understands the frame so a pushing peer is handled correctly
+//! (we refuse pushes via SETTINGS_ENABLE_PUSH=0 and reset any that arrive).
+
+use super::{flags, strip_padding, FrameHeader, FrameType};
+use crate::error::H2Error;
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// A PUSH_PROMISE frame reserving a server-initiated stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PushPromiseFrame {
+    /// Stream the promise is associated with.
+    pub stream_id: u32,
+    /// Even-numbered stream being reserved.
+    pub promised_stream_id: u32,
+    /// HPACK fragment of the promised request headers.
+    pub fragment: Bytes,
+    /// END_HEADERS flag.
+    pub end_headers: bool,
+}
+
+impl PushPromiseFrame {
+    pub(crate) fn parse(header: FrameHeader, payload: Bytes) -> Result<PushPromiseFrame, H2Error> {
+        if header.stream_id == 0 {
+            return Err(H2Error::protocol("PUSH_PROMISE on stream 0"));
+        }
+        let body = if header.flags & flags::PADDED != 0 {
+            strip_padding(payload)?
+        } else {
+            payload
+        };
+        if body.len() < 4 {
+            return Err(H2Error::frame_size("PUSH_PROMISE payload too short"));
+        }
+        let promised =
+            u32::from_be_bytes([body[0], body[1], body[2], body[3]]) & 0x7fff_ffff;
+        Ok(PushPromiseFrame {
+            stream_id: header.stream_id,
+            promised_stream_id: promised,
+            fragment: body.slice(4..),
+            end_headers: header.flags & flags::END_HEADERS != 0,
+        })
+    }
+
+    pub(crate) fn encode(&self, out: &mut BytesMut) {
+        FrameHeader {
+            length: (4 + self.fragment.len()) as u32,
+            kind: FrameType::PushPromise as u8,
+            flags: if self.end_headers { flags::END_HEADERS } else { 0 },
+            stream_id: self.stream_id,
+        }
+        .encode(out);
+        out.put_u32(self.promised_stream_id & 0x7fff_ffff);
+        out.extend_from_slice(&self.fragment);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{Frame, FRAME_HEADER_LEN};
+
+    #[test]
+    fn push_promise_roundtrip() {
+        let f = PushPromiseFrame {
+            stream_id: 1,
+            promised_stream_id: 2,
+            fragment: Bytes::from_static(&[0x82]),
+            end_headers: true,
+        };
+        let mut buf = BytesMut::new();
+        f.encode(&mut buf);
+        let h = FrameHeader::parse(buf[..FRAME_HEADER_LEN].try_into().unwrap());
+        let parsed = Frame::parse(h, Bytes::copy_from_slice(&buf[FRAME_HEADER_LEN..])).unwrap();
+        assert_eq!(parsed, Frame::PushPromise(f));
+    }
+
+    #[test]
+    fn short_payload_rejected() {
+        let h = FrameHeader {
+            length: 2,
+            kind: FrameType::PushPromise as u8,
+            flags: 0,
+            stream_id: 1,
+        };
+        assert!(PushPromiseFrame::parse(h, Bytes::from_static(&[0; 2])).is_err());
+    }
+}

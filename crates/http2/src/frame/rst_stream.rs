@@ -1,0 +1,73 @@
+//! RST_STREAM frames (RFC 9113 §6.4).
+
+use super::{FrameHeader, FrameType};
+use crate::error::{ErrorCode, H2Error};
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// An RST_STREAM frame terminating one stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RstStreamFrame {
+    /// Stream being reset (never 0).
+    pub stream_id: u32,
+    /// Why the stream ended.
+    pub error_code: ErrorCode,
+}
+
+impl RstStreamFrame {
+    /// Construct a stream reset.
+    pub fn new(stream_id: u32, error_code: ErrorCode) -> RstStreamFrame {
+        RstStreamFrame { stream_id, error_code }
+    }
+
+    pub(crate) fn parse(header: FrameHeader, payload: Bytes) -> Result<RstStreamFrame, H2Error> {
+        if header.stream_id == 0 {
+            return Err(H2Error::protocol("RST_STREAM on stream 0"));
+        }
+        if payload.len() != 4 {
+            return Err(H2Error::frame_size("RST_STREAM payload must be 4 octets"));
+        }
+        let code = u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]);
+        Ok(RstStreamFrame {
+            stream_id: header.stream_id,
+            error_code: ErrorCode::from_u32(code),
+        })
+    }
+
+    pub(crate) fn encode(&self, out: &mut BytesMut) {
+        FrameHeader {
+            length: 4,
+            kind: FrameType::RstStream as u8,
+            flags: 0,
+            stream_id: self.stream_id,
+        }
+        .encode(out);
+        out.put_u32(self.error_code as u32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{Frame, FRAME_HEADER_LEN};
+
+    #[test]
+    fn rst_roundtrip() {
+        let f = RstStreamFrame::new(11, ErrorCode::Cancel);
+        let mut buf = BytesMut::new();
+        f.encode(&mut buf);
+        let h = FrameHeader::parse(buf[..FRAME_HEADER_LEN].try_into().unwrap());
+        let parsed = Frame::parse(h, Bytes::copy_from_slice(&buf[FRAME_HEADER_LEN..])).unwrap();
+        assert_eq!(parsed, Frame::RstStream(f));
+    }
+
+    #[test]
+    fn stream_zero_rejected() {
+        let h = FrameHeader {
+            length: 4,
+            kind: FrameType::RstStream as u8,
+            flags: 0,
+            stream_id: 0,
+        };
+        assert!(RstStreamFrame::parse(h, Bytes::from_static(&[0; 4])).is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! SETTINGS frames (RFC 9113 §6.5) — the vehicle for the paper's §3
+//! `SETTINGS_GEN_ABILITY` extension.
+
+use super::{flags, FrameHeader, FrameType};
+use crate::error::H2Error;
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// One `(identifier, value)` settings parameter: 16-bit id, 32-bit value.
+pub type SettingPair = (u16, u32);
+
+/// A SETTINGS frame: zero or more parameters, or an empty ACK.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SettingsFrame {
+    /// ACK flag; an ACK frame must carry no parameters.
+    pub ack: bool,
+    /// Parameters in wire order. Duplicates are legal; the last wins.
+    pub params: Vec<SettingPair>,
+}
+
+impl SettingsFrame {
+    /// A settings acknowledgement (empty frame with the ACK flag, §6.5).
+    pub fn ack() -> SettingsFrame {
+        SettingsFrame {
+            ack: true,
+            params: Vec::new(),
+        }
+    }
+
+    /// A settings announcement with the given parameters.
+    pub fn new(params: Vec<SettingPair>) -> SettingsFrame {
+        SettingsFrame { ack: false, params }
+    }
+
+    pub(crate) fn parse(header: FrameHeader, payload: Bytes) -> Result<SettingsFrame, H2Error> {
+        if header.stream_id != 0 {
+            return Err(H2Error::protocol("SETTINGS on non-zero stream"));
+        }
+        let ack = header.flags & flags::ACK != 0;
+        if ack && !payload.is_empty() {
+            // §6.5: ACK with payload is FRAME_SIZE_ERROR.
+            return Err(H2Error::frame_size("SETTINGS ACK with payload"));
+        }
+        if !payload.len().is_multiple_of(6) {
+            return Err(H2Error::frame_size("SETTINGS payload not multiple of 6"));
+        }
+        let params = payload
+            .chunks_exact(6)
+            .map(|c| {
+                let id = u16::from_be_bytes([c[0], c[1]]);
+                let value = u32::from_be_bytes([c[2], c[3], c[4], c[5]]);
+                (id, value)
+            })
+            .collect();
+        Ok(SettingsFrame { ack, params })
+    }
+
+    pub(crate) fn encode(&self, out: &mut BytesMut) {
+        FrameHeader {
+            length: (self.params.len() * 6) as u32,
+            kind: FrameType::Settings as u8,
+            flags: if self.ack { flags::ACK } else { 0 },
+            stream_id: 0,
+        }
+        .encode(out);
+        for (id, value) in &self.params {
+            out.put_u16(*id);
+            out.put_u32(*value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{Frame, FRAME_HEADER_LEN};
+    use crate::settings::SETTINGS_GEN_ABILITY;
+
+    fn roundtrip(f: &SettingsFrame) -> Frame {
+        let mut buf = BytesMut::new();
+        f.encode(&mut buf);
+        let h = FrameHeader::parse(buf[..FRAME_HEADER_LEN].try_into().unwrap());
+        Frame::parse(h, Bytes::copy_from_slice(&buf[FRAME_HEADER_LEN..])).unwrap()
+    }
+
+    #[test]
+    fn settings_roundtrip() {
+        let f = SettingsFrame::new(vec![(0x3, 100), (0x4, 65_535), (SETTINGS_GEN_ABILITY, 1)]);
+        assert_eq!(roundtrip(&f), Frame::Settings(f.clone()));
+    }
+
+    #[test]
+    fn ack_roundtrip() {
+        let f = SettingsFrame::ack();
+        assert_eq!(roundtrip(&f), Frame::Settings(f.clone()));
+    }
+
+    #[test]
+    fn ack_with_payload_rejected() {
+        let h = FrameHeader {
+            length: 6,
+            kind: FrameType::Settings as u8,
+            flags: flags::ACK,
+            stream_id: 0,
+        };
+        assert!(SettingsFrame::parse(h, Bytes::from_static(&[0; 6])).is_err());
+    }
+
+    #[test]
+    fn misaligned_payload_rejected() {
+        let h = FrameHeader {
+            length: 5,
+            kind: FrameType::Settings as u8,
+            flags: 0,
+            stream_id: 0,
+        };
+        assert!(SettingsFrame::parse(h, Bytes::from_static(&[0; 5])).is_err());
+    }
+
+    #[test]
+    fn non_zero_stream_rejected() {
+        let h = FrameHeader {
+            length: 0,
+            kind: FrameType::Settings as u8,
+            flags: 0,
+            stream_id: 1,
+        };
+        assert!(SettingsFrame::parse(h, Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn gen_ability_wire_format() {
+        // The paper's §3 setting: id 0x07, value 1, on stream 0.
+        let f = SettingsFrame::new(vec![(SETTINGS_GEN_ABILITY, 1)]);
+        let mut buf = BytesMut::new();
+        f.encode(&mut buf);
+        assert_eq!(&buf[FRAME_HEADER_LEN..], &[0x00, 0x07, 0x00, 0x00, 0x00, 0x01]);
+    }
+}

@@ -1,0 +1,88 @@
+//! WINDOW_UPDATE frames (RFC 9113 §6.9).
+
+use super::{FrameHeader, FrameType};
+use crate::error::H2Error;
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// A WINDOW_UPDATE frame granting flow-control credit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowUpdateFrame {
+    /// 0 for the connection window, otherwise the stream.
+    pub stream_id: u32,
+    /// Credit to add, 1..=2^31-1.
+    pub increment: u32,
+}
+
+impl WindowUpdateFrame {
+    /// Construct a window update; `increment` must be non-zero.
+    pub fn new(stream_id: u32, increment: u32) -> WindowUpdateFrame {
+        debug_assert!(increment > 0 && increment < 1 << 31);
+        WindowUpdateFrame { stream_id, increment }
+    }
+
+    pub(crate) fn parse(header: FrameHeader, payload: Bytes) -> Result<WindowUpdateFrame, H2Error> {
+        if payload.len() != 4 {
+            return Err(H2Error::frame_size("WINDOW_UPDATE payload must be 4 octets"));
+        }
+        let increment =
+            u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]) & 0x7fff_ffff;
+        if increment == 0 {
+            // §6.9: zero increment is a protocol error (stream or connection
+            // scoped; the connection layer decides severity).
+            return Err(H2Error::protocol("WINDOW_UPDATE with zero increment"));
+        }
+        Ok(WindowUpdateFrame {
+            stream_id: header.stream_id,
+            increment,
+        })
+    }
+
+    pub(crate) fn encode(&self, out: &mut BytesMut) {
+        FrameHeader {
+            length: 4,
+            kind: FrameType::WindowUpdate as u8,
+            flags: 0,
+            stream_id: self.stream_id,
+        }
+        .encode(out);
+        out.put_u32(self.increment & 0x7fff_ffff);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{Frame, FRAME_HEADER_LEN};
+
+    #[test]
+    fn window_update_roundtrip() {
+        let f = WindowUpdateFrame::new(0, 65_535);
+        let mut buf = BytesMut::new();
+        f.encode(&mut buf);
+        let h = FrameHeader::parse(buf[..FRAME_HEADER_LEN].try_into().unwrap());
+        let parsed = Frame::parse(h, Bytes::copy_from_slice(&buf[FRAME_HEADER_LEN..])).unwrap();
+        assert_eq!(parsed, Frame::WindowUpdate(f));
+    }
+
+    #[test]
+    fn zero_increment_rejected() {
+        let h = FrameHeader {
+            length: 4,
+            kind: FrameType::WindowUpdate as u8,
+            flags: 0,
+            stream_id: 3,
+        };
+        assert!(WindowUpdateFrame::parse(h, Bytes::from_static(&[0; 4])).is_err());
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let h = FrameHeader {
+            length: 3,
+            kind: FrameType::WindowUpdate as u8,
+            flags: 0,
+            stream_id: 0,
+        };
+        assert!(WindowUpdateFrame::parse(h, Bytes::from_static(&[0; 3])).is_err());
+    }
+}

@@ -1,0 +1,293 @@
+//! Request/response types and pseudo-header handling (RFC 9113 §8.3).
+
+use crate::hpack::HeaderField;
+use bytes::Bytes;
+
+/// An ordered multimap of header fields (HTTP allows repeats).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeaderMap {
+    fields: Vec<HeaderField>,
+}
+
+impl HeaderMap {
+    /// An empty map.
+    pub fn new() -> HeaderMap {
+        HeaderMap::default()
+    }
+
+    /// Append a field. Names are lowercased per HTTP/2 §8.2.1.
+    pub fn insert(&mut self, name: impl AsRef<str>, value: impl Into<String>) {
+        self.fields.push(HeaderField::new(
+            name.as_ref().to_ascii_lowercase(),
+            value.into(),
+        ));
+    }
+
+    /// First value for `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.fields
+            .iter()
+            .find(|f| f.name == name)
+            .map(|f| f.value.as_str())
+    }
+
+    /// All values for `name`.
+    pub fn get_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        let name = name.to_ascii_lowercase();
+        self.fields
+            .iter()
+            .filter(move |f| f.name == name)
+            .map(|f| f.value.as_str())
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when no fields are present.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Iterate all fields in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &HeaderField> {
+        self.fields.iter()
+    }
+
+    /// The underlying field list (for HPACK encoding).
+    pub fn as_fields(&self) -> &[HeaderField] {
+        &self.fields
+    }
+}
+
+impl FromIterator<HeaderField> for HeaderMap {
+    fn from_iter<T: IntoIterator<Item = HeaderField>>(iter: T) -> Self {
+        HeaderMap {
+            fields: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// An HTTP/2 request: pseudo-headers plus regular fields and a body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `:method` pseudo-header.
+    pub method: String,
+    /// `:path` pseudo-header.
+    pub path: String,
+    /// `:scheme` pseudo-header.
+    pub scheme: String,
+    /// `:authority` pseudo-header.
+    pub authority: String,
+    /// Regular header fields.
+    pub headers: HeaderMap,
+    /// Request body.
+    pub body: Bytes,
+}
+
+impl Request {
+    /// A bodyless GET.
+    pub fn get(path: impl Into<String>) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            scheme: "https".into(),
+            authority: "sww.local".into(),
+            headers: HeaderMap::new(),
+            body: Bytes::new(),
+        }
+    }
+
+    /// Flatten into the HPACK field list: pseudo-headers first (§8.3).
+    pub fn to_fields(&self) -> Vec<HeaderField> {
+        let mut fields = vec![
+            HeaderField::new(":method", self.method.clone()),
+            HeaderField::new(":scheme", self.scheme.clone()),
+            HeaderField::new(":authority", self.authority.clone()),
+            HeaderField::new(":path", self.path.clone()),
+        ];
+        fields.extend(self.headers.iter().cloned());
+        fields
+    }
+
+    /// Rebuild from a decoded field list, validating pseudo-header rules:
+    /// mandatory `:method`/`:scheme`/`:path`, no pseudo-header after a
+    /// regular field, no unknown or response pseudo-headers.
+    pub fn from_fields(fields: Vec<HeaderField>) -> Result<Request, crate::error::H2Error> {
+        let mut req = Request {
+            method: String::new(),
+            path: String::new(),
+            scheme: String::new(),
+            authority: String::new(),
+            headers: HeaderMap::new(),
+            body: Bytes::new(),
+        };
+        let mut seen_regular = false;
+        for f in fields {
+            if let Some(pseudo) = f.name.strip_prefix(':') {
+                if seen_regular {
+                    return Err(crate::error::H2Error::protocol(
+                        "pseudo-header after regular field",
+                    ));
+                }
+                match pseudo {
+                    "method" => req.method = f.value,
+                    "path" => req.path = f.value,
+                    "scheme" => req.scheme = f.value,
+                    "authority" => req.authority = f.value,
+                    _ => {
+                        return Err(crate::error::H2Error::protocol(format!(
+                            "unknown request pseudo-header :{pseudo}"
+                        )))
+                    }
+                }
+            } else {
+                seen_regular = true;
+                req.headers.insert(f.name, f.value);
+            }
+        }
+        if req.method.is_empty() || req.path.is_empty() || req.scheme.is_empty() {
+            return Err(crate::error::H2Error::protocol(
+                "missing mandatory request pseudo-header",
+            ));
+        }
+        Ok(req)
+    }
+}
+
+/// An HTTP/2 response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// `:status` pseudo-header.
+    pub status: u16,
+    /// Regular header fields.
+    pub headers: HeaderMap,
+    /// Response body.
+    pub body: Bytes,
+}
+
+impl Response {
+    /// A 200 response with the given body.
+    pub fn ok(body: impl Into<Bytes>) -> Response {
+        Response {
+            status: 200,
+            headers: HeaderMap::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A bodyless response with the given status.
+    pub fn status(status: u16) -> Response {
+        Response {
+            status,
+            headers: HeaderMap::new(),
+            body: Bytes::new(),
+        }
+    }
+
+    /// Flatten into the HPACK field list.
+    pub fn to_fields(&self) -> Vec<HeaderField> {
+        let mut fields = vec![HeaderField::new(":status", self.status.to_string())];
+        fields.extend(self.headers.iter().cloned());
+        fields
+    }
+
+    /// Rebuild from a decoded field list.
+    pub fn from_fields(fields: Vec<HeaderField>) -> Result<Response, crate::error::H2Error> {
+        let mut resp = Response::status(0);
+        let mut seen_regular = false;
+        for f in fields {
+            if let Some(pseudo) = f.name.strip_prefix(':') {
+                if seen_regular {
+                    return Err(crate::error::H2Error::protocol(
+                        "pseudo-header after regular field",
+                    ));
+                }
+                if pseudo == "status" {
+                    resp.status = f
+                        .value
+                        .parse()
+                        .map_err(|_| crate::error::H2Error::protocol("bad :status"))?;
+                } else {
+                    return Err(crate::error::H2Error::protocol(format!(
+                        "unknown response pseudo-header :{pseudo}"
+                    )));
+                }
+            } else {
+                seen_regular = true;
+                resp.headers.insert(f.name, f.value);
+            }
+        }
+        if resp.status == 0 {
+            return Err(crate::error::H2Error::protocol("missing :status"));
+        }
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_map_case_insensitive() {
+        let mut h = HeaderMap::new();
+        h.insert("Content-Type", "text/html");
+        assert_eq!(h.get("content-type"), Some("text/html"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("text/html"));
+    }
+
+    #[test]
+    fn multi_value_headers() {
+        let mut h = HeaderMap::new();
+        h.insert("set-cookie", "a=1");
+        h.insert("set-cookie", "b=2");
+        let all: Vec<_> = h.get_all("set-cookie").collect();
+        assert_eq!(all, ["a=1", "b=2"]);
+        assert_eq!(h.get("set-cookie"), Some("a=1"));
+    }
+
+    #[test]
+    fn request_field_roundtrip() {
+        let mut req = Request::get("/wiki?q=landscape");
+        req.headers.insert("accept", "text/html");
+        let back = Request::from_fields(req.to_fields()).unwrap();
+        assert_eq!(back.method, "GET");
+        assert_eq!(back.path, "/wiki?q=landscape");
+        assert_eq!(back.headers.get("accept"), Some("text/html"));
+    }
+
+    #[test]
+    fn response_field_roundtrip() {
+        let mut resp = Response::ok(Bytes::from_static(b"<html/>"));
+        resp.headers.insert("content-type", "text/html");
+        let mut back = Response::from_fields(resp.to_fields()).unwrap();
+        back.body = resp.body.clone();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn pseudo_header_order_enforced() {
+        let fields = vec![
+            HeaderField::new("accept", "*/*"),
+            HeaderField::new(":method", "GET"),
+        ];
+        assert!(Request::from_fields(fields).is_err());
+    }
+
+    #[test]
+    fn missing_mandatory_pseudo_rejected() {
+        let fields = vec![HeaderField::new(":method", "GET")];
+        assert!(Request::from_fields(fields).is_err());
+        assert!(Response::from_fields(vec![]).is_err());
+    }
+
+    #[test]
+    fn unknown_pseudo_rejected() {
+        let fields = vec![HeaderField::new(":proto", "x")];
+        assert!(Request::from_fields(fields).is_err());
+        assert!(Response::from_fields(vec![HeaderField::new(":method", "GET")]).is_err());
+    }
+}

@@ -1,0 +1,335 @@
+//! Huffman string coding for HPACK string literals (RFC 7541 §5.2).
+//!
+//! Mechanism-identical to the RFC: a static canonical Huffman code over the
+//! 256 octet values plus EOS, most-significant-bit-first bit packing, and
+//! 1-bit padding that must form a prefix of the EOS code. The *table* is
+//! derived locally: a Huffman tree is built once from an embedded frequency
+//! model of HTTP header text (method/path/header-name characters weighted
+//! heavily), then converted to a canonical code. Both peers in this system
+//! share the implementation, so the code is self-consistent; we do not
+//! claim interop with RFC 7541's Appendix B table and the connection layer
+//! never assumes it.
+
+use crate::error::H2Error;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::OnceLock;
+
+/// Symbol count: 256 octets + EOS.
+const NSYM: usize = 257;
+/// Index of the EOS pseudo-symbol.
+const EOS: usize = 256;
+
+/// A canonical code entry: the code bits (right-aligned) and bit length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Code {
+    bits: u32,
+    len: u8,
+}
+
+/// Per-symbol weight model for header text. Higher weight → shorter code.
+fn weight(sym: usize) -> u64 {
+    if sym >= 256 {
+        return 1; // EOS: maximal-length code
+    }
+    let b = sym as u8;
+    match b {
+        // Lowercase letters dominate header names and URL paths.
+        b'a'..=b'z' => 180,
+        b'0'..=b'9' => 140,
+        // Structural characters of paths, tokens and field values.
+        b'/' | b'-' | b'.' => 120,
+        b':' | b'=' | b';' | b',' | b' ' => 90,
+        b'A'..=b'Z' => 60,
+        b'%' | b'&' | b'?' | b'_' | b'"' => 30,
+        0x20..=0x7e => 12, // other printable ASCII
+        0x80..=0xff => 2,  // UTF-8 continuation/lead bytes
+        _ => 1,            // control characters
+    }
+}
+
+/// Build code lengths with a plain Huffman construction over the weights.
+fn code_lengths() -> [u8; NSYM] {
+    // Heap of (weight, tie-break id) → node index.
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    struct Node {
+        w: u64,
+        id: usize,
+    }
+    let mut heap: BinaryHeap<Reverse<Node>> = BinaryHeap::new();
+    // parent[i] for tree nodes; leaves are 0..NSYM.
+    let mut parent: Vec<usize> = vec![usize::MAX; NSYM];
+    for sym in 0..NSYM {
+        heap.push(Reverse(Node {
+            w: weight(sym),
+            id: sym,
+        }));
+    }
+    let mut next_id = NSYM;
+    while heap.len() > 1 {
+        let Reverse(a) = heap.pop().expect("len>1");
+        let Reverse(b) = heap.pop().expect("len>1");
+        parent.push(usize::MAX);
+        parent[a.id] = next_id;
+        parent[b.id] = next_id;
+        heap.push(Reverse(Node {
+            w: a.w + b.w,
+            id: next_id,
+        }));
+        next_id += 1;
+    }
+    let mut lengths = [0u8; NSYM];
+    for (sym, len) in lengths.iter_mut().enumerate() {
+        let mut node = sym;
+        let mut depth = 0u8;
+        while parent[node] != usize::MAX {
+            node = parent[node];
+            depth += 1;
+        }
+        *len = depth;
+    }
+    lengths
+}
+
+/// Assign canonical codes from lengths: sort by (length, symbol), count up.
+fn canonical_codes(lengths: &[u8; NSYM]) -> Vec<Code> {
+    let mut order: Vec<usize> = (0..NSYM).collect();
+    order.sort_by_key(|&s| (lengths[s], s));
+    let mut codes = vec![Code { bits: 0, len: 0 }; NSYM];
+    let mut code: u32 = 0;
+    let mut prev_len: u8 = 0;
+    for &sym in &order {
+        let len = lengths[sym];
+        if prev_len != 0 {
+            code = (code + 1) << (len - prev_len);
+        } else {
+            code <<= len - prev_len;
+        }
+        codes[sym] = Code { bits: code, len };
+        prev_len = len;
+    }
+    codes
+}
+
+/// Binary decode trie stored as a flat array: `next[node][bit]`, with leaf
+/// markers carrying the decoded symbol.
+struct Trie {
+    // node*2+bit -> child index; symbol nodes are encoded as NSYM offset.
+    next: Vec<u32>,
+}
+
+const LEAF_BASE: u32 = 1 << 24;
+
+impl Trie {
+    fn build(codes: &[Code]) -> Trie {
+        let mut next = vec![0u32; 2]; // node 0 = root
+        for (sym, code) in codes.iter().enumerate() {
+            let mut node = 0usize;
+            for i in (0..code.len).rev() {
+                let bit = ((code.bits >> i) & 1) as usize;
+                let slot = node * 2 + bit;
+                if i == 0 {
+                    next[slot] = LEAF_BASE + sym as u32;
+                } else if next[slot] == 0 {
+                    let new_node = next.len() / 2;
+                    next.extend([0, 0]);
+                    next[slot] = new_node as u32;
+                    node = new_node;
+                } else {
+                    node = next[slot] as usize;
+                }
+            }
+        }
+        Trie { next }
+    }
+}
+
+struct Tables {
+    codes: Vec<Code>,
+    trie: Trie,
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let lengths = code_lengths();
+        let codes = canonical_codes(&lengths);
+        let trie = Trie::build(&codes);
+        Tables { codes, trie }
+    })
+}
+
+/// Huffman-encode `input`. The result is padded to an octet boundary with
+/// 1-bits (a prefix of the EOS code, which is all 1s under the canonical
+/// ordering since EOS has a maximal-length code).
+pub fn encode(input: &[u8]) -> Vec<u8> {
+    let t = tables();
+    let mut out = Vec::with_capacity(input.len());
+    let mut acc: u64 = 0;
+    let mut nbits: u32 = 0;
+    for &b in input {
+        let code = t.codes[b as usize];
+        acc = (acc << code.len) | u64::from(code.bits);
+        nbits += u32::from(code.len);
+        while nbits >= 8 {
+            nbits -= 8;
+            out.push((acc >> nbits) as u8);
+        }
+    }
+    if nbits > 0 {
+        // Pad with 1s.
+        let pad = 8 - nbits;
+        out.push(((acc << pad) as u8) | ((1u8 << pad) - 1));
+    }
+    out
+}
+
+/// The encoded length of `input` in octets, without encoding it. Used by
+/// the encoder to pick the shorter of raw and Huffman forms.
+pub fn encoded_len(input: &[u8]) -> usize {
+    let t = tables();
+    let bits: u64 = input.iter().map(|&b| u64::from(t.codes[b as usize].len)).sum();
+    (bits as usize).div_ceil(8)
+}
+
+/// Decode a Huffman-coded string.
+///
+/// The code is complete (Kraft equality), so every bit sequence walks the
+/// trie without dead ends; the error cases are (a) decoding the EOS symbol,
+/// and (b) trailing bits after the last symbol that are not an all-ones run
+/// shorter than 8 bits (i.e. not valid EOS-prefix padding, RFC 7541 §5.2).
+pub fn decode(input: &[u8]) -> Result<Vec<u8>, H2Error> {
+    let t = tables();
+    let mut out = Vec::with_capacity(input.len() * 2);
+    let mut node: usize = 0;
+    // Bits consumed since the last completed symbol, and how many were 1s.
+    let mut bits_pending: u32 = 0;
+    let mut ones_pending: u32 = 0;
+    for &byte in input {
+        for i in (0..8).rev() {
+            let bit = ((byte >> i) & 1) as usize;
+            bits_pending += 1;
+            ones_pending += bit as u32;
+            let nxt = t.trie.next[node * 2 + bit];
+            if nxt >= LEAF_BASE {
+                let sym = (nxt - LEAF_BASE) as usize;
+                if sym == EOS {
+                    return Err(H2Error::compression("EOS symbol in huffman string"));
+                }
+                out.push(sym as u8);
+                node = 0;
+                bits_pending = 0;
+                ones_pending = 0;
+            } else {
+                node = nxt as usize;
+            }
+        }
+    }
+    if bits_pending > 0 && (bits_pending > 7 || ones_pending != bits_pending) {
+        return Err(H2Error::compression("invalid huffman padding"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_ascii() {
+        for s in [
+            "www.example.com",
+            "no-cache",
+            "/landscape?q=search",
+            "text/html; charset=utf-8",
+            "",
+            "a",
+        ] {
+            let enc = encode(s.as_bytes());
+            assert_eq!(decode(&enc).unwrap(), s.as_bytes(), "s={s}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_octets() {
+        let all: Vec<u8> = (0..=255u8).collect();
+        let enc = encode(&all);
+        assert_eq!(decode(&enc).unwrap(), all);
+    }
+
+    #[test]
+    fn compresses_header_text() {
+        let s = b"cache-control: max-age=3600, stale-while-revalidate=60";
+        let enc = encode(s);
+        assert!(enc.len() < s.len(), "expected compression: {} vs {}", enc.len(), s.len());
+    }
+
+    #[test]
+    fn encoded_len_matches_encode() {
+        for s in ["abc", "/generated-content/image.jpg", "::::", "\u{0}\u{1}"] {
+            assert_eq!(encoded_len(s.as_bytes()), encode(s.as_bytes()).len());
+        }
+    }
+
+    #[test]
+    fn kraft_equality_holds() {
+        // A Huffman code over all symbols is complete: Kraft sum == 1.
+        let lengths = code_lengths();
+        let max = *lengths.iter().max().unwrap() as u32;
+        let total: u128 = lengths.iter().map(|&l| 1u128 << (max - u32::from(l))).sum();
+        assert_eq!(total, 1u128 << max);
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let lengths = code_lengths();
+        let codes = canonical_codes(&lengths);
+        for (i, a) in codes.iter().enumerate() {
+            for (j, b) in codes.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let (short, long) = if a.len <= b.len { (a, b) } else { (b, a) };
+                let prefix = long.bits >> (long.len - short.len);
+                assert!(
+                    !(prefix == short.bits && short.len > 0),
+                    "code {i} is a prefix of {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn common_chars_get_short_codes() {
+        let lengths = code_lengths();
+        assert!(lengths[b'e' as usize] < lengths[b'~' as usize]);
+        assert!(lengths[b'/' as usize] < lengths[0x01]);
+        assert_eq!(
+            lengths[EOS],
+            *lengths.iter().max().unwrap(),
+            "EOS must be a maximal-length code so 1-padding is its prefix"
+        );
+    }
+
+    #[test]
+    fn overlong_padding_rejected() {
+        // A full byte of 1s after the last symbol is 8 bits of padding,
+        // which RFC 7541 §5.2 forbids (padding is strictly < 8 bits). EOS
+        // has length > 8 (257 symbols force max depth >= 9), so the ones
+        // never complete a symbol.
+        let mut enc = encode(b"ab");
+        enc.push(0xff);
+        assert!(decode(&enc).is_err());
+    }
+
+    #[test]
+    fn truncated_code_with_zero_bits_rejected() {
+        // End the input in the middle of a code whose pending bits include
+        // a 0: not an EOS prefix, must be rejected. The code for byte 0x00
+        // is long (>8 bits) and, not being the all-ones code, contains a 0
+        // in its first 8 bits; its first byte alone is a truncated code.
+        let enc = encode(&[0x00]);
+        assert!(enc.len() >= 2);
+        assert!(decode(&enc[..1]).is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! HPACK primitive integer coding (RFC 7541 §5.1).
+//!
+//! An integer is coded with an N-bit prefix inside the first octet. Values
+//! below `2^N - 1` fit the prefix; larger values set the prefix to all ones
+//! and continue in 7-bit little-endian groups with a continuation bit.
+
+use crate::error::H2Error;
+
+/// Encode `value` with an `prefix_bits`-bit prefix, OR-ing `first_octet_bits`
+/// (the representation tag bits) into the first octet.
+pub fn encode(value: u64, prefix_bits: u8, first_octet_bits: u8, out: &mut Vec<u8>) {
+    debug_assert!((1..=8).contains(&prefix_bits));
+    let max_prefix = (1u64 << prefix_bits) - 1;
+    if value < max_prefix {
+        out.push(first_octet_bits | value as u8);
+        return;
+    }
+    out.push(first_octet_bits | max_prefix as u8);
+    let mut rest = value - max_prefix;
+    while rest >= 128 {
+        out.push((rest % 128) as u8 | 0x80);
+        rest /= 128;
+    }
+    out.push(rest as u8);
+}
+
+/// Decode an integer with an `prefix_bits`-bit prefix starting at `buf[*pos]`.
+/// Advances `pos` past the integer.
+pub fn decode(buf: &[u8], pos: &mut usize, prefix_bits: u8) -> Result<u64, H2Error> {
+    debug_assert!((1..=8).contains(&prefix_bits));
+    let first = *buf
+        .get(*pos)
+        .ok_or_else(|| H2Error::compression("integer truncated"))?;
+    *pos += 1;
+    let max_prefix = (1u64 << prefix_bits) - 1;
+    let mut value = u64::from(first) & max_prefix;
+    if value < max_prefix {
+        return Ok(value);
+    }
+    let mut shift = 0u32;
+    loop {
+        let b = *buf
+            .get(*pos)
+            .ok_or_else(|| H2Error::compression("integer continuation truncated"))?;
+        *pos += 1;
+        // Bound the representation: 10 continuation octets overflow u64.
+        if shift > 63 {
+            return Err(H2Error::compression("integer too large"));
+        }
+        value = value
+            .checked_add(u64::from(b & 0x7f) << shift)
+            .ok_or_else(|| H2Error::compression("integer overflow"))?;
+        if b & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: u64, prefix: u8) -> u64 {
+        let mut buf = Vec::new();
+        encode(v, prefix, 0, &mut buf);
+        let mut pos = 0;
+        let out = decode(&buf, &mut pos, prefix).unwrap();
+        assert_eq!(pos, buf.len());
+        out
+    }
+
+    #[test]
+    fn rfc7541_examples() {
+        // C.1.1: 10 with 5-bit prefix => 0b01010.
+        let mut buf = Vec::new();
+        encode(10, 5, 0, &mut buf);
+        assert_eq!(buf, [0b01010]);
+        // C.1.2: 1337 with 5-bit prefix => 1f 9a 0a.
+        buf.clear();
+        encode(1337, 5, 0, &mut buf);
+        assert_eq!(buf, [0x1f, 0x9a, 0x0a]);
+        // C.1.3: 42 with 8-bit prefix => 2a.
+        buf.clear();
+        encode(42, 8, 0, &mut buf);
+        assert_eq!(buf, [0x2a]);
+    }
+
+    #[test]
+    fn prefix_tag_bits_preserved() {
+        let mut buf = Vec::new();
+        encode(2, 7, 0x80, &mut buf);
+        assert_eq!(buf, [0x82]); // indexed header field representation
+    }
+
+    #[test]
+    fn boundary_values() {
+        for prefix in 1..=8u8 {
+            for v in [
+                0,
+                1,
+                (1u64 << prefix) - 2,
+                (1u64 << prefix) - 1,
+                1u64 << prefix,
+                127,
+                128,
+                16_383,
+                u64::from(u32::MAX),
+                u64::MAX,
+            ] {
+                assert_eq!(roundtrip(v, prefix), v, "v={v} prefix={prefix}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut pos = 0;
+        assert!(decode(&[], &mut pos, 5).is_err());
+        // Prefix saturated but no continuation octets.
+        let mut pos = 0;
+        assert!(decode(&[0x1f], &mut pos, 5).is_err());
+        // Unterminated continuation.
+        let mut pos = 0;
+        assert!(decode(&[0x1f, 0x80, 0x80], &mut pos, 5).is_err());
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        // 11 continuation octets worth of 1s overflows u64.
+        let mut buf = vec![0xffu8];
+        buf.extend(std::iter::repeat_n(0xff, 10));
+        buf.push(0x7f);
+        let mut pos = 0;
+        assert!(decode(&buf, &mut pos, 8).is_err());
+    }
+}

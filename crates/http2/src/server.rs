@@ -1,0 +1,80 @@
+//! HTTP/2 server connection driver.
+
+use crate::connection::Connection;
+use crate::error::{ErrorCode, H2Error};
+use crate::headers::{Request, Response};
+use crate::settings::{GenAbility, Settings};
+use tokio::io::{AsyncRead, AsyncWrite};
+
+/// Context handed to the request handler alongside each request.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeContext {
+    /// Capability the client advertised in its SETTINGS.
+    pub client_ability: GenAbility,
+    /// Capability shared by both peers after negotiation.
+    pub negotiated: GenAbility,
+}
+
+/// Serve one accepted connection with `handler` until the peer closes or
+/// errors. The handler sees the negotiated generative ability so it can
+/// decide between prompt-form and traditional content (paper §5.1: "If the
+/// client's generative ability is confirmed, the server can serve the
+/// content in its generative form").
+pub async fn serve_connection<T, H>(
+    io: T,
+    ability: GenAbility,
+    mut handler: H,
+) -> Result<ServeStats, H2Error>
+where
+    T: AsyncRead + AsyncWrite + Unpin,
+    H: FnMut(Request, ServeContext) -> Response,
+{
+    let mut conn = Connection::server_handshake(io, Settings::sww(ability)).await?;
+    let mut stats = ServeStats::default();
+    loop {
+        let msg = match conn.next_message().await {
+            Ok(m) => m,
+            Err(H2Error::Closed) => break,
+            Err(e) => return Err(e),
+        };
+        // Recomputed per request: RFC 9113 §6.5 makes SETTINGS take effect
+        // connection-wide as soon as they are processed, so a peer may
+        // upgrade or withdraw GEN_ABILITY mid-connection.
+        let ctx = ServeContext {
+            client_ability: conn.peer_ability(),
+            negotiated: conn.negotiated_ability(),
+        };
+        let stream_id = msg.stream_id;
+        let req = match Request::from_fields(msg.fields) {
+            Ok(mut r) => {
+                r.body = msg.body;
+                r
+            }
+            Err(_) => {
+                conn.reset_stream(stream_id, ErrorCode::Protocol).await?;
+                continue;
+            }
+        };
+        stats.requests += 1;
+        let resp = handler(req, ctx);
+        conn.send_message(stream_id, &resp.to_fields(), resp.body.clone())
+            .await?;
+        stats.responses += 1;
+    }
+    stats.bytes_sent = conn.bytes_sent;
+    stats.bytes_received = conn.bytes_received;
+    Ok(stats)
+}
+
+/// Counters describing one served connection.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests parsed.
+    pub requests: u64,
+    /// Responses delivered.
+    pub responses: u64,
+    /// Octets written to the socket.
+    pub bytes_sent: u64,
+    /// DATA payload octets read.
+    pub bytes_received: u64,
+}

@@ -1,0 +1,282 @@
+//! A minimal QUIC-like stream multiplexer over one reliable byte pipe.
+//!
+//! Real QUIC (UDP datagrams, TLS 1.3, loss recovery, flow control) is out
+//! of scope — the paper's §3.1 point is about SETTINGS semantics, which
+//! need only ordered, multiplexed streams. Stream identifiers follow QUIC
+//! (RFC 9000 §2.1): the two low bits encode initiator and directionality,
+//! so client-bidi streams are 0, 4, 8, …, client-uni 2, 6, …, server-uni
+//! 3, 7, ….
+//!
+//! Wire format per chunk: `varint stream_id | u8 flags | varint len | bytes`
+//! with flag bit 0 = FIN.
+
+use crate::varint;
+use std::collections::HashMap;
+use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt};
+
+/// Stream-id helpers.
+pub mod stream_id {
+    /// First client-initiated bidirectional stream.
+    pub const CLIENT_BIDI_BASE: u64 = 0;
+    /// First client-initiated unidirectional stream.
+    pub const CLIENT_UNI_BASE: u64 = 2;
+    /// First server-initiated unidirectional stream.
+    pub const SERVER_UNI_BASE: u64 = 3;
+
+    /// Whether a stream is unidirectional.
+    pub fn is_uni(id: u64) -> bool {
+        id & 0x2 != 0
+    }
+
+    /// Whether the client initiated the stream.
+    pub fn is_client_initiated(id: u64) -> bool {
+        id & 0x1 == 0
+    }
+}
+
+/// One received chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamChunk {
+    /// Stream the data belongs to.
+    pub stream_id: u64,
+    /// Payload bytes.
+    pub data: Vec<u8>,
+    /// Whether the sender finished the stream.
+    pub fin: bool,
+}
+
+/// Transport errors.
+#[derive(Debug)]
+pub enum TransportError {
+    /// Socket error.
+    Io(std::io::Error),
+    /// Peer closed the pipe.
+    Closed,
+    /// Structurally invalid chunk.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "io: {e}"),
+            TransportError::Closed => write!(f, "transport closed"),
+            TransportError::Malformed(m) => write!(f, "malformed chunk: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            TransportError::Closed
+        } else {
+            TransportError::Io(e)
+        }
+    }
+}
+
+/// The multiplexer: owns the pipe and reassembles per-stream data.
+#[derive(Debug)]
+pub struct QuicLite<T> {
+    io: T,
+    /// Next bidi stream id to open locally.
+    next_bidi: u64,
+    /// Next uni stream id to open locally.
+    next_uni: u64,
+    /// Buffered whole streams (completed with FIN) awaiting the reader.
+    finished: HashMap<u64, Vec<u8>>,
+    /// Partially received streams.
+    partial: HashMap<u64, Vec<u8>>,
+}
+
+/// Maximum accepted chunk payload, bounding buffer growth.
+const MAX_CHUNK: u64 = 1 << 22;
+
+impl<T: AsyncRead + AsyncWrite + Unpin> QuicLite<T> {
+    /// Client-side endpoint.
+    pub fn client(io: T) -> QuicLite<T> {
+        QuicLite {
+            io,
+            next_bidi: stream_id::CLIENT_BIDI_BASE,
+            next_uni: stream_id::CLIENT_UNI_BASE,
+            finished: HashMap::new(),
+            partial: HashMap::new(),
+        }
+    }
+
+    /// Server-side endpoint.
+    pub fn server(io: T) -> QuicLite<T> {
+        QuicLite {
+            io,
+            next_bidi: 1, // server-initiated bidi (unused by HTTP/3)
+            next_uni: stream_id::SERVER_UNI_BASE,
+            finished: HashMap::new(),
+            partial: HashMap::new(),
+        }
+    }
+
+    /// Allocate a locally initiated bidirectional stream id.
+    pub fn open_bidi(&mut self) -> u64 {
+        let id = self.next_bidi;
+        self.next_bidi += 4;
+        id
+    }
+
+    /// Allocate a locally initiated unidirectional stream id.
+    pub fn open_uni(&mut self) -> u64 {
+        let id = self.next_uni;
+        self.next_uni += 4;
+        id
+    }
+
+    /// Send bytes on a stream.
+    pub async fn send(&mut self, stream: u64, data: &[u8], fin: bool) -> Result<(), TransportError> {
+        let mut head = Vec::with_capacity(16);
+        varint::encode(stream, &mut head);
+        head.push(u8::from(fin));
+        varint::encode(data.len() as u64, &mut head);
+        self.io.write_all(&head).await?;
+        self.io.write_all(data).await?;
+        self.io.flush().await?;
+        Ok(())
+    }
+
+    /// Receive the next chunk from the peer.
+    pub async fn recv_chunk(&mut self) -> Result<StreamChunk, TransportError> {
+        let stream_id = self.read_varint().await?;
+        let mut flag = [0u8; 1];
+        self.io.read_exact(&mut flag).await?;
+        let len = self.read_varint().await?;
+        if len > MAX_CHUNK {
+            return Err(TransportError::Malformed("chunk too large"));
+        }
+        let mut data = vec![0u8; len as usize];
+        self.io.read_exact(&mut data).await?;
+        Ok(StreamChunk {
+            stream_id,
+            data,
+            fin: flag[0] & 1 != 0,
+        })
+    }
+
+    /// Read chunks until `stream` finishes, buffering other streams;
+    /// returns that stream's complete payload.
+    pub async fn recv_stream(&mut self, stream: u64) -> Result<Vec<u8>, TransportError> {
+        loop {
+            if let Some(done) = self.finished.remove(&stream) {
+                return Ok(done);
+            }
+            let chunk = self.recv_chunk().await?;
+            let buf = self.partial.entry(chunk.stream_id).or_default();
+            buf.extend_from_slice(&chunk.data);
+            if chunk.fin {
+                let whole = self.partial.remove(&chunk.stream_id).unwrap_or_default();
+                self.finished.insert(chunk.stream_id, whole);
+            }
+        }
+    }
+
+    /// Read chunks until *any* stream finishes; returns `(id, payload)`.
+    pub async fn recv_any_stream(&mut self) -> Result<(u64, Vec<u8>), TransportError> {
+        loop {
+            if let Some(id) = self.finished.keys().next().copied() {
+                let data = self.finished.remove(&id).expect("key just seen");
+                return Ok((id, data));
+            }
+            let chunk = self.recv_chunk().await?;
+            let buf = self.partial.entry(chunk.stream_id).or_default();
+            buf.extend_from_slice(&chunk.data);
+            if chunk.fin {
+                let whole = self.partial.remove(&chunk.stream_id).unwrap_or_default();
+                self.finished.insert(chunk.stream_id, whole);
+            }
+        }
+    }
+
+    async fn read_varint(&mut self) -> Result<u64, TransportError> {
+        let mut first = [0u8; 1];
+        self.io.read_exact(&mut first).await?;
+        let n = 1usize << (first[0] >> 6);
+        let mut rest = vec![0u8; n - 1];
+        if n > 1 {
+            self.io.read_exact(&mut rest).await?;
+        }
+        let mut value = u64::from(first[0] & 0x3f);
+        for b in rest {
+            value = (value << 8) | u64::from(b);
+        }
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn stream_ids_follow_quic_parity() {
+        let (a, _b) = tokio::io::duplex(1024);
+        let mut client = QuicLite::client(a);
+        assert_eq!(client.open_bidi(), 0);
+        assert_eq!(client.open_bidi(), 4);
+        assert_eq!(client.open_uni(), 2);
+        assert!(stream_id::is_client_initiated(0));
+        assert!(stream_id::is_uni(2));
+        assert!(!stream_id::is_uni(4));
+        assert!(!stream_id::is_client_initiated(3));
+    }
+
+    #[tokio::test]
+    async fn interleaved_streams_reassemble() {
+        let (a, b) = tokio::io::duplex(1 << 16);
+        let mut tx = QuicLite::client(a);
+        let mut rx = QuicLite::server(b);
+        tx.send(0, b"hello ", false).await.unwrap();
+        tx.send(4, b"other", true).await.unwrap();
+        tx.send(0, b"world", true).await.unwrap();
+        // Stream 0 completes after stream 4's chunks arrive interleaved.
+        let zero = rx.recv_stream(0).await.unwrap();
+        assert_eq!(zero, b"hello world");
+        let four = rx.recv_stream(4).await.unwrap();
+        assert_eq!(four, b"other");
+    }
+
+    #[tokio::test]
+    async fn recv_any_returns_first_finished() {
+        let (a, b) = tokio::io::duplex(1 << 16);
+        let mut tx = QuicLite::client(a);
+        let mut rx = QuicLite::server(b);
+        tx.send(8, b"first", true).await.unwrap();
+        let (id, data) = rx.recv_any_stream().await.unwrap();
+        assert_eq!((id, data.as_slice()), (8, &b"first"[..]));
+    }
+
+    #[tokio::test]
+    async fn closed_pipe_reports_closed() {
+        let (a, b) = tokio::io::duplex(1024);
+        drop(b);
+        let mut rx = QuicLite::<tokio::io::DuplexStream>::server(a);
+        assert!(matches!(
+            rx.recv_chunk().await,
+            Err(TransportError::Closed)
+        ));
+    }
+
+    #[tokio::test]
+    async fn large_payload_roundtrip() {
+        let (a, b) = tokio::io::duplex(1 << 20);
+        let mut tx = QuicLite::client(a);
+        let mut rx = QuicLite::server(b);
+        let big = vec![7u8; 200_000];
+        let big2 = big.clone();
+        let send = tokio::spawn(async move {
+            tx.send(0, &big2, true).await.unwrap();
+        });
+        let got = rx.recv_stream(0).await.unwrap();
+        send.await.unwrap();
+        assert_eq!(got, big);
+    }
+}

@@ -1,0 +1,60 @@
+//! Parse errors with byte-offset diagnostics.
+
+use std::fmt;
+
+/// Result alias for JSON operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// A JSON parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+    /// What went wrong.
+    pub kind: ErrorKind,
+}
+
+/// Classification of parse failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Input ended before a complete value was read.
+    UnexpectedEof,
+    /// A byte that cannot start or continue the current production.
+    UnexpectedChar(char),
+    /// Invalid `\` escape sequence in a string.
+    BadEscape,
+    /// `\uXXXX` did not form a valid scalar value (including bad surrogate pairs).
+    BadUnicodeEscape,
+    /// A number token that does not conform to the JSON grammar.
+    BadNumber,
+    /// Literal bytes after the top-level value.
+    TrailingData,
+    /// Nesting depth exceeded the parser limit.
+    TooDeep,
+    /// Raw control character inside a string literal.
+    ControlInString,
+}
+
+impl Error {
+    pub(crate) fn new(offset: usize, kind: ErrorKind) -> Self {
+        Error { offset, kind }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match &self.kind {
+            ErrorKind::UnexpectedEof => "unexpected end of input".to_owned(),
+            ErrorKind::UnexpectedChar(c) => format!("unexpected character {c:?}"),
+            ErrorKind::BadEscape => "invalid escape sequence".to_owned(),
+            ErrorKind::BadUnicodeEscape => "invalid \\u escape".to_owned(),
+            ErrorKind::BadNumber => "malformed number".to_owned(),
+            ErrorKind::TrailingData => "trailing data after value".to_owned(),
+            ErrorKind::TooDeep => "nesting too deep".to_owned(),
+            ErrorKind::ControlInString => "control character in string".to_owned(),
+        };
+        write!(f, "JSON error at byte {}: {}", self.offset, what)
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Minimal JSON implementation for SWW generated-content metadata.
+//!
+//! The paper (§4.1) stores per-element generation metadata as a JSON
+//! dictionary (prompt, width, height, word counts, model hints, …). This
+//! crate provides the value model, a strict parser and a serializer used by
+//! every layer that touches metadata: the HTML `generated-content` class,
+//! the media generator, and the conversion pipeline.
+//!
+//! The implementation is deliberately small but complete for the JSON the
+//! system produces and consumes: all JSON types, nested containers, the
+//! full escape set, and `f64` numbers with integer fast paths.
+
+mod error;
+mod parser;
+mod ser;
+mod value;
+
+pub use error::{Error, Result};
+pub use parser::parse;
+pub use ser::{to_string, to_string_pretty};
+pub use value::{Map, Number, Value};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_metadata_dictionary() {
+        // The exact shape the paper's Figure 1 metadata carries.
+        let src = r#"{"prompt":"A cartoon goldfish swimming in a bowl","width":256,"height":256}"#;
+        let v = parse(src).unwrap();
+        assert_eq!(v["prompt"].as_str().unwrap(), "A cartoon goldfish swimming in a bowl");
+        assert_eq!(v["width"].as_u64().unwrap(), 256);
+        let out = to_string(&v);
+        assert_eq!(parse(&out).unwrap(), v);
+    }
+}

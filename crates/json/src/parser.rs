@@ -1,0 +1,376 @@
+//! Recursive-descent JSON parser.
+
+use crate::error::{Error, ErrorKind, Result};
+use crate::value::{Map, Number, Value};
+
+/// Maximum container nesting. Metadata dictionaries are shallow; the limit
+/// exists so hostile input received over the wire cannot blow the stack.
+const MAX_DEPTH: usize = 128;
+
+/// Parse a complete JSON document. Trailing whitespace is allowed, any other
+/// trailing bytes are an error.
+pub fn parse(input: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err(ErrorKind::TrailingData));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, kind: ErrorKind) -> Error {
+        Error::new(self.pos, kind)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        match self.bump() {
+            Some(got) if got == b => Ok(()),
+            Some(got) => {
+                self.pos -= 1;
+                Err(self.err(ErrorKind::UnexpectedChar(got as char)))
+            }
+            None => Err(self.err(ErrorKind::UnexpectedEof)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(ErrorKind::UnexpectedChar(self.peek().unwrap_or(0) as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(ErrorKind::TooDeep));
+        }
+        match self.peek() {
+            None => Err(self.err(ErrorKind::UnexpectedEof)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(ErrorKind::UnexpectedChar(c as char))),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(items)),
+                Some(c) => {
+                    self.pos -= 1;
+                    return Err(self.err(ErrorKind::UnexpectedChar(c as char)));
+                }
+                None => return Err(self.err(ErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(map)),
+                Some(c) => {
+                    self.pos -= 1;
+                    return Err(self.err(ErrorKind::UnexpectedChar(c as char)));
+                }
+                None => return Err(self.err(ErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a contiguous run of plain bytes.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // Input is a &str, so the run is valid UTF-8.
+                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("input was str"));
+            }
+            match self.bump() {
+                None => return Err(self.err(ErrorKind::UnexpectedEof)),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => self.escape(&mut out)?,
+                Some(_) => {
+                    self.pos -= 1;
+                    return Err(self.err(ErrorKind::ControlInString));
+                }
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<()> {
+        match self.bump() {
+            None => Err(self.err(ErrorKind::UnexpectedEof)),
+            Some(b'"') => {
+                out.push('"');
+                Ok(())
+            }
+            Some(b'\\') => {
+                out.push('\\');
+                Ok(())
+            }
+            Some(b'/') => {
+                out.push('/');
+                Ok(())
+            }
+            Some(b'b') => {
+                out.push('\u{0008}');
+                Ok(())
+            }
+            Some(b'f') => {
+                out.push('\u{000C}');
+                Ok(())
+            }
+            Some(b'n') => {
+                out.push('\n');
+                Ok(())
+            }
+            Some(b'r') => {
+                out.push('\r');
+                Ok(())
+            }
+            Some(b't') => {
+                out.push('\t');
+                Ok(())
+            }
+            Some(b'u') => {
+                let hi = self.hex4()?;
+                let c = if (0xD800..0xDC00).contains(&hi) {
+                    // High surrogate: must be followed by \uDC00-\uDFFF.
+                    if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                        return Err(self.err(ErrorKind::BadUnicodeEscape));
+                    }
+                    let lo = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(self.err(ErrorKind::BadUnicodeEscape));
+                    }
+                    let scalar = 0x10000 + ((u32::from(hi) - 0xD800) << 10) + (u32::from(lo) - 0xDC00);
+                    char::from_u32(scalar).ok_or_else(|| self.err(ErrorKind::BadUnicodeEscape))?
+                } else if (0xDC00..0xE000).contains(&hi) {
+                    return Err(self.err(ErrorKind::BadUnicodeEscape));
+                } else {
+                    char::from_u32(u32::from(hi)).ok_or_else(|| self.err(ErrorKind::BadUnicodeEscape))?
+                };
+                out.push(c);
+                Ok(())
+            }
+            Some(_) => {
+                self.pos -= 1;
+                Err(self.err(ErrorKind::BadEscape))
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16> {
+        let mut v: u16 = 0;
+        for _ in 0..4 {
+            let b = self.bump().ok_or_else(|| self.err(ErrorKind::UnexpectedEof))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err(ErrorKind::BadUnicodeEscape))?;
+            v = (v << 4) | d as u16;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: either a lone 0 or a nonzero-led digit run.
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err(ErrorKind::BadNumber)),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err(ErrorKind::BadNumber));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err(ErrorKind::BadNumber));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("input was str");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::Int(i)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::Float(f)))
+            .map_err(|_| self.err(ErrorKind::BadNumber))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap().as_i64(), Some(42));
+        assert_eq!(parse("-7").unwrap().as_i64(), Some(-7));
+        assert_eq!(parse("2.5").unwrap().as_f64(), Some(2.5));
+        assert_eq!(parse("1e3").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(parse("-1.5e-2").unwrap().as_f64(), Some(-0.015));
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(parse(r#""""#).unwrap().as_str(), Some(""));
+        assert_eq!(parse(r#""a\nb""#).unwrap().as_str(), Some("a\nb"));
+        assert_eq!(parse(r#""A""#).unwrap().as_str(), Some("A"));
+        assert_eq!(parse(r#""😀""#).unwrap().as_str(), Some("😀"));
+        assert_eq!(parse(r#""\"\\\/\b\f\r\t""#).unwrap().as_str(), Some("\"\\/\u{8}\u{c}\r\t"));
+        assert_eq!(parse("\"π and 中\"").unwrap().as_str(), Some("π and 中"));
+    }
+
+    #[test]
+    fn containers() {
+        let v = parse(r#"[1, [2, 3], {"k": [true, null]}]"#).unwrap();
+        assert_eq!(v[0].as_i64(), Some(1));
+        assert_eq!(v[1][1].as_i64(), Some(3));
+        assert_eq!(v[2]["k"][0].as_bool(), Some(true));
+        assert!(v[2]["k"][1].is_null());
+        assert_eq!(parse("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(parse("{}").unwrap(), Value::Object(Default::default()));
+        assert_eq!(parse(" { \"a\" : 1 } ").unwrap()["a"].as_i64(), Some(1));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "", "nul", "tru", "[1,", "[1,]", "{\"a\"}", "{\"a\":}", "{a:1}", "01", "1.", ".5", "1e",
+            "\"unterminated", "\"bad \\q escape\"", "\"\\u12\"", "\"\\ud800\"", "\"\\udc00\"",
+            "[1] trailing", "+1", "nan", "\u{1}",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+        // Raw control character inside string.
+        assert!(parse("\"a\u{0}b\"").is_err());
+    }
+
+    #[test]
+    fn rejects_deep_nesting() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(matches!(parse(&deep).unwrap_err().kind, ErrorKind::TooDeep));
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        let v = parse(r#"{"a":1,"a":2}"#).unwrap();
+        assert_eq!(v["a"].as_i64(), Some(2));
+    }
+
+    #[test]
+    fn large_integers() {
+        assert_eq!(parse("9223372036854775807").unwrap().as_i64(), Some(i64::MAX));
+        // Overflowing i64 falls back to f64.
+        let v = parse("9223372036854775808").unwrap();
+        assert!(v.as_i64().is_none());
+        assert!(v.as_f64().unwrap() > 9.2e18);
+    }
+
+    #[test]
+    fn error_offsets_point_at_failure() {
+        let e = parse("[1, x]").unwrap_err();
+        assert_eq!(e.offset, 4);
+    }
+}

@@ -1,0 +1,146 @@
+//! JSON serialization (compact and pretty).
+
+use crate::value::Value;
+use std::fmt::Write;
+
+/// Serialize compactly (no whitespace). This is the canonical on-the-wire
+/// form used when accounting metadata bytes, so it must be deterministic:
+/// object keys serialize in sorted order (see [`crate::Map`]).
+pub fn to_string(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, None, 0);
+    out
+}
+
+/// Serialize with two-space indentation for logs and fixtures.
+pub fn to_string_pretty(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, Some(2), 0);
+    out
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::value::Value;
+
+    #[test]
+    fn compact_is_canonical() {
+        let v = Value::object([
+            ("b", Value::from(1i64)),
+            ("a", Value::from(vec!["x", "y"])),
+        ]);
+        // Keys come out sorted regardless of insertion order.
+        assert_eq!(to_string(&v), r#"{"a":["x","y"],"b":1}"#);
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let v = Value::from("a\"b\\c\nd\te\u{1}f");
+        let s = to_string(&v);
+        assert_eq!(parse(&s).unwrap(), v);
+        assert!(s.contains("\\u0001"));
+    }
+
+    #[test]
+    fn pretty_reparses_equal() {
+        let v = parse(r#"{"prompt":"hike","dims":[256,256],"unique":false}"#).unwrap();
+        let pretty = to_string_pretty(&v);
+        assert!(pretty.contains('\n'));
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(to_string(&parse("[]").unwrap()), "[]");
+        assert_eq!(to_string(&parse("{}").unwrap()), "{}");
+    }
+
+    #[test]
+    fn float_serialization_reparses_as_float() {
+        let v = Value::from(2.0f64);
+        let s = to_string(&v);
+        let back = parse(&s).unwrap();
+        assert!(back.as_i64().is_none(), "float must stay float: {s}");
+        assert_eq!(back.as_f64(), Some(2.0));
+    }
+}

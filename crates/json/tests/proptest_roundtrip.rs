@@ -1,0 +1,55 @@
+//! Property tests: serialize → parse is the identity on the value model.
+
+use proptest::prelude::*;
+use sww_json::{parse, to_string, to_string_pretty, Value};
+
+/// Strategy producing arbitrary JSON values with bounded size.
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::from),
+        any::<i64>().prop_map(Value::from),
+        // Finite floats only; JSON cannot represent NaN/inf.
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Value::from),
+        "[ -~]{0,24}".prop_map(Value::from), // printable ASCII
+        any::<String>().prop_map(Value::from), // arbitrary unicode
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..8).prop_map(Value::Array),
+            prop::collection::btree_map("[a-z]{1,8}", inner, 0..8).prop_map(Value::Object),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn compact_roundtrip(v in arb_value()) {
+        let s = to_string(&v);
+        let back = parse(&s).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_roundtrip(v in arb_value()) {
+        let s = to_string_pretty(&v);
+        let back = parse(&s).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parser_never_panics(s in any::<String>()) {
+        // Arbitrary input must fail cleanly, not crash.
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn reserialization_is_fixed_point(v in arb_value()) {
+        // to_string ∘ parse ∘ to_string == to_string (canonical form).
+        let s1 = to_string(&v);
+        let s2 = to_string(&parse(&s1).unwrap());
+        prop_assert_eq!(s1, s2);
+    }
+}

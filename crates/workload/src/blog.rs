@@ -1,0 +1,108 @@
+//! The §2.1 motivating example: a travel-blog page mixing generic
+//! (generatable) content with unique content — "the details of a specific
+//! hiking route or pictures taken during the hike".
+
+use sww_core::{SiteContent, SwwPage};
+use sww_genai::diffusion::{DiffusionModel, ImageModelKind};
+use sww_genai::image::codec;
+use sww_html::gencontent;
+
+/// Paths of the unique hike photographs kept as real files.
+pub const UNIQUE_PHOTOS: [&str; 2] = ["/photos/summit-2025.jpg", "/photos/ridge-camp.jpg"];
+
+/// Build the travel-blog site: one page with two generic stock images
+/// (prompts), one generic intro text block (bullets), the route-specific
+/// text kept verbatim, and two unique photographs stored as assets.
+pub fn travel_blog() -> SiteContent {
+    let mut site = SiteContent::new();
+
+    let stock1 = gencontent::image_div(
+        "a scenic mountain landscape with hiking trail winding through green alpine meadows, \
+         photographed in soft morning light, high quality travel photography",
+        "stock-header.jpg",
+        512,
+        512,
+    );
+    let stock2 = gencontent::image_div(
+        "a wooden signpost on a mountain pass pointing toward distant peaks under a clear blue \
+         sky, classic stock travel photo composition",
+        "stock-signpost.jpg",
+        256,
+        256,
+    );
+    let generic_text = gencontent::text_div(
+        &[
+            "hiking preparation essentials boots water layers".into(),
+            "mountain weather changes quickly check forecast".into(),
+            "trail etiquette respect nature carry out litter".into(),
+        ],
+        140,
+    );
+    // Route-specific text is unique information, kept as-is (§2.1).
+    let route_text = "<p class=\"route\">The Gherdeina ridge route starts at the Dantercepies \
+         lift (2298 m), follows marker 12A past the Crespëina lake, and descends to Colfosco in \
+         about 4h30. The exposed section after the lake has fixed cables; bring a via ferrata set \
+         in early season.</p>";
+
+    let html = format!(
+        "<html><head><title>Hiking the Gherdeina Ridge</title></head><body>\
+         <h1>Hiking the Gherdeina Ridge</h1>{stock1}{generic_text}{route_text}\
+         <h2>Photos from the hike</h2>\
+         <img src=\"{}\" width=\"512\" height=\"512\">\
+         <img src=\"{}\" width=\"512\" height=\"512\">{stock2}</body></html>",
+        UNIQUE_PHOTOS[0], UNIQUE_PHOTOS[1]
+    );
+    site.add_page("/blog/gherdeina-ridge", html);
+
+    // The unique photographs: real encoded images (generated once here as
+    // stand-ins for camera files, then stored as opaque assets).
+    let camera = DiffusionModel::new(ImageModelKind::Dalle3);
+    for (i, path) in UNIQUE_PHOTOS.iter().enumerate() {
+        let img = camera.generate(&format!("summit photograph number {i}"), 512, 512, 15);
+        site.add_asset(*path, codec::encode(&img, 82));
+    }
+    site
+}
+
+/// The page path of the blog post.
+pub const BLOG_PATH: &str = "/blog/gherdeina-ridge";
+
+/// Accessor used by benches: the page object.
+pub fn blog_page(site: &SiteContent) -> &SwwPage {
+    site.page(BLOG_PATH).expect("blog page present")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blog_mixes_generated_and_unique() {
+        let site = travel_blog();
+        let page = blog_page(&site);
+        let doc = sww_html::parse(&page.html);
+        let generated = gencontent::extract(&doc);
+        assert_eq!(generated.len(), 3, "two stock images + one text block");
+        let imgs = sww_html::query::by_tag(&doc, doc.root(), "img");
+        assert_eq!(imgs.len(), 2, "two unique photos fetched traditionally");
+        assert!(page.html.contains("Crespëina"), "route text kept verbatim");
+    }
+
+    #[test]
+    fn unique_assets_are_stored() {
+        let site = travel_blog();
+        assert!(site.stored_bytes() > 10_000, "unique photos dominate storage");
+    }
+
+    #[test]
+    fn stock_prompts_have_paper_style_lengths() {
+        let site = travel_blog();
+        let doc = sww_html::parse(&blog_page(&site).html);
+        for item in gencontent::extract(&doc) {
+            if item.content_type == gencontent::ContentType::Img {
+                let len = item.prompt().len();
+                assert!((80..=262).contains(&len), "prompt len {len}");
+            }
+        }
+    }
+}

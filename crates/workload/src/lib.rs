@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+
+//! Workload generators reproducing the paper's evaluation pages (§6.2):
+//! the Wikimedia "Landscape" search-results page (49 images, 1.4 MB), the
+//! newspaper article (2400 B → 778 B, 3.1×), and the §2.1 travel-blog
+//! example with mixed generic and unique content.
+
+pub mod article;
+pub mod blog;
+pub mod media_classes;
+pub mod stock;
+pub mod wikimedia;
+
+pub use article::news_article;
+pub use blog::travel_blog;
+pub use wikimedia::landscape_search_page;
