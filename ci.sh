@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI gate for the sww workspace: tier-1 build+tests, doc and format checks.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release (tier-1)"
+cargo build --release
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo doc --no-deps --workspace (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "CI green."

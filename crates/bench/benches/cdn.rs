@@ -19,7 +19,12 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e13_cdn");
     for (label, mode) in [
         ("store_media", EdgeMode::StoreMedia),
-        ("edge_generate", EdgeMode::StorePrompts { cache_generated: true }),
+        (
+            "edge_generate",
+            EdgeMode::StorePrompts {
+                cache_generated: true,
+            },
+        ),
         ("pass_prompts", EdgeMode::PassPrompts),
     ] {
         g.bench_function(format!("serve_1000_requests_{label}"), |b| {

@@ -27,12 +27,15 @@ fn bench(c: &mut Criterion) {
         .unwrap();
     let mut g = c.benchmark_group("e1_negotiation");
     g.sample_size(20);
-    for (label, client_ability) in [("generative", GenAbility::full()), ("naive", GenAbility::none())]
-    {
+    for (label, client_ability) in [
+        ("generative", GenAbility::full()),
+        ("naive", GenAbility::none()),
+    ] {
         g.bench_function(format!("handshake_and_get_{label}"), |b| {
             b.iter(|| {
                 rt.block_on(async {
-                    let server = GenerativeServer::new(site(), GenAbility::full(), ServerPolicy::default());
+                    let server =
+                        GenerativeServer::new(site(), GenAbility::full(), ServerPolicy::default());
                     let (a, bio) = tokio::io::duplex(1 << 20);
                     tokio::spawn(async move {
                         let _ = server.serve_stream(bio).await;

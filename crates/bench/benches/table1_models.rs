@@ -11,9 +11,10 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for kind in ImageModelKind::table1() {
         let model = DiffusionModel::new(kind);
-        g.bench_function(format!("generate_{}", model.profile().name.replace([' ', '.'], "_")), |b| {
-            b.iter(|| black_box(model.generate("a mountain lake at sunset", 224, 224, 15)))
-        });
+        g.bench_function(
+            format!("generate_{}", model.profile().name.replace([' ', '.'], "_")),
+            |b| b.iter(|| black_box(model.generate("a mountain lake at sunset", 224, 224, 15))),
+        );
     }
     let model = DiffusionModel::new(ImageModelKind::Sd3Medium);
     let img = model.generate("a mountain lake at sunset", 224, 224, 15);

@@ -3,7 +3,8 @@
 //! subset with `--exp e2,e4`.
 
 use sww_bench::experiments::{
-    ablations, article, compression, energy, fig1, mobile, models, negotiation, video_cdn, wikimedia,
+    ablations, article, compression, energy, fig1, mobile, models, negotiation, video_cdn,
+    wikimedia,
 };
 
 fn wants(filter: &Option<Vec<String>>, id: &str) -> bool {
@@ -51,19 +52,31 @@ fn main() {
         println!("{}", models::table1_table(&models::table1()).render());
     }
     if wants(&filter, "e5") {
-        println!("{}", models::step_sweep_table(&models::step_sweep()).render());
+        println!(
+            "{}",
+            models::step_sweep_table(&models::step_sweep()).render()
+        );
     }
     if wants(&filter, "e6") {
-        println!("{}", models::size_sweep_table(&models::size_sweep()).render());
+        println!(
+            "{}",
+            models::size_sweep_table(&models::size_sweep()).render()
+        );
     }
     if wants(&filter, "e7") {
-        println!("{}", models::text_models_table(&models::text_models(40)).render());
+        println!(
+            "{}",
+            models::text_models_table(&models::text_models(40)).render()
+        );
     }
     if wants(&filter, "e8") {
         println!("{}", compression::table(&compression::run()).render());
     }
     if wants(&filter, "e9") {
-        println!("{}", energy::energy_table(&energy::energy_compare()).render());
+        println!(
+            "{}",
+            energy::energy_table(&energy::energy_compare()).render()
+        );
     }
     if wants(&filter, "e10") {
         println!(
@@ -91,5 +104,13 @@ fn main() {
         let huff = ablations::huffman();
         let up = ablations::upscale_vs_ship();
         println!("{}", ablations::table(&pre, &huff, &up).render());
+    }
+
+    // Metrics appendix: everything the run above recorded, in Prometheus
+    // text form. Goes to stderr so stdout (the report proper) stays
+    // byte-identical whether or not anyone reads the appendix.
+    let metrics = sww_obs::render();
+    if !metrics.is_empty() {
+        eprintln!("\n=== metrics appendix (see OBSERVABILITY.md) ===\n{metrics}");
     }
 }

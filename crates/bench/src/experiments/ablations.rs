@@ -66,8 +66,14 @@ pub struct HuffmanAblation {
 pub fn huffman() -> HuffmanAblation {
     let headers: Vec<HeaderField> = vec![
         HeaderField::new(":method", "GET"),
-        HeaderField::new(":path", "/wiki/landscape-search-results?query=landscape&page=2"),
-        HeaderField::new("user-agent", "sww-generative-client/0.1 (prototype evaluation)"),
+        HeaderField::new(
+            ":path",
+            "/wiki/landscape-search-results?query=landscape&page=2",
+        ),
+        HeaderField::new(
+            "user-agent",
+            "sww-generative-client/0.1 (prototype evaluation)",
+        ),
         HeaderField::new("accept", "text/html,application/xhtml+xml;q=0.9,*/*;q=0.8"),
         HeaderField::new("accept-language", "en-GB,en;q=0.7"),
     ];
@@ -103,11 +109,21 @@ pub struct UpscaleAblation {
 /// Run the upscale ablation.
 pub fn upscale_vs_ship() -> UpscaleAblation {
     let model = DiffusionModel::new(ImageModelKind::Dalle3);
-    let original = model.generate("a unique holiday photograph of a mountain summit", 512, 512, 15);
+    let original = model.generate(
+        "a unique holiday photograph of a mountain summit",
+        512,
+        512,
+        15,
+    );
     let full_bytes = codec::encode(&original, 70).len();
     // Server downsizes to 256² (simulated by regenerating small — the
     // shipped artifact), client upscales 2×.
-    let small = model.generate("a unique holiday photograph of a mountain summit", 256, 256, 15);
+    let small = model.generate(
+        "a unique holiday photograph of a mountain summit",
+        256,
+        256,
+        15,
+    );
     let shipped_bytes = codec::encode(&small, 70).len();
     let upscaled = upscale(&small, 2);
     let upscale_error = codec::mean_abs_error(&original, &upscaled);
@@ -127,7 +143,10 @@ pub fn metadata_sensitivity() -> Vec<(usize, f64)> {
         .into_iter()
         .map(|prompt_len| {
             let metadata = sww_json::to_string(&sww_json::Value::object([
-                ("prompt", sww_json::Value::from("p".repeat(prompt_len).as_str())),
+                (
+                    "prompt",
+                    sww_json::Value::from("p".repeat(prompt_len).as_str()),
+                ),
                 ("name", sww_json::Value::from("image.jpg")),
                 ("width", sww_json::Value::from(1024i64)),
                 ("height", sww_json::Value::from(1024i64)),

@@ -3,8 +3,8 @@
 //! laptop, >10 s on the workstation).
 
 use crate::table::{bytes, secs, Table};
-use sww_energy::device::{profile, DeviceKind};
 use sww_energy::cost;
+use sww_energy::device::{profile, DeviceKind};
 use sww_genai::metrics::sbert;
 use sww_genai::text::{TextModel, TextModelKind};
 use sww_workload::article;
@@ -79,7 +79,11 @@ mod tests {
     #[test]
     fn article_shape_holds() {
         let r = run();
-        assert!((2.4..4.2).contains(&r.compression_ratio), "{}", r.compression_ratio);
+        assert!(
+            (2.4..4.2).contains(&r.compression_ratio),
+            "{}",
+            r.compression_ratio
+        );
         // Laptop slower than workstation, workstation > 10 s.
         assert!(r.workstation_s > 10.0, "{}", r.workstation_s);
         assert!(r.laptop_s > r.workstation_s * 2.0);

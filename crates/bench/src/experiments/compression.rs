@@ -157,7 +157,12 @@ mod tests {
         // Nominal ratios are the paper's exact column.
         let expected = [19.14, 76.56, 306.24, 1.93];
         for (r, e) in rows.iter().zip(expected) {
-            assert!((r.nominal_ratio - e).abs() / e < 0.01, "{}: {}", r.label, r.nominal_ratio);
+            assert!(
+                (r.nominal_ratio - e).abs() / e < 0.01,
+                "{}: {}",
+                r.label,
+                r.nominal_ratio
+            );
         }
         // Timing anchors: laptop 7/19/310 s, workstation 1.0/1.7/6.2 s.
         assert!((rows[0].laptop_s - 7.0).abs() < 1e-9);

@@ -57,7 +57,11 @@ pub fn energy_table(r: &EnergyCompare) -> Table {
     t.row(["image size", "131072B", &bytes(r.image_bytes)]);
     t.row(["transmit @100Mbps", "~10ms", &secs(r.transmit_s)]);
     t.row(["WS generation", "6.2s", &secs(r.generate_s)]);
-    t.row(["generation / transmit", "620x", &format!("{:.0}x", r.time_ratio)]);
+    t.row([
+        "generation / transmit",
+        "620x",
+        &format!("{:.0}x", r.time_ratio),
+    ]);
     t.row(["transmit energy", "0.005Wh", &wh(r.transmit_wh)]);
     t.row(["WS generation energy", "0.21Wh", &wh(r.generate_wh)]);
     t.row([
@@ -157,7 +161,11 @@ mod tests {
     fn e9_matches_paper_shape() {
         let r = energy_compare();
         assert!((0.008..0.013).contains(&r.transmit_s));
-        assert!((500.0..700.0).contains(&r.time_ratio), "ratio {:.0}", r.time_ratio);
+        assert!(
+            (500.0..700.0).contains(&r.time_ratio),
+            "ratio {:.0}",
+            r.time_ratio
+        );
         assert!((r.transmit_wh - 0.005).abs() < 0.001);
         assert!((r.generate_wh - 0.22).abs() < 0.03);
         assert!((0.015..0.035).contains(&r.energy_share));
@@ -171,7 +179,13 @@ mod tests {
         let rows = carbon(157.0);
         let eb_rows: Vec<_> = rows.iter().filter(|r| r.label == "1 EB").collect();
         for r in eb_rows {
-            assert!(r.saved_kg > 1e6, "{} at {:.0}x: {}", r.label, r.ratio, r.saved_kg);
+            assert!(
+                r.saved_kg > 1e6,
+                "{} at {:.0}x: {}",
+                r.label,
+                r.ratio,
+                r.saved_kg
+            );
         }
         // Higher ratio saves more.
         assert!(rows[3].saved_kg > rows[0].saved_kg);

@@ -34,7 +34,12 @@ pub fn run() -> Fig1 {
     let metadata_bytes = item.metadata_size();
     let mut generator = MediaGenerator::new(profile(DeviceKind::Laptop));
     let (media, _) = generator.generate(&item);
-    let GeneratedMedia::Image { name, image, encoded } = media else {
+    let GeneratedMedia::Image {
+        name,
+        image,
+        encoded,
+    } = media
+    else {
         unreachable!("figure 1 is an image division");
     };
     gencontent::replace_with_image(

@@ -41,34 +41,37 @@ pub struct MobileRow {
 pub fn run() -> Vec<MobileRow> {
     let mobile = profile(DeviceKind::Mobile);
     let laptop = profile(DeviceKind::Laptop);
-    [(256u32, "Small Image (256x256)"), (512, "Medium Image (512x512)"), (1024, "Large Image (1024x1024)")]
-        .into_iter()
-        .map(|(side, label)| {
-            let mobile_s =
-                cost::image_generation_time(ImageModelKind::Sd3Medium, &mobile, side, side, 15)
-                    .expect("local");
-            let laptop_s =
-                cost::image_generation_time(ImageModelKind::Sd3Medium, &laptop, side, side, 15)
-                    .expect("local");
-            let mobile_fast_s =
-                cost::image_generation_time(ImageModelKind::FluxFast, &mobile, side, side, 15)
-                    .expect("local");
-            MobileRow {
-                label: label.to_string(),
-                mobile_s,
-                laptop_s,
-                mobile_energy: Energy::from_power(mobile.image_power_w, mobile_s),
-                mobile_fast_s,
-            }
-        })
-        .collect()
+    [
+        (256u32, "Small Image (256x256)"),
+        (512, "Medium Image (512x512)"),
+        (1024, "Large Image (1024x1024)"),
+    ]
+    .into_iter()
+    .map(|(side, label)| {
+        let mobile_s =
+            cost::image_generation_time(ImageModelKind::Sd3Medium, &mobile, side, side, 15)
+                .expect("local");
+        let laptop_s =
+            cost::image_generation_time(ImageModelKind::Sd3Medium, &laptop, side, side, 15)
+                .expect("local");
+        let mobile_fast_s =
+            cost::image_generation_time(ImageModelKind::FluxFast, &mobile, side, side, 15)
+                .expect("local");
+        MobileRow {
+            label: label.to_string(),
+            mobile_s,
+            laptop_s,
+            mobile_energy: Energy::from_power(mobile.image_power_w, mobile_s),
+            mobile_fast_s,
+        }
+    })
+    .collect()
 }
 
 /// Battery share of a day's browsing (IMAGES_PER_DAY small images).
 pub fn battery_share(model: ImageModelKind) -> f64 {
     let mobile = profile(DeviceKind::Mobile);
-    let per_image =
-        cost::image_generation_time(model, &mobile, 256, 256, 15).expect("local model");
+    let per_image = cost::image_generation_time(model, &mobile, 256, 256, 15).expect("local model");
     let day = Energy::from_power(mobile.image_power_w, per_image).scale(f64::from(IMAGES_PER_DAY));
     day.wh() / PHONE_BATTERY_WH
 }
@@ -77,7 +80,13 @@ pub fn battery_share(model: ImageModelKind) -> f64 {
 pub fn table(rows: &[MobileRow]) -> Table {
     let mut t = Table::new(
         "E14 — Generation on mobile devices (§7 extension): NPU flagship profile",
-        &["Media", "Mobile (SD3)", "Laptop (SD3)", "Mobile Wh", "Mobile (fast model)"],
+        &[
+            "Media",
+            "Mobile (SD3)",
+            "Laptop (SD3)",
+            "Mobile Wh",
+            "Mobile (fast model)",
+        ],
     );
     for r in rows {
         t.row([

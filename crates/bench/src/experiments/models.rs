@@ -64,7 +64,14 @@ pub fn table1() -> Vec<Table1Row> {
 pub fn table1_table(rows: &[Table1Row]) -> Table {
     let mut t = Table::new(
         "E4 — Table 1: ELO & CLIP scores with time per step (224², 15 steps)",
-        &["Model", "ELO", "CLIP (paper)", "CLIP (measured)", "Laptop t/step", "WS t/step"],
+        &[
+            "Model",
+            "ELO",
+            "CLIP (paper)",
+            "CLIP (measured)",
+            "Laptop t/step",
+            "WS t/step",
+        ],
     );
     let paper_clip = [0.19, 0.27, 0.27, 0.32];
     for (row, pc) in rows.iter().zip(paper_clip) {
@@ -73,8 +80,10 @@ pub fn table1_table(rows: &[Table1Row]) -> Table {
             row.elo.to_string(),
             format!("{pc:.2}"),
             format!("{:.3}", row.clip),
-            row.laptop_s_per_step.map_or("-".into(), |s| format!("{s:.2}s")),
-            row.workstation_s_per_step.map_or("-".into(), |s| format!("{s:.2}s")),
+            row.laptop_s_per_step
+                .map_or("-".into(), |s| format!("{s:.2}s")),
+            row.workstation_s_per_step
+                .map_or("-".into(), |s| format!("{s:.2}s")),
         ]);
     }
     t
@@ -126,7 +135,11 @@ pub fn step_sweep_table(rows: &[StepSweepRow]) -> Table {
         &["Steps", "CLIP", "WS time"],
     );
     for r in rows {
-        t.row([r.steps.to_string(), format!("{:.3}", r.clip), secs(r.workstation_s)]);
+        t.row([
+            r.steps.to_string(),
+            format!("{:.3}", r.clip),
+            secs(r.workstation_s),
+        ]);
     }
     t
 }
@@ -150,10 +163,22 @@ pub fn size_sweep() -> Vec<SizeSweepRow> {
         .into_iter()
         .map(|side| SizeSweepRow {
             side,
-            laptop_s: cost::image_generation_time(ImageModelKind::Sd3Medium, &laptop, side, side, 15)
-                .expect("local model"),
-            workstation_s: cost::image_generation_time(ImageModelKind::Sd3Medium, &ws, side, side, 15)
-                .expect("local model"),
+            laptop_s: cost::image_generation_time(
+                ImageModelKind::Sd3Medium,
+                &laptop,
+                side,
+                side,
+                15,
+            )
+            .expect("local model"),
+            workstation_s: cost::image_generation_time(
+                ImageModelKind::Sd3Medium,
+                &ws,
+                side,
+                side,
+                15,
+            )
+            .expect("local model"),
         })
         .collect()
 }
@@ -216,7 +241,8 @@ pub fn text_models(samples: usize) -> Vec<TextModelRow> {
                 let target = 50 + (i % 5) * 50;
                 let text = model.expand(&bullets, target);
                 sberts.push(sbert::sbert_score(&bullets, &text));
-                overshoots.push(sww_genai::text::word_length_overshoot(&text, target).abs() * 100.0);
+                overshoots
+                    .push(sww_genai::text::word_length_overshoot(&text, target).abs() * 100.0);
             }
             overshoots.sort_by(|a, b| a.partial_cmp(b).unwrap());
             let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
@@ -288,12 +314,12 @@ mod tests {
     #[test]
     fn step_sweep_flat_clip_linear_time() {
         let rows = step_sweep();
-        let clip_spread = rows
-            .iter()
-            .map(|r| r.clip)
-            .fold(f64::MIN, f64::max)
+        let clip_spread = rows.iter().map(|r| r.clip).fold(f64::MIN, f64::max)
             - rows.iter().map(|r| r.clip).fold(f64::MAX, f64::min);
-        assert!(clip_spread < 0.08, "CLIP spread {clip_spread:.3} should be flat");
+        assert!(
+            clip_spread < 0.08,
+            "CLIP spread {clip_spread:.3} should be flat"
+        );
         // Time at 60 steps = 6× time at 10 steps.
         let t10 = rows[0].workstation_s;
         let t60 = rows.last().unwrap().workstation_s;
@@ -308,7 +334,10 @@ mod tests {
         // Laptop/WS gap widens dramatically with size (7x → 50x).
         let small_gap = r256.laptop_s / r256.workstation_s;
         let large_gap = r1024.laptop_s / r1024.workstation_s;
-        assert!(large_gap > small_gap * 4.0, "{small_gap:.1} → {large_gap:.1}");
+        assert!(
+            large_gap > small_gap * 4.0,
+            "{small_gap:.1} → {large_gap:.1}"
+        );
         assert!((r1024.laptop_s - 310.0).abs() < 1.0, "paper anchor");
     }
 
@@ -316,7 +345,12 @@ mod tests {
     fn text_models_match_paper_bands() {
         let rows = text_models(20);
         for r in &rows {
-            assert!((0.78..=0.95).contains(&r.sbert_mean), "{}: {}", r.model, r.sbert_mean);
+            assert!(
+                (0.78..=0.95).contains(&r.sbert_mean),
+                "{}: {}",
+                r.model,
+                r.sbert_mean
+            );
             assert!(r.overshoot_p75_pct <= 21.0);
             assert!(r.ws_range.1 < 17.0);
             assert!(r.laptop_range.1 < 45.0);

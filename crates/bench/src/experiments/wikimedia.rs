@@ -61,7 +61,10 @@ pub async fn run(page: &LandscapePage) -> Fig2Result {
         GenerativeClient::connect(c, GenAbility::full(), profile(DeviceKind::Workstation))
             .await
             .expect("handshake");
-    let (_, ws_stats) = ws_client.fetch_page("/wiki/landscape").await.expect("fetch");
+    let (_, ws_stats) = ws_client
+        .fetch_page("/wiki/landscape")
+        .await
+        .expect("fetch");
 
     // CLIP preservation, measured from the regenerated pixels.
     let mut clip_sum = 0.0;

@@ -7,7 +7,13 @@
 //! sww expand <bullet;bullet;...> [--model llama|r1-1.5b|r1-8b|r1-14b]
 //! sww convert <html-file> [--out FILE]
 //! sww stock [category]
+//! sww stats [addr] [--device laptop|workstation|mobile]
 //! ```
+//!
+//! `sww stats` scrapes the Prometheus-text `/metrics` endpoint of a
+//! running server when given an address; with no address it runs a small
+//! in-process demo fetch and dumps this process's own metrics registry.
+//! Every series it prints is documented in OBSERVABILITY.md.
 
 mod args;
 
@@ -49,7 +55,7 @@ fn text_model_from(name: &str) -> TextModelKind {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sww <serve|fetch|generate|expand|convert|stock> [options]\n\
+        "usage: sww <serve|fetch|generate|expand|convert|stock|stats> [options]\n\
          see crate docs for the full option list"
     );
     std::process::exit(2)
@@ -69,6 +75,7 @@ fn main() {
         "expand" => cmd_expand(&args),
         "convert" => cmd_convert(&args),
         "stock" => cmd_stock(&args),
+        "stats" => rt.block_on(cmd_stats(&args)),
         _ => usage(),
     }
 }
@@ -144,6 +151,55 @@ async fn cmd_fetch(args: &Args) {
     let _ = client.close().await;
 }
 
+async fn cmd_stats(args: &Args) {
+    match args.positionals.first() {
+        // Remote: scrape a running server's /metrics route over HTTP/2.
+        Some(addr) => {
+            let sock = tokio::net::TcpStream::connect(addr).await.expect("connect");
+            let mut conn = sww_http2::ClientConnection::handshake(sock, GenAbility::none())
+                .await
+                .expect("handshake");
+            let resp = conn
+                .send_request(&sww_http2::Request::get("/metrics"))
+                .await
+                .expect("GET /metrics");
+            if resp.status != 200 {
+                eprintln!("GET /metrics returned status {}", resp.status);
+                std::process::exit(1);
+            }
+            print!("{}", String::from_utf8_lossy(&resp.body));
+            let _ = conn.close().await;
+        }
+        // Local: run a demo fetch in-process (server and client share this
+        // process's registry), then dump every series it produced.
+        None => {
+            let server = GenerativeServer::new(
+                sww_workload::blog::travel_blog(),
+                GenAbility::full(),
+                ServerPolicy::default(),
+            );
+            let (a, b) = tokio::io::duplex(1 << 20);
+            tokio::spawn(async move {
+                let _ = server.serve_stream(b).await;
+            });
+            let device = profile(device_from(args.opt("device", "laptop")));
+            let mut client = GenerativeClient::connect(a, GenAbility::full(), device)
+                .await
+                .expect("handshake");
+            let (_page, stats) = client
+                .fetch_page("/blog/gherdeina-ridge")
+                .await
+                .expect("fetch");
+            let _ = client.close().await;
+            eprintln!(
+                "demo fetch: {} generated, {} fetched, {} B wire\n",
+                stats.items_generated, stats.items_fetched, stats.wire_bytes
+            );
+            print!("{}", sww_obs::render());
+        }
+    }
+}
+
 fn cmd_generate(args: &Args) {
     if args.positionals.is_empty() {
         usage();
@@ -197,7 +253,10 @@ fn cmd_stock(args: &Args) {
         None => sww_workload::stock::CATALOG.iter().collect(),
     };
     for p in items {
-        println!("{:<14} [{:?}] {}x{}  {}", p.id, p.licence, p.size.0, p.size.1, p.prompt);
+        println!(
+            "{:<14} [{:?}] {}x{}  {}",
+            p.id, p.licence, p.size.0, p.size.1, p.prompt
+        );
     }
 }
 
@@ -230,6 +289,10 @@ mod tests {
         assert_eq!(text_model_from("r1-1.5b"), TextModelKind::DeepSeekR1_1_5B);
         assert_eq!(text_model_from("r1-8b"), TextModelKind::DeepSeekR1_8B);
         assert_eq!(text_model_from("r1-14b"), TextModelKind::DeepSeekR1_14B);
-        assert_eq!(text_model_from("?"), TextModelKind::DeepSeekR1_8B, "default");
+        assert_eq!(
+            text_model_from("?"),
+            TextModelKind::DeepSeekR1_8B,
+            "default"
+        );
     }
 }

@@ -81,10 +81,12 @@ impl GenerationCache {
             Some(e) => {
                 e.last_used = self.clock;
                 self.hits += 1;
+                sww_obs::counter("sww_cache_events_total", &[("result", "hit")]).inc();
                 Some(e.image.clone())
             }
             None => {
                 self.misses += 1;
+                sww_obs::counter("sww_cache_events_total", &[("result", "miss")]).inc();
                 None
             }
         }

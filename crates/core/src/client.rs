@@ -9,8 +9,8 @@ use crate::render::{RenderedPage, RenderedResource};
 use crate::stats::PageStats;
 use sww_energy::device::DeviceProfile;
 use sww_genai::image::codec;
-use sww_http2::{ClientConnection, GenAbility, H2Error, Request};
 use sww_html::{gencontent, parse, query, serialize};
+use sww_http2::{ClientConnection, GenAbility, H2Error, Request};
 use tokio::io::{AsyncRead, AsyncWrite};
 
 /// Default generation-cache budget: 64 megapixels (≈ a few hundred
@@ -37,8 +37,7 @@ impl<T: AsyncRead + AsyncWrite + Unpin> GenerativeClient<T> {
         device: DeviceProfile,
     ) -> Result<GenerativeClient<T>, H2Error> {
         let conn = ClientConnection::handshake(io, ability).await?;
-        let (image_model, text_model) =
-            crate::negotiate::select_models(conn.negotiated_ability());
+        let (image_model, text_model) = crate::negotiate::select_models(conn.negotiated_ability());
         Ok(GenerativeClient {
             conn,
             generator: MediaGenerator::with_models(device, image_model, text_model),
@@ -100,8 +99,7 @@ impl<T: AsyncRead + AsyncWrite + Unpin> GenerativeClient<T> {
                 // Opt-in personalization (§2.3): adjust the prompt locally.
                 if let Some(profile) = &self.profile {
                     if item.content_type == gencontent::ContentType::Img {
-                        let adjusted =
-                            crate::personalize::personalize(item.prompt(), profile, 2);
+                        let adjusted = crate::personalize::personalize(item.prompt(), profile, 2);
                         if adjusted.modified {
                             if let Some(map) = item.metadata.as_object_mut() {
                                 map.insert("prompt".into(), adjusted.prompt.into());
@@ -122,6 +120,7 @@ impl<T: AsyncRead + AsyncWrite + Unpin> GenerativeClient<T> {
                 let (media, cost) = match cached {
                     Some(image) => {
                         stats.items_cached += 1;
+                        sww_obs::counter("sww_client_items_total", &[("source", "cache")]).inc();
                         let encoded = codec::encode(&image, crate::mediagen::DEFAULT_CODEC_QUALITY);
                         (
                             GeneratedMedia::Image {
@@ -136,7 +135,11 @@ impl<T: AsyncRead + AsyncWrite + Unpin> GenerativeClient<T> {
                         )
                     }
                     None => {
+                        sww_obs::counter("sww_client_items_total", &[("source", "generated")])
+                            .inc();
+                        let span = sww_obs::Span::begin("sww_client_generate", "page_item");
                         let (media, cost) = self.generator.generate(&item);
+                        span.finish_with_virtual(cost.time_s);
                         if let (Some(r), GeneratedMedia::Image { image, .. }) = (recipe, &media) {
                             self.cache.put(r, image.clone());
                         }
@@ -151,10 +154,15 @@ impl<T: AsyncRead + AsyncWrite + Unpin> GenerativeClient<T> {
                 // Traditionally those bytes would have crossed the wire
                 // instead of the metadata (already counted inside the HTML).
                 stats.traditional_bytes += media_bytes;
-                stats.traditional_bytes =
-                    stats.traditional_bytes.saturating_sub(item.metadata_size() as u64);
+                stats.traditional_bytes = stats
+                    .traditional_bytes
+                    .saturating_sub(item.metadata_size() as u64);
                 match media {
-                    GeneratedMedia::Image { name, image, encoded } => {
+                    GeneratedMedia::Image {
+                        name,
+                        image,
+                        encoded,
+                    } => {
                         let path = format!("generated/{name}");
                         gencontent::replace_with_image(
                             &mut doc,
@@ -196,6 +204,7 @@ impl<T: AsyncRead + AsyncWrite + Unpin> GenerativeClient<T> {
             stats.wire_bytes += n;
             stats.traditional_bytes += n;
             stats.items_fetched += 1;
+            sww_obs::counter("sww_client_items_total", &[("source", "fetched")]).inc();
             let decoded = codec::decode(&resp.body).ok();
             page.resources.push(RenderedResource {
                 path: src,
@@ -206,6 +215,7 @@ impl<T: AsyncRead + AsyncWrite + Unpin> GenerativeClient<T> {
         }
 
         page.html = serialize(&doc);
+        sww_obs::counter("sww_client_pages_total", &[]).inc();
         Ok((page, stats))
     }
 

@@ -38,7 +38,8 @@ pub enum Template {
 impl Template {
     /// The default tag this template assigns to a new item.
     pub fn default_tag(self, path: &str) -> ContentTag {
-        let looks_unique = path.contains("upload") || path.contains("photo") || path.contains("user");
+        let looks_unique =
+            path.contains("upload") || path.contains("photo") || path.contains("user");
         match self {
             Template::Gallery => ContentTag::Generatable,
             Template::Blog => {
@@ -76,13 +77,7 @@ impl Cms {
     pub fn register(&mut self, template: Template, path: impl Into<String>) -> ContentTag {
         let path = path.into();
         let tag = template.default_tag(&path);
-        self.items.insert(
-            path.clone(),
-            CmsItem {
-                path,
-                tag,
-            },
-        );
+        self.items.insert(path.clone(), CmsItem { path, tag });
         tag
     }
 

@@ -159,9 +159,9 @@ impl<'a> Converter<'a> {
         let prompt = invert::invert(image);
         let name = src.rsplit('/').next().unwrap_or("image.jpg");
         // Audit: regenerate and score against the inverted prompt.
-        let regen = self
-            .audit_model
-            .generate(&prompt, image.width().min(224), image.height().min(224), 15);
+        let regen =
+            self.audit_model
+                .generate(&prompt, image.width().min(224), image.height().min(224), 15);
         let fidelity = clip::clip_score(&regen, &prompt);
         let metadata = Value::object([
             ("prompt", Value::from(prompt.as_str())),
@@ -341,7 +341,11 @@ mod tests {
         let items = gencontent::extract(&doc);
         assert_eq!(items.len(), 1);
         assert!(items[0].prompt().len() >= 100);
-        assert!(report.compression_ratio() > 3.0, "ratio {}", report.compression_ratio());
+        assert!(
+            report.compression_ratio() > 3.0,
+            "ratio {}",
+            report.compression_ratio()
+        );
     }
 
     #[test]
@@ -377,8 +381,8 @@ mod tests {
     #[test]
     fn unfetchable_images_are_skipped() {
         let cms = Cms::new();
-        let report =
-            Converter::new(&cms).convert_page(r#"<img src="gone.jpg"><img src="bad.jpg">"#, |src| {
+        let report = Converter::new(&cms)
+            .convert_page(r#"<img src="gone.jpg"><img src="bad.jpg">"#, |src| {
                 (src == "bad.jpg").then(|| b"not a swim stream".to_vec())
             });
         assert!(report.items.is_empty());
@@ -395,7 +399,9 @@ mod tests {
             .map(|i| {
                 (
                     format!("/p{i}"),
-                    format!(r#"<html><body><img src="img/banner.jpg"><p>page {i}</p></body></html>"#),
+                    format!(
+                        r#"<html><body><img src="img/banner.jpg"><p>page {i}</p></body></html>"#
+                    ),
                 )
             })
             .collect();
@@ -428,7 +434,8 @@ mod tests {
         // so an editor can gate on it.
         let cms = Cms::new();
         let bytes = encoded_test_image("rolling green hills landscape", 224);
-        let report = Converter::new(&cms).convert_page(r#"<img src="a.jpg">"#, |_| Some(bytes.clone()));
+        let report =
+            Converter::new(&cms).convert_page(r#"<img src="a.jpg">"#, |_| Some(bytes.clone()));
         assert!(report.items[0].fidelity > clip::RANDOM_BASELINE + 0.03);
     }
 }

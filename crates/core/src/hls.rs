@@ -54,7 +54,10 @@ impl Playlist {
             self.stream.client_boosts_fps
         ));
         for seg in &self.segments {
-            out.push_str(&format!("#EXTINF:{:.1},\n{}\n", asset.segment_s as f64, seg));
+            out.push_str(&format!(
+                "#EXTINF:{:.1},\n{}\n",
+                asset.segment_s as f64, seg
+            ));
         }
         out.push_str("#EXT-X-ENDLIST\n");
         out

@@ -68,7 +68,11 @@ impl MediaGenerator {
     /// The paper's default configuration on a given device: SD 3 Medium at
     /// 15 steps + DeepSeek-R1 8B.
     pub fn new(device: DeviceProfile) -> MediaGenerator {
-        MediaGenerator::with_models(device, ImageModelKind::Sd3Medium, TextModelKind::DeepSeekR1_8B)
+        MediaGenerator::with_models(
+            device,
+            ImageModelKind::Sd3Medium,
+            TextModelKind::DeepSeekR1_8B,
+        )
     }
 
     /// A generator with explicit model choices.
@@ -116,9 +120,14 @@ impl MediaGenerator {
                     .pipeline
                     .generate_image(item.prompt(), w, h, self.inference_steps);
                 let encoded = codec::encode(&image, self.codec_quality);
-                let time_s =
-                    cost::image_generation_time(self.image_model, &self.device, w, h, self.inference_steps)
-                        .expect("local generation model");
+                let time_s = cost::image_generation_time(
+                    self.image_model,
+                    &self.device,
+                    w,
+                    h,
+                    self.inference_steps,
+                )
+                .expect("local generation model");
                 let cost = GenerationCost {
                     time_s,
                     energy: Energy::from_power(self.device.image_power_w, time_s),
@@ -181,7 +190,11 @@ mod tests {
         let mut generator = MediaGenerator::new(profile(DeviceKind::Workstation));
         let (media, cost) = generator.generate(&image_item("a mountain lake", 256));
         match &media {
-            GeneratedMedia::Image { image, encoded, name } => {
+            GeneratedMedia::Image {
+                image,
+                encoded,
+                name,
+            } => {
                 assert_eq!(image.width(), 256);
                 assert_eq!(name, "img.jpg");
                 assert!(!encoded.is_empty());

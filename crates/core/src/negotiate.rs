@@ -110,8 +110,12 @@ mod tests {
     fn model_negotiation_picks_common_generation() {
         // A new client meeting an older server settles on the older
         // model generation, so both sides render identical content.
-        let client = GenAbility::full().with_image_model_level(4).with_text_model_level(4);
-        let server = GenAbility::full().with_image_model_level(2).with_text_model_level(3);
+        let client = GenAbility::full()
+            .with_image_model_level(4)
+            .with_text_model_level(4);
+        let server = GenAbility::full()
+            .with_image_model_level(2)
+            .with_text_model_level(3);
         let shared = client.intersect(server);
         let (img, txt) = select_models(shared);
         assert_eq!(img, ImageModelKind::Sd3Medium);

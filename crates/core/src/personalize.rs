@@ -75,7 +75,10 @@ pub fn personalize(prompt: &str, profile: &UserProfile, max_terms: usize) -> Per
         };
     }
     PersonalizedPrompt {
-        prompt: format!("{prompt}, in a style appealing to someone who enjoys {}", additions.join(" and ")),
+        prompt: format!(
+            "{prompt}, in a style appealing to someone who enjoys {}",
+            additions.join(" and ")
+        ),
         modified: true,
     }
 }

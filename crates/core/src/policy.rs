@@ -83,7 +83,13 @@ mod tests {
 
     #[test]
     fn availability_clamped() {
-        assert_eq!(ServerPolicy::renewable_aware(7.0).renewable_availability, 1.0);
-        assert_eq!(ServerPolicy::renewable_aware(-1.0).renewable_availability, 0.0);
+        assert_eq!(
+            ServerPolicy::renewable_aware(7.0).renewable_availability,
+            1.0
+        );
+        assert_eq!(
+            ServerPolicy::renewable_aware(-1.0).renewable_availability,
+            0.0
+        );
     }
 }

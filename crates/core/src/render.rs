@@ -86,7 +86,12 @@ impl RenderedPage {
     }
 }
 
-fn render_node(doc: &sww_html::Document, id: sww_html::NodeId, page: &RenderedPage, out: &mut String) {
+fn render_node(
+    doc: &sww_html::Document,
+    id: sww_html::NodeId,
+    page: &RenderedPage,
+    out: &mut String,
+) {
     use sww_html::dom::NodeKind;
     match &doc.node(id).kind {
         NodeKind::Text(t) => {

@@ -16,10 +16,10 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use sww_energy::device::{profile as device_profile, DeviceKind};
-use sww_http2::server::{serve_connection, ServeStats};
 use sww_hash::{sha256, to_hex};
-use sww_http2::{GenAbility, H2Error, Request, Response};
 use sww_html::{gencontent, parse, serialize};
+use sww_http2::server::{serve_connection, ServeStats};
+use sww_http2::{GenAbility, H2Error, Request, Response};
 use tokio::io::{AsyncRead, AsyncWrite};
 
 /// One page of site content, stored in SWW (prompt) form.
@@ -47,7 +47,8 @@ impl SiteContent {
 
     /// Add a page at `path`.
     pub fn add_page(&mut self, path: impl Into<String>, html: impl Into<String>) {
-        self.pages.insert(path.into(), SwwPage { html: html.into() });
+        self.pages
+            .insert(path.into(), SwwPage { html: html.into() });
     }
 
     /// Add a unique asset (e.g. the photographs from the specific hike).
@@ -204,6 +205,10 @@ fn mode_label(mode: ServeMode) -> &'static str {
     }
 }
 
+fn count_route(route: &'static str) {
+    sww_obs::counter("sww_server_requests_total", &[("route", route)]).inc();
+}
+
 fn handle_request(
     st: &mut ServerState,
     server_ability: GenAbility,
@@ -211,7 +216,17 @@ fn handle_request(
     req: &Request,
 ) -> Response {
     if req.method != "GET" {
+        count_route("bad_method");
         return Response::status(405);
+    }
+    // Observability endpoint: the whole metrics registry in Prometheus
+    // text format. Purely read-only with respect to site state.
+    if req.path == "/metrics" {
+        count_route("metrics");
+        let mut resp = Response::ok(Bytes::from(sww_obs::render()));
+        resp.headers
+            .insert("content-type", "text/plain; version=0.0.4");
+        return resp;
     }
     // Generated/unique assets first.
     if let Some(bytes) = st
@@ -220,24 +235,31 @@ fn handle_request(
         .cloned()
         .or_else(|| st.site.assets.get(&req.path).cloned())
     {
+        count_route("asset");
         let mut resp = Response::ok(bytes);
         resp.headers.insert("content-type", "image/swim");
         return resp;
     }
     // Video routes (§3.2): /video/<name>/playlist.m3u8 and segments.
     if let Some(rest) = req.path.strip_prefix("/video/") {
+        count_route("video");
         return handle_video(st, server_ability, client_ability, rest);
     }
     let Some(page) = st.site.page(&req.path).cloned() else {
+        count_route("not_found");
         return Response::status(404);
     };
+    count_route("page");
     let mode = decide(server_ability, client_ability, &st.policy);
     *st.served_modes.entry(mode_label(mode)).or_default() += 1;
+    sww_obs::counter(
+        "sww_negotiate_outcomes_total",
+        &[("mode", mode_label(mode))],
+    )
+    .inc();
     let html = match mode {
         ServeMode::Generative | ServeMode::UpscaleAssisted => page.html,
-        ServeMode::ServerGenerated | ServeMode::Traditional => {
-            materialize(st, &page.html)
-        }
+        ServeMode::ServerGenerated | ServeMode::Traditional => materialize(st, &page.html),
     };
     // Conditional requests: the page body is content-addressed, so a
     // client that revalidates with If-None-Match skips the transfer —
@@ -274,7 +296,8 @@ fn handle_video(
     let playlist = hls::build_playlist(&asset, client_ability, server_ability);
     if file == "playlist.m3u8" {
         let mut resp = Response::ok(Bytes::from(playlist.to_m3u8(&asset)));
-        resp.headers.insert("content-type", "application/vnd.apple.mpegurl");
+        resp.headers
+            .insert("content-type", "application/vnd.apple.mpegurl");
         resp.headers
             .insert("x-sww-sent-fps", playlist.stream.sent_fps.to_string());
         return resp;
@@ -301,13 +324,26 @@ fn materialize(st: &mut ServerState, html: &str) -> String {
     let mut doc = parse(html);
     let items = gencontent::extract(&doc);
     for item in items {
+        let span = sww_obs::Span::begin("sww_server_generate", "materialize");
         let (media, cost) = st.generator.generate(&item);
+        span.finish_with_virtual(cost.time_s);
         st.server_generation_time_s += cost.time_s;
         match media {
-            GeneratedMedia::Image { name, encoded, image } => {
+            GeneratedMedia::Image {
+                name,
+                encoded,
+                image,
+            } => {
                 let path = format!("/generated/{name}");
-                st.generated_assets.insert(path.clone(), Bytes::from(encoded));
-                gencontent::replace_with_image(&mut doc, item.node, &path, image.width(), image.height());
+                st.generated_assets
+                    .insert(path.clone(), Bytes::from(encoded));
+                gencontent::replace_with_image(
+                    &mut doc,
+                    item.node,
+                    &path,
+                    image.width(),
+                    image.height(),
+                );
             }
             GeneratedMedia::Text { text } => {
                 gencontent::replace_with_text(&mut doc, item.node, &text);
@@ -343,7 +379,8 @@ mod tests {
 
     #[test]
     fn traditional_exceeds_prompt_form() {
-        let server = GenerativeServer::new(demo_site(), GenAbility::full(), ServerPolicy::default());
+        let server =
+            GenerativeServer::new(demo_site(), GenAbility::full(), ServerPolicy::default());
         let stored = server.stored_bytes();
         let traditional = server.traditional_bytes();
         assert!(
@@ -354,7 +391,8 @@ mod tests {
 
     #[tokio::test]
     async fn serves_prompt_form_to_capable_client() {
-        let server = GenerativeServer::new(demo_site(), GenAbility::full(), ServerPolicy::default());
+        let server =
+            GenerativeServer::new(demo_site(), GenAbility::full(), ServerPolicy::default());
         let (a, b) = tokio::io::duplex(1 << 20);
         let srv = server.clone();
         tokio::spawn(async move {
@@ -373,7 +411,8 @@ mod tests {
 
     #[tokio::test]
     async fn materializes_for_naive_client() {
-        let server = GenerativeServer::new(demo_site(), GenAbility::full(), ServerPolicy::default());
+        let server =
+            GenerativeServer::new(demo_site(), GenAbility::full(), ServerPolicy::default());
         let (a, b) = tokio::io::duplex(1 << 20);
         let srv = server.clone();
         tokio::spawn(async move {
@@ -400,7 +439,8 @@ mod tests {
 
     #[tokio::test]
     async fn unknown_path_is_404_and_post_is_405() {
-        let server = GenerativeServer::new(demo_site(), GenAbility::full(), ServerPolicy::default());
+        let server =
+            GenerativeServer::new(demo_site(), GenAbility::full(), ServerPolicy::default());
         let (a, b) = tokio::io::duplex(1 << 20);
         let srv = server.clone();
         tokio::spawn(async move {
@@ -409,7 +449,10 @@ mod tests {
         let mut client = sww_http2::ClientConnection::handshake(a, GenAbility::full())
             .await
             .unwrap();
-        let resp = client.send_request(&Request::get("/missing")).await.unwrap();
+        let resp = client
+            .send_request(&Request::get("/missing"))
+            .await
+            .unwrap();
         assert_eq!(resp.status, 404);
         let mut post = Request::get("/hike");
         post.method = "POST".into();
@@ -419,7 +462,8 @@ mod tests {
 
     #[tokio::test]
     async fn unique_assets_served_as_is() {
-        let server = GenerativeServer::new(demo_site(), GenAbility::full(), ServerPolicy::default());
+        let server =
+            GenerativeServer::new(demo_site(), GenAbility::full(), ServerPolicy::default());
         let (a, b) = tokio::io::duplex(1 << 20);
         let srv = server.clone();
         tokio::spawn(async move {

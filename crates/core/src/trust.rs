@@ -105,7 +105,12 @@ pub struct Attestation {
 }
 
 /// Attest an image a client just generated.
-pub fn attest_image(image: &ImageBuffer, prompt: &str, model: ImageModelKind, steps: u32) -> Attestation {
+pub fn attest_image(
+    image: &ImageBuffer,
+    prompt: &str,
+    model: ImageModelKind,
+    steps: u32,
+) -> Attestation {
     Attestation {
         content_hash: to_hex(&sha256(image.data())),
         prompt_hash: to_hex(&sha256(prompt.as_bytes())),
@@ -124,7 +129,8 @@ pub fn audit_attestation(att: &Attestation, prompt: &str) -> bool {
     if to_hex(&sha256(prompt.as_bytes())) != att.prompt_hash {
         return false;
     }
-    let regenerated = DiffusionModel::new(att.model).generate(prompt, att.width, att.height, att.steps);
+    let regenerated =
+        DiffusionModel::new(att.model).generate(prompt, att.width, att.height, att.steps);
     to_hex(&sha256(regenerated.data())) == att.content_hash
 }
 

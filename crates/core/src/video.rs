@@ -107,7 +107,8 @@ pub fn negotiate(req: StreamRequest, client: GenAbility, server: GenAbility) -> 
         (req.fps, false)
     };
     let wire = bytes_per_hour(sent_resolution, sent_fps) * req.duration_s as f64 / 3600.0;
-    let segments = (req.duration_s + u64::from(req.segment_s) - 1) / u64::from(req.segment_s.max(1));
+    let segments =
+        (req.duration_s + u64::from(req.segment_s) - 1) / u64::from(req.segment_s.max(1));
     NegotiatedStream {
         sent_resolution,
         sent_fps,
@@ -159,7 +160,11 @@ mod tests {
         assert_eq!(s.sent_fps, 30);
         assert!(s.client_upscales && s.client_boosts_fps);
         // 2.33× from resolution × 2× from fps ≈ 4.67×.
-        assert!((s.savings_ratio() - 4.67).abs() < 0.05, "{}", s.savings_ratio());
+        assert!(
+            (s.savings_ratio() - 4.67).abs() < 0.05,
+            "{}",
+            s.savings_ratio()
+        );
         assert_eq!(s.traditional_bytes, 7_000_000_000);
         assert_eq!(s.segments, 600);
     }

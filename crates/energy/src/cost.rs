@@ -145,27 +145,29 @@ mod tests {
     #[test]
     fn table2_generation_times_reproduced() {
         // SD 3 Medium at 15 steps: the Table 2 anchors must come back out.
-        let cases: [(u32, f64, f64); 3] =
-            [(256, 7.0, 1.0), (512, 19.0, 1.7), (1024, 310.0, 6.2)];
+        let cases: [(u32, f64, f64); 3] = [(256, 7.0, 1.0), (512, 19.0, 1.7), (1024, 310.0, 6.2)];
         for (side, lap_expect, ws_expect) in cases {
-            let lap =
-                image_generation_time(ImageModelKind::Sd3Medium, &laptop(), side, side, 15).unwrap();
+            let lap = image_generation_time(ImageModelKind::Sd3Medium, &laptop(), side, side, 15)
+                .unwrap();
             let wst =
                 image_generation_time(ImageModelKind::Sd3Medium, &ws(), side, side, 15).unwrap();
-            assert!((lap - lap_expect).abs() / lap_expect < 1e-9, "laptop {side}: {lap}");
-            assert!((wst - ws_expect).abs() / ws_expect < 1e-9, "ws {side}: {wst}");
+            assert!(
+                (lap - lap_expect).abs() / lap_expect < 1e-9,
+                "laptop {side}: {lap}"
+            );
+            assert!(
+                (wst - ws_expect).abs() / ws_expect < 1e-9,
+                "ws {side}: {wst}"
+            );
         }
     }
 
     #[test]
     fn time_linear_in_steps() {
         // Paper §6.3.1: generation time increases linearly with steps.
-        let t15 =
-            image_generation_time(ImageModelKind::Sd3Medium, &ws(), 512, 512, 15).unwrap();
-        let t30 =
-            image_generation_time(ImageModelKind::Sd3Medium, &ws(), 512, 512, 30).unwrap();
-        let t60 =
-            image_generation_time(ImageModelKind::Sd3Medium, &ws(), 512, 512, 60).unwrap();
+        let t15 = image_generation_time(ImageModelKind::Sd3Medium, &ws(), 512, 512, 15).unwrap();
+        let t30 = image_generation_time(ImageModelKind::Sd3Medium, &ws(), 512, 512, 30).unwrap();
+        let t60 = image_generation_time(ImageModelKind::Sd3Medium, &ws(), 512, 512, 60).unwrap();
         assert!((t30 / t15 - 2.0).abs() < 1e-9);
         assert!((t60 / t15 - 4.0).abs() < 1e-9);
     }
@@ -241,7 +243,10 @@ mod tests {
             // Weak dependence: tripling words changes time < 40%.
             assert!((t150 - t50).abs() / t50 < 0.4);
         }
-        assert!(found_inversion, "expected a non-monotonic case, as in the paper");
+        assert!(
+            found_inversion,
+            "expected a non-monotonic case, as in the paper"
+        );
     }
 
     #[test]

@@ -157,7 +157,11 @@ mod tests {
 
     #[test]
     fn anchors_are_monotonic() {
-        for kind in [DeviceKind::Laptop, DeviceKind::Workstation, DeviceKind::Mobile] {
+        for kind in [
+            DeviceKind::Laptop,
+            DeviceKind::Workstation,
+            DeviceKind::Mobile,
+        ] {
             let p = profile(kind);
             for w in p.sd3_time_anchors.windows(2) {
                 assert!(w[0].0 < w[1].0);

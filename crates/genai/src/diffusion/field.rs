@@ -132,7 +132,10 @@ mod tests {
         let field = semantic_target(&e);
         let recovered = project(&field);
         let sim = cosine(&recovered, &e);
-        assert!(sim > 0.85, "projection must recover the embedding, sim={sim}");
+        assert!(
+            sim > 0.85,
+            "projection must recover the embedding, sim={sim}"
+        );
     }
 
     #[test]

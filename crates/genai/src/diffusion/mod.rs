@@ -56,7 +56,9 @@ impl DiffusionModel {
     /// Generate an image from a prompt. Deterministic in
     /// `(prompt, width, height, steps, model)`.
     pub fn generate(&self, prompt: &str, width: u32, height: u32, steps: u32) -> ImageBuffer {
+        let span = sww_obs::Span::begin("sww_genai_stage", "embed");
         let features = PromptFeatures::analyze(prompt);
+        span.finish();
         self.generate_with_features(&features, width, height, steps)
     }
 
@@ -70,6 +72,7 @@ impl DiffusionModel {
         steps: u32,
     ) -> ImageBuffer {
         let steps = steps.max(1);
+        let denoise_span = sww_obs::Span::begin("sww_genai_stage", "denoise");
         let schedule = Schedule::new(steps);
         let mut rng = Rng::new(features.seed ^ self.profile.seed_salt);
 
@@ -95,8 +98,12 @@ impl DiffusionModel {
                 *l += alpha * (target[i] - *l) + sigma * rng.gaussian() * 0.15;
             }
         }
+        denoise_span.finish();
 
-        self.decode(features, &latent, width, height, &mut rng)
+        let decode_span = sww_obs::Span::begin("sww_genai_stage", "decode");
+        let out = self.decode(features, &latent, width, height, &mut rng);
+        decode_span.finish();
+        out
     }
 
     /// Model-specific smooth distortion field: what a weaker model "sees"
@@ -183,7 +190,10 @@ impl DiffusionModel {
             .map(|rgb| (rgb[0] + rgb[1] + rgb[2]) / 3.0)
             .collect();
         let mean = lum.iter().sum::<f64>() / lum.len() as f64;
-        let dev: Vec<f64> = lum.iter().map(|l| (l - mean) / SEMANTIC_AMPLITUDE).collect();
+        let dev: Vec<f64> = lum
+            .iter()
+            .map(|l| (l - mean) / SEMANTIC_AMPLITUDE)
+            .collect();
         field::project(&dev)
     }
 }
@@ -229,10 +239,8 @@ mod tests {
     fn better_model_recovers_prompt_better() {
         let prompt = "rolling green hills under a cloudy sky, landscape photograph";
         let f = PromptFeatures::analyze(prompt);
-        let weak = DiffusionModel::new(ImageModelKind::Sd21Base)
-            .generate(prompt, 224, 224, 15);
-        let strong = DiffusionModel::new(ImageModelKind::Dalle3)
-            .generate(prompt, 224, 224, 15);
+        let weak = DiffusionModel::new(ImageModelKind::Sd21Base).generate(prompt, 224, 224, 15);
+        let strong = DiffusionModel::new(ImageModelKind::Dalle3).generate(prompt, 224, 224, 15);
         let cw = cosine(&DiffusionModel::image_embedding(&weak), &f.embedding);
         let cs = cosine(&DiffusionModel::image_embedding(&strong), &f.embedding);
         assert!(

@@ -137,8 +137,7 @@ mod tests {
         // Paper: SD 3 is 35% faster on laptop, 13% faster on workstation.
         let sd3 = profile(ImageModelKind::Sd3Medium);
         let sd35 = profile(ImageModelKind::Sd35Medium);
-        let laptop_speedup =
-            1.0 - sd3.laptop_s_per_step.unwrap() / sd35.laptop_s_per_step.unwrap();
+        let laptop_speedup = 1.0 - sd3.laptop_s_per_step.unwrap() / sd35.laptop_s_per_step.unwrap();
         assert!((0.30..0.40).contains(&laptop_speedup), "{laptop_speedup}");
         let ws_speedup =
             1.0 - sd3.workstation_s_per_step.unwrap() / sd35.workstation_s_per_step.unwrap();

@@ -41,8 +41,11 @@ pub fn fbm(seed: u64, x: f64, y: f64, octaves: u32) -> f64 {
     let mut frequency = 1.0;
     let mut norm = 0.0;
     for o in 0..octaves.max(1) {
-        total += value_noise(seed.wrapping_add(u64::from(o) * 0x9e37), x * frequency, y * frequency)
-            * amplitude;
+        total += value_noise(
+            seed.wrapping_add(u64::from(o) * 0x9e37),
+            x * frequency,
+            y * frequency,
+        ) * amplitude;
         norm += amplitude;
         amplitude *= 0.5;
         frequency *= 2.0;

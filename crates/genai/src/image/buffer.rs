@@ -92,9 +92,11 @@ impl ImageBuffer {
         for ty in 0..th {
             for tx in 0..tw {
                 let x0 = (u64::from(tx) * u64::from(self.width) / u64::from(tw)) as u32;
-                let x1 = (u64::from(tx + 1) * u64::from(self.width) / u64::from(tw)).max(u64::from(x0) + 1) as u32;
+                let x1 = (u64::from(tx + 1) * u64::from(self.width) / u64::from(tw))
+                    .max(u64::from(x0) + 1) as u32;
                 let y0 = (u64::from(ty) * u64::from(self.height) / u64::from(th)) as u32;
-                let y1 = (u64::from(ty + 1) * u64::from(self.height) / u64::from(th)).max(u64::from(y0) + 1) as u32;
+                let y1 = (u64::from(ty + 1) * u64::from(self.height) / u64::from(th))
+                    .max(u64::from(y0) + 1) as u32;
                 let mut acc = [0.0f64; 3];
                 let mut n = 0.0f64;
                 for y in y0..y1.min(self.height) {

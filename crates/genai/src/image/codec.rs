@@ -52,7 +52,11 @@ impl std::error::Error for CodecError {}
 fn quant_step(zig_pos: usize, quality: u8, chroma: bool) -> f64 {
     let q = f64::from(quality.clamp(1, 100));
     let base = 4.0 + zig_pos as f64 * 3.0;
-    let scale = if q < 50.0 { 50.0 / q } else { (100.0 - q + 1.0) / 51.0 };
+    let scale = if q < 50.0 {
+        50.0 / q
+    } else {
+        (100.0 - q + 1.0) / 51.0
+    };
     let step = (base * scale).max(1.0);
     if chroma {
         step * 2.0
@@ -208,6 +212,13 @@ fn decode_plane(
 
 /// Encode an image at the given quality (1..=100).
 pub fn encode(img: &ImageBuffer, quality: u8) -> Vec<u8> {
+    let span = sww_obs::Span::begin("sww_genai_stage", "codec_encode");
+    let out = encode_inner(img, quality);
+    span.finish();
+    out
+}
+
+fn encode_inner(img: &ImageBuffer, quality: u8) -> Vec<u8> {
     let quality = quality.clamp(1, 100);
     let w = img.width() as usize;
     let h = img.height() as usize;
@@ -279,7 +290,11 @@ pub fn decode(data: &[u8]) -> Result<ImageBuffer, CodecError> {
             img.set(
                 xx as u32,
                 yy as u32,
-                [rgb[0].round() as u8, rgb[1].round() as u8, rgb[2].round() as u8],
+                [
+                    rgb[0].round() as u8,
+                    rgb[1].round() as u8,
+                    rgb[2].round() as u8,
+                ],
             );
         }
     }

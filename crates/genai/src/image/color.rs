@@ -16,7 +16,11 @@ pub fn ycbcr_to_rgb(ycbcr: [f64; 3]) -> [f64; 3] {
     let r = y + 1.402 * (cr - 128.0);
     let g = y - 0.344_136 * (cb - 128.0) - 0.714_136 * (cr - 128.0);
     let b = y + 1.772 * (cb - 128.0);
-    [r.clamp(0.0, 255.0), g.clamp(0.0, 255.0), b.clamp(0.0, 255.0)]
+    [
+        r.clamp(0.0, 255.0),
+        g.clamp(0.0, 255.0),
+        b.clamp(0.0, 255.0),
+    ]
 }
 
 #[cfg(test)]
@@ -35,10 +39,7 @@ mod tests {
         ] {
             let back = ycbcr_to_rgb(rgb_to_ycbcr(rgb));
             for c in 0..3 {
-                assert!(
-                    (back[c] - rgb[c]).abs() < 0.01,
-                    "{rgb:?} → {back:?}"
-                );
+                assert!((back[c] - rgb[c]).abs() < 0.01, "{rgb:?} → {back:?}");
             }
         }
     }

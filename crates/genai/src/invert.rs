@@ -17,14 +17,70 @@ use crate::prompt::EMBED_DIM;
 /// is arbitrary but fixed, which is all inversion fidelity needs — the
 /// regenerated image plants the same dimensions the describer read.
 static VOCAB: [&str; EMBED_DIM] = [
-    "rolling", "misty", "golden", "quiet", "vast", "rugged", "lush", "serene",
-    "dramatic", "weathered", "sunlit", "shadowed", "distant", "winding", "ancient", "calm",
-    "hills", "valley", "ridge", "meadow", "shoreline", "cliffs", "pasture", "dunes",
-    "peaks", "woodland", "riverbank", "harbor", "orchard", "plateau", "marsh", "glacier",
-    "light", "mist", "clouds", "haze", "reflections", "shadows", "colors", "textures",
-    "horizon", "foreground", "silhouettes", "contours", "patterns", "layers", "detail", "depth",
-    "morning", "evening", "afternoon", "dusk", "dawn", "midday", "twilight", "overcast",
-    "spring", "summer", "autumn", "winter", "breeze", "stillness", "warmth", "chill",
+    "rolling",
+    "misty",
+    "golden",
+    "quiet",
+    "vast",
+    "rugged",
+    "lush",
+    "serene",
+    "dramatic",
+    "weathered",
+    "sunlit",
+    "shadowed",
+    "distant",
+    "winding",
+    "ancient",
+    "calm",
+    "hills",
+    "valley",
+    "ridge",
+    "meadow",
+    "shoreline",
+    "cliffs",
+    "pasture",
+    "dunes",
+    "peaks",
+    "woodland",
+    "riverbank",
+    "harbor",
+    "orchard",
+    "plateau",
+    "marsh",
+    "glacier",
+    "light",
+    "mist",
+    "clouds",
+    "haze",
+    "reflections",
+    "shadows",
+    "colors",
+    "textures",
+    "horizon",
+    "foreground",
+    "silhouettes",
+    "contours",
+    "patterns",
+    "layers",
+    "detail",
+    "depth",
+    "morning",
+    "evening",
+    "afternoon",
+    "dusk",
+    "dawn",
+    "midday",
+    "twilight",
+    "overcast",
+    "spring",
+    "summer",
+    "autumn",
+    "winter",
+    "breeze",
+    "stillness",
+    "warmth",
+    "chill",
 ];
 
 /// Describe the dominant hue of a mean color.

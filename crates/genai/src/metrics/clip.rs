@@ -78,7 +78,10 @@ mod tests {
         let img = DiffusionModel::new(ImageModelKind::Sd3Medium).generate(prompt, 224, 224, 15);
         let s_gen = clip_score(&img, prompt);
         let s_rand = clip_score(&random_image(224, 224, 1), prompt);
-        assert!(s_gen > s_rand + 0.05, "gen {s_gen:.3} vs random {s_rand:.3}");
+        assert!(
+            s_gen > s_rand + 0.05,
+            "gen {s_gen:.3} vs random {s_rand:.3}"
+        );
     }
 
     #[test]

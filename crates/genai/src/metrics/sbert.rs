@@ -28,7 +28,9 @@ fn embed(text: &str) -> HashMap<String, f64> {
         *counts.entry(w.clone()).or_default() += 1.0;
     }
     for pair in words.windows(2) {
-        *counts.entry(format!("{} {}", pair[0], pair[1])).or_default() += 1.0;
+        *counts
+            .entry(format!("{} {}", pair[0], pair[1]))
+            .or_default() += 1.0;
     }
     counts
         .into_iter()
@@ -83,10 +85,7 @@ mod tests {
 
     #[test]
     fn stopwords_do_not_inflate() {
-        let s = similarity(
-            "the a of and mountain",
-            "the a of and spreadsheet",
-        );
+        let s = similarity("the a of and mountain", "the a of and spreadsheet");
         assert!(s < 1e-9);
     }
 

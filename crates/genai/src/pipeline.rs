@@ -49,7 +49,13 @@ impl GenerationPipeline {
     }
 
     /// Generate an image from a prompt.
-    pub fn generate_image(&mut self, prompt: &str, width: u32, height: u32, steps: u32) -> ImageBuffer {
+    pub fn generate_image(
+        &mut self,
+        prompt: &str,
+        width: u32,
+        height: u32,
+        steps: u32,
+    ) -> ImageBuffer {
         self.images_generated += 1;
         self.image_model.generate(prompt, width, height, steps)
     }
@@ -100,7 +106,8 @@ mod tests {
         let first = reused.generate_image("hills at dawn", 48, 48, 10);
         let _ = reused.generate_image("something else", 48, 48, 10);
         let again = reused.generate_image("hills at dawn", 48, 48, 10);
-        let fresh = GenerationPipeline::preload_default().generate_image("hills at dawn", 48, 48, 10);
+        let fresh =
+            GenerationPipeline::preload_default().generate_image("hills at dawn", 48, 48, 10);
         assert_eq!(first, again);
         assert_eq!(first, fresh);
     }

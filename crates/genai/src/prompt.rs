@@ -111,8 +111,17 @@ impl PromptFeatures {
         let texture = if tokens.iter().any(|t| {
             matches!(
                 t.as_str(),
-                "landscape" | "mountain" | "horizon" | "sunset" | "sunrise" | "sea" | "ocean"
-                    | "beach" | "field" | "desert" | "lake"
+                "landscape"
+                    | "mountain"
+                    | "horizon"
+                    | "sunset"
+                    | "sunrise"
+                    | "sea"
+                    | "ocean"
+                    | "beach"
+                    | "field"
+                    | "desert"
+                    | "lake"
             )
         }) {
             TextureClass::Banded

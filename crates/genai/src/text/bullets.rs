@@ -10,14 +10,79 @@
 pub fn is_stopword(w: &str) -> bool {
     matches!(
         w,
-        "a" | "an" | "the" | "and" | "or" | "but" | "of" | "to" | "in" | "on" | "at" | "by"
-            | "for" | "with" | "from" | "as" | "is" | "are" | "was" | "were" | "be" | "been"
-            | "that" | "this" | "these" | "those" | "it" | "its" | "their" | "his" | "her"
-            | "they" | "them" | "we" | "our" | "you" | "your" | "i" | "he" | "she" | "will"
-            | "would" | "can" | "could" | "has" | "have" | "had" | "do" | "does" | "did"
-            | "so" | "if" | "then" | "than" | "there" | "here" | "over" | "under" | "into"
-            | "out" | "up" | "down" | "just" | "very" | "while" | "where" | "when" | "who"
-            | "which" | "what" | "also" | "not" | "no" | "nor"
+        "a" | "an"
+            | "the"
+            | "and"
+            | "or"
+            | "but"
+            | "of"
+            | "to"
+            | "in"
+            | "on"
+            | "at"
+            | "by"
+            | "for"
+            | "with"
+            | "from"
+            | "as"
+            | "is"
+            | "are"
+            | "was"
+            | "were"
+            | "be"
+            | "been"
+            | "that"
+            | "this"
+            | "these"
+            | "those"
+            | "it"
+            | "its"
+            | "their"
+            | "his"
+            | "her"
+            | "they"
+            | "them"
+            | "we"
+            | "our"
+            | "you"
+            | "your"
+            | "i"
+            | "he"
+            | "she"
+            | "will"
+            | "would"
+            | "can"
+            | "could"
+            | "has"
+            | "have"
+            | "had"
+            | "do"
+            | "does"
+            | "did"
+            | "so"
+            | "if"
+            | "then"
+            | "than"
+            | "there"
+            | "here"
+            | "over"
+            | "under"
+            | "into"
+            | "out"
+            | "up"
+            | "down"
+            | "just"
+            | "very"
+            | "while"
+            | "where"
+            | "when"
+            | "who"
+            | "which"
+            | "what"
+            | "also"
+            | "not"
+            | "no"
+            | "nor"
     )
 }
 
@@ -75,7 +140,11 @@ mod tests {
         assert_eq!(bullets.len(), 3);
         assert!(bullets[0].contains("council"));
         assert!(bullets[0].contains("transit"));
-        assert!(!bullets[0].contains("the "), "stopwords must drop: {:?}", bullets[0]);
+        assert!(
+            !bullets[0].contains("the "),
+            "stopwords must drop: {:?}",
+            bullets[0]
+        );
     }
 
     #[test]
@@ -104,7 +173,8 @@ mod tests {
 
     #[test]
     fn word_cap_respected() {
-        let long = "one two three four five six seven eight nine ten eleven twelve cats dogs birds fish.";
+        let long =
+            "one two three four five six seven eight nine ten eleven twelve cats dogs birds fish.";
         let bullets = to_bullets(long, 5);
         assert_eq!(bullets[0].split(' ').count(), 5);
     }

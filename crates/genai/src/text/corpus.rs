@@ -105,7 +105,10 @@ mod tests {
     #[test]
     fn corpus_is_substantial() {
         let words: usize = CORPUS.iter().map(|p| p.split_whitespace().count()).sum();
-        assert!(words > 800, "corpus has {words} words; need enough for an order-2 chain");
+        assert!(
+            words > 800,
+            "corpus has {words} words; need enough for an order-2 chain"
+        );
         assert!(CORPUS.len() >= 20);
     }
 

@@ -31,7 +31,10 @@ impl MarkovChain {
                 starters.push((words[0].to_lowercase(), words[1].to_lowercase()));
                 for window in words.windows(3) {
                     let key = (window[0].to_lowercase(), window[1].to_lowercase());
-                    transitions.entry(key).or_default().push(window[2].to_lowercase());
+                    transitions
+                        .entry(key)
+                        .or_default()
+                        .push(window[2].to_lowercase());
                 }
             }
         }
@@ -56,10 +59,7 @@ impl MarkovChain {
             out.push(w2);
             let mut sentence_len = 2usize;
             loop {
-                let key = (
-                    out[out.len() - 2].clone(),
-                    out[out.len() - 1].clone(),
-                );
+                let key = (out[out.len() - 2].clone(), out[out.len() - 1].clone());
                 let Some(nexts) = self.transitions.get(&key) else {
                     break;
                 };

@@ -51,7 +51,9 @@ impl TextModel {
         // Length discipline: the model aims at a deviated target, clamped
         // to the paper's observed ±20% envelope.
         let deviation = (rng.gaussian() * self.profile.length_sigma).clamp(-0.20, 0.20);
-        let actual_target = ((target_words as f64) * (1.0 + deviation)).round().max(10.0) as usize;
+        let actual_target = ((target_words as f64) * (1.0 + deviation))
+            .round()
+            .max(10.0) as usize;
 
         // Keywords from the bullets, in order, cycled across sentences.
         let keywords: Vec<&str> = bullet_list

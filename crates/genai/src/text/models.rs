@@ -117,11 +117,7 @@ mod tests {
             let p = profile(k);
             for words in [50.0, 150.0, 250.0] {
                 let t = p.workstation_think_s + words * p.workstation_s_per_word;
-                assert!(
-                    (5.5..=17.0).contains(&t),
-                    "{:?} at {words} words: {t}s",
-                    k
-                );
+                assert!((5.5..=17.0).contains(&t), "{:?} at {words} words: {t}s", k);
             }
         }
     }

@@ -26,8 +26,12 @@ pub fn upscale(img: &ImageBuffer, factor: u32) -> ImageBuffer {
             let u = f64::from(x) / f64::from(w.saturating_sub(1).max(1));
             let base = img.sample(u, v);
             // Synthesized detail: high-frequency texture the source lacks.
-            let d = fbm(seed, u * f64::from(img.width()), v * f64::from(img.height()), 2)
-                * detail_amp;
+            let d = fbm(
+                seed,
+                u * f64::from(img.width()),
+                v * f64::from(img.height()),
+                2,
+            ) * detail_amp;
             out.set(
                 x,
                 y,

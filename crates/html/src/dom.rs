@@ -138,7 +138,10 @@ impl Document {
 
     /// Attach a detached node under `parent`.
     pub fn attach(&mut self, parent: NodeId, child: NodeId) {
-        debug_assert!(self.nodes[child.0].parent.is_none(), "child already attached");
+        debug_assert!(
+            self.nodes[child.0].parent.is_none(),
+            "child already attached"
+        );
         self.nodes[child.0].parent = Some(parent);
         self.nodes[parent.0].children.push(child);
     }

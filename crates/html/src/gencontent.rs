@@ -252,7 +252,12 @@ mod tests {
 
     #[test]
     fn image_div_roundtrips_through_parser() {
-        let html = image_div("Mountain lake at sunset, photorealistic", "lake.jpg", 512, 512);
+        let html = image_div(
+            "Mountain lake at sunset, photorealistic",
+            "lake.jpg",
+            512,
+            512,
+        );
         let doc = parse(&html);
         let items = extract(&doc);
         assert_eq!(items[0].prompt(), "Mountain lake at sunset, photorealistic");

@@ -275,6 +275,11 @@ impl<T: AsyncRead + AsyncWrite + Unpin> Connection<T> {
         let mut buf = BytesMut::new();
         frame.encode(&mut buf);
         self.bytes_sent += buf.len() as u64;
+        sww_obs::counter(
+            "sww_http2_frames_sent_total",
+            &[("kind", frame_kind_name(frame))],
+        )
+        .inc();
         if let Some(trace) = &mut self.trace {
             trace.push(FrameTraceEntry {
                 direction: Direction::Sent,
@@ -298,6 +303,11 @@ impl<T: AsyncRead + AsyncWrite + Unpin> Connection<T> {
     }
 
     fn trace_received(&mut self, frame: &Frame) {
+        sww_obs::counter(
+            "sww_http2_frames_received_total",
+            &[("kind", frame_kind_name(frame))],
+        )
+        .inc();
         if let Some(trace) = &mut self.trace {
             trace.push(FrameTraceEntry {
                 direction: Direction::Received,
@@ -359,8 +369,13 @@ impl<T: AsyncRead + AsyncWrite + Unpin> Connection<T> {
             .or_insert_with(|| StreamEntry::new(self.remote.initial_window_size));
         let end_on_headers = body.is_empty();
         entry.state = entry.state.on_send_headers(end_on_headers)?;
+        let raw_len: usize = fields.iter().map(|f| f.name.len() + f.value.len()).sum();
         let block = self.enc.encode(fields);
-        self.send_header_block(stream_id, &block, end_on_headers).await?;
+        sww_obs::counter("sww_http2_hpack_bytes_total", &[("form", "raw")]).add(raw_len as u64);
+        sww_obs::counter("sww_http2_hpack_bytes_total", &[("form", "encoded")])
+            .add(block.len() as u64);
+        self.send_header_block(stream_id, &block, end_on_headers)
+            .await?;
         if !body.is_empty() {
             self.send_body(stream_id, body).await?;
         }
@@ -416,6 +431,7 @@ impl<T: AsyncRead + AsyncWrite + Unpin> Connection<T> {
         while offset < body.len() {
             let remaining = body.len() - offset;
             // Wait for window on both the stream and the connection.
+            let mut stalled = false;
             let writable = loop {
                 let stream_avail = self
                     .streams
@@ -428,6 +444,10 @@ impl<T: AsyncRead + AsyncWrite + Unpin> Connection<T> {
                     .min(remaining);
                 if avail > 0 {
                     break avail;
+                }
+                if !stalled {
+                    stalled = true;
+                    sww_obs::counter("sww_http2_flow_stalls_total", &[]).inc();
                 }
                 // Blocked: process incoming frames until credit arrives.
                 let frame = self.io.read_frame().await?;
@@ -493,6 +513,7 @@ impl<T: AsyncRead + AsyncWrite + Unpin> Connection<T> {
     /// Graceful shutdown: send GOAWAY(NO_ERROR).
     pub async fn close(&mut self) -> Result<(), H2Error> {
         let last = self.highest_peer_stream();
+        sww_obs::counter("sww_http2_goaway_total", &[("direction", "sent")]).inc();
         self.write(&Frame::GoAway(GoAwayFrame::new(
             last,
             ErrorCode::NoError,
@@ -515,7 +536,10 @@ impl<T: AsyncRead + AsyncWrite + Unpin> Connection<T> {
 
     /// Number of live (non-closed) streams.
     pub fn active_streams(&self) -> usize {
-        self.streams.values().filter(|s| !s.state.is_closed()).count()
+        self.streams
+            .values()
+            .filter(|s| !s.state.is_closed())
+            .count()
     }
 
     async fn handle_frame(&mut self, frame: Frame) -> Result<(), H2Error> {
@@ -557,13 +581,15 @@ impl<T: AsyncRead + AsyncWrite + Unpin> Connection<T> {
                     if let Err(e) = entry.send_window.grant(w.increment) {
                         // Stream-scoped overflow resets just the stream.
                         drop(e);
-                        self.reset_stream(w.stream_id, ErrorCode::FlowControl).await?;
+                        self.reset_stream(w.stream_id, ErrorCode::FlowControl)
+                            .await?;
                     }
                 }
                 Ok(())
             }
             Frame::GoAway(g) => {
                 self.goaway_received = true;
+                sww_obs::counter("sww_http2_goaway_total", &[("direction", "received")]).inc();
                 if g.error_code != ErrorCode::NoError {
                     return Err(H2Error::GoAway(
                         g.error_code,

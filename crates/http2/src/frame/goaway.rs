@@ -32,7 +32,8 @@ impl GoAwayFrame {
         if payload.len() < 8 {
             return Err(H2Error::frame_size("GOAWAY payload too short"));
         }
-        let last = u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]) & 0x7fff_ffff;
+        let last =
+            u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]) & 0x7fff_ffff;
         let code = u32::from_be_bytes([payload[4], payload[5], payload[6], payload[7]]);
         Ok(GoAwayFrame {
             last_stream_id: last,
@@ -62,7 +63,11 @@ mod tests {
 
     #[test]
     fn goaway_roundtrip() {
-        let f = GoAwayFrame::new(7, ErrorCode::EnhanceYourCalm, Bytes::from_static(b"slow down"));
+        let f = GoAwayFrame::new(
+            7,
+            ErrorCode::EnhanceYourCalm,
+            Bytes::from_static(b"slow down"),
+        );
         let mut buf = BytesMut::new();
         f.encode(&mut buf);
         let h = FrameHeader::parse(buf[..FRAME_HEADER_LEN].try_into().unwrap());

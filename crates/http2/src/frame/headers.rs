@@ -132,7 +132,11 @@ impl ContinuationFrame {
     }
 
     pub(crate) fn encode(&self, out: &mut BytesMut) {
-        let f = if self.end_headers { flags::END_HEADERS } else { 0 };
+        let f = if self.end_headers {
+            flags::END_HEADERS
+        } else {
+            0
+        };
         FrameHeader {
             length: self.fragment.len() as u32,
             kind: FrameType::Continuation as u8,

@@ -131,9 +131,11 @@ impl FrameHeader {
         let length = u32::from(buf[0]) << 16 | u32::from(buf[1]) << 8 | u32::from(buf[2]);
         let kind = buf[3];
         let flags = buf[4];
-        let stream_id =
-            (u32::from(buf[5]) << 24 | u32::from(buf[6]) << 16 | u32::from(buf[7]) << 8 | u32::from(buf[8]))
-                & 0x7fff_ffff;
+        let stream_id = (u32::from(buf[5]) << 24
+            | u32::from(buf[6]) << 16
+            | u32::from(buf[7]) << 8
+            | u32::from(buf[8]))
+            & 0x7fff_ffff;
         FrameHeader {
             length,
             kind,
@@ -201,10 +203,14 @@ impl Frame {
             Some(FrameType::Priority) => Frame::Priority(PriorityFrame::parse(header, payload)?),
             Some(FrameType::RstStream) => Frame::RstStream(RstStreamFrame::parse(header, payload)?),
             Some(FrameType::Settings) => Frame::Settings(SettingsFrame::parse(header, payload)?),
-            Some(FrameType::PushPromise) => Frame::PushPromise(PushPromiseFrame::parse(header, payload)?),
+            Some(FrameType::PushPromise) => {
+                Frame::PushPromise(PushPromiseFrame::parse(header, payload)?)
+            }
             Some(FrameType::Ping) => Frame::Ping(PingFrame::parse(header, payload)?),
             Some(FrameType::GoAway) => Frame::GoAway(GoAwayFrame::parse(header, payload)?),
-            Some(FrameType::WindowUpdate) => Frame::WindowUpdate(WindowUpdateFrame::parse(header, payload)?),
+            Some(FrameType::WindowUpdate) => {
+                Frame::WindowUpdate(WindowUpdateFrame::parse(header, payload)?)
+            }
             Some(FrameType::Continuation) => {
                 Frame::Continuation(ContinuationFrame::parse(header, payload)?)
             }

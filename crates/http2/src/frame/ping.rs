@@ -16,7 +16,10 @@ pub struct PingFrame {
 impl PingFrame {
     /// A new ping carrying `payload`.
     pub fn new(payload: [u8; 8]) -> PingFrame {
-        PingFrame { payload, ack: false }
+        PingFrame {
+            payload,
+            ack: false,
+        }
     }
 
     /// The acknowledgement for this ping.

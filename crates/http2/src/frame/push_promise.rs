@@ -32,8 +32,7 @@ impl PushPromiseFrame {
         if body.len() < 4 {
             return Err(H2Error::frame_size("PUSH_PROMISE payload too short"));
         }
-        let promised =
-            u32::from_be_bytes([body[0], body[1], body[2], body[3]]) & 0x7fff_ffff;
+        let promised = u32::from_be_bytes([body[0], body[1], body[2], body[3]]) & 0x7fff_ffff;
         Ok(PushPromiseFrame {
             stream_id: header.stream_id,
             promised_stream_id: promised,
@@ -46,7 +45,11 @@ impl PushPromiseFrame {
         FrameHeader {
             length: (4 + self.fragment.len()) as u32,
             kind: FrameType::PushPromise as u8,
-            flags: if self.end_headers { flags::END_HEADERS } else { 0 },
+            flags: if self.end_headers {
+                flags::END_HEADERS
+            } else {
+                0
+            },
             stream_id: self.stream_id,
         }
         .encode(out);

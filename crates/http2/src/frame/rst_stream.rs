@@ -16,7 +16,10 @@ pub struct RstStreamFrame {
 impl RstStreamFrame {
     /// Construct a stream reset.
     pub fn new(stream_id: u32, error_code: ErrorCode) -> RstStreamFrame {
-        RstStreamFrame { stream_id, error_code }
+        RstStreamFrame {
+            stream_id,
+            error_code,
+        }
     }
 
     pub(crate) fn parse(header: FrameHeader, payload: Bytes) -> Result<RstStreamFrame, H2Error> {

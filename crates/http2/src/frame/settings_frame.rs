@@ -133,6 +133,9 @@ mod tests {
         let f = SettingsFrame::new(vec![(SETTINGS_GEN_ABILITY, 1)]);
         let mut buf = BytesMut::new();
         f.encode(&mut buf);
-        assert_eq!(&buf[FRAME_HEADER_LEN..], &[0x00, 0x07, 0x00, 0x00, 0x00, 0x01]);
+        assert_eq!(
+            &buf[FRAME_HEADER_LEN..],
+            &[0x00, 0x07, 0x00, 0x00, 0x00, 0x01]
+        );
     }
 }

@@ -17,12 +17,17 @@ impl WindowUpdateFrame {
     /// Construct a window update; `increment` must be non-zero.
     pub fn new(stream_id: u32, increment: u32) -> WindowUpdateFrame {
         debug_assert!(increment > 0 && increment < 1 << 31);
-        WindowUpdateFrame { stream_id, increment }
+        WindowUpdateFrame {
+            stream_id,
+            increment,
+        }
     }
 
     pub(crate) fn parse(header: FrameHeader, payload: Bytes) -> Result<WindowUpdateFrame, H2Error> {
         if payload.len() != 4 {
-            return Err(H2Error::frame_size("WINDOW_UPDATE payload must be 4 octets"));
+            return Err(H2Error::frame_size(
+                "WINDOW_UPDATE payload must be 4 octets",
+            ));
         }
         let increment =
             u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]) & 0x7fff_ffff;

@@ -83,7 +83,12 @@ impl Decoder {
         Ok(out)
     }
 
-    fn literal(&mut self, block: &[u8], pos: &mut usize, prefix: u8) -> Result<HeaderField, H2Error> {
+    fn literal(
+        &mut self,
+        block: &[u8],
+        pos: &mut usize,
+        prefix: u8,
+    ) -> Result<HeaderField, H2Error> {
         let name_idx = integer::decode(block, pos, prefix)?;
         let name = if name_idx == 0 {
             self.string(block, pos)?
@@ -110,7 +115,11 @@ impl Decoder {
         }
         let raw = &block[*pos..end];
         *pos = end;
-        let bytes = if huff { huffman::decode(raw)? } else { raw.to_vec() };
+        let bytes = if huff {
+            huffman::decode(raw)?
+        } else {
+            raw.to_vec()
+        };
         String::from_utf8(bytes).map_err(|_| H2Error::compression("header field not UTF-8"))
     }
 }

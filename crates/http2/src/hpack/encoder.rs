@@ -80,7 +80,9 @@ impl Encoder {
             return;
         }
         // 1. Exact match → indexed representation.
-        if let Some(idx) = static_find(&h.name, &h.value).or_else(|| self.table.find(&h.name, &h.value)) {
+        if let Some(idx) =
+            static_find(&h.name, &h.value).or_else(|| self.table.find(&h.name, &h.value))
+        {
             integer::encode(idx as u64, 7, INDEXED, out);
             return;
         }
@@ -147,7 +149,11 @@ mod tests {
         let first = enc.encode(&h);
         let second = enc.encode(&h);
         assert!(first.len() > 2);
-        assert_eq!(second.len(), 1, "second occurrence should be a 1-octet index");
+        assert_eq!(
+            second.len(),
+            1,
+            "second occurrence should be a 1-octet index"
+        );
     }
 
     #[test]

@@ -188,7 +188,10 @@ pub fn encode(input: &[u8]) -> Vec<u8> {
 /// the encoder to pick the shorter of raw and Huffman forms.
 pub fn encoded_len(input: &[u8]) -> usize {
     let t = tables();
-    let bits: u64 = input.iter().map(|&b| u64::from(t.codes[b as usize].len)).sum();
+    let bits: u64 = input
+        .iter()
+        .map(|&b| u64::from(t.codes[b as usize].len))
+        .sum();
     (bits as usize).div_ceil(8)
 }
 
@@ -261,7 +264,12 @@ mod tests {
     fn compresses_header_text() {
         let s = b"cache-control: max-age=3600, stale-while-revalidate=60";
         let enc = encode(s);
-        assert!(enc.len() < s.len(), "expected compression: {} vs {}", enc.len(), s.len());
+        assert!(
+            enc.len() < s.len(),
+            "expected compression: {} vs {}",
+            enc.len(),
+            s.len()
+        );
     }
 
     #[test]

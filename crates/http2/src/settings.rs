@@ -6,9 +6,9 @@
 //! "full generation"; the paper notes the 32-bit field can negotiate richer
 //! options such as upscale-only, which [`GenAbility`] models as a bitmask.
 
+use crate::error::H2Error;
 use crate::frame::settings_frame::SettingPair;
 use crate::frame::{DEFAULT_MAX_FRAME_SIZE, MAX_ALLOWED_FRAME_SIZE};
-use crate::error::H2Error;
 
 /// SETTINGS_HEADER_TABLE_SIZE (RFC 9113).
 pub const SETTINGS_HEADER_TABLE_SIZE: u16 = 0x1;
@@ -61,7 +61,9 @@ impl GenAbility {
 
     /// Upscale-only capability.
     pub fn upscale_only() -> GenAbility {
-        GenAbility { bits: Self::UPSCALE }
+        GenAbility {
+            bits: Self::UPSCALE,
+        }
     }
 
     /// Capability from raw bits.
@@ -319,7 +321,9 @@ mod tests {
 
     #[test]
     fn ability_intersection_requires_both() {
-        assert!(GenAbility::full().intersect(GenAbility::full()).can_generate());
+        assert!(GenAbility::full()
+            .intersect(GenAbility::full())
+            .can_generate());
         assert!(!GenAbility::full().intersect(GenAbility::none()).supported());
         assert!(!GenAbility::none().intersect(GenAbility::full()).supported());
         let up = GenAbility::upscale_only();
@@ -350,8 +354,12 @@ mod tests {
     fn model_levels_roundtrip_and_negotiate_to_minimum() {
         // §7: "Negotiating models is another aspect to consider" — the
         // 32-bit value carries ordinal model generations.
-        let a = GenAbility::full().with_image_model_level(3).with_text_model_level(2);
-        let b = GenAbility::full().with_image_model_level(2).with_text_model_level(5);
+        let a = GenAbility::full()
+            .with_image_model_level(3)
+            .with_text_model_level(2);
+        let b = GenAbility::full()
+            .with_image_model_level(2)
+            .with_text_model_level(5);
         assert_eq!(a.image_model_level(), 3);
         assert_eq!(a.text_model_level(), 2);
         let shared = a.intersect(b);

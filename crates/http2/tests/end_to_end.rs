@@ -171,7 +171,10 @@ async fn sequential_requests_reuse_connection() {
     .await;
     for i in 0..20 {
         let path = format!("/seq/{i}");
-        let resp = client.send_request(&Request::get(path.clone())).await.unwrap();
+        let resp = client
+            .send_request(&Request::get(path.clone()))
+            .await
+            .unwrap();
         assert_eq!(&resp.body[..], path.as_bytes());
     }
 }
@@ -217,7 +220,10 @@ async fn ping_pong() {
     .await;
     client.ping().await.unwrap();
     // Connection still usable after the ping.
-    let resp = client.send_request(&Request::get("/after-ping")).await.unwrap();
+    let resp = client
+        .send_request(&Request::get("/after-ping"))
+        .await
+        .unwrap();
     assert_eq!(resp.status, 200);
 }
 
@@ -280,7 +286,10 @@ async fn works_over_real_tcp() {
         .await
         .unwrap();
     assert!(client.negotiated_ability().can_generate());
-    let resp = client.send_request(&Request::get("/tcp-path")).await.unwrap();
+    let resp = client
+        .send_request(&Request::get("/tcp-path"))
+        .await
+        .unwrap();
     assert_eq!(&resp.body[..], b"tcp:/tcp-path");
     client.close().await.unwrap();
 }

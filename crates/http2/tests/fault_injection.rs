@@ -48,7 +48,9 @@ async fn truncated_preface_is_clean_close() {
 #[tokio::test]
 async fn preface_without_settings_hangs_until_eof() {
     // Valid preface then EOF: handshake must terminate with Closed.
-    let err = server_against_raw(sww_http2::PREFACE.to_vec()).await.unwrap_err();
+    let err = server_against_raw(sww_http2::PREFACE.to_vec())
+        .await
+        .unwrap_err();
     assert!(matches!(err, H2Error::Closed), "{err}");
 }
 
@@ -151,13 +153,11 @@ async fn continuation_flood_is_cut_off() {
             priority: None,
         })));
         let _ = a.write_all(&bytes).await;
-        let chunk = encode_frame(&Frame::Continuation(
-            sww_http2::frame::ContinuationFrame {
-                stream_id: 1,
-                fragment: Bytes::from(vec![0u8; 16 * 1024]),
-                end_headers: false,
-            },
-        ));
+        let chunk = encode_frame(&Frame::Continuation(sww_http2::frame::ContinuationFrame {
+            stream_id: 1,
+            fragment: Bytes::from(vec![0u8; 16 * 1024]),
+            end_headers: false,
+        }));
         // 2 MiB of fragments: far beyond the 1 MiB cap.
         for _ in 0..128 {
             if a.write_all(&chunk).await.is_err() {
@@ -171,7 +171,10 @@ async fn continuation_flood_is_cut_off() {
         .expect("handshake ok");
     let err = conn.next_message().await.unwrap_err();
     assert!(
-        matches!(err, H2Error::Connection(sww_http2::ErrorCode::EnhanceYourCalm, _)),
+        matches!(
+            err,
+            H2Error::Connection(sww_http2::ErrorCode::EnhanceYourCalm, _)
+        ),
         "{err}"
     );
 }
@@ -184,7 +187,9 @@ async fn random_bytes_never_panic() {
         let len = (round * 7) % 120 + 1;
         let mut bytes = Vec::with_capacity(len);
         for _ in 0..len {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             bytes.push((seed >> 33) as u8);
         }
         let _ = server_against_raw(bytes).await;

@@ -40,7 +40,10 @@ async fn request_response_frame_sequence() {
         .map(|e| (e.direction, e.kind, e.stream_id))
         .collect();
     // Sent: HEADERS (request had no body → END_STREAM on HEADERS).
-    assert!(summary.contains(&(Direction::Sent, "HEADERS", 1)), "{summary:?}");
+    assert!(
+        summary.contains(&(Direction::Sent, "HEADERS", 1)),
+        "{summary:?}"
+    );
     // Received: response HEADERS then DATA on the same stream.
     let recv: Vec<&str> = summary
         .iter()

@@ -17,18 +17,34 @@ fn arb_stream_id() -> impl Strategy<Value = u32> {
 
 fn arb_frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
-        (arb_stream_id(), prop::collection::vec(any::<u8>(), 0..512), any::<bool>())
-            .prop_map(|(id, data, fin)| Frame::Data(DataFrame::new(id, Bytes::from(data), fin))),
-        (arb_stream_id(), prop::collection::vec(any::<u8>(), 0..256), any::<bool>()).prop_map(
-            |(id, frag, fin)| Frame::Headers(HeadersFrame::new(id, Bytes::from(frag), fin))
-        ),
+        (
+            arb_stream_id(),
+            prop::collection::vec(any::<u8>(), 0..512),
+            any::<bool>()
+        )
+            .prop_map(|(id, data, fin)| Frame::Data(DataFrame::new(
+                id,
+                Bytes::from(data),
+                fin
+            ))),
+        (
+            arb_stream_id(),
+            prop::collection::vec(any::<u8>(), 0..256),
+            any::<bool>()
+        )
+            .prop_map(|(id, frag, fin)| Frame::Headers(HeadersFrame::new(
+                id,
+                Bytes::from(frag),
+                fin
+            ))),
         prop::collection::vec((any::<u16>(), any::<u32>()), 0..8)
             .prop_map(|params| Frame::Settings(SettingsFrame::new(params))),
         any::<[u8; 8]>().prop_map(|p| Frame::Ping(PingFrame::new(p))),
         (0u32..0x7fff_ffff, prop::collection::vec(any::<u8>(), 0..64)).prop_map(|(id, debug)| {
             Frame::GoAway(GoAwayFrame::new(id, ErrorCode::NoError, Bytes::from(debug)))
         }),
-        (arb_stream_id(),).prop_map(|(id,)| Frame::RstStream(RstStreamFrame::new(id, ErrorCode::Cancel))),
+        (arb_stream_id(),)
+            .prop_map(|(id,)| Frame::RstStream(RstStreamFrame::new(id, ErrorCode::Cancel))),
         (0u32..0x7fff_ffff, 1u32..0x7fff_ffff)
             .prop_map(|(id, inc)| Frame::WindowUpdate(WindowUpdateFrame::new(id, inc))),
     ]

@@ -228,9 +228,7 @@ where
             continue;
         }
         if !got_control {
-            return Err(H3Error::Protocol(
-                "request before client SETTINGS".into(),
-            ));
+            return Err(H3Error::Protocol("request before client SETTINGS".into()));
         }
         let req = decode_request(&data)?;
         let negotiated = local.gen_ability.intersect(remote.gen_ability);

@@ -220,9 +220,18 @@ mod tests {
         H3Frame::Data(Bytes::from_static(b"d1")).encode(&mut buf);
         H3Frame::Data(Bytes::from_static(b"d2")).encode(&mut buf);
         let mut pos = 0;
-        assert!(matches!(H3Frame::decode(&buf, &mut pos).unwrap(), H3Frame::Headers(_)));
-        assert!(matches!(H3Frame::decode(&buf, &mut pos).unwrap(), H3Frame::Data(_)));
-        assert!(matches!(H3Frame::decode(&buf, &mut pos).unwrap(), H3Frame::Data(_)));
+        assert!(matches!(
+            H3Frame::decode(&buf, &mut pos).unwrap(),
+            H3Frame::Headers(_)
+        ));
+        assert!(matches!(
+            H3Frame::decode(&buf, &mut pos).unwrap(),
+            H3Frame::Data(_)
+        ));
+        assert!(matches!(
+            H3Frame::decode(&buf, &mut pos).unwrap(),
+            H3Frame::Data(_)
+        ));
         assert_eq!(pos, buf.len());
     }
 

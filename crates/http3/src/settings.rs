@@ -69,9 +69,7 @@ impl H3Settings {
             match id {
                 SETTINGS_QPACK_MAX_TABLE_CAPACITY => self.qpack_max_table_capacity = value,
                 SETTINGS_MAX_FIELD_SECTION_SIZE => self.max_field_section_size = Some(value),
-                SETTINGS_SWW_GEN_ABILITY => {
-                    self.gen_ability = GenAbility::from_bits(value as u32)
-                }
+                SETTINGS_SWW_GEN_ABILITY => self.gen_ability = GenAbility::from_bits(value as u32),
                 _ => {}
             }
         }

@@ -133,7 +133,12 @@ impl<T: AsyncRead + AsyncWrite + Unpin> QuicLite<T> {
     }
 
     /// Send bytes on a stream.
-    pub async fn send(&mut self, stream: u64, data: &[u8], fin: bool) -> Result<(), TransportError> {
+    pub async fn send(
+        &mut self,
+        stream: u64,
+        data: &[u8],
+        fin: bool,
+    ) -> Result<(), TransportError> {
         let mut head = Vec::with_capacity(16);
         varint::encode(stream, &mut head);
         head.push(u8::from(fin));
@@ -259,10 +264,7 @@ mod tests {
         let (a, b) = tokio::io::duplex(1024);
         drop(b);
         let mut rx = QuicLite::<tokio::io::DuplexStream>::server(a);
-        assert!(matches!(
-            rx.recv_chunk().await,
-            Err(TransportError::Closed)
-        ));
+        assert!(matches!(rx.recv_chunk().await, Err(TransportError::Closed)));
     }
 
     #[tokio::test]

@@ -2,10 +2,10 @@
 
 use bytes::Bytes;
 use proptest::prelude::*;
+use sww_http2::hpack::HeaderField;
 use sww_http3::frame::H3Frame;
 use sww_http3::qpack;
 use sww_http3::varint;
-use sww_http2::hpack::HeaderField;
 
 proptest! {
     #[test]

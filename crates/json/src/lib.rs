@@ -31,7 +31,10 @@ mod tests {
         // The exact shape the paper's Figure 1 metadata carries.
         let src = r#"{"prompt":"A cartoon goldfish swimming in a bowl","width":256,"height":256}"#;
         let v = parse(src).unwrap();
-        assert_eq!(v["prompt"].as_str().unwrap(), "A cartoon goldfish swimming in a bowl");
+        assert_eq!(
+            v["prompt"].as_str().unwrap(),
+            "A cartoon goldfish swimming in a bowl"
+        );
         assert_eq!(v["width"].as_u64().unwrap(), 256);
         let out = to_string(&v);
         assert_eq!(parse(&out).unwrap(), v);

@@ -153,7 +153,9 @@ impl<'a> Parser<'a> {
             }
             if self.pos > start {
                 // Input is a &str, so the run is valid UTF-8.
-                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("input was str"));
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos]).expect("input was str"),
+                );
             }
             match self.bump() {
                 None => return Err(self.err(ErrorKind::UnexpectedEof)),
@@ -213,12 +215,14 @@ impl<'a> Parser<'a> {
                     if !(0xDC00..0xE000).contains(&lo) {
                         return Err(self.err(ErrorKind::BadUnicodeEscape));
                     }
-                    let scalar = 0x10000 + ((u32::from(hi) - 0xD800) << 10) + (u32::from(lo) - 0xDC00);
+                    let scalar =
+                        0x10000 + ((u32::from(hi) - 0xD800) << 10) + (u32::from(lo) - 0xDC00);
                     char::from_u32(scalar).ok_or_else(|| self.err(ErrorKind::BadUnicodeEscape))?
                 } else if (0xDC00..0xE000).contains(&hi) {
                     return Err(self.err(ErrorKind::BadUnicodeEscape));
                 } else {
-                    char::from_u32(u32::from(hi)).ok_or_else(|| self.err(ErrorKind::BadUnicodeEscape))?
+                    char::from_u32(u32::from(hi))
+                        .ok_or_else(|| self.err(ErrorKind::BadUnicodeEscape))?
                 };
                 out.push(c);
                 Ok(())
@@ -233,7 +237,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u16> {
         let mut v: u16 = 0;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err(ErrorKind::UnexpectedEof))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err(ErrorKind::UnexpectedEof))?;
             let d = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err(ErrorKind::BadUnicodeEscape))?;
@@ -318,7 +324,10 @@ mod tests {
         assert_eq!(parse(r#""a\nb""#).unwrap().as_str(), Some("a\nb"));
         assert_eq!(parse(r#""A""#).unwrap().as_str(), Some("A"));
         assert_eq!(parse(r#""😀""#).unwrap().as_str(), Some("😀"));
-        assert_eq!(parse(r#""\"\\\/\b\f\r\t""#).unwrap().as_str(), Some("\"\\/\u{8}\u{c}\r\t"));
+        assert_eq!(
+            parse(r#""\"\\\/\b\f\r\t""#).unwrap().as_str(),
+            Some("\"\\/\u{8}\u{c}\r\t")
+        );
         assert_eq!(parse("\"π and 中\"").unwrap().as_str(), Some("π and 中"));
     }
 
@@ -337,9 +346,27 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         for bad in [
-            "", "nul", "tru", "[1,", "[1,]", "{\"a\"}", "{\"a\":}", "{a:1}", "01", "1.", ".5", "1e",
-            "\"unterminated", "\"bad \\q escape\"", "\"\\u12\"", "\"\\ud800\"", "\"\\udc00\"",
-            "[1] trailing", "+1", "nan", "\u{1}",
+            "",
+            "nul",
+            "tru",
+            "[1,",
+            "[1,]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{a:1}",
+            "01",
+            "1.",
+            ".5",
+            "1e",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+            "\"\\udc00\"",
+            "[1] trailing",
+            "+1",
+            "nan",
+            "\u{1}",
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }
@@ -361,7 +388,10 @@ mod tests {
 
     #[test]
     fn large_integers() {
-        assert_eq!(parse("9223372036854775807").unwrap().as_i64(), Some(i64::MAX));
+        assert_eq!(
+            parse("9223372036854775807").unwrap().as_i64(),
+            Some(i64::MAX)
+        );
         // Overflowing i64 falls back to f64.
         let v = parse("9223372036854775808").unwrap();
         assert!(v.as_i64().is_none());

@@ -105,10 +105,7 @@ mod tests {
 
     #[test]
     fn compact_is_canonical() {
-        let v = Value::object([
-            ("b", Value::from(1i64)),
-            ("a", Value::from(vec!["x", "y"])),
-        ]);
+        let v = Value::object([("b", Value::from(1i64)), ("a", Value::from(vec!["x", "y"]))]);
         // Keys come out sorted regardless of insertion order.
         assert_eq!(to_string(&v), r#"{"a":["x","y"],"b":1}"#);
     }

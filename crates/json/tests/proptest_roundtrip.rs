@@ -13,7 +13,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
         any::<f64>()
             .prop_filter("finite", |f| f.is_finite())
             .prop_map(Value::from),
-        "[ -~]{0,24}".prop_map(Value::from), // printable ASCII
+        "[ -~]{0,24}".prop_map(Value::from),   // printable ASCII
         any::<String>().prop_map(Value::from), // arbitrary unicode
     ];
     leaf.prop_recursive(4, 64, 8, |inner| {

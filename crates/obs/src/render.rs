@@ -1,0 +1,147 @@
+//! Prometheus text-format exposition, hand-rolled (no dependencies).
+
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
+
+use crate::registry::{Registry, Series, SeriesKey};
+
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// `{k="v",...}` with an extra label appended, or `""` when empty.
+fn label_block(labels: &[(&'static str, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn write_series(out: &mut String, key: &SeriesKey, series: &Series) {
+    match series {
+        Series::Counter(c) => {
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                key.name,
+                label_block(&key.labels, None),
+                c.get()
+            );
+        }
+        Series::Gauge(g) => {
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                key.name,
+                label_block(&key.labels, None),
+                g.get()
+            );
+        }
+        Series::Histogram(h) => {
+            let mut cumulative = 0u64;
+            for (i, bound) in h.data.bounds.iter().enumerate() {
+                cumulative += h.data.counts[i].load(Ordering::Relaxed);
+                let le = format!("{bound}");
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    key.name,
+                    label_block(&key.labels, Some(("le", &le))),
+                    cumulative
+                );
+            }
+            cumulative += h.data.counts[h.data.bounds.len()].load(Ordering::Relaxed);
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {}",
+                key.name,
+                label_block(&key.labels, Some(("le", "+Inf"))),
+                cumulative
+            );
+            let _ = writeln!(
+                out,
+                "{}_sum{} {}",
+                key.name,
+                label_block(&key.labels, None),
+                h.sum()
+            );
+            let _ = writeln!(
+                out,
+                "{}_count{} {}",
+                key.name,
+                label_block(&key.labels, None),
+                cumulative
+            );
+        }
+    }
+}
+
+impl Registry {
+    /// Serialise every series in the Prometheus text format. Series are
+    /// ordered by `(name, labels)`, each name preceded by a `# TYPE` line,
+    /// so output is deterministic for a given registry state.
+    pub fn render(&self) -> String {
+        let map = self.series.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        let mut last_name: Option<&'static str> = None;
+        for (key, series) in map.iter() {
+            if last_name != Some(key.name) {
+                let kind = match series {
+                    Series::Counter(_) => "counter",
+                    Series::Gauge(_) => "gauge",
+                    Series::Histogram(_) => "histogram",
+                };
+                let _ = writeln!(out, "# TYPE {} {}", key.name, kind);
+                last_name = Some(key.name);
+            }
+            write_series(&mut out, key, series);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_counters_and_histograms() {
+        let r = Registry::new();
+        r.counter("a_total", &[("k", "x")]).add(7);
+        let h = r.histogram("lat_seconds", &[], &[0.1, 1.0]);
+        h.observe(0.05);
+        h.observe(0.5);
+        h.observe(5.0);
+        let text = r.render();
+        assert!(text.contains("# TYPE a_total counter"));
+        assert!(text.contains("a_total{k=\"x\"} 7"));
+        assert!(text.contains("lat_seconds_bucket{le=\"0.1\"} 1"));
+        assert!(text.contains("lat_seconds_bucket{le=\"1\"} 2"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_seconds_count 3"));
+    }
+
+    #[test]
+    fn escapes_label_values() {
+        let r = Registry::new();
+        r.counter("e_total", &[("p", "a\"b\\c")]).inc();
+        assert!(r.render().contains("e_total{p=\"a\\\"b\\\\c\"} 1"));
+    }
+}

@@ -55,7 +55,10 @@ pub fn news_article() -> String {
 
 /// Original and converted byte sizes `(original, converted)`.
 pub fn sizes() -> (usize, usize) {
-    (ARTICLE.len(), bullets::bullets_wire_size(&article_bullets()))
+    (
+        ARTICLE.len(),
+        bullets::bullets_wire_size(&article_bullets()),
+    )
 }
 
 #[cfg(test)]

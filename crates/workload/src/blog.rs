@@ -91,7 +91,10 @@ mod tests {
     #[test]
     fn unique_assets_are_stored() {
         let site = travel_blog();
-        assert!(site.stored_bytes() > 10_000, "unique photos dominate storage");
+        assert!(
+            site.stored_bytes() > 10_000,
+            "unique photos dominate storage"
+        );
     }
 
     #[test]

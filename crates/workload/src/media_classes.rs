@@ -55,7 +55,10 @@ pub fn worst_case_image_metadata(side: u32) -> Value {
     let prompt = "a ".repeat(200); // exactly 400 bytes
     Value::object([
         ("prompt", Value::from(prompt.trim_end())),
-        ("name", Value::from("generated_image.jpg\u{0}".trim_end_matches('\u{0}'))),
+        (
+            "name",
+            Value::from("generated_image.jpg\u{0}".trim_end_matches('\u{0}')),
+        ),
         ("width", Value::from(u64::from(side) as i64)),
         ("height", Value::from(u64::from(side) as i64)),
     ])

@@ -40,7 +40,8 @@ pub static CATALOG: &[StockPrompt] = &[
     StockPrompt {
         id: "landscape-001",
         category: "landscape",
-        prompt: "a wide mountain landscape at golden hour, snow capped peaks above a green valley, \
+        prompt:
+            "a wide mountain landscape at golden hour, snow capped peaks above a green valley, \
                  dramatic clouds, professional stock photography, high detail",
         licence: Licence::Attribution,
         size: (512, 512),

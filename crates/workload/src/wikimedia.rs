@@ -88,7 +88,9 @@ pub fn prompts() -> Vec<String> {
             let light = LIGHTS[(i / SUBJECTS.len()) % LIGHTS.len()];
             let mut p = format!("{subject}, {light}");
             if i % 6 == 0 {
-                p.push_str(", with rich natural detail in the foreground and a clear sense of depth");
+                p.push_str(
+                    ", with rich natural detail in the foreground and a clear sense of depth",
+                );
             } else if i % 3 == 0 {
                 p.push_str(", photographed from a scenic viewpoint");
             }
@@ -142,7 +144,9 @@ fn build_landscape_page() -> LandscapePage {
             }
         }
         let original_bytes = codec::encode(&img, THUMB_QUALITY);
-        sww_body.push_str(&gencontent::image_div(&prompt, &name, THUMB_SIDE, THUMB_SIDE));
+        sww_body.push_str(&gencontent::image_div(
+            &prompt, &name, THUMB_SIDE, THUMB_SIDE,
+        ));
         trad_body.push_str(&format!(
             r#"<img src="/media/{name}" width="{THUMB_SIDE}" height="{THUMB_SIDE}">"#
         ));
@@ -198,12 +202,12 @@ mod tests {
         );
         let metadata = page.metadata_bytes();
         // Paper: 8.92 kB of metadata for 49 images (≈182 B each).
-        assert!(
-            (7_000..16_000).contains(&metadata),
-            "metadata {metadata} B"
-        );
+        assert!((7_000..16_000).contains(&metadata), "metadata {metadata} B");
         let ratio = page.compression_ratio();
-        assert!(ratio > 60.0, "compression {ratio:.0}x must exceed the worst case 68x ballpark");
+        assert!(
+            ratio > 60.0,
+            "compression {ratio:.0}x must exceed the worst case 68x ballpark"
+        );
     }
 
     #[test]

@@ -21,9 +21,14 @@ fn main() {
         ("classic CDN (replicate media)", EdgeMode::StoreMedia),
         (
             "SWW edge (store prompts, generate on request)",
-            EdgeMode::StorePrompts { cache_generated: true },
+            EdgeMode::StorePrompts {
+                cache_generated: true,
+            },
         ),
-        ("full SWW (prompts through to clients)", EdgeMode::PassPrompts),
+        (
+            "full SWW (prompts through to clients)",
+            EdgeMode::PassPrompts,
+        ),
     ];
     println!("catalog: 2000 large images, 200 edge sites, 20000 requests\n");
     for (label, mode) in modes {
@@ -40,7 +45,10 @@ fn main() {
             "  embodied carbon of that storage: {:.4} kgCO2e",
             carbon::embodied_kg_co2e(storage as f64)
         );
-        println!("  edge→user egress: {:.1} MB", sim.edge_to_user_bytes as f64 / 1e6);
+        println!(
+            "  edge→user egress: {:.1} MB",
+            sim.edge_to_user_bytes as f64 / 1e6
+        );
         println!(
             "  egress energy: {:.2} Wh, edge generation energy: {:.2} Wh",
             sim.transmission_energy().wh(),

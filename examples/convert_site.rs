@@ -4,11 +4,11 @@
 //!
 //! Run with: `cargo run --example convert_site --release`
 
+use std::collections::HashMap;
 use sww::core::cms::{Cms, ContentTag, Template};
 use sww::core::convert::Converter;
 use sww::genai::diffusion::{DiffusionModel, ImageModelKind};
 use sww::genai::image::codec;
-use std::collections::HashMap;
 
 fn main() {
     // A "legacy" page: three images + a long paragraph + a short one.
@@ -26,7 +26,11 @@ fn main() {
 
     // CMS tagging (§4.2): template defaults + an editor override.
     let mut cms = Cms::new();
-    for path in ["img/stock-hero.jpg", "img/stock-boats.jpg", "uploads/photo-press-event.jpg"] {
+    for path in [
+        "img/stock-hero.jpg",
+        "img/stock-boats.jpg",
+        "uploads/photo-press-event.jpg",
+    ] {
         let tag = cms.register(Template::Blog, path);
         println!("CMS: {path} → {tag:?}");
     }
@@ -38,21 +42,34 @@ fn main() {
     let mut store: HashMap<&str, Vec<u8>> = HashMap::new();
     store.insert(
         "img/stock-hero.jpg",
-        codec::encode(&camera.generate("a wide lake landscape with hills", 512, 512, 15), 70),
+        codec::encode(
+            &camera.generate("a wide lake landscape with hills", 512, 512, 15),
+            70,
+        ),
     );
     store.insert(
         "img/stock-boats.jpg",
-        codec::encode(&camera.generate("wooden boats on a calm lake", 256, 256, 15), 70),
+        codec::encode(
+            &camera.generate("wooden boats on a calm lake", 256, 256, 15),
+            70,
+        ),
     );
     store.insert(
         "uploads/photo-press-event.jpg",
-        codec::encode(&camera.generate("a press event photograph", 512, 512, 15), 70),
+        codec::encode(
+            &camera.generate("a press event photograph", 512, 512, 15),
+            70,
+        ),
     );
 
     let converter = Converter::new(&cms);
     let report = converter.convert_page(html, |src| store.get(src).cloned());
 
-    println!("\nconverted {} items, skipped {}", report.items.len(), report.skipped);
+    println!(
+        "\nconverted {} items, skipped {}",
+        report.items.len(),
+        report.skipped
+    );
     for item in &report.items {
         println!(
             "  {:<28} {:>7} B → {:>4} B   fidelity {:.3}",

@@ -18,7 +18,12 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
         "/gallery",
         format!(
             "<html><body><h1>Gallery</h1>{}{}</body></html>",
-            gencontent::image_div("a lighthouse on a rocky coast at dusk", "light.jpg", 128, 128),
+            gencontent::image_div(
+                "a lighthouse on a rocky coast at dusk",
+                "light.jpg",
+                128,
+                128
+            ),
             gencontent::image_div("rolling vineyard hills in summer", "vines.jpg", 128, 128),
         ),
     );

@@ -25,9 +25,14 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
     let addr = server.spawn_tcp("127.0.0.1:0").await?;
 
     println!("three 256x256 images per page (a social-feed screenful)\n");
-    for device in [DeviceKind::Workstation, DeviceKind::Laptop, DeviceKind::Mobile] {
+    for device in [
+        DeviceKind::Workstation,
+        DeviceKind::Laptop,
+        DeviceKind::Mobile,
+    ] {
         let sock = tokio::net::TcpStream::connect(addr).await?;
-        let mut client = GenerativeClient::connect(sock, GenAbility::full(), profile(device)).await?;
+        let mut client =
+            GenerativeClient::connect(sock, GenAbility::full(), profile(device)).await?;
         let (_, stats) = client.fetch_page("/feed").await?;
         println!(
             "{:<28} generation {:>7.1} s   energy {:.3} Wh",

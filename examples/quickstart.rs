@@ -56,13 +56,22 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (page, stats) = client.fetch_page("/welcome").await?;
     println!("\nrendered page:");
     println!("  images generated on-device: {}", page.generated_count());
-    println!("  text blocks expanded:       {}", page.expanded_texts.len());
+    println!(
+        "  text blocks expanded:       {}",
+        page.expanded_texts.len()
+    );
     println!("\naccounting:");
     println!("  wire bytes:        {}", stats.wire_bytes);
     println!("  traditional bytes: {}", stats.traditional_bytes);
     println!("  compression:       {:.1}x", stats.compression_ratio());
-    println!("  generation time:   {:.1} s (modelled, M1 Pro laptop)", stats.generation_time_s);
-    println!("  generation energy: {:.3} Wh", stats.generation_energy.wh());
+    println!(
+        "  generation time:   {:.1} s (modelled, M1 Pro laptop)",
+        stats.generation_time_s
+    );
+    println!(
+        "  generation energy: {:.3} Wh",
+        stats.generation_energy.wh()
+    );
     println!(
         "  transmission energy saved: {:.4} Wh",
         stats.transmission_energy_saved().wh()

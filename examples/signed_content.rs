@@ -5,9 +5,7 @@
 //!
 //! Run with: `cargo run --example signed_content --release`
 
-use sww::core::trust::{
-    attest_image, audit_attestation, sign_metadata, verify_metadata, SiteKey,
-};
+use sww::core::trust::{attest_image, audit_attestation, sign_metadata, verify_metadata, SiteKey};
 use sww::genai::diffusion::{DiffusionModel, ImageModelKind};
 use sww::json::Value;
 
@@ -15,16 +13,25 @@ fn main() {
     // 1. The publisher builds and signs the metadata dictionary.
     let key = SiteKey::from_secret("publisher-signing-secret");
     let mut metadata = Value::object([
-        ("prompt", Value::from("a mountain trail at dawn, soft light")),
+        (
+            "prompt",
+            Value::from("a mountain trail at dawn, soft light"),
+        ),
         ("name", Value::from("trail.jpg")),
         ("width", Value::from(256i64)),
         ("height", Value::from(256i64)),
     ]);
     sign_metadata(&key, &mut metadata);
-    println!("signed metadata: {}", sww::json::to_string_pretty(&metadata));
+    println!(
+        "signed metadata: {}",
+        sww::json::to_string_pretty(&metadata)
+    );
 
     // 2. The client verifies before spending generation time.
-    println!("\nclient verification: {}", verify_metadata(&key, &metadata));
+    println!(
+        "\nclient verification: {}",
+        verify_metadata(&key, &metadata)
+    );
 
     // 3. An intermediary swaps the prompt (the SWW-specific attack: the
     //    payload is *instructions*, so substitution changes what renders).
@@ -46,7 +53,10 @@ fn main() {
     println!("\nattestation: content={}", &attestation.content_hash[..16]);
 
     // 5. Any auditor with the same model regenerates and checks.
-    println!("audit by regeneration: {}", audit_attestation(&attestation, prompt));
+    println!(
+        "audit by regeneration: {}",
+        audit_attestation(&attestation, prompt)
+    );
     println!(
         "audit with a forged prompt: {} (rejected)",
         audit_attestation(&attestation, "some other prompt")

@@ -31,7 +31,11 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  wire bytes:  {}", stats.wire_bytes);
     println!("  traditional: {}", stats.traditional_bytes);
     println!("  compression: {:.2}x", stats.compression_ratio());
-    println!("  on-device generation: {:.1} s, {:.3} Wh", stats.generation_time_s, stats.generation_energy.wh());
+    println!(
+        "  on-device generation: {:.1} s, {:.3} Wh",
+        stats.generation_time_s,
+        stats.generation_energy.wh()
+    );
     generative.close().await?;
 
     // Naive visitor: the server expands prompts itself (§5.1).
@@ -42,17 +46,19 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== naive visitor (server-generated) ==");
     println!("  media fetched: {}", page.image_count());
     println!("  wire bytes:  {}", stats.wire_bytes);
-    println!("  compression: {:.2}x (no transmission win, storage win only)", stats.compression_ratio());
-    println!("  server-side generation so far: {:.1} s", server.server_generation_time_s());
+    println!(
+        "  compression: {:.2}x (no transmission win, storage win only)",
+        stats.compression_ratio()
+    );
+    println!(
+        "  server-side generation so far: {:.1} s",
+        server.server_generation_time_s()
+    );
     naive.close().await?;
 
     // Personalization (§2.3): opt-in, auditable prompt adjustment.
     let hiker = UserProfile::with_interests(["wildflowers", "alpine lakes"]);
-    let adjusted = personalize(
-        "a scenic mountain landscape with hiking trail",
-        &hiker,
-        2,
-    );
+    let adjusted = personalize("a scenic mountain landscape with hiking trail", &hiker, 2);
     println!("\n== personalization (opt-in) ==");
     println!("  base prompt + profile → {}", adjusted.prompt);
     Ok(())

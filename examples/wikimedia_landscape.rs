@@ -53,7 +53,11 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Dump for eyeballing, like the paper's side-by-side figure.
     let dir = std::env::temp_dir().join("sww-fig2");
     let files = page.dump_ppm(&dir)?;
-    println!("dumped {} regenerated images to {}", files.len(), dir.display());
+    println!(
+        "dumped {} regenerated images to {}",
+        files.len(),
+        dir.display()
+    );
     client.close().await?;
     Ok(())
 }

@@ -16,7 +16,12 @@ use sww::genai::metrics::clip;
 async fn convert_store_serve_regenerate() {
     // 1. The "legacy" page with a real stock image.
     let camera = DiffusionModel::new(ImageModelKind::Dalle3);
-    let stock = camera.generate("a wide mountain landscape with a river valley", 224, 224, 15);
+    let stock = camera.generate(
+        "a wide mountain landscape with a river valley",
+        224,
+        224,
+        15,
+    );
     let stock_encoded = codec::encode(&stock, 70);
     let legacy_html = r#"<html><body>
         <h1>Trips</h1>

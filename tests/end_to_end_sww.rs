@@ -22,12 +22,14 @@ fn two_item_site() -> SiteContent {
 
 #[tokio::test(flavor = "multi_thread")]
 async fn generative_flow_over_tcp() {
-    let server = GenerativeServer::new(two_item_site(), GenAbility::full(), ServerPolicy::default());
+    let server =
+        GenerativeServer::new(two_item_site(), GenAbility::full(), ServerPolicy::default());
     let addr = server.spawn_tcp("127.0.0.1:0").await.unwrap();
     let sock = tokio::net::TcpStream::connect(addr).await.unwrap();
-    let mut client = GenerativeClient::connect(sock, GenAbility::full(), profile(DeviceKind::Laptop))
-        .await
-        .unwrap();
+    let mut client =
+        GenerativeClient::connect(sock, GenAbility::full(), profile(DeviceKind::Laptop))
+            .await
+            .unwrap();
     assert!(client.negotiated_ability().can_generate());
     let (page, stats) = client.fetch_page("/page").await.unwrap();
     // One image generated, one text expanded, one unique asset fetched.
@@ -47,7 +49,8 @@ async fn generative_flow_over_tcp() {
 
 #[tokio::test(flavor = "multi_thread")]
 async fn naive_client_gets_working_page_with_no_savings() {
-    let server = GenerativeServer::new(two_item_site(), GenAbility::full(), ServerPolicy::default());
+    let server =
+        GenerativeServer::new(two_item_site(), GenAbility::full(), ServerPolicy::default());
     let (a, b) = tokio::io::duplex(1 << 20);
     let srv = server.clone();
     tokio::spawn(async move {
@@ -71,7 +74,8 @@ async fn naive_client_gets_working_page_with_no_savings() {
 
 #[tokio::test(flavor = "multi_thread")]
 async fn generated_media_is_deterministic_across_clients() {
-    let server = GenerativeServer::new(two_item_site(), GenAbility::full(), ServerPolicy::default());
+    let server =
+        GenerativeServer::new(two_item_site(), GenAbility::full(), ServerPolicy::default());
     let addr = server.spawn_tcp("127.0.0.1:0").await.unwrap();
     let mut hashes = Vec::new();
     for _ in 0..2 {
@@ -90,7 +94,8 @@ async fn generated_media_is_deterministic_across_clients() {
 
 #[tokio::test(flavor = "multi_thread")]
 async fn device_changes_cost_not_content() {
-    let server = GenerativeServer::new(two_item_site(), GenAbility::full(), ServerPolicy::default());
+    let server =
+        GenerativeServer::new(two_item_site(), GenAbility::full(), ServerPolicy::default());
     let addr = server.spawn_tcp("127.0.0.1:0").await.unwrap();
     let mut results = Vec::new();
     for device in [DeviceKind::Laptop, DeviceKind::Workstation] {
@@ -102,7 +107,10 @@ async fn device_changes_cost_not_content() {
         results.push((page.html.clone(), stats.generation_time_s));
         client.close().await.unwrap();
     }
-    assert_eq!(results[0].0, results[1].0, "content identical across devices");
+    assert_eq!(
+        results[0].0, results[1].0,
+        "content identical across devices"
+    );
     assert!(
         results[0].1 > results[1].1 * 2.0,
         "laptop {}s must cost more than workstation {}s",
@@ -137,7 +145,8 @@ async fn server_policy_renewable_forces_server_generation() {
 #[tokio::test(flavor = "multi_thread")]
 async fn personalization_changes_pixels_only_when_opted_in() {
     use sww::core::personalize::UserProfile;
-    let server = GenerativeServer::new(two_item_site(), GenAbility::full(), ServerPolicy::default());
+    let server =
+        GenerativeServer::new(two_item_site(), GenAbility::full(), ServerPolicy::default());
     let addr = server.spawn_tcp("127.0.0.1:0").await.unwrap();
     let mut images = Vec::new();
     for profile_opt in [
@@ -164,7 +173,8 @@ async fn personalization_changes_pixels_only_when_opted_in() {
 
 #[tokio::test(flavor = "multi_thread")]
 async fn conditional_requests_revalidate_with_304() {
-    let server = GenerativeServer::new(two_item_site(), GenAbility::full(), ServerPolicy::default());
+    let server =
+        GenerativeServer::new(two_item_site(), GenAbility::full(), ServerPolicy::default());
     let (a, b) = tokio::io::duplex(1 << 20);
     tokio::spawn(async move {
         let _ = server.serve_stream(b).await;
@@ -195,7 +205,8 @@ async fn conditional_requests_revalidate_with_304() {
 
 #[tokio::test(flavor = "multi_thread")]
 async fn missing_page_surfaces_as_error() {
-    let server = GenerativeServer::new(two_item_site(), GenAbility::full(), ServerPolicy::default());
+    let server =
+        GenerativeServer::new(two_item_site(), GenAbility::full(), ServerPolicy::default());
     let (a, b) = tokio::io::duplex(1 << 20);
     tokio::spawn(async move {
         let _ = server.serve_stream(b).await;
@@ -279,9 +290,10 @@ async fn many_sequential_pages_on_one_connection() {
     tokio::spawn(async move {
         let _ = server.serve_stream(b).await;
     });
-    let mut client = GenerativeClient::connect(a, GenAbility::full(), profile(DeviceKind::Workstation))
-        .await
-        .unwrap();
+    let mut client =
+        GenerativeClient::connect(a, GenAbility::full(), profile(DeviceKind::Workstation))
+            .await
+            .unwrap();
     for i in 0..10 {
         let (page, _) = client.fetch_page(&format!("/p{i}")).await.unwrap();
         assert_eq!(page.generated_count(), 1, "page {i}");

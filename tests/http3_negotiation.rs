@@ -14,7 +14,12 @@ use sww::http3::connection::{serve_h3_connection, H3ClientConnection};
 fn page_html() -> String {
     format!(
         "<html><body>{}</body></html>",
-        gencontent::image_div("a quiet harbor at dawn with fishing boats", "harbor.jpg", 96, 96)
+        gencontent::image_div(
+            "a quiet harbor at dawn with fishing boats",
+            "harbor.jpg",
+            96,
+            96
+        )
     )
 }
 

@@ -59,7 +59,10 @@ async fn capable_client_streams_reduced_rendition() {
     // rendition is ~25 MB (4.67× less).
     let traditional = 7.0e9 / 60.0; // bytes per minute at 4K60
     let ratio = traditional / total as f64;
-    assert!((4.0..5.4).contains(&ratio), "wire ratio {ratio:.2} ({total} B)");
+    assert!(
+        (4.0..5.4).contains(&ratio),
+        "wire ratio {ratio:.2} ({total} B)"
+    );
 }
 
 #[tokio::test(flavor = "multi_thread")]

@@ -1,0 +1,436 @@
+//! Offline vendored stub of the [`bytes`](https://crates.io/crates/bytes)
+//! crate, implementing exactly the API subset the `sww` workspace uses.
+//!
+//! The real crate cannot be fetched in this build environment (no network,
+//! no registry cache), so the workspace pins this path crate instead. The
+//! semantics match the real crate for the covered surface: `Bytes` is a
+//! cheaply cloneable, sliceable, immutable byte buffer backed by a shared
+//! allocation; `BytesMut` is a growable buffer that freezes into `Bytes`;
+//! `Buf`/`BufMut` provide cursor-style reads and big-endian writes.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable immutable byte buffer.
+///
+/// Clones and slices share the same backing allocation; `slice` is O(1).
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// A buffer borrowing from static data (copied here; the distinction
+    /// is unobservable through the public API).
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes::copy_from_slice(bytes)
+    }
+
+    /// A buffer holding a copy of `data`.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes {
+            data: Arc::from(data),
+            start: 0,
+            end: data.len(),
+        }
+    }
+
+    /// Length in octets.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// O(1) sub-slice sharing the same allocation.
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            std::ops::Bound::Included(&n) => n,
+            std::ops::Bound::Excluded(&n) => n + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            std::ops::Bound::Included(&n) => n + 1,
+            std::ops::Bound::Excluded(&n) => n,
+            std::ops::Bound::Unbounded => len,
+        };
+        assert!(begin <= end && end <= len, "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + begin,
+            end: self.start + end,
+        }
+    }
+
+    /// Copy the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let len = v.len();
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+            start: 0,
+            end: len,
+        }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Bytes {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_ref() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_ref() == other.as_slice()
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_ref() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_ref().iter()
+    }
+}
+
+/// A growable byte buffer that can be frozen into [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `cap` octets pre-allocated.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in octets.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Append `data`.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.inner.extend_from_slice(data);
+    }
+
+    /// Clear the buffer, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Convert into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.inner)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&Bytes::copy_from_slice(&self.inner), f)
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Bytes {
+        b.freeze()
+    }
+}
+
+/// Cursor-style big-endian reads over a byte source.
+pub trait Buf {
+    /// Octets remaining.
+    fn remaining(&self) -> usize;
+    /// The current contiguous chunk.
+    fn chunk(&self) -> &[u8];
+    /// Advance the cursor by `cnt`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any octets remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read one octet.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Read a big-endian u16.
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes([self.get_u8(), self.get_u8()])
+    }
+
+    /// Read a big-endian u32.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        for slot in &mut b {
+            *slot = self.get_u8();
+        }
+        u32::from_be_bytes(b)
+    }
+
+    /// Read a big-endian u64.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        for slot in &mut b {
+            *slot = self.get_u8();
+        }
+        u64::from_be_bytes(b)
+    }
+
+    /// Copy the next `len` octets out as `Bytes`.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        let mut out = Vec::with_capacity(len);
+        let mut left = len;
+        while left > 0 {
+            let chunk = self.chunk();
+            let take = left.min(chunk.len());
+            out.extend_from_slice(&chunk[..take]);
+            self.advance(take);
+            left -= take;
+        }
+        Bytes::from(out)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end");
+        self.start += cnt;
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Big-endian appends onto a growable byte sink.
+pub trait BufMut {
+    /// Append raw octets.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one octet.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append an entire `Buf`.
+    fn put<B: Buf>(&mut self, mut src: B)
+    where
+        Self: Sized,
+    {
+        while src.has_remaining() {
+            let chunk = src.chunk();
+            let n = chunk.len();
+            self.put_slice(chunk);
+            src.advance(n);
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_shares_and_bounds() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn buf_round_trip() {
+        let mut m = BytesMut::new();
+        m.put_u8(7);
+        m.put_u16(0x0102);
+        m.put_u32(0x03040506);
+        let mut b = m.freeze();
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u16(), 0x0102);
+        assert_eq!(b.get_u32(), 0x03040506);
+        assert!(!b.has_remaining());
+    }
+}

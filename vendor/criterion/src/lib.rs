@@ -1,0 +1,169 @@
+//! Offline vendored stub of [`criterion`](https://github.com/bheisler/criterion.rs),
+//! implementing the API subset the `sww` workspace's benches use.
+//!
+//! The real crate cannot be fetched in this build environment, so the
+//! workspace pins this path crate instead. There is no statistical
+//! machinery: each benchmark warms up briefly, then times a fixed batch of
+//! iterations and prints the mean wall-clock time per iteration.
+
+use std::time::{Duration, Instant};
+
+/// The benchmark context handed to `criterion_group!` target functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted and ignored — the stub uses a fixed iteration count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id.into()), f);
+        self
+    }
+
+    /// Run one parameterised benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id.label), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Timer handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up; also bounds the timed batch so slow routines finish.
+        let warm_start = Instant::now();
+        std::hint::black_box(routine());
+        let once = warm_start.elapsed();
+        let batch = if once > Duration::from_millis(50) {
+            3
+        } else {
+            20
+        };
+        let start = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = batch;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut b = Bencher {
+        iterations: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iterations == 0 {
+        eprintln!("  {label}: no measurement");
+        return;
+    }
+    let per_iter = b.elapsed.as_nanos() / u128::from(b.iterations);
+    eprintln!("  {label}: {per_iter} ns/iter ({} iters)", b.iterations);
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,145 @@
+//! `any::<T>()` — default strategies per type.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical default strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draw a value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> AnyStrategy<T> {
+        AnyStrategy {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Debug for AnyStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnyStrategy").finish_non_exhaustive()
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The default strategy for `T` (uniform bits, with occasional
+/// min/max/zero edge cases for the integer types).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: PhantomData,
+    }
+}
+
+macro_rules! int_arbitrary {
+    ( $($t:ty),+ $(,)? ) => {
+        $(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    let r = rng.next_u64();
+                    // 1-in-16 draws pick an edge value; the rest are uniform.
+                    if r % 16 == 0 {
+                        match (r >> 4) % 3 {
+                            0 => <$t>::MIN,
+                            1 => <$t>::MAX,
+                            _ => 0,
+                        }
+                    } else {
+                        rng.next_u64() as $t
+                    }
+                }
+            }
+        )+
+    };
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.flip()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Half raw bit patterns (NaN/inf included), half modest magnitudes.
+        if rng.flip() {
+            f64::from_bits(rng.next_u64())
+        } else {
+            let mantissa = rng.next_u64() % 2_000_001;
+            let signed = mantissa as f64 / 1000.0 - 1000.0;
+            signed
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        if rng.flip() {
+            f32::from_bits(rng.next_u64() as u32)
+        } else {
+            (rng.next_u64() % 2_000_001) as f32 / 1000.0 - 1000.0
+        }
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        let r = rng.next_u64();
+        if r % 4 == 0 {
+            // Arbitrary scalar value (may be multi-byte in UTF-8).
+            char::from_u32((r >> 8) as u32 % 0x11_0000).unwrap_or('\u{fffd}')
+        } else {
+            // Printable ASCII.
+            char::from_u32(0x20 + (r >> 8) as u32 % 0x5f).unwrap_or(' ')
+        }
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut TestRng) -> String {
+        let len = rng.len_between(0, 32);
+        (0..len).map(|_| char::arbitrary(rng)).collect()
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+macro_rules! tuple_arbitrary {
+    ( $( ($($name:ident),+) ),+ $(,)? ) => {
+        $(
+            impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    ($($name::arbitrary(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+tuple_arbitrary! {
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+}

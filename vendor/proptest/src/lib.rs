@@ -1,0 +1,105 @@
+//! Offline vendored stub of [`proptest`](https://proptest-rs.github.io/),
+//! implementing the API subset the `sww` workspace uses.
+//!
+//! The real crate cannot be fetched in this build environment, so the
+//! workspace pins this path crate instead. Differences from real proptest:
+//!
+//! * No shrinking: a failing case reports the generated inputs (via
+//!   `Debug`) and panics immediately.
+//! * Deterministic RNG: each property seeds a [`test_runner::TestRng`]
+//!   from a hash of the test name, so runs are reproducible.
+//! * String strategies support the regex subset the workspace uses:
+//!   character classes (ranges, `^` negation, `&&[...]` intersection,
+//!   trailing literal `-`), `.`, literal characters, and `{m}` / `{m,n}` /
+//!   `*` / `+` / `?` repetition.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The glob-import surface: strategies, `any`, config, and the macros,
+/// plus `prop` as an alias of this crate (for `prop::collection::vec`).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` followed by `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])* fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                for __case in 0..__config.cases {
+                    let __vals = ( $( $crate::strategy::Strategy::generate(&($strat), &mut __rng), )+ );
+                    let __desc = format!("{:?}", __vals);
+                    let ( $($arg,)+ ) = __vals;
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || { $body })
+                    );
+                    if let Err(__panic) = __outcome {
+                        eprintln!(
+                            "proptest `{}` failed at case {}/{} with input {}",
+                            stringify!($name), __case + 1, __config.cases, __desc
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a property; failures report the inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property; failures report the inputs.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality inside a property; failures report the inputs.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $s:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($s) ),+
+        ])
+    };
+}

@@ -1,0 +1,210 @@
+//! String strategies from regex-like patterns.
+//!
+//! `&'static str` implements [`Strategy`] by interpreting the string as a
+//! generator pattern, matching how the workspace's tests use proptest.
+//! Supported syntax: literal characters, `\` escapes, `.`, character
+//! classes `[...]` (ranges `a-z`, leading `^` negation, `&&[...]`
+//! intersection, trailing literal `-`), and the repetitions `{m}`,
+//! `{m,n}`, `*`, `+`, `?`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// One pattern element: a character set plus a repetition band.
+struct Atom {
+    set: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn printable_ascii() -> Vec<char> {
+    (0x20u32..=0x7e).filter_map(char::from_u32).collect()
+}
+
+/// Parse a `[...]` class starting at `chars[*i] == '['`; leaves `*i` one
+/// past the closing `]`.
+fn parse_class(chars: &[char], i: &mut usize) -> Vec<char> {
+    debug_assert_eq!(chars[*i], '[');
+    *i += 1;
+    let negated = chars.get(*i) == Some(&'^');
+    if negated {
+        *i += 1;
+    }
+    let mut set: Vec<char> = Vec::new();
+    let mut intersect: Option<Vec<char>> = None;
+    while *i < chars.len() && chars[*i] != ']' {
+        // `&&[...]` — class intersection (Rust-regex syntax).
+        if chars[*i] == '&' && chars.get(*i + 1) == Some(&'&') && chars.get(*i + 2) == Some(&'[') {
+            *i += 2;
+            let nested = parse_class(chars, i);
+            intersect = Some(match intersect {
+                None => nested,
+                Some(prev) => prev.into_iter().filter(|c| nested.contains(c)).collect(),
+            });
+            continue;
+        }
+        let mut lo = chars[*i];
+        if lo == '\\' {
+            *i += 1;
+            lo = chars[*i];
+        }
+        // A `-` is a range operator only between two class members.
+        if chars.get(*i + 1) == Some(&'-') && chars.get(*i + 2).is_some_and(|&n| n != ']') {
+            let mut hi = chars[*i + 2];
+            let mut advance = 3;
+            if hi == '\\' {
+                hi = chars[*i + 3];
+                advance = 4;
+            }
+            for cp in (lo as u32)..=(hi as u32) {
+                if let Some(c) = char::from_u32(cp) {
+                    set.push(c);
+                }
+            }
+            *i += advance;
+        } else {
+            set.push(lo);
+            *i += 1;
+        }
+    }
+    *i += 1; // closing `]`
+    if negated {
+        let excluded = set;
+        set = printable_ascii()
+            .into_iter()
+            .filter(|c| !excluded.contains(c))
+            .collect();
+    }
+    if let Some(keep) = intersect {
+        set.retain(|c| keep.contains(c));
+    }
+    set
+}
+
+/// Parse an optional repetition suffix; `(1, 1)` when absent.
+fn parse_repeat(chars: &[char], i: &mut usize) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('{') => {
+            *i += 1;
+            let mut min = 0usize;
+            while chars[*i].is_ascii_digit() {
+                min = min * 10 + chars[*i].to_digit(10).expect("digit") as usize;
+                *i += 1;
+            }
+            let max = if chars[*i] == ',' {
+                *i += 1;
+                let mut m = 0usize;
+                while chars[*i].is_ascii_digit() {
+                    m = m * 10 + chars[*i].to_digit(10).expect("digit") as usize;
+                    *i += 1;
+                }
+                m
+            } else {
+                min
+            };
+            debug_assert_eq!(chars[*i], '}');
+            *i += 1;
+            (min, max)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 8)
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn compile(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut atoms = Vec::new();
+    while i < chars.len() {
+        let set = match chars[i] {
+            '[' => parse_class(&chars, &mut i),
+            '.' => {
+                i += 1;
+                printable_ascii()
+            }
+            '\\' => {
+                i += 1;
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = parse_repeat(&chars, &mut i);
+        atoms.push(Atom { set, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in compile(self) {
+            if atom.set.is_empty() {
+                continue;
+            }
+            let reps = rng.len_between(atom.min, atom.max);
+            for _ in 0..reps {
+                let idx = rng.below(atom.set.len() as u64) as usize;
+                out.push(atom.set[idx]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_and_repeats() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9-]{0,24}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 25);
+            assert!(s.chars().next().expect("nonempty").is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn intersection_excludes() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..200 {
+            let s = "[ -~&&[^'<>]]{1,50}".generate(&mut rng);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+            assert!(!s.contains(['\'', '<', '>']));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut rng = TestRng::new(13);
+        let mut saw_dash = false;
+        for _ in 0..300 {
+            let s = "[a-]{4}".generate(&mut rng);
+            assert!(s.chars().all(|c| c == 'a' || c == '-'));
+            saw_dash |= s.contains('-');
+        }
+        assert!(saw_dash);
+    }
+}

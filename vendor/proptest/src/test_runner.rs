@@ -1,0 +1,85 @@
+//! Test configuration and the deterministic RNG behind every strategy.
+
+/// Per-property configuration; only `cases` is meaningful in the stub.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` generated inputs through the property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic splitmix64 generator. Each property derives its seed from
+/// the test name, so failures reproduce across runs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG from an explicit seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// RNG seeded from an FNV-1a hash of `name`.
+    pub fn from_name(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::new(h)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`0` when `n == 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// Uniform value in `0..n` over the wider domain (`0` when `n == 0`).
+    pub fn below_u128(&mut self, n: u128) -> u128 {
+        if n == 0 {
+            return 0;
+        }
+        let wide = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+        wide % n
+    }
+
+    /// A fair coin flip.
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Uniform length in `min..=max`.
+    pub fn len_between(&mut self, min: usize, max: usize) -> usize {
+        if max <= min {
+            return min;
+        }
+        min + self.below((max - min + 1) as u64) as usize
+    }
+}

@@ -1,0 +1,64 @@
+//! Offline vendored stub of tokio's attribute macros.
+//!
+//! `#[tokio::main]` and `#[tokio::test]` rewrite an `async fn` into a
+//! synchronous one whose body drives the original async body on the stub
+//! runtime's `block_on`. Implemented on the raw `proc_macro` API (no
+//! syn/quote available offline): the transform removes the leading `async`
+//! keyword and wraps the final brace-delimited body group, which preserves
+//! the signature — generics, return types and `?` all keep working.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+use std::str::FromStr;
+
+/// Marks an `async fn main` entry point; runs it on the stub runtime.
+#[proc_macro_attribute]
+pub fn main(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    transform(item, false)
+}
+
+/// Marks an `async fn` test; adds `#[test]` and runs it on the stub runtime.
+#[proc_macro_attribute]
+pub fn test(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    transform(item, true)
+}
+
+fn transform(item: TokenStream, add_test_attr: bool) -> TokenStream {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+    let body_idx = tokens
+        .iter()
+        .rposition(|t| matches!(t, TokenTree::Group(g) if g.delimiter() == Delimiter::Brace))
+        .expect("async fn must have a brace-delimited body");
+
+    let mut out = TokenStream::new();
+    if add_test_attr {
+        out.extend(
+            TokenStream::from_str("#[::core::prelude::v1::test]").expect("test attribute parses"),
+        );
+    }
+    let mut removed_async = false;
+    for (i, token) in tokens.iter().enumerate() {
+        if !removed_async {
+            if let TokenTree::Ident(id) = token {
+                if id.to_string() == "async" {
+                    removed_async = true;
+                    continue;
+                }
+            }
+        }
+        if i == body_idx {
+            let inner = match token {
+                TokenTree::Group(g) => g.stream(),
+                _ => unreachable!("body_idx points at a group"),
+            };
+            let wrapped = TokenStream::from_str(&format!(
+                "::tokio::runtime::block_on(async {{ {} }})",
+                inner
+            ))
+            .expect("wrapped body parses");
+            out.extend([TokenTree::Group(Group::new(Delimiter::Brace, wrapped))]);
+        } else {
+            out.extend([token.clone()]);
+        }
+    }
+    out
+}

@@ -1,0 +1,409 @@
+//! Async I/O traits, combinators, and the in-memory duplex pipe.
+
+use std::future::Future;
+use std::io;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll};
+
+/// A read buffer tracking how much of the caller's slice has been filled.
+pub struct ReadBuf<'a> {
+    buf: &'a mut [u8],
+    filled: usize,
+}
+
+impl<'a> ReadBuf<'a> {
+    /// Wrap a (fully initialized) byte slice.
+    pub fn new(buf: &'a mut [u8]) -> ReadBuf<'a> {
+        ReadBuf { buf, filled: 0 }
+    }
+
+    /// The filled prefix.
+    pub fn filled(&self) -> &[u8] {
+        &self.buf[..self.filled]
+    }
+
+    /// Octets of capacity not yet filled.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.filled
+    }
+
+    /// Append octets to the filled region.
+    ///
+    /// # Panics
+    /// Panics if `data` exceeds the remaining capacity.
+    pub fn put_slice(&mut self, data: &[u8]) {
+        let end = self.filled + data.len();
+        self.buf[self.filled..end].copy_from_slice(data);
+        self.filled = end;
+    }
+}
+
+/// Poll-based asynchronous byte reads.
+pub trait AsyncRead {
+    /// Attempt to read into `buf`, appending to its filled region. EOF is
+    /// signalled by returning `Ready(Ok(()))` without filling anything.
+    fn poll_read(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<io::Result<()>>;
+}
+
+/// Poll-based asynchronous byte writes.
+pub trait AsyncWrite {
+    /// Attempt to write from `buf`, returning how many octets were taken.
+    fn poll_write(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<io::Result<usize>>;
+    /// Flush buffered data to the underlying transport.
+    fn poll_flush(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>>;
+    /// Shut down the write half.
+    fn poll_shutdown(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>>;
+}
+
+impl<T: AsyncRead + Unpin + ?Sized> AsyncRead for &mut T {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<io::Result<()>> {
+        Pin::new(&mut **self.get_mut()).poll_read(cx, buf)
+    }
+}
+
+impl<T: AsyncWrite + Unpin + ?Sized> AsyncWrite for &mut T {
+    fn poll_write(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<io::Result<usize>> {
+        Pin::new(&mut **self.get_mut()).poll_write(cx, buf)
+    }
+    fn poll_flush(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Pin::new(&mut **self.get_mut()).poll_flush(cx)
+    }
+    fn poll_shutdown(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Pin::new(&mut **self.get_mut()).poll_shutdown(cx)
+    }
+}
+
+/// Future returned by [`AsyncReadExt::read`].
+pub struct Read<'a, T: ?Sized> {
+    io: &'a mut T,
+    buf: &'a mut [u8],
+}
+
+impl<T: AsyncRead + Unpin + ?Sized> Future for Read<'_, T> {
+    type Output = io::Result<usize>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let mut rb = ReadBuf::new(this.buf);
+        match Pin::new(&mut *this.io).poll_read(cx, &mut rb) {
+            Poll::Ready(Ok(())) => Poll::Ready(Ok(rb.filled().len())),
+            Poll::Ready(Err(e)) => Poll::Ready(Err(e)),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+/// Future returned by [`AsyncReadExt::read_exact`].
+pub struct ReadExact<'a, T: ?Sized> {
+    io: &'a mut T,
+    buf: &'a mut [u8],
+    done: usize,
+}
+
+impl<T: AsyncRead + Unpin + ?Sized> Future for ReadExact<'_, T> {
+    type Output = io::Result<usize>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        while this.done < this.buf.len() {
+            let mut rb = ReadBuf::new(&mut this.buf[this.done..]);
+            match Pin::new(&mut *this.io).poll_read(cx, &mut rb) {
+                Poll::Ready(Ok(())) => {
+                    let n = rb.filled().len();
+                    if n == 0 {
+                        return Poll::Ready(Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "early eof",
+                        )));
+                    }
+                    this.done += n;
+                }
+                Poll::Ready(Err(e)) => return Poll::Ready(Err(e)),
+                Poll::Pending => return Poll::Pending,
+            }
+        }
+        Poll::Ready(Ok(this.done))
+    }
+}
+
+/// Future returned by [`AsyncReadExt::read_to_end`].
+pub struct ReadToEnd<'a, T: ?Sized> {
+    io: &'a mut T,
+    out: &'a mut Vec<u8>,
+    read: usize,
+}
+
+impl<T: AsyncRead + Unpin + ?Sized> Future for ReadToEnd<'_, T> {
+    type Output = io::Result<usize>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        loop {
+            let mut chunk = [0u8; 4096];
+            let mut rb = ReadBuf::new(&mut chunk);
+            match Pin::new(&mut *this.io).poll_read(cx, &mut rb) {
+                Poll::Ready(Ok(())) => {
+                    let filled = rb.filled();
+                    if filled.is_empty() {
+                        return Poll::Ready(Ok(this.read));
+                    }
+                    this.read += filled.len();
+                    this.out.extend_from_slice(filled);
+                }
+                Poll::Ready(Err(e)) => return Poll::Ready(Err(e)),
+                Poll::Pending => return Poll::Pending,
+            }
+        }
+    }
+}
+
+/// Combinators over [`AsyncRead`], mirroring tokio's extension trait.
+pub trait AsyncReadExt: AsyncRead {
+    /// Read up to `buf.len()` octets (0 at EOF).
+    fn read<'a>(&'a mut self, buf: &'a mut [u8]) -> Read<'a, Self>
+    where
+        Self: Unpin,
+    {
+        Read { io: self, buf }
+    }
+
+    /// Read exactly `buf.len()` octets or fail with `UnexpectedEof`.
+    fn read_exact<'a>(&'a mut self, buf: &'a mut [u8]) -> ReadExact<'a, Self>
+    where
+        Self: Unpin,
+    {
+        ReadExact {
+            io: self,
+            buf,
+            done: 0,
+        }
+    }
+
+    /// Read until EOF, appending to `out`.
+    fn read_to_end<'a>(&'a mut self, out: &'a mut Vec<u8>) -> ReadToEnd<'a, Self>
+    where
+        Self: Unpin,
+    {
+        ReadToEnd {
+            io: self,
+            out,
+            read: 0,
+        }
+    }
+}
+
+impl<T: AsyncRead + ?Sized> AsyncReadExt for T {}
+
+/// Future returned by [`AsyncWriteExt::write_all`].
+pub struct WriteAll<'a, T: ?Sized> {
+    io: &'a mut T,
+    buf: &'a [u8],
+}
+
+impl<T: AsyncWrite + Unpin + ?Sized> Future for WriteAll<'_, T> {
+    type Output = io::Result<()>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        while !this.buf.is_empty() {
+            match Pin::new(&mut *this.io).poll_write(cx, this.buf) {
+                Poll::Ready(Ok(0)) => {
+                    return Poll::Ready(Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "write returned 0",
+                    )))
+                }
+                Poll::Ready(Ok(n)) => this.buf = &this.buf[n..],
+                Poll::Ready(Err(e)) => return Poll::Ready(Err(e)),
+                Poll::Pending => return Poll::Pending,
+            }
+        }
+        Poll::Ready(Ok(()))
+    }
+}
+
+/// Future returned by [`AsyncWriteExt::flush`].
+pub struct Flush<'a, T: ?Sized> {
+    io: &'a mut T,
+}
+
+impl<T: AsyncWrite + Unpin + ?Sized> Future for Flush<'_, T> {
+    type Output = io::Result<()>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        Pin::new(&mut *self.get_mut().io).poll_flush(cx)
+    }
+}
+
+/// Future returned by [`AsyncWriteExt::shutdown`].
+pub struct Shutdown<'a, T: ?Sized> {
+    io: &'a mut T,
+}
+
+impl<T: AsyncWrite + Unpin + ?Sized> Future for Shutdown<'_, T> {
+    type Output = io::Result<()>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        Pin::new(&mut *self.get_mut().io).poll_shutdown(cx)
+    }
+}
+
+/// Combinators over [`AsyncWrite`], mirroring tokio's extension trait.
+pub trait AsyncWriteExt: AsyncWrite {
+    /// Write the entire buffer.
+    fn write_all<'a>(&'a mut self, buf: &'a [u8]) -> WriteAll<'a, Self>
+    where
+        Self: Unpin,
+    {
+        WriteAll { io: self, buf }
+    }
+
+    /// Flush the transport.
+    fn flush(&mut self) -> Flush<'_, Self>
+    where
+        Self: Unpin,
+    {
+        Flush { io: self }
+    }
+
+    /// Shut down the write half.
+    fn shutdown(&mut self) -> Shutdown<'_, Self>
+    where
+        Self: Unpin,
+    {
+        Shutdown { io: self }
+    }
+}
+
+impl<T: AsyncWrite + ?Sized> AsyncWriteExt for T {}
+
+/// One direction of the duplex pipe.
+struct PipeState {
+    buf: std::collections::VecDeque<u8>,
+    /// Set when the writing end has shut down or been dropped.
+    write_closed: bool,
+    /// Set when the reading end has been dropped (writes then fail).
+    read_closed: bool,
+    capacity: usize,
+}
+
+impl PipeState {
+    fn new(capacity: usize) -> Arc<Mutex<PipeState>> {
+        Arc::new(Mutex::new(PipeState {
+            buf: std::collections::VecDeque::new(),
+            write_closed: false,
+            read_closed: false,
+            capacity,
+        }))
+    }
+}
+
+/// One end of an in-memory, bidirectional, flow-controlled byte stream.
+pub struct DuplexStream {
+    read: Arc<Mutex<PipeState>>,
+    write: Arc<Mutex<PipeState>>,
+}
+
+/// Create a connected pair of in-memory streams; each direction buffers at
+/// most `max_buf_size` octets before writes return `Pending`.
+pub fn duplex(max_buf_size: usize) -> (DuplexStream, DuplexStream) {
+    let a_to_b = PipeState::new(max_buf_size.max(1));
+    let b_to_a = PipeState::new(max_buf_size.max(1));
+    (
+        DuplexStream {
+            read: Arc::clone(&b_to_a),
+            write: Arc::clone(&a_to_b),
+        },
+        DuplexStream {
+            read: a_to_b,
+            write: b_to_a,
+        },
+    )
+}
+
+impl AsyncRead for DuplexStream {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        _cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<io::Result<()>> {
+        let mut pipe = self.read.lock().unwrap_or_else(|e| e.into_inner());
+        if pipe.buf.is_empty() {
+            return if pipe.write_closed {
+                Poll::Ready(Ok(())) // EOF
+            } else {
+                Poll::Pending
+            };
+        }
+        let n = buf.remaining().min(pipe.buf.len());
+        for _ in 0..n {
+            let b = pipe.buf.pop_front().expect("n bounded by len");
+            buf.put_slice(&[b]);
+        }
+        Poll::Ready(Ok(()))
+    }
+}
+
+impl AsyncWrite for DuplexStream {
+    fn poll_write(
+        self: Pin<&mut Self>,
+        _cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<io::Result<usize>> {
+        let mut pipe = self.write.lock().unwrap_or_else(|e| e.into_inner());
+        if pipe.read_closed || pipe.write_closed {
+            return Poll::Ready(Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "peer closed",
+            )));
+        }
+        let space = pipe.capacity.saturating_sub(pipe.buf.len());
+        if space == 0 {
+            return Poll::Pending;
+        }
+        let n = space.min(buf.len());
+        pipe.buf.extend(&buf[..n]);
+        Poll::Ready(Ok(n))
+    }
+
+    fn poll_flush(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Poll::Ready(Ok(()))
+    }
+
+    fn poll_shutdown(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        let mut pipe = self.write.lock().unwrap_or_else(|e| e.into_inner());
+        pipe.write_closed = true;
+        Poll::Ready(Ok(()))
+    }
+}
+
+impl Drop for DuplexStream {
+    fn drop(&mut self) {
+        // Peer reads drain the buffer then see EOF; peer writes fail.
+        self.write
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .write_closed = true;
+        self.read
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .read_closed = true;
+    }
+}
+
+impl std::fmt::Debug for DuplexStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DuplexStream").finish_non_exhaustive()
+    }
+}

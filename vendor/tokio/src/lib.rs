@@ -1,0 +1,36 @@
+//! Offline vendored stub of [`tokio`](https://tokio.rs), implementing the
+//! API subset the `sww` workspace uses on a single-threaded cooperative
+//! executor.
+//!
+//! The real crate cannot be fetched in this build environment, so the
+//! workspace pins this path crate instead. Scope:
+//!
+//! * [`runtime`] — `Runtime`/`Builder` plus a thread-local `block_on`
+//!   executor that drives the main future and every `spawn`ed task
+//!   round-robin with adaptive backoff (no wakers needed; pending futures
+//!   are simply re-polled).
+//! * [`spawn`]/[`task::JoinHandle`] — cooperative tasks on the same
+//!   thread's executor; handles are futures resolving to `Result<T, JoinError>`.
+//! * [`io`] — `AsyncRead`/`AsyncWrite` traits with the `AsyncReadExt`/
+//!   `AsyncWriteExt` combinators (`read`, `read_exact`, `write_all`,
+//!   `flush`, `shutdown`) and an in-memory [`io::duplex`] pipe.
+//! * [`net`] — `TcpListener`/`TcpStream` over nonblocking `std::net`
+//!   sockets polled by the executor.
+//! * [`time`] — `sleep` against the wall clock.
+//!
+//! Concurrency model: all tasks spawned during a `block_on` run on that
+//! thread, interleaving at `.await` points. That is exactly what the sww
+//! test-suite and examples need (client and server ends of a duplex pipe
+//! or loopback socket progressing together); CPU-bound work inside a task
+//! simply delays its peers, as on any single worker.
+
+pub mod io;
+pub mod net;
+pub mod runtime;
+pub mod task;
+pub mod time;
+
+pub use task::spawn;
+
+// `#[tokio::main]` / `#[tokio::test]` attribute macros.
+pub use tokio_macros::{main, test};

@@ -1,0 +1,133 @@
+//! TCP networking over nonblocking `std::net` sockets.
+//!
+//! The executor re-polls pending futures, so `WouldBlock` simply maps to
+//! `Poll::Pending` — no reactor registration is needed.
+
+use std::future::Future;
+use std::io::{self, Read as _, Write as _};
+use std::net::SocketAddr;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+use crate::io::{AsyncRead, AsyncWrite, ReadBuf};
+
+/// A TCP listener accepting connections asynchronously.
+#[derive(Debug)]
+pub struct TcpListener {
+    inner: std::net::TcpListener,
+}
+
+impl TcpListener {
+    /// Bind to `addr` (any `ToSocketAddrs`) in nonblocking mode.
+    pub async fn bind<A: std::net::ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+        let inner = std::net::TcpListener::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(TcpListener { inner })
+    }
+
+    /// Accept the next inbound connection.
+    pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        Accept { listener: self }.await
+    }
+
+    /// The local address this listener is bound to.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+}
+
+struct Accept<'a> {
+    listener: &'a TcpListener,
+}
+
+impl Future for Accept<'_> {
+    type Output = io::Result<(TcpStream, SocketAddr)>;
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        match self.listener.inner.accept() {
+            Ok((stream, peer)) => {
+                if let Err(e) = stream.set_nonblocking(true) {
+                    return Poll::Ready(Err(e));
+                }
+                Poll::Ready(Ok((TcpStream { inner: stream }, peer)))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Poll::Pending,
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    }
+}
+
+/// A nonblocking TCP stream driven by the stub executor.
+#[derive(Debug)]
+pub struct TcpStream {
+    inner: std::net::TcpStream,
+}
+
+impl TcpStream {
+    /// Connect to `addr` and switch the socket to nonblocking mode.
+    pub async fn connect<A: std::net::ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+        // The blocking connect is acceptable for loopback test traffic.
+        let inner = std::net::TcpStream::connect(addr)?;
+        inner.set_nonblocking(true)?;
+        inner.set_nodelay(true).ok();
+        Ok(TcpStream { inner })
+    }
+
+    /// The remote peer's address.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    /// The local socket address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+}
+
+impl AsyncRead for TcpStream {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        _cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<io::Result<()>> {
+        let mut tmp = [0u8; 8192];
+        let want = buf.remaining().min(tmp.len());
+        match (&self.get_mut().inner).read(&mut tmp[..want]) {
+            Ok(n) => {
+                buf.put_slice(&tmp[..n]);
+                Poll::Ready(Ok(()))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Poll::Pending,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Poll::Pending,
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    }
+}
+
+impl AsyncWrite for TcpStream {
+    fn poll_write(
+        self: Pin<&mut Self>,
+        _cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<io::Result<usize>> {
+        match (&self.get_mut().inner).write(buf) {
+            Ok(n) => Poll::Ready(Ok(n)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Poll::Pending,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Poll::Pending,
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    }
+
+    fn poll_flush(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        match (&self.get_mut().inner).flush() {
+            Ok(()) => Poll::Ready(Ok(())),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Poll::Pending,
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    }
+
+    fn poll_shutdown(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        match self.get_mut().inner.shutdown(std::net::Shutdown::Write) {
+            Ok(()) | Err(_) => Poll::Ready(Ok(())),
+        }
+    }
+}

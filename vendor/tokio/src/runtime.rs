@@ -1,0 +1,133 @@
+//! The stub executor: `block_on` drives the main future plus all spawned
+//! tasks on the current thread, re-polling pending futures round-robin
+//! with adaptive backoff instead of waker-driven scheduling.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
+use std::time::Duration;
+
+type Task = Pin<Box<dyn Future<Output = ()>>>;
+
+thread_local! {
+    /// Tasks spawned since the executor last collected them.
+    static NEW_TASKS: RefCell<Vec<Task>> = const { RefCell::new(Vec::new()) };
+}
+
+pub(crate) fn enqueue(task: Task) {
+    NEW_TASKS.with(|q| q.borrow_mut().push(task));
+}
+
+fn noop_waker() -> Waker {
+    const VTABLE: RawWakerVTable = RawWakerVTable::new(
+        |_| RawWaker::new(std::ptr::null(), &VTABLE),
+        |_| {},
+        |_| {},
+        |_| {},
+    );
+    // Safety: the vtable functions are all no-ops over a null pointer.
+    unsafe { Waker::from_raw(RawWaker::new(std::ptr::null(), &VTABLE)) }
+}
+
+/// Run `fut` to completion on the current thread, driving every task
+/// spawned while it runs. Background tasks still pending when the main
+/// future completes are dropped (as on tokio runtime shutdown).
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    let waker = noop_waker();
+    let mut cx = Context::from_waker(&waker);
+    let mut main = Box::pin(fut);
+    let mut tasks: Vec<Task> = Vec::new();
+    // Consecutive rounds in which nothing completed; scales the backoff.
+    let mut idle_rounds: u32 = 0;
+    loop {
+        if let Poll::Ready(out) = main.as_mut().poll(&mut cx) {
+            return out;
+        }
+        NEW_TASKS.with(|q| tasks.append(&mut q.borrow_mut()));
+        let mut progressed = false;
+        let mut i = 0;
+        while i < tasks.len() {
+            match tasks[i].as_mut().poll(&mut cx) {
+                Poll::Ready(()) => {
+                    drop(tasks.swap_remove(i));
+                    progressed = true;
+                }
+                Poll::Pending => i += 1,
+            }
+            NEW_TASKS.with(|q| tasks.append(&mut q.borrow_mut()));
+        }
+        if progressed {
+            idle_rounds = 0;
+        } else {
+            // Every future is pending: wait for external progress (socket
+            // readiness, the wall clock) with a latency-bounded backoff.
+            idle_rounds = idle_rounds.saturating_add(1);
+            let backoff_us = u64::from(idle_rounds.min(200)) * 5;
+            std::thread::sleep(Duration::from_micros(backoff_us));
+        }
+    }
+}
+
+/// Handle to the stub runtime; all instances share the thread-local
+/// executor.
+#[derive(Debug)]
+pub struct Runtime {
+    _priv: (),
+}
+
+impl Runtime {
+    /// A new runtime handle.
+    pub fn new() -> std::io::Result<Runtime> {
+        Ok(Runtime { _priv: () })
+    }
+
+    /// Run a future to completion (see module-level [`block_on`]).
+    pub fn block_on<F: Future>(&self, fut: F) -> F::Output {
+        block_on(fut)
+    }
+}
+
+/// Builder matching tokio's API; all configuration is accepted and
+/// ignored — the stub always executes on the calling thread.
+#[derive(Debug, Default)]
+pub struct Builder {
+    _priv: (),
+}
+
+impl Builder {
+    /// Builder for the (nominally) multi-threaded runtime.
+    pub fn new_multi_thread() -> Builder {
+        Builder::default()
+    }
+
+    /// Builder for the current-thread runtime.
+    pub fn new_current_thread() -> Builder {
+        Builder::default()
+    }
+
+    /// Accepted and ignored (the stub has exactly one worker: the caller).
+    pub fn worker_threads(&mut self, _n: usize) -> &mut Builder {
+        self
+    }
+
+    /// Accepted and ignored (I/O and time are always enabled).
+    pub fn enable_all(&mut self) -> &mut Builder {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn enable_io(&mut self) -> &mut Builder {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn enable_time(&mut self) -> &mut Builder {
+        self
+    }
+
+    /// Build the runtime handle.
+    pub fn build(&mut self) -> std::io::Result<Runtime> {
+        Runtime::new()
+    }
+}

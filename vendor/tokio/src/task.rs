@@ -1,0 +1,60 @@
+//! Cooperative tasks and join handles.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll};
+
+/// Error returned when a joined task did not produce a value.
+///
+/// The stub has no cancellation, so this is only constructed if a task is
+/// dropped unfinished at runtime shutdown while a handle still waits.
+#[derive(Debug)]
+pub struct JoinError {
+    _priv: (),
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task failed to complete")
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+struct JoinState<T> {
+    result: Option<T>,
+}
+
+/// An owned handle awaiting a spawned task's output.
+pub struct JoinHandle<T> {
+    state: Arc<Mutex<JoinState<T>>>,
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        match st.result.take() {
+            Some(v) => Poll::Ready(Ok(v)),
+            None => Poll::Pending,
+        }
+    }
+}
+
+/// Spawn a future onto the current thread's executor. The task runs
+/// cooperatively inside the enclosing [`crate::runtime::block_on`] call.
+pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + 'static,
+    F::Output: 'static,
+{
+    let state = Arc::new(Mutex::new(JoinState { result: None }));
+    let task_state = Arc::clone(&state);
+    crate::runtime::enqueue(Box::pin(async move {
+        let out = fut.await;
+        task_state.lock().unwrap_or_else(|e| e.into_inner()).result = Some(out);
+    }));
+    JoinHandle { state }
+}

@@ -1,0 +1,31 @@
+//! Wall-clock timers.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+use std::time::{Duration, Instant};
+
+/// Future returned by [`sleep`].
+#[derive(Debug)]
+pub struct Sleep {
+    deadline: Instant,
+}
+
+impl Future for Sleep {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        if Instant::now() >= self.deadline {
+            Poll::Ready(())
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+/// Sleep for at least `duration` (re-polled by the executor's backoff loop,
+/// so resolution is roughly the backoff granularity, not tick-precise).
+pub fn sleep(duration: Duration) -> Sleep {
+    Sleep {
+        deadline: Instant::now() + duration,
+    }
+}
