@@ -15,6 +15,12 @@ cargo build --workspace --release
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> cargo test --release --test concurrent_engine (engine stress)"
+cargo test --release --test concurrent_engine -q
+
+echo "==> cargo clippy --workspace --all-targets (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "==> cargo doc --no-deps --workspace (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use sww_core::{GenAbility, GenerativeServer, ServerPolicy, SiteContent};
+use sww_core::{GenAbility, GenerativeServer, SiteContent};
 use sww_html::gencontent;
 
 fn site() -> SiteContent {
@@ -34,8 +34,10 @@ fn bench(c: &mut Criterion) {
         g.bench_function(format!("handshake_and_get_{label}"), |b| {
             b.iter(|| {
                 rt.block_on(async {
-                    let server =
-                        GenerativeServer::new(site(), GenAbility::full(), ServerPolicy::default());
+                    let server = GenerativeServer::builder()
+                        .site(site())
+                        .ability(GenAbility::full())
+                        .build();
                     let (a, bio) = tokio::io::duplex(1 << 20);
                     tokio::spawn(async move {
                         let _ = server.serve_stream(bio).await;

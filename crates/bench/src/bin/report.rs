@@ -3,8 +3,8 @@
 //! subset with `--exp e2,e4`.
 
 use sww_bench::experiments::{
-    ablations, article, compression, energy, fig1, mobile, models, negotiation, video_cdn,
-    wikimedia,
+    ablations, article, compression, concurrency, energy, fig1, mobile, models, negotiation,
+    video_cdn, wikimedia,
 };
 
 fn wants(filter: &Option<Vec<String>>, id: &str) -> bool {
@@ -98,6 +98,11 @@ fn main() {
     }
     if wants(&filter, "e14") {
         println!("{}", mobile::table(&mobile::run()).render());
+    }
+    if wants(&filter, "e15") {
+        let cfg = concurrency::ConcurrencyConfig::default();
+        let samples = concurrency::run(cfg, &[0, 1, 2, 4, 8]);
+        println!("{}", concurrency::table(cfg, &samples).render());
     }
     if wants(&filter, "ablations") {
         let pre = ablations::preload(4);

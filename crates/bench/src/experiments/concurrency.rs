@@ -1,0 +1,184 @@
+//! E15 — concurrent serving engine: throughput vs. worker count.
+//!
+//! Naive (non-generative) sessions drive server-side generation from many
+//! threads at once, so every request exercises the sharded cache and the
+//! single-flight coalescer. The sweep holds the workload fixed (threads ×
+//! requests over a small set of unique prompts) and varies only the worker
+//! pool size, reporting throughput plus the engine's amortization
+//! counters: generation count (must equal the number of unique prompts at
+//! every pool size) and coalesced requests (everyone else).
+
+use crate::table::Table;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use sww_core::{GenAbility, GenerativeServer, SiteContent};
+use sww_html::gencontent;
+use sww_http2::Request;
+
+/// One worker-count sample of the sweep.
+#[derive(Debug, Clone)]
+pub struct ConcurrencySample {
+    /// Pool size (0 = inline handling, no pool).
+    pub workers: usize,
+    /// Requests completed per wall-clock second.
+    pub throughput_rps: f64,
+    /// Generations actually run (single-flight: one per unique prompt).
+    pub generations: u64,
+    /// Requests amortized onto another request's generation.
+    pub coalesced: u64,
+    /// 503 rejections absorbed by client retry (backpressure events).
+    pub rejected: u64,
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ConcurrencyConfig {
+    /// Client threads issuing requests.
+    pub threads: usize,
+    /// Requests per thread.
+    pub requests: usize,
+    /// Unique prompts (= unique pages) in the site.
+    pub prompts: usize,
+}
+
+impl Default for ConcurrencyConfig {
+    fn default() -> ConcurrencyConfig {
+        ConcurrencyConfig {
+            threads: 8,
+            requests: 50,
+            prompts: 10,
+        }
+    }
+}
+
+fn bench_site(prompts: usize) -> SiteContent {
+    let mut site = SiteContent::new();
+    for p in 0..prompts {
+        site.add_page(
+            format!("/page/{p}"),
+            format!(
+                "<html><body>{}</body></html>",
+                gencontent::image_div(
+                    &format!("bench prompt {p} distant headland"),
+                    &format!("bench{p}.jpg"),
+                    64,
+                    64,
+                )
+            ),
+        );
+    }
+    site
+}
+
+/// Run one worker-count sample.
+pub fn sample(cfg: ConcurrencyConfig, workers: usize) -> ConcurrencySample {
+    let server = GenerativeServer::builder()
+        .site(bench_site(cfg.prompts))
+        .workers(workers)
+        .build();
+    let rejected = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..cfg.threads {
+            let session = server.accept(GenAbility::none());
+            let rejected = &rejected;
+            scope.spawn(move || {
+                for i in 0..cfg.requests {
+                    let path = format!("/page/{}", (i + t) % cfg.prompts);
+                    loop {
+                        let resp = session.handle(&Request::get(&path));
+                        if resp.status != 503 {
+                            assert_eq!(resp.status, 200, "GET {path}");
+                            break;
+                        }
+                        rejected.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    ConcurrencySample {
+        workers,
+        throughput_rps: (cfg.threads * cfg.requests) as f64 / elapsed.max(1e-9),
+        generations: server.engine().generations(),
+        coalesced: server.engine().coalesced(),
+        rejected: rejected.load(Ordering::Relaxed),
+    }
+}
+
+/// Sweep throughput over worker counts (0 = inline baseline).
+pub fn run(cfg: ConcurrencyConfig, worker_counts: &[usize]) -> Vec<ConcurrencySample> {
+    worker_counts.iter().map(|&w| sample(cfg, w)).collect()
+}
+
+/// Render as a table.
+pub fn table(cfg: ConcurrencyConfig, samples: &[ConcurrencySample]) -> Table {
+    let mut t = Table::new(
+        format!(
+            "E15 — Concurrent serving: throughput vs. workers \
+             ({} threads x {} requests, {} unique prompts)",
+            cfg.threads, cfg.requests, cfg.prompts
+        ),
+        &[
+            "Workers",
+            "Throughput",
+            "Generations",
+            "Coalesced",
+            "Rejected",
+        ],
+    );
+    for s in samples {
+        t.row([
+            if s.workers == 0 {
+                "inline".to_string()
+            } else {
+                s.workers.to_string()
+            },
+            format!("{:.0}/s", s.throughput_rps),
+            s.generations.to_string(),
+            s.coalesced.to_string(),
+            s.rejected.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flight_holds_at_every_pool_size() {
+        let cfg = ConcurrencyConfig {
+            threads: 4,
+            requests: 10,
+            prompts: 5,
+        };
+        for s in run(cfg, &[0, 2]) {
+            // Exactly one generation per unique prompt, regardless of
+            // concurrency; everyone else shares.
+            assert_eq!(s.generations, cfg.prompts as u64, "workers={}", s.workers);
+            assert_eq!(
+                s.coalesced,
+                (cfg.threads * cfg.requests - cfg.prompts) as u64,
+                "workers={}",
+                s.workers
+            );
+        }
+    }
+
+    #[test]
+    fn table_renders_all_samples() {
+        let cfg = ConcurrencyConfig {
+            threads: 2,
+            requests: 5,
+            prompts: 2,
+        };
+        let samples = run(cfg, &[0, 1]);
+        let t = table(cfg, &samples);
+        assert_eq!(t.len(), 2);
+        assert!(t.render().contains("inline"));
+    }
+}

@@ -1,9 +1,10 @@
-//! The experiment implementations, one per table/figure (DESIGN.md E1–E13)
+//! The experiment implementations, one per table/figure (DESIGN.md E1–E15)
 //! plus the design-choice ablations.
 
 pub mod ablations;
 pub mod article;
 pub mod compression;
+pub mod concurrency;
 pub mod energy;
 pub mod fig1;
 pub mod mobile;

@@ -3,7 +3,7 @@
 //! mode and graceful fallback.
 
 use crate::table::Table;
-use sww_core::{GenAbility, GenerativeServer, ServerPolicy, SiteContent};
+use sww_core::{GenAbility, GenerativeServer, SiteContent};
 use sww_html::gencontent;
 
 /// One scenario's outcome.
@@ -42,7 +42,10 @@ pub async fn run() -> Vec<Scenario> {
         (GenAbility::none(), GenAbility::full(), "client only"),
         (GenAbility::none(), GenAbility::none(), "neither"),
     ] {
-        let server = GenerativeServer::new(demo_site(), server_ability, ServerPolicy::default());
+        let server = GenerativeServer::builder()
+            .site(demo_site())
+            .ability(server_ability)
+            .build();
         let (a, b) = tokio::io::duplex(1 << 20);
         let srv = server.clone();
         tokio::spawn(async move {

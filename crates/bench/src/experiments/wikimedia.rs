@@ -5,7 +5,7 @@
 //! workstation), and semantic preservation via CLIP-sim.
 
 use crate::table::{bytes, secs, Table};
-use sww_core::{GenAbility, GenerativeClient, GenerativeServer, ServerPolicy, SiteContent};
+use sww_core::{GenAbility, GenerativeClient, GenerativeServer, SiteContent};
 use sww_energy::device::{profile, DeviceKind};
 use sww_genai::metrics::clip;
 use sww_workload::wikimedia::{self, LandscapePage};
@@ -39,7 +39,10 @@ pub async fn run(page: &LandscapePage) -> Fig2Result {
     // Serve the prompt-form page and fetch it with a generating client.
     let mut site = SiteContent::new();
     site.add_page("/wiki/landscape", page.sww_html.clone());
-    let server = GenerativeServer::new(site, GenAbility::full(), ServerPolicy::default());
+    let server = GenerativeServer::builder()
+        .site(site)
+        .ability(GenAbility::full())
+        .build();
     let (a, b) = tokio::io::duplex(1 << 22);
     let srv = server.clone();
     tokio::spawn(async move {

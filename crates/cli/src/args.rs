@@ -18,7 +18,10 @@ pub struct Args {
 }
 
 /// Option keys that take a value (everything else after `--` is a switch).
-const VALUE_KEYS: [&str; 7] = ["addr", "device", "model", "steps", "out", "ability", "site"];
+const VALUE_KEYS: [&str; 13] = [
+    "addr", "device", "model", "steps", "out", "ability", "site", "workers", "shards", "queue",
+    "threads", "requests", "prompts",
+];
 
 impl Args {
     /// Parse from an iterator of arguments (without the program name).

@@ -2,12 +2,14 @@
 //!
 //! ```text
 //! sww serve  [--addr 127.0.0.1:0] [--site blog|wikimedia] [--naive]
+//!            [--workers N] [--shards N] [--queue N]
 //! sww fetch  <addr> <path> [--device laptop|workstation|mobile] [--naive] [--render] [--out DIR]
 //! sww generate <prompt...> [--model sd21|sd3|sd35|dalle3|flux] [--steps N] [--out FILE]
 //! sww expand <bullet;bullet;...> [--model llama|r1-1.5b|r1-8b|r1-14b]
 //! sww convert <html-file> [--out FILE]
 //! sww stock [category]
 //! sww stats [addr] [--device laptop|workstation|mobile]
+//! sww bench-concurrent [--threads 8] [--requests 100] [--prompts 10] [--workers 1,2,4,8]
 //! ```
 //!
 //! `sww stats` scrapes the Prometheus-text `/metrics` endpoint of a
@@ -20,7 +22,7 @@ mod args;
 use args::Args;
 use sww_core::cms::Cms;
 use sww_core::convert::Converter;
-use sww_core::{GenAbility, GenerativeClient, GenerativeServer, ServerPolicy, SiteContent};
+use sww_core::{GenAbility, GenerativeClient, GenerativeServer, SiteContent};
 use sww_energy::device::{profile, DeviceKind};
 use sww_genai::diffusion::{DiffusionModel, ImageModelKind};
 use sww_genai::image::codec;
@@ -76,6 +78,7 @@ fn main() {
         "convert" => cmd_convert(&args),
         "stock" => cmd_stock(&args),
         "stats" => rt.block_on(cmd_stats(&args)),
+        "bench-concurrent" => cmd_bench_concurrent(&args),
         _ => usage(),
     }
 }
@@ -96,12 +99,25 @@ async fn cmd_serve(args: &Args) {
     } else {
         GenAbility::full()
     };
-    let server = GenerativeServer::new(site, ability, ServerPolicy::default());
+    let workers: usize = args.opt("workers", "0").parse().unwrap_or(0);
+    let shards: usize = args.opt("shards", "8").parse().unwrap_or(8);
+    let queue: usize = args.opt("queue", "64").parse().unwrap_or(64);
+    let server = GenerativeServer::builder()
+        .site(site)
+        .ability(ability)
+        .workers(workers)
+        .cache_shards(shards)
+        .queue_capacity(queue)
+        .build();
     let addr = server
         .spawn_tcp(args.opt("addr", "127.0.0.1:0"))
         .await
         .expect("bind");
     println!("serving on {addr} (ability: {:?})", ability.bits());
+    match server.worker_count() {
+        Some(n) => println!("worker pool: {n} workers, queue {queue}, {shards} cache shards"),
+        None => println!("inline handling (no worker pool), {shards} cache shards"),
+    }
     println!("stored {} B (prompt form)", server.stored_bytes());
     // Serve until interrupted.
     loop {
@@ -173,11 +189,10 @@ async fn cmd_stats(args: &Args) {
         // Local: run a demo fetch in-process (server and client share this
         // process's registry), then dump every series it produced.
         None => {
-            let server = GenerativeServer::new(
-                sww_workload::blog::travel_blog(),
-                GenAbility::full(),
-                ServerPolicy::default(),
-            );
+            let server = GenerativeServer::builder()
+                .site(sww_workload::blog::travel_blog())
+                .ability(GenAbility::full())
+                .build();
             let (a, b) = tokio::io::duplex(1 << 20);
             tokio::spawn(async move {
                 let _ = server.serve_stream(b).await;
@@ -256,6 +271,77 @@ fn cmd_stock(args: &Args) {
         println!(
             "{:<14} [{:?}] {}x{}  {}",
             p.id, p.licence, p.size.0, p.size.1, p.prompt
+        );
+    }
+}
+
+/// Stress the concurrent serving engine in-process: naive sessions drive
+/// server-side generation from many threads, sweeping the worker count.
+fn cmd_bench_concurrent(args: &Args) {
+    let threads: usize = args.opt("threads", "8").parse().unwrap_or(8);
+    let requests: usize = args.opt("requests", "100").parse().unwrap_or(100);
+    let prompts: usize = args.opt("prompts", "10").parse().unwrap_or(10).max(1);
+    let worker_counts: Vec<usize> = args
+        .opt("workers", "1,2,4,8")
+        .split(',')
+        .filter_map(|w| w.trim().parse().ok())
+        .collect();
+    println!(
+        "{threads} threads x {requests} requests over {prompts} unique prompts\n\
+         {:<8} {:>12} {:>12} {:>11} {:>9}",
+        "workers", "throughput/s", "generations", "coalesced", "rejected"
+    );
+    for &workers in &worker_counts {
+        let mut site = SiteContent::new();
+        for p in 0..prompts {
+            site.add_page(
+                format!("/page/{p}"),
+                format!(
+                    "<html><body>{}</body></html>",
+                    sww_html::gencontent::image_div(
+                        &format!("bench prompt {p} distant headland"),
+                        &format!("bench{p}.jpg"),
+                        64,
+                        64,
+                    )
+                ),
+            );
+        }
+        let server = GenerativeServer::builder()
+            .site(site)
+            .workers(workers)
+            .build();
+        let rejected = std::sync::atomic::AtomicU64::new(0);
+        let start = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let session = server.accept(GenAbility::none());
+                let rejected = &rejected;
+                scope.spawn(move || {
+                    for i in 0..requests {
+                        let path = format!("/page/{}", (i + t) % prompts);
+                        loop {
+                            let resp = session.handle(&sww_http2::Request::get(&path));
+                            if resp.status != 503 {
+                                assert_eq!(resp.status, 200, "GET {path}");
+                                break;
+                            }
+                            // Saturated: honor the backpressure and retry.
+                            rejected.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            std::thread::sleep(std::time::Duration::from_millis(1));
+                        }
+                    }
+                });
+            }
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+        let total = (threads * requests) as f64;
+        println!(
+            "{workers:<8} {:>12.0} {:>12} {:>11} {:>9}",
+            total / elapsed.max(1e-9),
+            server.engine().generations(),
+            server.engine().coalesced(),
+            rejected.load(std::sync::atomic::Ordering::Relaxed),
         );
     }
 }

@@ -4,6 +4,7 @@
 //! full byte/time/energy accounting.
 
 use crate::cache::{GenerationCache, Recipe};
+use crate::error::SwwError;
 use crate::mediagen::{GeneratedMedia, MediaGenerator};
 use crate::render::{RenderedPage, RenderedResource};
 use crate::stats::PageStats;
@@ -75,15 +76,16 @@ impl<T: AsyncRead + AsyncWrite + Unpin> GenerativeClient<T> {
 
     /// Fetch and fully resolve a page: request, parse, generate, fetch
     /// unique assets, rewrite — returning the rendered page and its
-    /// accounting.
-    pub async fn fetch_page(&mut self, path: &str) -> Result<(RenderedPage, PageStats), H2Error> {
+    /// accounting. Transport failures arrive as [`SwwError::Transport`],
+    /// non-200 answers as [`SwwError::UpstreamStatus`].
+    pub async fn fetch_page(&mut self, path: &str) -> Result<(RenderedPage, PageStats), SwwError> {
         let mut stats = PageStats::default();
         let resp = self.conn.send_request(&Request::get(path)).await?;
         if resp.status != 200 {
-            return Err(H2Error::protocol(format!(
-                "GET {path} returned status {}",
-                resp.status
-            )));
+            return Err(SwwError::UpstreamStatus {
+                path: path.to_owned(),
+                status: resp.status,
+            });
         }
         let html_bytes = resp.body.len() as u64;
         stats.wire_bytes += html_bytes;
@@ -138,7 +140,7 @@ impl<T: AsyncRead + AsyncWrite + Unpin> GenerativeClient<T> {
                         sww_obs::counter("sww_client_items_total", &[("source", "generated")])
                             .inc();
                         let span = sww_obs::Span::begin("sww_client_generate", "page_item");
-                        let (media, cost) = self.generator.generate(&item);
+                        let (media, cost) = self.generator.try_generate(&item)?;
                         span.finish_with_virtual(cost.time_s);
                         if let (Some(r), GeneratedMedia::Image { image, .. }) = (recipe, &media) {
                             self.cache.put(r, image.clone());

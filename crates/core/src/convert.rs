@@ -265,11 +265,11 @@ impl Converter<'_> {
             let report = self.convert_page(html, |src| {
                 let bytes = fetch_image(src)?;
                 let key = sww_genai::fnv1a(&bytes);
-                if cache.contains_key(&key) {
-                    dedup_hits += 1;
-                } else {
+                if let std::collections::hash_map::Entry::Vacant(slot) = cache.entry(key) {
                     unique += 1;
-                    cache.insert(key, bytes.clone());
+                    slot.insert(bytes.clone());
+                } else {
+                    dedup_hits += 1;
                 }
                 Some(bytes)
             });

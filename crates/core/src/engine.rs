@@ -1,0 +1,428 @@
+//! The concurrent generation engine: a lock-striped generation cache
+//! fronted by single-flight request coalescing.
+//!
+//! The paper's prototype generates once per request; the ROADMAP
+//! north-star is a server under heavy concurrent traffic, where the
+//! dominant cost — generation — must be paid **exactly once per unique
+//! recipe** no matter how many requests race for it. Two mechanisms
+//! deliver that:
+//!
+//! * [`ShardedGenerationCache`]: N independent [`GenerationCache`] shards,
+//!   each behind its own mutex, selected by recipe hash. Readers of
+//!   different recipes never contend on a global lock.
+//! * Single flight (in [`GenerationEngine::fetch_image`]): the first
+//!   request to miss for a recipe becomes the *leader* and runs the
+//!   generation with no engine lock held; every concurrent request for
+//!   the same recipe blocks on the leader's flight slot and shares its
+//!   result. Requests for other recipes proceed in parallel.
+//!
+//! Observability: `sww_engine_requests_total{outcome}` splits requests
+//! into `hit` / `generated` / `joined`; `sww_cache_coalesced_total`
+//! counts every request amortized onto a generation it did not run
+//! itself (cache hit or in-flight join — i.e. total requests minus
+//! actual generations); `sww_cache_shard_events_total{shard,result}`
+//! exposes the per-shard hit/miss split.
+
+use crate::cache::{GenerationCache, Recipe};
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use sww_genai::ImageBuffer;
+
+/// A generation cache split into independently locked shards.
+///
+/// The pixel budget is divided evenly across shards, so total memory is
+/// bounded exactly as with a single [`GenerationCache`] of the same
+/// capacity; eviction is LRU *per shard*.
+#[derive(Debug)]
+pub struct ShardedGenerationCache {
+    shards: Box<[Mutex<GenerationCache>]>,
+}
+
+impl ShardedGenerationCache {
+    /// A cache of `shards` stripes sharing `capacity_pixels` total.
+    /// `shards` is clamped to at least 1.
+    pub fn new(shards: usize, capacity_pixels: u64) -> ShardedGenerationCache {
+        let shards = shards.max(1);
+        let per_shard = (capacity_pixels / shards as u64).max(1);
+        ShardedGenerationCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(GenerationCache::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_index(&self, recipe: &Recipe) -> usize {
+        let mut hasher = DefaultHasher::new();
+        recipe.hash(&mut hasher);
+        (hasher.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// Look up a recipe in its shard, updating that shard's recency.
+    pub fn get(&self, recipe: &Recipe) -> Option<ImageBuffer> {
+        let idx = self.shard_index(recipe);
+        let found = self.shards[idx].lock().get(recipe);
+        let shard_label = idx.to_string();
+        let result = if found.is_some() { "hit" } else { "miss" };
+        sww_obs::counter(
+            "sww_cache_shard_events_total",
+            &[("shard", &shard_label), ("result", result)],
+        )
+        .inc();
+        found
+    }
+
+    /// Insert a generated image into its shard (per-shard LRU eviction).
+    pub fn put(&self, recipe: Recipe, image: ImageBuffer) {
+        let idx = self.shard_index(&recipe);
+        self.shards[idx].lock().put(recipe, image);
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Entry count per shard (for tests and load-balance inspection).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.lock().len()).collect()
+    }
+
+    /// Aggregate (hits, misses) across all shards.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        self.shards.iter().fold((0, 0), |(h, m), s| {
+            let s = s.lock();
+            (h + s.hits, m + s.misses)
+        })
+    }
+}
+
+/// What happened to one [`GenerationEngine::fetch_image`] request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchOutcome {
+    /// Served from a cache shard; no waiting, no generation.
+    Hit,
+    /// This request was the leader and ran the generation.
+    Generated,
+    /// Joined an in-flight generation and shared the leader's result.
+    Coalesced,
+}
+
+/// State of one in-flight generation.
+#[derive(Debug)]
+enum FlightState {
+    /// The leader is still generating.
+    Pending,
+    /// The leader finished; the result is ready to share.
+    Done(ImageBuffer),
+    /// The leader panicked; waiters must retry from scratch.
+    Poisoned,
+}
+
+#[derive(Debug)]
+struct Flight {
+    state: StdMutex<FlightState>,
+    ready: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            state: StdMutex::new(FlightState::Pending),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn resolve(&self, state: FlightState) {
+        *self.state.lock().unwrap_or_else(|e| e.into_inner()) = state;
+        self.ready.notify_all();
+    }
+}
+
+/// Unregisters a flight and poisons it if the leader unwinds before
+/// publishing a result, so waiters never deadlock on a dead leader.
+struct LeaderGuard<'a> {
+    engine: &'a GenerationEngine,
+    recipe: &'a Recipe,
+    flight: &'a Arc<Flight>,
+    armed: bool,
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.flight.resolve(FlightState::Poisoned);
+            self.engine
+                .inflight
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(self.recipe);
+        }
+    }
+}
+
+/// The sharded, single-flight generation engine.
+#[derive(Debug)]
+pub struct GenerationEngine {
+    cache: ShardedGenerationCache,
+    inflight: StdMutex<HashMap<Recipe, Arc<Flight>>>,
+    generated: AtomicU64,
+    coalesced: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl GenerationEngine {
+    /// An engine over `shards` cache stripes sharing `capacity_pixels`.
+    pub fn new(shards: usize, capacity_pixels: u64) -> GenerationEngine {
+        GenerationEngine {
+            cache: ShardedGenerationCache::new(shards, capacity_pixels),
+            inflight: StdMutex::new(HashMap::new()),
+            generated: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying sharded cache.
+    pub fn cache(&self) -> &ShardedGenerationCache {
+        &self.cache
+    }
+
+    /// Generations actually executed (each unique recipe exactly once
+    /// while its entry stays cached).
+    pub fn generations(&self) -> u64 {
+        self.generated.load(Ordering::Relaxed)
+    }
+
+    /// Requests amortized onto a generation they did not run themselves
+    /// (shard-cache hits plus in-flight joins).
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Requests served straight from a cache shard.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, outcome: FetchOutcome) {
+        let label = match outcome {
+            FetchOutcome::Hit => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                "hit"
+            }
+            FetchOutcome::Generated => {
+                self.generated.fetch_add(1, Ordering::Relaxed);
+                "generated"
+            }
+            FetchOutcome::Coalesced => "joined",
+        };
+        if outcome != FetchOutcome::Generated {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            sww_obs::counter("sww_cache_coalesced_total", &[]).inc();
+        }
+        sww_obs::counter("sww_engine_requests_total", &[("outcome", label)]).inc();
+    }
+
+    /// Fetch the image for `recipe`, running `generate` only if no cached
+    /// copy exists and no other request is already generating it.
+    ///
+    /// `generate` runs with **no engine lock held**, so generations for
+    /// distinct recipes proceed fully in parallel. Concurrent requests
+    /// for the same recipe block until the leader publishes, then share
+    /// the result. Images larger than a shard's budget are not retained,
+    /// in which case a later request will legitimately regenerate.
+    pub fn fetch_image<F>(&self, recipe: &Recipe, generate: F) -> (ImageBuffer, FetchOutcome)
+    where
+        F: FnOnce() -> ImageBuffer,
+    {
+        // Fast path: no map lock at all for warm recipes.
+        if let Some(image) = self.cache.get(recipe) {
+            self.record(FetchOutcome::Hit);
+            return (image, FetchOutcome::Hit);
+        }
+        let mut generate = Some(generate);
+        loop {
+            enum Role {
+                Leader(Arc<Flight>),
+                Waiter(Arc<Flight>),
+            }
+            let role = {
+                let mut map = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(flight) = map.get(recipe) {
+                    Role::Waiter(Arc::clone(flight))
+                } else {
+                    // Re-check under the map lock: a leader publishes to
+                    // the cache *before* unregistering, so a miss here
+                    // while no flight is registered is authoritative.
+                    if let Some(image) = self.cache.get(recipe) {
+                        self.record(FetchOutcome::Hit);
+                        return (image, FetchOutcome::Hit);
+                    }
+                    let flight = Arc::new(Flight::new());
+                    map.insert(recipe.clone(), Arc::clone(&flight));
+                    Role::Leader(flight)
+                }
+            };
+            match role {
+                Role::Leader(flight) => {
+                    let mut guard = LeaderGuard {
+                        engine: self,
+                        recipe,
+                        flight: &flight,
+                        armed: true,
+                    };
+                    let image = (generate.take().expect("leader role claimed once"))();
+                    // Publish order matters: cache first, then resolve the
+                    // flight, then unregister — so no request can miss both.
+                    self.cache.put(recipe.clone(), image.clone());
+                    flight.resolve(FlightState::Done(image.clone()));
+                    self.inflight
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .remove(recipe);
+                    guard.armed = false;
+                    self.record(FetchOutcome::Generated);
+                    return (image, FetchOutcome::Generated);
+                }
+                Role::Waiter(flight) => {
+                    let mut state = flight.state.lock().unwrap_or_else(|e| e.into_inner());
+                    loop {
+                        match &*state {
+                            FlightState::Pending => {
+                                state = flight.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+                            }
+                            FlightState::Done(image) => {
+                                let image = image.clone();
+                                drop(state);
+                                self.record(FetchOutcome::Coalesced);
+                                return (image, FetchOutcome::Coalesced);
+                            }
+                            FlightState::Poisoned => break,
+                        }
+                    }
+                    // Leader died; retry (this request may now lead).
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use sww_genai::diffusion::ImageModelKind;
+
+    fn recipe(prompt: &str) -> Recipe {
+        Recipe {
+            prompt: prompt.into(),
+            model: ImageModelKind::Sd3Medium,
+            width: 16,
+            height: 16,
+            steps: 15,
+        }
+    }
+
+    #[test]
+    fn generates_once_then_hits() {
+        let engine = GenerationEngine::new(4, 1_000_000);
+        let calls = AtomicUsize::new(0);
+        let gen = || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            ImageBuffer::new(16, 16)
+        };
+        let (_, o1) = engine.fetch_image(&recipe("a"), gen);
+        assert_eq!(o1, FetchOutcome::Generated);
+        let (_, o2) = engine.fetch_image(&recipe("a"), || unreachable!("cached"));
+        assert_eq!(o2, FetchOutcome::Hit);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(engine.generations(), 1);
+        assert_eq!(engine.coalesced(), 1);
+    }
+
+    #[test]
+    fn distinct_recipes_land_in_shards() {
+        let engine = GenerationEngine::new(8, 1_000_000_000);
+        for i in 0..32 {
+            engine.fetch_image(&recipe(&format!("p{i}")), || ImageBuffer::new(16, 16));
+        }
+        assert_eq!(engine.cache().len(), 32);
+        assert_eq!(engine.generations(), 32);
+        // With 32 keys over 8 shards the hash should touch several shards.
+        let populated = engine
+            .cache()
+            .shard_lens()
+            .iter()
+            .filter(|&&n| n > 0)
+            .count();
+        assert!(populated >= 3, "keys concentrated in {populated} shards");
+    }
+
+    #[test]
+    fn concurrent_same_recipe_coalesces() {
+        let engine = Arc::new(GenerationEngine::new(4, 1_000_000));
+        let calls = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let calls = Arc::clone(&calls);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let (img, _) = engine.fetch_image(&recipe("shared"), || {
+                        calls.fetch_add(1, Ordering::SeqCst);
+                        // Give the other threads time to pile onto the flight.
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        ImageBuffer::new(16, 16)
+                    });
+                    img
+                })
+            })
+            .collect();
+        let images: Vec<ImageBuffer> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "single flight");
+        assert!(images.windows(2).all(|w| w[0] == w[1]), "shared result");
+        assert_eq!(engine.generations(), 1);
+        assert_eq!(engine.coalesced() + engine.generations(), 4);
+    }
+
+    #[test]
+    fn poisoned_flight_recovers() {
+        let engine = Arc::new(GenerationEngine::new(2, 1_000_000));
+        let e = Arc::clone(&engine);
+        let panicker = std::thread::spawn(move || {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                e.fetch_image(&recipe("doomed"), || panic!("leader dies"));
+            }));
+        });
+        panicker.join().unwrap();
+        // The key must not be stuck: a later request generates normally.
+        let (_, outcome) = engine.fetch_image(&recipe("doomed"), || ImageBuffer::new(16, 16));
+        assert_eq!(outcome, FetchOutcome::Generated);
+    }
+
+    #[test]
+    fn oversized_images_are_not_retained() {
+        // 2 shards x 50 pixels each; a 16x16 image (256 px) never fits.
+        let engine = GenerationEngine::new(2, 100);
+        let (_, o1) = engine.fetch_image(&recipe("big"), || ImageBuffer::new(16, 16));
+        assert_eq!(o1, FetchOutcome::Generated);
+        let (_, o2) = engine.fetch_image(&recipe("big"), || ImageBuffer::new(16, 16));
+        assert_eq!(o2, FetchOutcome::Generated, "uncacheable -> regenerate");
+    }
+}

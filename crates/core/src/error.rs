@@ -1,0 +1,146 @@
+//! The one error type of the SWW protocol layer.
+//!
+//! Before this type existed, failures leaked out of `core` in ad-hoc
+//! shapes: stringly `H2Error::protocol(format!(...))` responses from the
+//! client, bare `Option`s (and an `expect`) around model-capability
+//! lookups in `mediagen`, and routing code in `server.rs` that built
+//! `Response::status(...)` inline at every dead end. [`SwwError`]
+//! consolidates all of them; the mapping from error to HTTP status code
+//! lives in exactly one place (`server::error_response`).
+
+use std::fmt;
+use sww_http2::H2Error;
+
+/// Everything that can go wrong between accepting a request and
+/// producing a response (or between sending a request and rendering a
+/// page, on the client side).
+#[derive(Debug)]
+pub enum SwwError {
+    /// No page, asset, or video at the requested path.
+    NotFound {
+        /// The request path that missed.
+        path: String,
+    },
+    /// The request used a method other than GET.
+    MethodNotAllowed {
+        /// The offending method.
+        method: String,
+    },
+    /// The serving engine's bounded queue is full; the client should
+    /// back off and retry (maps to `503` + `Retry-After`).
+    Saturated {
+        /// Seconds the client is asked to wait before retrying.
+        retry_after_s: u32,
+    },
+    /// A generation was requested from a model that cannot run on the
+    /// local device (e.g. a server-only model in a client generator).
+    UnsupportedModel {
+        /// What was attempted ("image generation", "text generation").
+        what: &'static str,
+        /// The model that cannot serve it.
+        model: String,
+    },
+    /// Capability negotiation did not produce a generative session, so
+    /// there are no shared models to resolve.
+    Negotiation {
+        /// Why the negotiation outcome cannot satisfy the caller.
+        reason: String,
+    },
+    /// A handler failed in a way that is the server's own fault (maps to
+    /// `500`), e.g. a panic on a pool worker.
+    Internal {
+        /// What went wrong.
+        reason: String,
+    },
+    /// The peer answered a page fetch with a non-200 status.
+    UpstreamStatus {
+        /// The path that was requested.
+        path: String,
+        /// The status the peer returned.
+        status: u16,
+    },
+    /// The underlying HTTP/2 transport failed.
+    Transport(H2Error),
+}
+
+impl fmt::Display for SwwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwwError::NotFound { path } => write!(f, "no content at {path}"),
+            SwwError::MethodNotAllowed { method } => {
+                write!(f, "method {method} not allowed (GET only)")
+            }
+            SwwError::Saturated { retry_after_s } => {
+                write!(f, "serving queue saturated, retry after {retry_after_s}s")
+            }
+            SwwError::UnsupportedModel { what, model } => {
+                write!(f, "{what} is not supported by model {model}")
+            }
+            SwwError::Negotiation { reason } => write!(f, "negotiation failed: {reason}"),
+            SwwError::Internal { reason } => write!(f, "internal error: {reason}"),
+            SwwError::UpstreamStatus { path, status } => {
+                write!(f, "GET {path} returned status {status}")
+            }
+            SwwError::Transport(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SwwError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SwwError::Transport(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<H2Error> for SwwError {
+    fn from(e: H2Error) -> SwwError {
+        SwwError::Transport(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let cases: Vec<(SwwError, &str)> = vec![
+            (SwwError::NotFound { path: "/x".into() }, "/x"),
+            (
+                SwwError::MethodNotAllowed {
+                    method: "POST".into(),
+                },
+                "POST",
+            ),
+            (SwwError::Saturated { retry_after_s: 2 }, "retry after 2s"),
+            (
+                SwwError::UnsupportedModel {
+                    what: "image generation",
+                    model: "Dalle3".into(),
+                },
+                "Dalle3",
+            ),
+            (
+                SwwError::UpstreamStatus {
+                    path: "/p".into(),
+                    status: 404,
+                },
+                "404",
+            ),
+        ];
+        for (err, needle) in cases {
+            let text = err.to_string();
+            assert!(text.contains(needle), "{text} should contain {needle}");
+        }
+    }
+
+    #[test]
+    fn transport_errors_convert_and_chain() {
+        let err: SwwError = H2Error::protocol("boom").into();
+        assert!(err.to_string().contains("transport error"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

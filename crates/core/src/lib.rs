@@ -12,6 +12,8 @@ pub mod cdn;
 pub mod client;
 pub mod cms;
 pub mod convert;
+pub mod engine;
+pub mod error;
 pub mod hls;
 pub mod mediagen;
 pub mod negotiate;
@@ -22,14 +24,18 @@ pub mod server;
 pub mod stats;
 pub mod trust;
 pub mod video;
+pub mod workpool;
 
 pub use client::GenerativeClient;
+pub use engine::{FetchOutcome, GenerationEngine, ShardedGenerationCache};
+pub use error::SwwError;
 pub use mediagen::MediaGenerator;
 pub use negotiate::ServeMode;
 pub use policy::ServerPolicy;
 pub use render::RenderedPage;
-pub use server::{GenerativeServer, SiteContent, SwwPage};
+pub use server::{GenerativeServer, GenerativeServerBuilder, Session, SiteContent, SwwPage};
 pub use stats::PageStats;
+pub use workpool::WorkerPool;
 
 /// Re-export of the wire-level capability type.
 pub use sww_http2::GenAbility;

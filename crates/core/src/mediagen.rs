@@ -3,6 +3,7 @@
 //! diffusion pipeline, text-to-text via the language model — while
 //! accounting modelled device time and energy for every invocation.
 
+use crate::error::SwwError;
 use sww_energy::{cost, device::DeviceProfile, Energy};
 use sww_genai::diffusion::ImageModelKind;
 use sww_genai::image::codec;
@@ -112,14 +113,24 @@ impl MediaGenerator {
     }
 
     /// Generate the media for one generated-content element.
+    ///
+    /// Panics if the configured image model cannot run on the local
+    /// device; use [`MediaGenerator::try_generate`] to handle that case.
     pub fn generate(&mut self, item: &GeneratedContent) -> (GeneratedMedia, GenerationCost) {
+        self.try_generate(item).expect("local generation model")
+    }
+
+    /// Generate the media for one generated-content element, failing with
+    /// [`SwwError::UnsupportedModel`] when the configured image model has
+    /// no cost profile on the local device (e.g. a server-only model in a
+    /// client-side generator).
+    pub fn try_generate(
+        &mut self,
+        item: &GeneratedContent,
+    ) -> Result<(GeneratedMedia, GenerationCost), SwwError> {
         match item.content_type {
             ContentType::Img => {
                 let (w, h) = (item.width(), item.height());
-                let image = self
-                    .pipeline
-                    .generate_image(item.prompt(), w, h, self.inference_steps);
-                let encoded = codec::encode(&image, self.codec_quality);
                 let time_s = cost::image_generation_time(
                     self.image_model,
                     &self.device,
@@ -127,19 +138,26 @@ impl MediaGenerator {
                     h,
                     self.inference_steps,
                 )
-                .expect("local generation model");
+                .ok_or_else(|| SwwError::UnsupportedModel {
+                    what: "image generation",
+                    model: format!("{:?}", self.image_model),
+                })?;
+                let image = self
+                    .pipeline
+                    .generate_image(item.prompt(), w, h, self.inference_steps);
+                let encoded = codec::encode(&image, self.codec_quality);
                 let cost = GenerationCost {
                     time_s,
                     energy: Energy::from_power(self.device.image_power_w, time_s),
                 };
-                (
+                Ok((
                     GeneratedMedia::Image {
                         name: item.name().to_owned(),
                         image,
                         encoded,
                     },
                     cost,
-                )
+                ))
             }
             ContentType::Txt => {
                 let bullets = item.bullets();
@@ -150,7 +168,7 @@ impl MediaGenerator {
                     time_s,
                     energy: Energy::from_power(self.device.text_power_w, time_s),
                 };
-                (GeneratedMedia::Text { text }, cost)
+                Ok((GeneratedMedia::Text { text }, cost))
             }
         }
     }

@@ -8,6 +8,7 @@
 //! generate, the server can expand prompts itself before sending ("this
 //! saves storage space, and avoids saving two copies of content").
 
+use crate::error::SwwError;
 use crate::policy::ServerPolicy;
 use sww_genai::diffusion::ImageModelKind;
 use sww_genai::text::TextModelKind;
@@ -98,6 +99,20 @@ pub fn select_models(shared: GenAbility) -> (ImageModelKind, TextModelKind) {
     )
 }
 
+/// Strict variant of [`select_models`]: resolve the model pair only when
+/// the negotiated ability actually permits client-side generation,
+/// failing with [`SwwError::Negotiation`] otherwise. Callers that need a
+/// lenient default (e.g. a client whose generator may simply go unused)
+/// should keep using [`select_models`].
+pub fn models_for(shared: GenAbility) -> Result<(ImageModelKind, TextModelKind), SwwError> {
+    if !shared.can_generate() {
+        return Err(SwwError::Negotiation {
+            reason: "negotiated ability does not permit generation".into(),
+        });
+    }
+    Ok(select_models(shared))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +142,15 @@ mod tests {
         let (img, txt) = select_models(GenAbility::full());
         assert_eq!(img, ImageModelKind::Sd3Medium);
         assert_eq!(txt, TextModelKind::DeepSeekR1_8B);
+    }
+
+    #[test]
+    fn strict_model_resolution_requires_generation() {
+        assert!(models_for(GenAbility::full()).is_ok());
+        let err = models_for(GenAbility::none()).unwrap_err();
+        assert!(matches!(err, SwwError::Negotiation { .. }), "{err}");
+        // Upscale-only sessions have no shared generation models either.
+        assert!(models_for(GenAbility::upscale_only()).is_err());
     }
 
     #[test]

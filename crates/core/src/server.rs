@@ -1,4 +1,5 @@
-//! The generative server (paper §5.1).
+//! The generative server (paper §5.1), rebuilt as a concurrent serving
+//! engine.
 //!
 //! Stores pages in prompt form (that is the storage saving), negotiates
 //! generative ability during the HTTP/2 SETTINGS exchange, and serves each
@@ -6,17 +7,48 @@
 //! clients, server-side-expanded media to naive ones ("the server uses
 //! the prompt to generate the content before sending it to the client.
 //! This saves storage space, and avoids saving two copies of content").
+//!
+//! # Concurrency model
+//!
+//! A server built with [`GenerativeServer::builder`] is safe to drive
+//! from many threads and connections at once:
+//!
+//! * Site content and policy are frozen at build time and read without
+//!   locking.
+//! * Server-side generation flows through a [`GenerationEngine`]: a
+//!   lock-striped cache plus single-flight coalescing, so concurrent
+//!   requests for the same prompt recipe generate **exactly once**.
+//! * With `workers(n)` (n > 0), requests execute on a fixed
+//!   [`WorkerPool`] with a bounded queue;
+//!   when the queue is full the server answers `503` with `Retry-After`
+//!   instead of queueing without bound. With `workers(0)` (the default)
+//!   requests run inline on the calling thread, preserving the original
+//!   single-threaded behaviour exactly.
+//! * Each OS thread that generates keeps its own preloaded
+//!   [`MediaGenerator`] (the §4.1 preload optimisation, per worker), so
+//!   generations for distinct recipes proceed in parallel.
+//!
+//! Request handling is fallible internally ([`SwwError`]); the mapping
+//! from error to HTTP status code lives in exactly one place, the
+//! private `error_response` function.
 
+use crate::cache::Recipe;
+use crate::engine::GenerationEngine;
+use crate::error::SwwError;
 use crate::hls::{self, VideoAsset};
 use crate::mediagen::{GeneratedMedia, MediaGenerator};
 use crate::negotiate::{decide, ServeMode};
 use crate::policy::ServerPolicy;
+use crate::workpool::WorkerPool;
 use bytes::Bytes;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
 use sww_energy::device::{profile as device_profile, DeviceKind};
+use sww_genai::image::codec;
 use sww_hash::{sha256, to_hex};
+use sww_html::gencontent::ContentType;
 use sww_html::{gencontent, parse, serialize};
 use sww_http2::server::{serve_connection, ServeStats};
 use sww_http2::{GenAbility, H2Error, Request, Response};
@@ -37,6 +69,12 @@ pub struct SiteContent {
     pages: HashMap<String, SwwPage>,
     assets: HashMap<String, Bytes>,
     videos: HashMap<String, VideoAsset>,
+    /// Cached total of prompt-form octets (pages + unique assets),
+    /// maintained incrementally by the mutators so [`stored_bytes`]
+    /// never re-iterates the maps.
+    ///
+    /// [`stored_bytes`]: SiteContent::stored_bytes
+    stored: u64,
 }
 
 impl SiteContent {
@@ -45,28 +83,40 @@ impl SiteContent {
         SiteContent::default()
     }
 
-    /// Add a page at `path`.
+    /// Add a page at `path`, replacing (and un-counting) any previous
+    /// page at the same path.
     pub fn add_page(&mut self, path: impl Into<String>, html: impl Into<String>) {
-        self.pages
-            .insert(path.into(), SwwPage { html: html.into() });
+        let page = SwwPage { html: html.into() };
+        self.stored += page.html.len() as u64;
+        if let Some(old) = self.pages.insert(path.into(), page) {
+            self.stored -= old.html.len() as u64;
+        }
     }
 
-    /// Add a unique asset (e.g. the photographs from the specific hike).
+    /// Add a unique asset (e.g. the photographs from the specific hike),
+    /// replacing any previous asset at the same path.
     pub fn add_asset(&mut self, path: impl Into<String>, bytes: impl Into<Bytes>) {
-        self.assets.insert(path.into(), bytes.into());
+        let bytes = bytes.into();
+        self.stored += bytes.len() as u64;
+        if let Some(old) = self.assets.insert(path.into(), bytes) {
+            self.stored -= old.len() as u64;
+        }
     }
 
     /// Octets the site occupies in prompt form: HTML + unique assets.
-    /// This is what the server actually stores.
+    /// This is what the server actually stores. O(1): the total is kept
+    /// current by `add_page` / `add_asset` / `add_video`.
     pub fn stored_bytes(&self) -> u64 {
-        let pages: usize = self.pages.values().map(|p| p.html.len()).sum();
-        let assets: usize = self.assets.values().map(|a| a.len()).sum();
-        (pages + assets) as u64
+        self.stored
     }
 
     /// Publish a video stream; its playlist appears at
     /// `/video/<name>/playlist.m3u8` with a rendition negotiated from the
-    /// client's VIDEO ability (§3.2).
+    /// client's VIDEO ability (§3.2). Video renditions are modelled, not
+    /// stored, so they do not contribute to [`stored_bytes`]
+    /// (replacing a stream therefore leaves the total unchanged).
+    ///
+    /// [`stored_bytes`]: SiteContent::stored_bytes
     pub fn add_video(&mut self, asset: VideoAsset) {
         self.videos.insert(asset.name.clone(), asset);
     }
@@ -82,45 +132,196 @@ impl SiteContent {
     }
 }
 
-struct ServerState {
-    site: SiteContent,
-    policy: ServerPolicy,
-    /// Server-side generator for naive clients (workstation-class device).
-    generator: MediaGenerator,
-    /// Media materialized for naive clients, keyed by URL path.
-    generated_assets: HashMap<String, Bytes>,
-    /// Accounting: how many times each mode was served.
+/// Mutable serving statistics, behind one small lock (never held across
+/// generation).
+#[derive(Debug, Default)]
+struct Accounting {
+    /// How many times each mode was served.
     served_modes: HashMap<&'static str, u64>,
     /// Modelled server-side generation seconds accumulated.
-    server_generation_time_s: f64,
+    generation_time_s: f64,
+}
+
+/// Everything a server's connections share. Site and policy are frozen
+/// at build time; everything mutable sits behind its own fine-grained
+/// lock so request handling never serialises on a global mutex.
+#[derive(Debug)]
+struct ServerShared {
+    ability: GenAbility,
+    site: SiteContent,
+    policy: ServerPolicy,
+    /// Sharded, single-flight generation: the concurrency tentpole.
+    engine: GenerationEngine,
+    /// Media materialized for naive clients, keyed by URL path.
+    generated_assets: RwLock<HashMap<String, Bytes>>,
+    accounting: Mutex<Accounting>,
+    /// Memoized traditional-size estimate; the site is immutable once
+    /// the server is built, so this is computed at most once.
+    traditional_memo: Mutex<Option<u64>>,
+    /// Present when the server was built with `workers(n > 0)`.
+    pool: Option<WorkerPool>,
+}
+
+thread_local! {
+    /// Per-thread preloaded generator (paper §4.1: the pipeline is "a
+    /// large object" reused across invocations). One per OS thread means
+    /// pool workers generate in parallel without sharing a lock.
+    static SERVER_GENERATOR: RefCell<Option<MediaGenerator>> = const { RefCell::new(None) };
+}
+
+fn with_generator<R>(f: impl FnOnce(&mut MediaGenerator) -> R) -> R {
+    SERVER_GENERATOR.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let generator = slot
+            .get_or_insert_with(|| MediaGenerator::new(device_profile(DeviceKind::Workstation)));
+        f(generator)
+    })
+}
+
+/// Configures and builds a [`GenerativeServer`].
+///
+/// ```
+/// use sww_core::{GenAbility, GenerativeServer, ServerPolicy, SiteContent};
+/// let server = GenerativeServer::builder()
+///     .site(SiteContent::new())
+///     .ability(GenAbility::full())
+///     .policy(ServerPolicy::default())
+///     .workers(4)
+///     .cache_shards(16)
+///     .build();
+/// assert!(server.ability().supported());
+/// ```
+#[derive(Debug)]
+pub struct GenerativeServerBuilder {
+    site: SiteContent,
+    ability: GenAbility,
+    policy: ServerPolicy,
+    workers: usize,
+    queue_capacity: usize,
+    cache_shards: usize,
+    cache_pixels: u64,
+}
+
+impl Default for GenerativeServerBuilder {
+    fn default() -> GenerativeServerBuilder {
+        GenerativeServerBuilder {
+            site: SiteContent::new(),
+            ability: GenAbility::full(),
+            policy: ServerPolicy::default(),
+            workers: 0,
+            queue_capacity: 64,
+            cache_shards: 8,
+            cache_pixels: 64_000_000,
+        }
+    }
+}
+
+impl GenerativeServerBuilder {
+    /// The site to serve (default: empty).
+    pub fn site(mut self, site: SiteContent) -> GenerativeServerBuilder {
+        self.site = site;
+        self
+    }
+
+    /// The generative ability to advertise (default: full).
+    pub fn ability(mut self, ability: GenAbility) -> GenerativeServerBuilder {
+        self.ability = ability;
+        self
+    }
+
+    /// The serving policy (default: [`ServerPolicy::default`]).
+    pub fn policy(mut self, policy: ServerPolicy) -> GenerativeServerBuilder {
+        self.policy = policy;
+        self
+    }
+
+    /// Number of pool workers. `0` (the default) handles requests inline
+    /// on the calling thread with no pool at all.
+    pub fn workers(mut self, workers: usize) -> GenerativeServerBuilder {
+        self.workers = workers;
+        self
+    }
+
+    /// Bound on jobs waiting for a worker before the server starts
+    /// answering `503` (default: 64). Ignored when `workers` is 0.
+    pub fn queue_capacity(mut self, capacity: usize) -> GenerativeServerBuilder {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Number of lock stripes in the server-side generation cache
+    /// (default: 8, clamped to at least 1).
+    pub fn cache_shards(mut self, shards: usize) -> GenerativeServerBuilder {
+        self.cache_shards = shards;
+        self
+    }
+
+    /// Total pixel budget of the server-side generation cache (default:
+    /// 64 MP), divided evenly across shards.
+    pub fn cache_pixels(mut self, pixels: u64) -> GenerativeServerBuilder {
+        self.cache_pixels = pixels;
+        self
+    }
+
+    /// Build the server.
+    pub fn build(self) -> GenerativeServer {
+        GenerativeServer {
+            shared: Arc::new(ServerShared {
+                ability: self.ability,
+                site: self.site,
+                policy: self.policy,
+                engine: GenerationEngine::new(self.cache_shards, self.cache_pixels),
+                generated_assets: RwLock::new(HashMap::new()),
+                accounting: Mutex::new(Accounting::default()),
+                traditional_memo: Mutex::new(None),
+                pool: (self.workers > 0)
+                    .then(|| WorkerPool::new(self.workers, self.queue_capacity)),
+            }),
+        }
+    }
 }
 
 /// The generative server.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct GenerativeServer {
-    ability: GenAbility,
-    state: Arc<Mutex<ServerState>>,
+    shared: Arc<ServerShared>,
 }
 
 impl GenerativeServer {
+    /// Start configuring a server.
+    pub fn builder() -> GenerativeServerBuilder {
+        GenerativeServerBuilder::default()
+    }
+
     /// A server advertising `ability` and holding `site` in prompt form.
+    #[deprecated(note = "use GenerativeServer::builder()")]
     pub fn new(site: SiteContent, ability: GenAbility, policy: ServerPolicy) -> GenerativeServer {
-        GenerativeServer {
-            ability,
-            state: Arc::new(Mutex::new(ServerState {
-                site,
-                policy,
-                generator: MediaGenerator::new(device_profile(DeviceKind::Workstation)),
-                generated_assets: HashMap::new(),
-                served_modes: HashMap::new(),
-                server_generation_time_s: 0.0,
-            })),
-        }
+        GenerativeServer::builder()
+            .site(site)
+            .ability(ability)
+            .policy(policy)
+            .build()
     }
 
     /// The ability this server advertises.
     pub fn ability(&self) -> GenAbility {
-        self.ability
+        self.shared.ability
+    }
+
+    /// Accept a (transport-independent) session for a client advertising
+    /// `client_ability`. The [`Session`] carries the negotiated ability,
+    /// so per-request calls no longer re-state the client's capability.
+    pub fn accept(&self, client_ability: GenAbility) -> Session {
+        Session {
+            shared: Arc::clone(&self.shared),
+            client_ability,
+        }
+    }
+
+    /// Answer one request directly.
+    #[deprecated(note = "use server.accept(client_ability) and Session::handle")]
+    pub fn handle(&self, req: &Request, client_ability: GenAbility) -> Response {
+        dispatch(&self.shared, client_ability, req)
     }
 
     /// Serve one accepted connection (duplex stream or TCP socket).
@@ -128,20 +329,12 @@ impl GenerativeServer {
     where
         T: AsyncRead + AsyncWrite + Unpin,
     {
-        let state = Arc::clone(&self.state);
-        let ability = self.ability;
+        let shared = Arc::clone(&self.shared);
+        let ability = self.shared.ability;
         serve_connection(io, ability, move |req, ctx| {
-            let mut st = state.lock();
-            handle_request(&mut st, ability, ctx.client_ability, &req)
+            dispatch(&shared, ctx.client_ability, &req)
         })
         .await
-    }
-
-    /// Answer one request directly (the transport-independent core used
-    /// by both the HTTP/2 and HTTP/3 front ends).
-    pub fn handle(&self, req: &Request, client_ability: GenAbility) -> Response {
-        let mut st = self.state.lock();
-        handle_request(&mut st, self.ability, client_ability, req)
     }
 
     /// Bind a TCP listener and serve connections until the task is
@@ -161,38 +354,90 @@ impl GenerativeServer {
         Ok(local)
     }
 
-    /// Octets the site occupies in prompt form.
+    /// Octets the site occupies in prompt form (O(1), cached by
+    /// [`SiteContent`]).
     pub fn stored_bytes(&self) -> u64 {
-        self.state.lock().site.stored_bytes()
+        self.shared.site.stored_bytes()
     }
 
     /// Octets the site would occupy traditionally: every generated-content
     /// element materialized to media (measured via the codec) plus HTML
-    /// and unique assets.
+    /// and unique assets. Memoized — the site is immutable once built, so
+    /// the full generation sweep runs at most once.
     pub fn traditional_bytes(&self) -> u64 {
-        let mut st = self.state.lock();
-        let pages: Vec<SwwPage> = st.site.pages.values().cloned().collect();
-        let mut total = st.site.stored_bytes();
-        for page in pages {
+        let mut memo = self.shared.traditional_memo.lock();
+        if let Some(total) = *memo {
+            return total;
+        }
+        let mut total = self.shared.site.stored_bytes();
+        for page in self.shared.site.pages.values() {
             let doc = parse(&page.html);
             for item in gencontent::extract(&doc) {
-                let (media, _) = st.generator.generate(&item);
+                let (media, _) = with_generator(|g| g.generate(&item));
                 total += media.media_bytes() as u64;
                 // Prompt-form metadata would not be stored traditionally.
                 total = total.saturating_sub(item.metadata_size() as u64);
             }
         }
+        *memo = Some(total);
         total
     }
 
     /// How many requests were served in each mode (for tests/benches).
     pub fn served_modes(&self) -> HashMap<&'static str, u64> {
-        self.state.lock().served_modes.clone()
+        self.shared.accounting.lock().served_modes.clone()
     }
 
     /// Accumulated modelled server-side generation time.
     pub fn server_generation_time_s(&self) -> f64 {
-        self.state.lock().server_generation_time_s
+        self.shared.accounting.lock().generation_time_s
+    }
+
+    /// The concurrent generation engine (cache shards + single flight).
+    pub fn engine(&self) -> &GenerationEngine {
+        &self.shared.engine
+    }
+
+    /// Worker threads backing this server, if a pool was configured.
+    pub fn worker_count(&self) -> Option<usize> {
+        self.shared.pool.as_ref().map(|p| p.worker_count())
+    }
+}
+
+/// One accepted client's serving context: the server plus the client's
+/// advertised ability, fixed at accept time. Sessions are cheap to
+/// create, `Send + Sync`, and safe to use from many threads.
+#[derive(Debug)]
+pub struct Session {
+    shared: Arc<ServerShared>,
+    client_ability: GenAbility,
+}
+
+impl Session {
+    /// The ability the client advertised at accept time.
+    pub fn client_ability(&self) -> GenAbility {
+        self.client_ability
+    }
+
+    /// The negotiated (shared) ability for this session.
+    pub fn negotiated_ability(&self) -> GenAbility {
+        self.shared.ability.intersect(self.client_ability)
+    }
+
+    /// How page requests on this session will be served.
+    pub fn serve_mode(&self) -> ServeMode {
+        decide(
+            self.shared.ability,
+            self.client_ability,
+            &self.shared.policy,
+        )
+    }
+
+    /// Answer one request on this session. With a worker pool configured
+    /// the request executes on a worker (bounded queue, `503` +
+    /// `Retry-After` under saturation); otherwise it runs inline.
+    pub fn handle(&self, req: &Request) -> Response {
+        dispatch(&self.shared, self.client_ability, req)
     }
 }
 
@@ -209,15 +454,54 @@ fn count_route(route: &'static str) {
     sww_obs::counter("sww_server_requests_total", &[("route", route)]).inc();
 }
 
+/// Route a request to the pool (if configured) or handle it inline, and
+/// materialize any error into its response.
+fn dispatch(shared: &Arc<ServerShared>, client_ability: GenAbility, req: &Request) -> Response {
+    let result = match &shared.pool {
+        None => handle_request(shared, client_ability, req),
+        Some(pool) => {
+            let task_shared = Arc::clone(shared);
+            let task_req = req.clone();
+            pool.run(move || handle_request(&task_shared, client_ability, &task_req))
+                .and_then(|inner| inner)
+        }
+    };
+    result.unwrap_or_else(|err| error_response(&err))
+}
+
+/// Map a [`SwwError`] to its HTTP response — the **single** place in the
+/// stack where error conditions become status codes.
+fn error_response(err: &SwwError) -> Response {
+    let status = match err {
+        SwwError::NotFound { .. } => 404,
+        SwwError::MethodNotAllowed { .. } => 405,
+        SwwError::Internal { .. } => 500,
+        SwwError::UnsupportedModel { .. } => 501,
+        SwwError::UpstreamStatus { .. } | SwwError::Transport(_) => 502,
+        SwwError::Saturated { .. } | SwwError::Negotiation { .. } => 503,
+    };
+    let status_label = status.to_string();
+    sww_obs::counter("sww_server_errors_total", &[("status", &status_label)]).inc();
+    let mut resp = Response::status(status);
+    if let SwwError::Saturated { retry_after_s } = err {
+        resp.headers
+            .insert("retry-after", retry_after_s.to_string());
+    }
+    resp.headers.insert("x-sww-error", err.to_string());
+    resp
+}
+
 fn handle_request(
-    st: &mut ServerState,
-    server_ability: GenAbility,
+    shared: &ServerShared,
     client_ability: GenAbility,
     req: &Request,
-) -> Response {
+) -> Result<Response, SwwError> {
+    let server_ability = shared.ability;
     if req.method != "GET" {
         count_route("bad_method");
-        return Response::status(405);
+        return Err(SwwError::MethodNotAllowed {
+            method: req.method.clone(),
+        });
     }
     // Observability endpoint: the whole metrics registry in Prometheus
     // text format. Purely read-only with respect to site state.
@@ -226,40 +510,48 @@ fn handle_request(
         let mut resp = Response::ok(Bytes::from(sww_obs::render()));
         resp.headers
             .insert("content-type", "text/plain; version=0.0.4");
-        return resp;
+        return Ok(resp);
     }
     // Generated/unique assets first.
-    if let Some(bytes) = st
+    let asset = shared
         .generated_assets
+        .read()
         .get(&req.path)
         .cloned()
-        .or_else(|| st.site.assets.get(&req.path).cloned())
-    {
+        .or_else(|| shared.site.assets.get(&req.path).cloned());
+    if let Some(bytes) = asset {
         count_route("asset");
         let mut resp = Response::ok(bytes);
         resp.headers.insert("content-type", "image/swim");
-        return resp;
+        return Ok(resp);
     }
     // Video routes (§3.2): /video/<name>/playlist.m3u8 and segments.
     if let Some(rest) = req.path.strip_prefix("/video/") {
         count_route("video");
-        return handle_video(st, server_ability, client_ability, rest);
+        return handle_video(shared, server_ability, client_ability, rest);
     }
-    let Some(page) = st.site.page(&req.path).cloned() else {
+    let Some(page) = shared.site.page(&req.path) else {
         count_route("not_found");
-        return Response::status(404);
+        return Err(SwwError::NotFound {
+            path: req.path.clone(),
+        });
     };
     count_route("page");
-    let mode = decide(server_ability, client_ability, &st.policy);
-    *st.served_modes.entry(mode_label(mode)).or_default() += 1;
+    let mode = decide(server_ability, client_ability, &shared.policy);
+    *shared
+        .accounting
+        .lock()
+        .served_modes
+        .entry(mode_label(mode))
+        .or_default() += 1;
     sww_obs::counter(
         "sww_negotiate_outcomes_total",
         &[("mode", mode_label(mode))],
     )
     .inc();
     let html = match mode {
-        ServeMode::Generative | ServeMode::UpscaleAssisted => page.html,
-        ServeMode::ServerGenerated | ServeMode::Traditional => materialize(st, &page.html),
+        ServeMode::Generative | ServeMode::UpscaleAssisted => page.html.clone(),
+        ServeMode::ServerGenerated | ServeMode::Traditional => materialize(shared, &page.html),
     };
     // Conditional requests: the page body is content-addressed, so a
     // client that revalidates with If-None-Match skips the transfer —
@@ -269,38 +561,41 @@ fn handle_request(
         let mut resp = Response::status(304);
         resp.headers.insert("etag", etag);
         resp.headers.insert("x-sww-mode", mode_label(mode));
-        return resp;
+        return Ok(resp);
     }
     let mut resp = Response::ok(Bytes::from(html));
     resp.headers.insert("content-type", "text/html");
     resp.headers.insert("etag", etag);
     resp.headers.insert("x-sww-mode", mode_label(mode));
-    resp
+    Ok(resp)
 }
 
 /// Serve a video playlist or segment. The rendition is negotiated per
 /// request from the latest advertised abilities, so a client that
 /// withdraws VIDEO mid-connection falls back to full rate.
 fn handle_video(
-    st: &mut ServerState,
+    shared: &ServerShared,
     server_ability: GenAbility,
     client_ability: GenAbility,
     rest: &str,
-) -> Response {
+) -> Result<Response, SwwError> {
+    let not_found = || SwwError::NotFound {
+        path: format!("/video/{rest}"),
+    };
     let Some((name, file)) = rest.split_once('/') else {
-        return Response::status(404);
+        return Err(not_found());
     };
-    let Some(asset) = st.site.videos.get(name).cloned() else {
-        return Response::status(404);
+    let Some(asset) = shared.site.videos.get(name) else {
+        return Err(not_found());
     };
-    let playlist = hls::build_playlist(&asset, client_ability, server_ability);
+    let playlist = hls::build_playlist(asset, client_ability, server_ability);
     if file == "playlist.m3u8" {
-        let mut resp = Response::ok(Bytes::from(playlist.to_m3u8(&asset)));
+        let mut resp = Response::ok(Bytes::from(playlist.to_m3u8(asset)));
         resp.headers
             .insert("content-type", "application/vnd.apple.mpegurl");
         resp.headers
             .insert("x-sww-sent-fps", playlist.stream.sent_fps.to_string());
-        return resp;
+        return Ok(resp);
     }
     // Segment: segNNNN.ts
     let Some(index) = file
@@ -308,34 +603,52 @@ fn handle_video(
         .and_then(|f| f.strip_suffix(".ts"))
         .and_then(|n| n.parse::<u64>().ok())
     else {
-        return Response::status(404);
+        return Err(not_found());
     };
     if index >= playlist.stream.segments {
-        return Response::status(404);
+        return Err(not_found());
     }
     let mut resp = Response::ok(Bytes::from(hls::segment_payload(&playlist, index)));
     resp.headers.insert("content-type", "video/mp2t");
-    resp
+    Ok(resp)
 }
 
 /// Expand every generated-content element server-side, store the media as
 /// a servable asset, and rewrite the page to point at it.
-fn materialize(st: &mut ServerState, html: &str) -> String {
+///
+/// Image items flow through the generation engine: the recipe is looked
+/// up in the sharded cache, and concurrent requests for the same recipe
+/// coalesce onto one generation instead of each paying the cost.
+fn materialize(shared: &ServerShared, html: &str) -> String {
     let mut doc = parse(html);
-    let items = gencontent::extract(&doc);
-    for item in items {
-        let span = sww_obs::Span::begin("sww_server_generate", "materialize");
-        let (media, cost) = st.generator.generate(&item);
-        span.finish_with_virtual(cost.time_s);
-        st.server_generation_time_s += cost.time_s;
-        match media {
-            GeneratedMedia::Image {
-                name,
-                encoded,
-                image,
-            } => {
-                let path = format!("/generated/{name}");
-                st.generated_assets
+    for item in gencontent::extract(&doc) {
+        match item.content_type {
+            ContentType::Img => {
+                let (model, steps) = with_generator(|g| (g.image_model(), g.inference_steps()));
+                let recipe = Recipe {
+                    prompt: item.prompt().to_owned(),
+                    model,
+                    width: item.width(),
+                    height: item.height(),
+                    steps,
+                };
+                let (image, _outcome) = shared.engine.fetch_image(&recipe, || {
+                    let span = sww_obs::Span::begin("sww_server_generate", "materialize");
+                    let (media, cost) = with_generator(|g| g.generate(&item));
+                    span.finish_with_virtual(cost.time_s);
+                    shared.accounting.lock().generation_time_s += cost.time_s;
+                    match media {
+                        GeneratedMedia::Image { image, .. } => image,
+                        GeneratedMedia::Text { .. } => {
+                            unreachable!("an Img item generates an image")
+                        }
+                    }
+                });
+                let encoded = codec::encode(&image, crate::mediagen::DEFAULT_CODEC_QUALITY);
+                let path = format!("/generated/{}", item.name());
+                shared
+                    .generated_assets
+                    .write()
                     .insert(path.clone(), Bytes::from(encoded));
                 gencontent::replace_with_image(
                     &mut doc,
@@ -345,7 +658,14 @@ fn materialize(st: &mut ServerState, html: &str) -> String {
                     image.height(),
                 );
             }
-            GeneratedMedia::Text { text } => {
+            ContentType::Txt => {
+                let span = sww_obs::Span::begin("sww_server_generate", "materialize");
+                let (media, cost) = with_generator(|g| g.generate(&item));
+                span.finish_with_virtual(cost.time_s);
+                shared.accounting.lock().generation_time_s += cost.time_s;
+                let GeneratedMedia::Text { text } = media else {
+                    unreachable!("a Txt item generates text")
+                };
                 gencontent::replace_with_text(&mut doc, item.node, &text);
             }
         }
@@ -369,6 +689,10 @@ mod tests {
         site
     }
 
+    fn demo_server() -> GenerativeServer {
+        GenerativeServer::builder().site(demo_site()).build()
+    }
+
     #[test]
     fn stored_bytes_counts_prompt_form() {
         let site = demo_site();
@@ -378,21 +702,159 @@ mod tests {
     }
 
     #[test]
-    fn traditional_exceeds_prompt_form() {
-        let server =
-            GenerativeServer::new(demo_site(), GenAbility::full(), ServerPolicy::default());
+    fn stored_bytes_cache_tracks_mutation_and_replacement() {
+        let mut site = SiteContent::new();
+        site.add_page("/a", "x".repeat(100));
+        site.add_asset("/b", Bytes::from(vec![0u8; 50]));
+        assert_eq!(site.stored_bytes(), 150);
+        // Replacing a page swaps its contribution, not adds to it.
+        site.add_page("/a", "y".repeat(30));
+        assert_eq!(site.stored_bytes(), 80);
+        site.add_asset("/b", Bytes::from(vec![1u8; 10]));
+        assert_eq!(site.stored_bytes(), 40);
+    }
+
+    #[test]
+    fn traditional_exceeds_prompt_form_and_is_memoized() {
+        let server = demo_server();
         let stored = server.stored_bytes();
         let traditional = server.traditional_bytes();
         assert!(
             traditional > stored,
             "traditional {traditional} must exceed prompt-form {stored}"
         );
+        // Second call must come from the memo and agree exactly.
+        assert_eq!(server.traditional_bytes(), traditional);
+    }
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let server = GenerativeServer::builder()
+            .site(demo_site())
+            .ability(GenAbility::full())
+            .policy(ServerPolicy::default())
+            .workers(2)
+            .queue_capacity(8)
+            .cache_shards(4)
+            .cache_pixels(1_000_000)
+            .build();
+        assert_eq!(server.worker_count(), Some(2));
+        assert_eq!(server.engine().cache().shard_count(), 4);
+        // Default build: no pool.
+        assert_eq!(demo_server().worker_count(), None);
+    }
+
+    #[test]
+    fn session_carries_negotiated_ability() {
+        let server = demo_server();
+        let session = server.accept(GenAbility::full());
+        assert!(session.negotiated_ability().can_generate());
+        assert_eq!(session.serve_mode(), ServeMode::Generative);
+        let resp = session.handle(&Request::get("/hike"));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.headers.get("x-sww-mode"), Some("generative"));
+
+        let naive = server.accept(GenAbility::none());
+        assert!(!naive.negotiated_ability().can_generate());
+        assert_eq!(naive.serve_mode(), ServeMode::ServerGenerated);
+        let resp = naive.handle(&Request::get("/hike"));
+        assert_eq!(resp.headers.get("x-sww-mode"), Some("server-generated"));
+    }
+
+    #[test]
+    fn pooled_session_answers_identically_to_inline() {
+        let inline = demo_server();
+        let pooled = GenerativeServer::builder()
+            .site(demo_site())
+            .workers(2)
+            .build();
+        for (server, label) in [(&inline, "inline"), (&pooled, "pooled")] {
+            let resp = server
+                .accept(GenAbility::none())
+                .handle(&Request::get("/hike"));
+            assert_eq!(resp.status, 200, "{label}");
+            assert!(
+                String::from_utf8_lossy(&resp.body).contains("/generated/trail.jpg"),
+                "{label}"
+            );
+        }
+        // Same site, same recipes: identical materialized bodies.
+        let a = inline
+            .accept(GenAbility::none())
+            .handle(&Request::get("/hike"));
+        let b = pooled
+            .accept(GenAbility::none())
+            .handle(&Request::get("/hike"));
+        assert_eq!(a.body, b.body);
+    }
+
+    #[test]
+    fn repeated_naive_requests_generate_images_once() {
+        let server = demo_server();
+        let session = server.accept(GenAbility::none());
+        for _ in 0..3 {
+            let resp = session.handle(&Request::get("/hike"));
+            assert_eq!(resp.status, 200);
+        }
+        // One image item on the page: generated once, then cache hits.
+        assert_eq!(server.engine().generations(), 1);
+        assert_eq!(server.engine().cache_hits(), 2);
+    }
+
+    #[test]
+    fn error_mapping_is_single_sourced() {
+        let cases = [
+            (SwwError::NotFound { path: "/x".into() }, 404),
+            (
+                SwwError::MethodNotAllowed {
+                    method: "POST".into(),
+                },
+                405,
+            ),
+            (
+                SwwError::Internal {
+                    reason: "boom".into(),
+                },
+                500,
+            ),
+            (
+                SwwError::UnsupportedModel {
+                    what: "image generation",
+                    model: "Dalle3".into(),
+                },
+                501,
+            ),
+            (
+                SwwError::UpstreamStatus {
+                    path: "/p".into(),
+                    status: 404,
+                },
+                502,
+            ),
+            (SwwError::Saturated { retry_after_s: 3 }, 503),
+        ];
+        for (err, status) in cases {
+            let resp = error_response(&err);
+            assert_eq!(resp.status, status, "{err}");
+            assert!(resp.headers.get("x-sww-error").is_some());
+        }
+        let resp = error_response(&SwwError::Saturated { retry_after_s: 3 });
+        assert_eq!(resp.headers.get("retry-after"), Some("3"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_and_handle_still_work() {
+        let server =
+            GenerativeServer::new(demo_site(), GenAbility::full(), ServerPolicy::default());
+        let resp = server.handle(&Request::get("/hike"), GenAbility::full());
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.headers.get("x-sww-mode"), Some("generative"));
     }
 
     #[tokio::test]
     async fn serves_prompt_form_to_capable_client() {
-        let server =
-            GenerativeServer::new(demo_site(), GenAbility::full(), ServerPolicy::default());
+        let server = demo_server();
         let (a, b) = tokio::io::duplex(1 << 20);
         let srv = server.clone();
         tokio::spawn(async move {
@@ -411,8 +873,7 @@ mod tests {
 
     #[tokio::test]
     async fn materializes_for_naive_client() {
-        let server =
-            GenerativeServer::new(demo_site(), GenAbility::full(), ServerPolicy::default());
+        let server = demo_server();
         let (a, b) = tokio::io::duplex(1 << 20);
         let srv = server.clone();
         tokio::spawn(async move {
@@ -439,8 +900,7 @@ mod tests {
 
     #[tokio::test]
     async fn unknown_path_is_404_and_post_is_405() {
-        let server =
-            GenerativeServer::new(demo_site(), GenAbility::full(), ServerPolicy::default());
+        let server = demo_server();
         let (a, b) = tokio::io::duplex(1 << 20);
         let srv = server.clone();
         tokio::spawn(async move {
@@ -462,8 +922,7 @@ mod tests {
 
     #[tokio::test]
     async fn unique_assets_served_as_is() {
-        let server =
-            GenerativeServer::new(demo_site(), GenAbility::full(), ServerPolicy::default());
+        let server = demo_server();
         let (a, b) = tokio::io::duplex(1 << 20);
         let srv = server.clone();
         tokio::spawn(async move {

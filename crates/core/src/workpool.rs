@@ -1,0 +1,276 @@
+//! A fixed-size worker pool with a bounded queue and explicit
+//! backpressure, built on `std::thread` only.
+//!
+//! This is the execution substrate of the concurrent serving engine: the
+//! server front ends hand each request to the pool and block for the
+//! response, so at most `workers` requests execute at once and at most
+//! `queue_capacity` wait. When the queue is full, [`WorkerPool::run`]
+//! fails fast with [`SwwError::Saturated`] — the server maps that to
+//! `503` + `Retry-After` instead of letting latency grow without bound.
+//!
+//! Observability: `sww_pool_queue_depth` (gauge) tracks waiting jobs,
+//! `sww_pool_jobs_total{result=executed|rejected}` counts admissions,
+//! and `sww_pool_worker_utilization` (histogram) records the busy-worker
+//! fraction sampled at each job start.
+
+use crate::error::SwwError;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Buckets for the busy-worker fraction (0..=1].
+const UTILIZATION_BUCKETS: &[f64] = &[0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0];
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    queue: Mutex<QueueState>,
+    job_ready: Condvar,
+    queue_capacity: usize,
+    workers: usize,
+    active: AtomicUsize,
+}
+
+impl PoolShared {
+    fn set_depth_gauge(&self, depth: usize) {
+        sww_obs::gauge("sww_pool_queue_depth", &[]).set(depth as f64);
+    }
+}
+
+/// Restores the active-worker count even if a job panics.
+struct ActiveGuard<'a>(&'a PoolShared);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// A fixed set of worker threads draining a bounded job queue.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.shared.workers)
+            .field("queue_capacity", &self.shared.queue_capacity)
+            .field("queue_depth", &self.queue_depth())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads (clamped to at least 1) sharing a queue
+    /// that holds at most `queue_capacity` waiting jobs.
+    pub fn new(workers: usize, queue_capacity: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+            queue_capacity,
+            workers,
+            active: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sww-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Jobs currently waiting (not yet picked up by a worker).
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .jobs
+            .len()
+    }
+
+    /// Enqueue a fire-and-forget job, failing fast when the queue is
+    /// full instead of blocking the caller.
+    pub fn try_execute(&self, job: Job) -> Result<(), SwwError> {
+        let depth = {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if q.jobs.len() >= self.shared.queue_capacity {
+                sww_obs::counter("sww_pool_jobs_total", &[("result", "rejected")]).inc();
+                // Scale the advised backoff with how far behind we are:
+                // one second per full queue's worth of backlog, minimum 1.
+                let retry_after_s = (q.jobs.len() / self.shared.workers.max(1)).clamp(1, 30) as u32;
+                return Err(SwwError::Saturated { retry_after_s });
+            }
+            q.jobs.push_back(job);
+            q.jobs.len()
+        };
+        self.shared.set_depth_gauge(depth);
+        sww_obs::counter("sww_pool_jobs_total", &[("result", "executed")]).inc();
+        self.shared.job_ready.notify_one();
+        Ok(())
+    }
+
+    /// Run `f` on a worker and block until its result is available.
+    /// Returns [`SwwError::Saturated`] without running anything when the
+    /// queue is full, and [`SwwError::Internal`] if `f` panics.
+    pub fn run<R, F>(&self, f: F) -> Result<R, SwwError>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        type Outcome<R> = std::thread::Result<R>;
+        let slot: Arc<(Mutex<Option<Outcome<R>>>, Condvar)> =
+            Arc::new((Mutex::new(None), Condvar::new()));
+        let publish = Arc::clone(&slot);
+        self.try_execute(Box::new(move || {
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            *publish.0.lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+            publish.1.notify_all();
+        }))?;
+        let (lock, ready) = &*slot;
+        let mut result = lock.lock().unwrap_or_else(|e| e.into_inner());
+        while result.is_none() {
+            result = ready.wait(result).unwrap_or_else(|e| e.into_inner());
+        }
+        result
+            .take()
+            .expect("slot filled")
+            .map_err(|_| SwwError::Internal {
+                reason: "request handler panicked on a pool worker".into(),
+            })
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .shutdown = true;
+        self.shared.job_ready.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    shared.set_depth_gauge(q.jobs.len());
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.job_ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let busy = shared.active.fetch_add(1, Ordering::Relaxed) + 1;
+        let guard = ActiveGuard(shared);
+        sww_obs::histogram("sww_pool_worker_utilization", &[], UTILIZATION_BUCKETS)
+            .observe(busy as f64 / shared.workers as f64);
+        // A panicking job must not take the worker thread down with it;
+        // `run` observes the panic through its result slot.
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+            sww_obs::counter("sww_pool_jobs_total", &[("result", "panicked")]).inc();
+        }
+        drop(guard);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Barrier;
+
+    #[test]
+    fn runs_jobs_and_returns_results() {
+        let pool = WorkerPool::new(2, 16);
+        assert_eq!(pool.worker_count(), 2);
+        let doubled = pool.run(|| 21 * 2).unwrap();
+        assert_eq!(doubled, 42);
+    }
+
+    #[test]
+    fn parallel_submissions_all_complete() {
+        let pool = Arc::new(WorkerPool::new(4, 64));
+        let total = Arc::new(AtomicU64::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || {
+                    for i in 0..10u64 {
+                        let got = pool.run(move || i).unwrap();
+                        total.fetch_add(got, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 8 * 45);
+    }
+
+    #[test]
+    fn saturation_rejects_with_retry_after() {
+        let pool = WorkerPool::new(1, 1);
+        // Occupy the only worker until released.
+        let gate = Arc::new(Barrier::new(2));
+        let g = Arc::clone(&gate);
+        pool.try_execute(Box::new(move || {
+            g.wait();
+        }))
+        .unwrap();
+        // Give the worker a moment to pick the blocking job up, then fill
+        // the single queue slot.
+        while pool.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+        pool.try_execute(Box::new(|| {})).unwrap();
+        // Queue full: the next submission must be rejected, not queued.
+        let err = pool.run(|| ()).unwrap_err();
+        match err {
+            SwwError::Saturated { retry_after_s } => assert!(retry_after_s >= 1),
+            other => panic!("expected Saturated, got {other:?}"),
+        }
+        gate.wait();
+    }
+
+    #[test]
+    fn worker_survives_a_panicking_job() {
+        let pool = WorkerPool::new(1, 8);
+        let err = pool.run(|| panic!("job dies")).unwrap_err();
+        assert!(matches!(err, SwwError::Internal { .. }), "{err:?}");
+        // The single worker survived the panic and still executes jobs.
+        assert_eq!(pool.run(|| 7).unwrap(), 7);
+    }
+}

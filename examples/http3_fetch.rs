@@ -5,7 +5,7 @@
 //! Run with: `cargo run --example http3_fetch --release`
 
 use sww::core::mediagen::{GeneratedMedia, MediaGenerator};
-use sww::core::{GenAbility, GenerativeServer, ServerPolicy, SiteContent};
+use sww::core::{GenAbility, GenerativeServer, SiteContent};
 use sww::energy::device::{profile, DeviceKind};
 use sww::html::gencontent;
 use sww::http2::Request;
@@ -27,13 +27,16 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
             gencontent::image_div("rolling vineyard hills in summer", "vines.jpg", 128, 128),
         ),
     );
-    let server = GenerativeServer::new(site, GenAbility::full(), ServerPolicy::default());
+    let server = GenerativeServer::builder()
+        .site(site)
+        .ability(GenAbility::full())
+        .build();
 
     let (client_io, server_io) = tokio::io::duplex(1 << 20);
     let ability = server.ability();
     tokio::spawn(async move {
         let _ = serve_h3_connection(server_io, ability, move |req, negotiated| {
-            server.handle(&req, negotiated)
+            server.accept(negotiated).handle(&req)
         })
         .await;
     });

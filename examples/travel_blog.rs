@@ -7,14 +7,17 @@
 //! Run with: `cargo run --example travel_blog --release`
 
 use sww::core::personalize::{personalize, UserProfile};
-use sww::core::{GenAbility, GenerativeClient, GenerativeServer, ServerPolicy};
+use sww::core::{GenAbility, GenerativeClient, GenerativeServer};
 use sww::energy::device::{profile, DeviceKind};
 use sww::workload::blog;
 
 #[tokio::main]
 async fn main() -> Result<(), Box<dyn std::error::Error>> {
     let site = blog::travel_blog();
-    let server = GenerativeServer::new(site, GenAbility::full(), ServerPolicy::default());
+    let server = GenerativeServer::builder()
+        .site(site)
+        .ability(GenAbility::full())
+        .build();
     let addr = server.spawn_tcp("127.0.0.1:0").await?;
 
     // Generative visitor (laptop).

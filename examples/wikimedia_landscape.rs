@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --example wikimedia_landscape --release`
 
-use sww::core::{GenAbility, GenerativeClient, GenerativeServer, ServerPolicy, SiteContent};
+use sww::core::{GenAbility, GenerativeClient, GenerativeServer, SiteContent};
 use sww::energy::device::{profile, DeviceKind};
 use sww::genai::metrics::clip;
 use sww::workload::wikimedia;
@@ -17,7 +17,10 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut site = SiteContent::new();
     site.add_page("/wiki/landscape", workload.sww_html.clone());
-    let server = GenerativeServer::new(site, GenAbility::full(), ServerPolicy::default());
+    let server = GenerativeServer::builder()
+        .site(site)
+        .ability(GenAbility::full())
+        .build();
     let addr = server.spawn_tcp("127.0.0.1:0").await?;
 
     let sock = tokio::net::TcpStream::connect(addr).await?;

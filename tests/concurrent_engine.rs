@@ -1,0 +1,159 @@
+//! Stress test for the concurrent serving engine (single-flight sharded
+//! generation cache): 8 threads × 100 requests over 10 unique prompts
+//! must run **exactly 10 generations** — every other request is either a
+//! cache hit or coalesced onto an in-flight generation — and the final
+//! cache state must equal a sequential baseline.
+//!
+//! This is the acceptance test for the engine's amortization contract:
+//! `sww_cache_coalesced_total` (requests that did not pay for their own
+//! generation) must equal 800 − 10 = 790 in the `/metrics` exposition.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use sww::core::cache::Recipe;
+use sww::core::{FetchOutcome, GenAbility, GenerationEngine, GenerativeServer, SiteContent};
+use sww::genai::diffusion::ImageModelKind;
+use sww::genai::ImageBuffer;
+
+const THREADS: usize = 8;
+const REQUESTS_PER_THREAD: usize = 100;
+const UNIQUE_PROMPTS: usize = 10;
+
+fn recipe(p: usize) -> Recipe {
+    Recipe {
+        prompt: format!("stress prompt {p} over the ridge"),
+        model: ImageModelKind::Sd3Medium,
+        width: 32,
+        height: 32,
+        steps: 15,
+    }
+}
+
+/// Deterministic stand-in for the diffusion pipeline: pixels are a pure
+/// function of the recipe, so identical recipes must yield identical
+/// images and the parallel/sequential cache states are comparable.
+fn render(r: &Recipe) -> ImageBuffer {
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in r.prompt.bytes() {
+        seed = (seed ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    let n = (r.width * r.height * 3) as usize;
+    let data = (0..n)
+        .map(|i| (seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9) >> 16) as u8)
+        .collect();
+    ImageBuffer::from_data(r.width, r.height, data)
+}
+
+/// Value of an exact series line (`name value`) in the exposition.
+fn series_value(text: &str, series: &str) -> Option<f64> {
+    text.lines().find_map(|line| {
+        let rest = line.strip_prefix(series)?;
+        rest.strip_prefix(' ')?.trim().parse().ok()
+    })
+}
+
+/// Drive `engine` through the full request schedule on one thread,
+/// counting actual generation-closure invocations.
+fn run_sequential(engine: &GenerationEngine, calls: &AtomicUsize) {
+    for t in 0..THREADS {
+        for i in 0..REQUESTS_PER_THREAD {
+            let r = recipe((i + t) % UNIQUE_PROMPTS);
+            let (image, _) = engine.fetch_image(&r, || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                render(&r)
+            });
+            assert_eq!(image.width(), 32);
+        }
+    }
+}
+
+#[tokio::test(flavor = "multi_thread")]
+async fn eight_threads_generate_each_unique_prompt_exactly_once() {
+    // The metrics registry is process-global; this test owns the binary.
+    sww::obs::reset();
+
+    let engine = Arc::new(GenerationEngine::new(8, 64_000_000));
+    let calls = Arc::new(AtomicUsize::new(0));
+    let threads: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            let calls = Arc::clone(&calls);
+            std::thread::spawn(move || {
+                let mut outcomes = [0u64; 3];
+                for i in 0..REQUESTS_PER_THREAD {
+                    let r = recipe((i + t) % UNIQUE_PROMPTS);
+                    let expected = render(&r);
+                    let (image, outcome) = engine.fetch_image(&r, || {
+                        calls.fetch_add(1, Ordering::SeqCst);
+                        render(&r)
+                    });
+                    // Every path — generated, hit, coalesced — must hand
+                    // back the image this recipe renders to.
+                    assert_eq!(image, expected, "wrong image for {}", r.prompt);
+                    outcomes[match outcome {
+                        FetchOutcome::Hit => 0,
+                        FetchOutcome::Generated => 1,
+                        FetchOutcome::Coalesced => 2,
+                    }] += 1;
+                }
+                outcomes
+            })
+        })
+        .collect();
+    let mut totals = [0u64; 3];
+    for t in threads {
+        let outcomes = t.join().expect("stress thread");
+        for (acc, n) in totals.iter_mut().zip(outcomes) {
+            *acc += n;
+        }
+    }
+
+    let total_requests = (THREADS * REQUESTS_PER_THREAD) as u64;
+    // The single-flight contract: each unique key generated exactly once.
+    assert_eq!(calls.load(Ordering::SeqCst), UNIQUE_PROMPTS, "ground truth");
+    assert_eq!(engine.generations(), UNIQUE_PROMPTS as u64);
+    // Everyone else was amortized onto those 10 generations.
+    assert_eq!(engine.coalesced(), total_requests - UNIQUE_PROMPTS as u64);
+    assert_eq!(totals[1], UNIQUE_PROMPTS as u64, "per-thread outcome sum");
+    assert_eq!(
+        totals[0] + totals[2],
+        total_requests - UNIQUE_PROMPTS as u64
+    );
+    assert_eq!(engine.cache().len(), UNIQUE_PROMPTS);
+
+    // The coalesced counter must be visible through a server's /metrics
+    // route exactly as the acceptance criterion states: 800 − 10 = 790.
+    let server = GenerativeServer::builder().site(SiteContent::new()).build();
+    let (a, b) = tokio::io::duplex(1 << 20);
+    tokio::spawn(async move {
+        let _ = server.serve_stream(b).await;
+    });
+    let mut conn = sww::http2::ClientConnection::handshake(a, GenAbility::none())
+        .await
+        .unwrap();
+    let resp = conn
+        .send_request(&sww::http2::Request::get("/metrics"))
+        .await
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let exposition = String::from_utf8(resp.body.to_vec()).unwrap();
+    assert_eq!(
+        series_value(&exposition, "sww_cache_coalesced_total"),
+        Some(790.0),
+        "exposition:\n{exposition}"
+    );
+
+    // Final cache state must equal the sequential baseline: same keys,
+    // same images, same generation count.
+    let baseline = GenerationEngine::new(8, 64_000_000);
+    let baseline_calls = AtomicUsize::new(0);
+    run_sequential(&baseline, &baseline_calls);
+    assert_eq!(baseline_calls.load(Ordering::SeqCst), UNIQUE_PROMPTS);
+    assert_eq!(baseline.cache().len(), engine.cache().len());
+    for p in 0..UNIQUE_PROMPTS {
+        let r = recipe(p);
+        let concurrent = engine.cache().get(&r).expect("concurrent cache entry");
+        let sequential = baseline.cache().get(&r).expect("baseline cache entry");
+        assert_eq!(concurrent, sequential, "cache divergence for {}", r.prompt);
+    }
+}

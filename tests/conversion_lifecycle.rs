@@ -6,7 +6,7 @@
 use std::collections::HashMap;
 use sww::core::cms::{Cms, Template};
 use sww::core::convert::Converter;
-use sww::core::{GenAbility, GenerativeClient, GenerativeServer, ServerPolicy, SiteContent};
+use sww::core::{GenAbility, GenerativeClient, GenerativeServer, SiteContent};
 use sww::energy::device::{profile, DeviceKind};
 use sww::genai::diffusion::{DiffusionModel, ImageModelKind};
 use sww::genai::image::codec;
@@ -47,7 +47,10 @@ async fn convert_store_serve_regenerate() {
         converted_stored < (legacy_html.len() + stock_encoded.len()) as u64,
         "SWW form must be smaller than legacy page + media"
     );
-    let server = GenerativeServer::new(site, GenAbility::full(), ServerPolicy::default());
+    let server = GenerativeServer::builder()
+        .site(site)
+        .ability(GenAbility::full())
+        .build();
     let (a, b) = tokio::io::duplex(1 << 20);
     tokio::spawn(async move {
         let _ = server.serve_stream(b).await;

@@ -22,8 +22,10 @@ fn two_item_site() -> SiteContent {
 
 #[tokio::test(flavor = "multi_thread")]
 async fn generative_flow_over_tcp() {
-    let server =
-        GenerativeServer::new(two_item_site(), GenAbility::full(), ServerPolicy::default());
+    let server = GenerativeServer::builder()
+        .site(two_item_site())
+        .ability(GenAbility::full())
+        .build();
     let addr = server.spawn_tcp("127.0.0.1:0").await.unwrap();
     let sock = tokio::net::TcpStream::connect(addr).await.unwrap();
     let mut client =
@@ -49,8 +51,10 @@ async fn generative_flow_over_tcp() {
 
 #[tokio::test(flavor = "multi_thread")]
 async fn naive_client_gets_working_page_with_no_savings() {
-    let server =
-        GenerativeServer::new(two_item_site(), GenAbility::full(), ServerPolicy::default());
+    let server = GenerativeServer::builder()
+        .site(two_item_site())
+        .ability(GenAbility::full())
+        .build();
     let (a, b) = tokio::io::duplex(1 << 20);
     let srv = server.clone();
     tokio::spawn(async move {
@@ -74,8 +78,10 @@ async fn naive_client_gets_working_page_with_no_savings() {
 
 #[tokio::test(flavor = "multi_thread")]
 async fn generated_media_is_deterministic_across_clients() {
-    let server =
-        GenerativeServer::new(two_item_site(), GenAbility::full(), ServerPolicy::default());
+    let server = GenerativeServer::builder()
+        .site(two_item_site())
+        .ability(GenAbility::full())
+        .build();
     let addr = server.spawn_tcp("127.0.0.1:0").await.unwrap();
     let mut hashes = Vec::new();
     for _ in 0..2 {
@@ -94,8 +100,10 @@ async fn generated_media_is_deterministic_across_clients() {
 
 #[tokio::test(flavor = "multi_thread")]
 async fn device_changes_cost_not_content() {
-    let server =
-        GenerativeServer::new(two_item_site(), GenAbility::full(), ServerPolicy::default());
+    let server = GenerativeServer::builder()
+        .site(two_item_site())
+        .ability(GenAbility::full())
+        .build();
     let addr = server.spawn_tcp("127.0.0.1:0").await.unwrap();
     let mut results = Vec::new();
     for device in [DeviceKind::Laptop, DeviceKind::Workstation] {
@@ -126,7 +134,11 @@ async fn server_policy_renewable_forces_server_generation() {
         expand_prompts_server_side: true,
         renewable_availability: 1.0,
     };
-    let server = GenerativeServer::new(two_item_site(), GenAbility::full(), policy);
+    let server = GenerativeServer::builder()
+        .site(two_item_site())
+        .ability(GenAbility::full())
+        .policy(policy)
+        .build();
     let (a, b) = tokio::io::duplex(1 << 20);
     let srv = server.clone();
     tokio::spawn(async move {
@@ -145,8 +157,10 @@ async fn server_policy_renewable_forces_server_generation() {
 #[tokio::test(flavor = "multi_thread")]
 async fn personalization_changes_pixels_only_when_opted_in() {
     use sww::core::personalize::UserProfile;
-    let server =
-        GenerativeServer::new(two_item_site(), GenAbility::full(), ServerPolicy::default());
+    let server = GenerativeServer::builder()
+        .site(two_item_site())
+        .ability(GenAbility::full())
+        .build();
     let addr = server.spawn_tcp("127.0.0.1:0").await.unwrap();
     let mut images = Vec::new();
     for profile_opt in [
@@ -173,8 +187,10 @@ async fn personalization_changes_pixels_only_when_opted_in() {
 
 #[tokio::test(flavor = "multi_thread")]
 async fn conditional_requests_revalidate_with_304() {
-    let server =
-        GenerativeServer::new(two_item_site(), GenAbility::full(), ServerPolicy::default());
+    let server = GenerativeServer::builder()
+        .site(two_item_site())
+        .ability(GenAbility::full())
+        .build();
     let (a, b) = tokio::io::duplex(1 << 20);
     tokio::spawn(async move {
         let _ = server.serve_stream(b).await;
@@ -205,8 +221,10 @@ async fn conditional_requests_revalidate_with_304() {
 
 #[tokio::test(flavor = "multi_thread")]
 async fn missing_page_surfaces_as_error() {
-    let server =
-        GenerativeServer::new(two_item_site(), GenAbility::full(), ServerPolicy::default());
+    let server = GenerativeServer::builder()
+        .site(two_item_site())
+        .ability(GenAbility::full())
+        .build();
     let (a, b) = tokio::io::duplex(1 << 20);
     tokio::spawn(async move {
         let _ = server.serve_stream(b).await;
@@ -228,7 +246,10 @@ async fn model_levels_negotiate_down_to_common_generation() {
     // pixels (§7 model negotiation).
     let server_ability = GenAbility::full().with_image_model_level(2); // SD 3
     let client_ability = GenAbility::full().with_image_model_level(4); // future-fast
-    let server = GenerativeServer::new(two_item_site(), server_ability, ServerPolicy::default());
+    let server = GenerativeServer::builder()
+        .site(two_item_site())
+        .ability(server_ability)
+        .build();
     let (a, b) = tokio::io::duplex(1 << 20);
     tokio::spawn(async move {
         let _ = server.serve_stream(b).await;
@@ -251,7 +272,10 @@ async fn generation_cache_eliminates_repeat_cost() {
     let shared_div = gencontent::image_div("a reused stock banner image", "banner.jpg", 128, 128);
     site.add_page("/a", format!("<html><body>{shared_div}</body></html>"));
     site.add_page("/b", format!("<html><body>{shared_div}</body></html>"));
-    let server = GenerativeServer::new(site, GenAbility::full(), ServerPolicy::default());
+    let server = GenerativeServer::builder()
+        .site(site)
+        .ability(GenAbility::full())
+        .build();
     let (a, b) = tokio::io::duplex(1 << 20);
     tokio::spawn(async move {
         let _ = server.serve_stream(b).await;
@@ -285,7 +309,10 @@ async fn many_sequential_pages_on_one_connection() {
             ),
         );
     }
-    let server = GenerativeServer::new(site, GenAbility::full(), ServerPolicy::default());
+    let server = GenerativeServer::builder()
+        .site(site)
+        .ability(GenAbility::full())
+        .build();
     let (a, b) = tokio::io::duplex(1 << 20);
     tokio::spawn(async move {
         let _ = server.serve_stream(b).await;

@@ -2,7 +2,7 @@
 //! core behind an HTTP/3 front end (paper §3.1) — the same SiteContent
 //! serves both protocol versions with identical negotiation semantics.
 
-use sww::core::{GenAbility, GenerativeServer, ServerPolicy, SiteContent};
+use sww::core::{GenAbility, GenerativeServer, SiteContent};
 use sww::html::gencontent;
 use sww::http2::Request;
 use sww::http3::connection::{serve_h3_connection, H3ClientConnection};
@@ -31,7 +31,7 @@ async fn h3_front_end(
             // server core wants the *client's* ability, which equals the
             // negotiated value when the server supports everything it
             // advertises — recover it from the negotiation result.
-            server.handle(&req, negotiated)
+            server.accept(negotiated).handle(&req)
         })
         .await;
     });
@@ -42,7 +42,10 @@ async fn h3_front_end(
 
 #[tokio::test(flavor = "multi_thread")]
 async fn h3_serves_prompt_form_to_capable_client() {
-    let server = GenerativeServer::new(site(), GenAbility::full(), ServerPolicy::default());
+    let server = GenerativeServer::builder()
+        .site(site())
+        .ability(GenAbility::full())
+        .build();
     let mut client = h3_front_end(server.clone(), GenAbility::full()).await;
     let resp = client.send_request(&Request::get("/page")).await.unwrap();
     assert_eq!(resp.status, 200);
@@ -53,7 +56,10 @@ async fn h3_serves_prompt_form_to_capable_client() {
 
 #[tokio::test(flavor = "multi_thread")]
 async fn h3_materializes_for_naive_client() {
-    let server = GenerativeServer::new(site(), GenAbility::full(), ServerPolicy::default());
+    let server = GenerativeServer::builder()
+        .site(site())
+        .ability(GenAbility::full())
+        .build();
     let mut client = h3_front_end(server.clone(), GenAbility::none()).await;
     let resp = client.send_request(&Request::get("/page")).await.unwrap();
     assert_eq!(resp.headers.get("x-sww-mode"), Some("server-generated"));
@@ -72,7 +78,10 @@ async fn h3_materializes_for_naive_client() {
 #[tokio::test(flavor = "multi_thread")]
 async fn same_site_same_bytes_across_h2_and_h3() {
     // Fetch the prompt-form page over both protocol versions and compare.
-    let server = GenerativeServer::new(site(), GenAbility::full(), ServerPolicy::default());
+    let server = GenerativeServer::builder()
+        .site(site())
+        .ability(GenAbility::full())
+        .build();
 
     let mut h3 = h3_front_end(server.clone(), GenAbility::full()).await;
     let h3_body = h3.send_request(&Request::get("/page")).await.unwrap().body;

@@ -4,7 +4,7 @@
 
 use sww::core::hls::VideoAsset;
 use sww::core::video::Resolution;
-use sww::core::{GenAbility, GenerativeServer, ServerPolicy, SiteContent};
+use sww::core::{GenAbility, GenerativeServer, SiteContent};
 use sww::http2::{ClientConnection, Request};
 
 fn video_site() -> SiteContent {
@@ -37,7 +37,10 @@ async fn connect(
 
 #[tokio::test(flavor = "multi_thread")]
 async fn capable_client_streams_reduced_rendition() {
-    let server = GenerativeServer::new(video_site(), ability_with_video(), ServerPolicy::default());
+    let server = GenerativeServer::builder()
+        .site(video_site())
+        .ability(ability_with_video())
+        .build();
     let mut client = connect(&server, ability_with_video()).await;
     let playlist = client
         .send_request(&Request::get("/video/trailer/playlist.m3u8"))
@@ -67,7 +70,10 @@ async fn capable_client_streams_reduced_rendition() {
 
 #[tokio::test(flavor = "multi_thread")]
 async fn naive_client_streams_full_rate() {
-    let server = GenerativeServer::new(video_site(), ability_with_video(), ServerPolicy::default());
+    let server = GenerativeServer::builder()
+        .site(video_site())
+        .ability(ability_with_video())
+        .build();
     let mut client = connect(&server, GenAbility::none()).await;
     let playlist = client
         .send_request(&Request::get("/video/trailer/playlist.m3u8"))
@@ -80,7 +86,10 @@ async fn naive_client_streams_full_rate() {
 
 #[tokio::test(flavor = "multi_thread")]
 async fn withdrawing_video_ability_mid_connection_changes_rendition() {
-    let server = GenerativeServer::new(video_site(), ability_with_video(), ServerPolicy::default());
+    let server = GenerativeServer::builder()
+        .site(video_site())
+        .ability(ability_with_video())
+        .build();
     let mut client = connect(&server, ability_with_video()).await;
     let first = client
         .send_request(&Request::get("/video/trailer/playlist.m3u8"))
@@ -98,7 +107,10 @@ async fn withdrawing_video_ability_mid_connection_changes_rendition() {
 
 #[tokio::test(flavor = "multi_thread")]
 async fn unknown_video_paths_are_404() {
-    let server = GenerativeServer::new(video_site(), ability_with_video(), ServerPolicy::default());
+    let server = GenerativeServer::builder()
+        .site(video_site())
+        .ability(ability_with_video())
+        .build();
     let mut client = connect(&server, ability_with_video()).await;
     for path in [
         "/video/nope/playlist.m3u8",

@@ -83,8 +83,7 @@ impl Arbitrary for f64 {
             f64::from_bits(rng.next_u64())
         } else {
             let mantissa = rng.next_u64() % 2_000_001;
-            let signed = mantissa as f64 / 1000.0 - 1000.0;
-            signed
+            mantissa as f64 / 1000.0 - 1000.0
         }
     }
 }
@@ -102,7 +101,7 @@ impl Arbitrary for f32 {
 impl Arbitrary for char {
     fn arbitrary(rng: &mut TestRng) -> char {
         let r = rng.next_u64();
-        if r % 4 == 0 {
+        if r.is_multiple_of(4) {
             // Arbitrary scalar value (may be multi-byte in UTF-8).
             char::from_u32((r >> 8) as u32 % 0x11_0000).unwrap_or('\u{fffd}')
         } else {
