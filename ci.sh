@@ -18,6 +18,9 @@ cargo test -q --workspace
 echo "==> cargo test --release --test concurrent_engine (engine stress)"
 cargo test --release --test concurrent_engine -q
 
+echo "==> cargo test --release --test chaos_resilience (fixed-seed chaos gate)"
+cargo test --release --test chaos_resilience -q
+
 echo "==> cargo clippy --workspace --all-targets (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -7,6 +7,13 @@
 //! pool size, reporting throughput plus the engine's amortization
 //! counters: generation count (must equal the number of unique prompts at
 //! every pool size) and coalesced requests (everyone else).
+//!
+//! When a chaos spec is installed (`sww_core::faults` — e.g. via
+//! `sww bench-concurrent --chaos`), the sweep also reports faults
+//! injected during each sample, and the client loop treats injected
+//! `500`/`502` like saturation `503`s: retry until the request lands.
+//! With chaos off the fault column reads zero and behaviour is
+//! identical to the pre-fault-layer bench.
 
 use crate::table::Table;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -26,8 +33,12 @@ pub struct ConcurrencySample {
     pub generations: u64,
     /// Requests amortized onto another request's generation.
     pub coalesced: u64,
-    /// 503 rejections absorbed by client retry (backpressure events).
+    /// Transient failures absorbed by client retry: saturation 503s,
+    /// plus injected-fault 500/502s when chaos is installed.
     pub rejected: u64,
+    /// Faults injected by the chaos layer during this sample (0 when
+    /// chaos is off).
+    pub faults: u64,
 }
 
 /// Sweep configuration.
@@ -77,6 +88,7 @@ pub fn sample(cfg: ConcurrencyConfig, workers: usize) -> ConcurrencySample {
         .workers(workers)
         .build();
     let rejected = AtomicU64::new(0);
+    let faults_before = sww_core::faults::injected_total();
     let start = Instant::now();
     std::thread::scope(|scope| {
         for t in 0..cfg.threads {
@@ -87,7 +99,7 @@ pub fn sample(cfg: ConcurrencyConfig, workers: usize) -> ConcurrencySample {
                     let path = format!("/page/{}", (i + t) % cfg.prompts);
                     loop {
                         let resp = session.handle(&Request::get(&path));
-                        if resp.status != 503 {
+                        if !matches!(resp.status, 500 | 502 | 503) {
                             assert_eq!(resp.status, 200, "GET {path}");
                             break;
                         }
@@ -105,6 +117,7 @@ pub fn sample(cfg: ConcurrencyConfig, workers: usize) -> ConcurrencySample {
         generations: server.engine().generations(),
         coalesced: server.engine().coalesced(),
         rejected: rejected.load(Ordering::Relaxed),
+        faults: sww_core::faults::injected_total() - faults_before,
     }
 }
 
@@ -127,6 +140,7 @@ pub fn table(cfg: ConcurrencyConfig, samples: &[ConcurrencySample]) -> Table {
             "Generations",
             "Coalesced",
             "Rejected",
+            "Faults",
         ],
     );
     for s in samples {
@@ -140,6 +154,7 @@ pub fn table(cfg: ConcurrencyConfig, samples: &[ConcurrencySample]) -> Table {
             s.generations.to_string(),
             s.coalesced.to_string(),
             s.rejected.to_string(),
+            s.faults.to_string(),
         ]);
     }
     t

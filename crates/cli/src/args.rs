@@ -18,9 +18,9 @@ pub struct Args {
 }
 
 /// Option keys that take a value (everything else after `--` is a switch).
-const VALUE_KEYS: [&str; 13] = [
+const VALUE_KEYS: [&str; 14] = [
     "addr", "device", "model", "steps", "out", "ability", "site", "workers", "shards", "queue",
-    "threads", "requests", "prompts",
+    "threads", "requests", "prompts", "chaos",
 ];
 
 impl Args {

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! sww serve  [--addr 127.0.0.1:0] [--site blog|wikimedia] [--naive]
-//!            [--workers N] [--shards N] [--queue N]
+//!            [--workers N] [--shards N] [--queue N] [--chaos SPEC]
 //! sww fetch  <addr> <path> [--device laptop|workstation|mobile] [--naive] [--render] [--out DIR]
 //! sww generate <prompt...> [--model sd21|sd3|sd35|dalle3|flux] [--steps N] [--out FILE]
 //! sww expand <bullet;bullet;...> [--model llama|r1-1.5b|r1-8b|r1-14b]
@@ -10,12 +10,19 @@
 //! sww stock [category]
 //! sww stats [addr] [--device laptop|workstation|mobile]
 //! sww bench-concurrent [--threads 8] [--requests 100] [--prompts 10] [--workers 1,2,4,8]
+//!                      [--chaos SPEC]
 //! ```
 //!
 //! `sww stats` scrapes the Prometheus-text `/metrics` endpoint of a
 //! running server when given an address; with no address it runs a small
 //! in-process demo fetch and dumps this process's own metrics registry.
 //! Every series it prints is documented in OBSERVABILITY.md.
+//!
+//! `--chaos SPEC` installs the deterministic fault-injection layer
+//! (`sww_core::faults`) for the lifetime of the process. The spec grammar
+//! is `seed=<u64>,<site>=<kind>:<prob>[:<param>],…` — e.g.
+//! `seed=42,engine.generate=error:0.1,pool.enqueue=error:0.05` — and is
+//! documented in DESIGN.md ("Failure model").
 
 mod args;
 
@@ -63,6 +70,28 @@ fn usage() -> ! {
     std::process::exit(2)
 }
 
+/// Install the chaos spec from `--chaos`, if given. Exits with status 2
+/// on a malformed spec (before any server or bench work starts).
+fn install_chaos(args: &Args) {
+    let Some(spec) = args.options.get("chaos") else {
+        return;
+    };
+    match sww_core::ChaosSpec::parse(spec) {
+        Ok(spec) => {
+            println!(
+                "chaos: seed={} rules={} (deterministic; same seed replays the run)",
+                spec.seed,
+                spec.rules.len()
+            );
+            sww_core::faults::install(&spec);
+        }
+        Err(err) => {
+            eprintln!("bad --chaos spec: {err}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args = Args::parse(std::env::args().skip(1));
     let rt = tokio::runtime::Builder::new_multi_thread()
@@ -84,6 +113,7 @@ fn main() {
 }
 
 async fn cmd_serve(args: &Args) {
+    install_chaos(args);
     let site: SiteContent = match args.opt("site", "blog") {
         "wikimedia" => {
             eprintln!("building the 49-image Wikimedia workload …");
@@ -278,6 +308,7 @@ fn cmd_stock(args: &Args) {
 /// Stress the concurrent serving engine in-process: naive sessions drive
 /// server-side generation from many threads, sweeping the worker count.
 fn cmd_bench_concurrent(args: &Args) {
+    install_chaos(args);
     let threads: usize = args.opt("threads", "8").parse().unwrap_or(8);
     let requests: usize = args.opt("requests", "100").parse().unwrap_or(100);
     let prompts: usize = args.opt("prompts", "10").parse().unwrap_or(10).max(1);
@@ -288,8 +319,8 @@ fn cmd_bench_concurrent(args: &Args) {
         .collect();
     println!(
         "{threads} threads x {requests} requests over {prompts} unique prompts\n\
-         {:<8} {:>12} {:>12} {:>11} {:>9}",
-        "workers", "throughput/s", "generations", "coalesced", "rejected"
+         {:<8} {:>12} {:>12} {:>11} {:>9} {:>8}",
+        "workers", "throughput/s", "generations", "coalesced", "retried", "faults"
     );
     for &workers in &worker_counts {
         let mut site = SiteContent::new();
@@ -311,23 +342,26 @@ fn cmd_bench_concurrent(args: &Args) {
             .site(site)
             .workers(workers)
             .build();
-        let rejected = std::sync::atomic::AtomicU64::new(0);
+        let retried = std::sync::atomic::AtomicU64::new(0);
+        let faults_before = sww_core::faults::injected_total();
         let start = std::time::Instant::now();
         std::thread::scope(|scope| {
             for t in 0..threads {
                 let session = server.accept(GenAbility::none());
-                let rejected = &rejected;
+                let retried = &retried;
                 scope.spawn(move || {
                     for i in 0..requests {
                         let path = format!("/page/{}", (i + t) % prompts);
                         loop {
                             let resp = session.handle(&sww_http2::Request::get(&path));
-                            if resp.status != 503 {
+                            // 503 = saturation backpressure; 500/502 show
+                            // up under --chaos (injected faults). Both are
+                            // transient: honor the hint and retry.
+                            if !matches!(resp.status, 500 | 502 | 503) {
                                 assert_eq!(resp.status, 200, "GET {path}");
                                 break;
                             }
-                            // Saturated: honor the backpressure and retry.
-                            rejected.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            retried.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             std::thread::sleep(std::time::Duration::from_millis(1));
                         }
                     }
@@ -337,11 +371,12 @@ fn cmd_bench_concurrent(args: &Args) {
         let elapsed = start.elapsed().as_secs_f64();
         let total = (threads * requests) as f64;
         println!(
-            "{workers:<8} {:>12.0} {:>12} {:>11} {:>9}",
+            "{workers:<8} {:>12.0} {:>12} {:>11} {:>9} {:>8}",
             total / elapsed.max(1e-9),
             server.engine().generations(),
             server.engine().coalesced(),
-            rejected.load(std::sync::atomic::Ordering::Relaxed),
+            retried.load(std::sync::atomic::Ordering::Relaxed),
+            sww_core::faults::injected_total() - faults_before,
         );
     }
 }

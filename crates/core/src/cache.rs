@@ -8,6 +8,7 @@
 //! placement"); it also bounds the §6 generation-time cost to the first
 //! visit.
 
+use crate::faults::{self, FaultAction, FaultSite};
 use std::collections::HashMap;
 use sww_genai::diffusion::ImageModelKind;
 use sww_genai::ImageBuffer;
@@ -75,7 +76,20 @@ impl GenerationCache {
     }
 
     /// Look up a recipe, updating recency.
+    ///
+    /// Under chaos ([`crate::faults`]), the `cache.get` failpoint can
+    /// turn a lookup into a forced miss (the entry stays cached — the
+    /// caller simply regenerates) or delay it.
     pub fn get(&mut self, recipe: &Recipe) -> Option<ImageBuffer> {
+        match faults::at(FaultSite::CacheGet) {
+            Some(FaultAction::Error) | Some(FaultAction::TruncateKeepPct(_)) => {
+                self.misses += 1;
+                sww_obs::counter("sww_cache_events_total", &[("result", "miss")]).inc();
+                return None;
+            }
+            Some(FaultAction::Latency(d)) => std::thread::sleep(d),
+            None => {}
+        }
         self.clock += 1;
         match self.entries.get_mut(recipe) {
             Some(e) => {

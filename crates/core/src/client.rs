@@ -2,16 +2,38 @@
 //! (advertising generation ability), request a page, parse it, generate
 //! the content, fetch unique assets, and produce the rendered page with
 //! full byte/time/energy accounting.
+//!
+//! # Resilience
+//!
+//! [`fetch_page`] no longer gives up on the first error. Transient
+//! failures (saturation `503`s, transport faults, corrupted payloads,
+//! generation faults, upstream `5xx`) are retried under a
+//! [`RetryPolicy`] — exponential backoff, deterministic jitter, server
+//! `Retry-After` hints honored — and each retry increments
+//! `sww_client_retries_total`. When generation fails *terminally*
+//! (retries exhausted on a generation fault, or the model cannot run at
+//! all), the client degrades gracefully: it withdraws its generative
+//! ability over HTTP/2 SETTINGS, re-fetches the page so the server
+//! materializes traditional content, and restores the ability afterward
+//! (`sww_client_fallbacks_total`). Both counts surface per page in
+//! [`PageStats::retries`] / [`PageStats::fell_back`].
+//!
+//! [`fetch_page`]: GenerativeClient::fetch_page
+//! [`PageStats::retries`]: crate::stats::PageStats
+//! [`PageStats::fell_back`]: crate::stats::PageStats
 
 use crate::cache::{GenerationCache, Recipe};
 use crate::error::SwwError;
+use crate::faults::{self, FaultAction, FaultSite};
 use crate::mediagen::{GeneratedMedia, MediaGenerator};
 use crate::render::{RenderedPage, RenderedResource};
+use crate::retry::RetryPolicy;
 use crate::stats::PageStats;
 use sww_energy::device::DeviceProfile;
 use sww_genai::image::codec;
+use sww_hash::{sha256, to_hex};
 use sww_html::{gencontent, parse, query, serialize};
-use sww_http2::{ClientConnection, GenAbility, H2Error, Request};
+use sww_http2::{ClientConnection, GenAbility, H2Error, Request, Response};
 use tokio::io::{AsyncRead, AsyncWrite};
 
 /// Default generation-cache budget: 64 megapixels (≈ a few hundred
@@ -24,6 +46,10 @@ pub struct GenerativeClient<T> {
     generator: MediaGenerator,
     cache: GenerationCache,
     profile: Option<crate::personalize::UserProfile>,
+    /// The ability advertised at connect time — what fallback restores.
+    ability: GenAbility,
+    retry: RetryPolicy,
+    fallback_enabled: bool,
 }
 
 impl<T: AsyncRead + AsyncWrite + Unpin> GenerativeClient<T> {
@@ -44,7 +70,23 @@ impl<T: AsyncRead + AsyncWrite + Unpin> GenerativeClient<T> {
             generator: MediaGenerator::with_models(device, image_model, text_model),
             cache: GenerationCache::new(DEFAULT_CACHE_PIXELS),
             profile: None,
+            ability,
+            retry: RetryPolicy::default(),
+            fallback_enabled: true,
         })
+    }
+
+    /// Replace the retry policy (default: [`RetryPolicy::default`]).
+    /// [`RetryPolicy::no_retries`] restores the pre-resilience
+    /// fail-on-first-error behaviour.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// Enable or disable the traditional-content fallback on terminal
+    /// generation failure (default: enabled).
+    pub fn set_fallback(&mut self, enabled: bool) {
+        self.fallback_enabled = enabled;
     }
 
     /// Opt in to personalized generation (§2.3): image prompts are
@@ -78,14 +120,137 @@ impl<T: AsyncRead + AsyncWrite + Unpin> GenerativeClient<T> {
     /// unique assets, rewrite — returning the rendered page and its
     /// accounting. Transport failures arrive as [`SwwError::Transport`],
     /// non-200 answers as [`SwwError::UpstreamStatus`].
+    ///
+    /// Retryable failures are retried under the configured
+    /// [`RetryPolicy`]; terminal generation failures degrade to the
+    /// traditional fallback (see the module docs). Only errors that
+    /// survive both mechanisms reach the caller.
     pub async fn fetch_page(&mut self, path: &str) -> Result<(RenderedPage, PageStats), SwwError> {
+        let mut schedule = self.retry.schedule();
+        loop {
+            match self.fetch_page_once(path).await {
+                Ok((page, mut stats)) => {
+                    stats.retries = schedule.retries();
+                    return Ok((page, stats));
+                }
+                Err(err) => {
+                    let can_fall_back = self.fallback_enabled && err.is_generation_failure();
+                    if err.is_retryable() {
+                        if let Some(delay) = schedule.next_delay_with_hint(err.retry_after()) {
+                            sww_obs::counter("sww_client_retries_total", &[]).inc();
+                            tokio::time::sleep(delay).await;
+                            continue;
+                        }
+                    }
+                    // Retries exhausted (or the error was terminal).
+                    if can_fall_back {
+                        return self.fallback_fetch(path, schedule.retries()).await;
+                    }
+                    return Err(err);
+                }
+            }
+        }
+    }
+
+    /// Graceful degradation: withdraw the generative ability over HTTP/2
+    /// SETTINGS so the server materializes traditional content, re-fetch
+    /// (with retries but no further fallback), and restore the original
+    /// ability. `prior_retries` carries the retries already spent on the
+    /// generative attempt into the returned [`PageStats`].
+    async fn fallback_fetch(
+        &mut self,
+        path: &str,
+        prior_retries: u32,
+    ) -> Result<(RenderedPage, PageStats), SwwError> {
+        sww_obs::counter("sww_client_fallbacks_total", &[]).inc();
+        self.conn.update_ability(GenAbility::none()).await?;
+        let mut schedule = self.retry.schedule();
+        let result = loop {
+            match self.fetch_page_once(path).await {
+                Ok(ok) => break Ok(ok),
+                Err(err) if err.is_retryable() => {
+                    match schedule.next_delay_with_hint(err.retry_after()) {
+                        Some(delay) => {
+                            sww_obs::counter("sww_client_retries_total", &[]).inc();
+                            tokio::time::sleep(delay).await;
+                        }
+                        None => break Err(err),
+                    }
+                }
+                Err(err) => break Err(err),
+            }
+        };
+        // Restore the advertised ability even when the fallback failed,
+        // so a later fetch negotiates generatively again.
+        let restored = self.conn.update_ability(self.ability).await;
+        let (page, mut stats) = result?;
+        restored?;
+        stats.retries = prior_retries + schedule.retries();
+        stats.fell_back = true;
+        Ok((page, stats))
+    }
+
+    /// Issue one request, subject to the `h2.read` failpoint
+    /// ([`crate::faults`]): injected errors surface as retryable
+    /// [`SwwError::Transport`], latency delays the read, and truncation
+    /// corrupts the received body (caught by the ETag integrity check).
+    async fn send(&mut self, req: &Request) -> Result<Response, SwwError> {
+        let action = faults::at(FaultSite::H2Read);
+        if let Some(FaultAction::Error) = action {
+            return Err(SwwError::Transport(H2Error::protocol(
+                "injected fault at h2.read",
+            )));
+        }
+        if let Some(FaultAction::Latency(d)) = action {
+            tokio::time::sleep(d).await;
+        }
+        let mut resp = self.conn.send_request(req).await?;
+        if let Some(FaultAction::TruncateKeepPct(pct)) = action {
+            let keep = resp.body.len() * usize::from(pct) / 100;
+            resp.body = resp.body.slice(..keep);
+        }
+        Ok(resp)
+    }
+
+    /// Generate one item, subject to the `engine.generate` failpoint:
+    /// injected errors surface as retryable [`SwwError::Generation`].
+    fn generate_item(
+        &mut self,
+        item: &gencontent::GeneratedContent,
+    ) -> Result<(GeneratedMedia, crate::mediagen::GenerationCost), SwwError> {
+        match faults::at(FaultSite::EngineGenerate) {
+            Some(FaultAction::Error) | Some(FaultAction::TruncateKeepPct(_)) => {
+                return Err(SwwError::Generation {
+                    reason: "injected fault at engine.generate".into(),
+                });
+            }
+            Some(FaultAction::Latency(d)) => std::thread::sleep(d),
+            None => {}
+        }
+        self.generator.try_generate(item)
+    }
+
+    /// One non-retrying fetch attempt (the pre-resilience `fetch_page`).
+    async fn fetch_page_once(&mut self, path: &str) -> Result<(RenderedPage, PageStats), SwwError> {
         let mut stats = PageStats::default();
-        let resp = self.conn.send_request(&Request::get(path)).await?;
+        let resp = self.send(&Request::get(path)).await?;
         if resp.status != 200 {
             return Err(SwwError::UpstreamStatus {
                 path: path.to_owned(),
                 status: resp.status,
+                retry_after_s: resp.headers.get("retry-after").and_then(|v| v.parse().ok()),
             });
+        }
+        // The page body is content-addressed (the server's ETag is a
+        // sha-256 prefix of the body), so a truncated or corrupted
+        // payload is detectable — and retryable — right here.
+        if let Some(etag) = resp.headers.get("etag") {
+            let expect = format!("\"{}\"", &to_hex(&sha256(&resp.body))[..16]);
+            if etag != expect {
+                return Err(SwwError::IntegrityFailure {
+                    path: path.to_owned(),
+                });
+            }
         }
         let html_bytes = resp.body.len() as u64;
         stats.wire_bytes += html_bytes;
@@ -140,7 +305,7 @@ impl<T: AsyncRead + AsyncWrite + Unpin> GenerativeClient<T> {
                         sww_obs::counter("sww_client_items_total", &[("source", "generated")])
                             .inc();
                         let span = sww_obs::Span::begin("sww_client_generate", "page_item");
-                        let (media, cost) = self.generator.try_generate(&item)?;
+                        let (media, cost) = self.generate_item(&item)?;
                         span.finish_with_virtual(cost.time_s);
                         if let (Some(r), GeneratedMedia::Image { image, .. }) = (recipe, &media) {
                             self.cache.put(r, image.clone());
@@ -198,7 +363,7 @@ impl<T: AsyncRead + AsyncWrite + Unpin> GenerativeClient<T> {
                 continue; // produced locally above
             }
             let src = src.to_owned();
-            let resp = self.conn.send_request(&Request::get(src.clone())).await?;
+            let resp = self.send(&Request::get(src.clone())).await?;
             if resp.status != 200 {
                 continue;
             }

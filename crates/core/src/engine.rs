@@ -24,6 +24,8 @@
 //! exposes the per-shard hit/miss split.
 
 use crate::cache::{GenerationCache, Recipe};
+use crate::error::SwwError;
+use crate::faults::{self, FaultAction, FaultSite};
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -245,14 +247,51 @@ impl GenerationEngine {
     /// for the same recipe block until the leader publishes, then share
     /// the result. Images larger than a shard's budget are not retained,
     /// in which case a later request will legitimately regenerate.
+    ///
+    /// This infallible entry point is **not** subject to fault injection;
+    /// chaos-aware callers use [`try_fetch_image`].
+    ///
+    /// [`try_fetch_image`]: GenerationEngine::try_fetch_image
     pub fn fetch_image<F>(&self, recipe: &Recipe, generate: F) -> (ImageBuffer, FetchOutcome)
     where
         F: FnOnce() -> ImageBuffer,
     {
+        self.fetch_inner(recipe, || Ok(generate()), false)
+            .expect("infallible generate closure")
+    }
+
+    /// Fallible [`fetch_image`]: the generate closure may fail, and the
+    /// `engine.generate` failpoint ([`crate::faults`]) is evaluated on
+    /// the leader path. A failing leader **poisons** its flight: waiters
+    /// observe the poisoned state and retry from scratch (one of them
+    /// becomes the next leader), so a mid-generation fault strands no
+    /// request and costs exactly one extra generation on recovery.
+    ///
+    /// [`fetch_image`]: GenerationEngine::fetch_image
+    pub fn try_fetch_image<F>(
+        &self,
+        recipe: &Recipe,
+        generate: F,
+    ) -> Result<(ImageBuffer, FetchOutcome), SwwError>
+    where
+        F: FnOnce() -> Result<ImageBuffer, SwwError>,
+    {
+        self.fetch_inner(recipe, generate, true)
+    }
+
+    fn fetch_inner<F>(
+        &self,
+        recipe: &Recipe,
+        generate: F,
+        inject: bool,
+    ) -> Result<(ImageBuffer, FetchOutcome), SwwError>
+    where
+        F: FnOnce() -> Result<ImageBuffer, SwwError>,
+    {
         // Fast path: no map lock at all for warm recipes.
         if let Some(image) = self.cache.get(recipe) {
             self.record(FetchOutcome::Hit);
-            return (image, FetchOutcome::Hit);
+            return Ok((image, FetchOutcome::Hit));
         }
         let mut generate = Some(generate);
         loop {
@@ -270,7 +309,7 @@ impl GenerationEngine {
                     // while no flight is registered is authoritative.
                     if let Some(image) = self.cache.get(recipe) {
                         self.record(FetchOutcome::Hit);
-                        return (image, FetchOutcome::Hit);
+                        return Ok((image, FetchOutcome::Hit));
                     }
                     let flight = Arc::new(Flight::new());
                     map.insert(recipe.clone(), Arc::clone(&flight));
@@ -285,7 +324,27 @@ impl GenerationEngine {
                         flight: &flight,
                         armed: true,
                     };
-                    let image = (generate.take().expect("leader role claimed once"))();
+                    if inject {
+                        match faults::at(FaultSite::EngineGenerate) {
+                            Some(FaultAction::Error) | Some(FaultAction::TruncateKeepPct(_)) => {
+                                // Dropping the armed guard poisons the
+                                // flight and unregisters it: waiters retry.
+                                drop(guard);
+                                return Err(SwwError::Generation {
+                                    reason: "injected fault at engine.generate".into(),
+                                });
+                            }
+                            Some(FaultAction::Latency(d)) => std::thread::sleep(d),
+                            None => {}
+                        }
+                    }
+                    let image = match (generate.take().expect("leader role claimed once"))() {
+                        Ok(image) => image,
+                        Err(err) => {
+                            drop(guard);
+                            return Err(err);
+                        }
+                    };
                     // Publish order matters: cache first, then resolve the
                     // flight, then unregister — so no request can miss both.
                     self.cache.put(recipe.clone(), image.clone());
@@ -296,7 +355,7 @@ impl GenerationEngine {
                         .remove(recipe);
                     guard.armed = false;
                     self.record(FetchOutcome::Generated);
-                    return (image, FetchOutcome::Generated);
+                    return Ok((image, FetchOutcome::Generated));
                 }
                 Role::Waiter(flight) => {
                     let mut state = flight.state.lock().unwrap_or_else(|e| e.into_inner());
@@ -309,7 +368,7 @@ impl GenerationEngine {
                                 let image = image.clone();
                                 drop(state);
                                 self.record(FetchOutcome::Coalesced);
-                                return (image, FetchOutcome::Coalesced);
+                                return Ok((image, FetchOutcome::Coalesced));
                             }
                             FlightState::Poisoned => break,
                         }

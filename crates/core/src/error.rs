@@ -9,6 +9,7 @@
 //! lives in exactly one place (`server::error_response`).
 
 use std::fmt;
+use std::time::Duration;
 use sww_http2::H2Error;
 
 /// Everything that can go wrong between accepting a request and
@@ -52,15 +53,75 @@ pub enum SwwError {
         /// What went wrong.
         reason: String,
     },
+    /// A generation failed or stalled mid-flight (injected fault, model
+    /// runtime failure). Transient — retryable, and when it persists the
+    /// client degrades to traditional content.
+    Generation {
+        /// What went wrong.
+        reason: String,
+    },
+    /// A received payload failed its integrity check (the page body no
+    /// longer matches its content-addressed ETag — e.g. truncation).
+    IntegrityFailure {
+        /// The path whose payload was corrupt.
+        path: String,
+    },
     /// The peer answered a page fetch with a non-200 status.
     UpstreamStatus {
         /// The path that was requested.
         path: String,
         /// The status the peer returned.
         status: u16,
+        /// The peer's `Retry-After` advice, when it sent any.
+        retry_after_s: Option<u32>,
     },
     /// The underlying HTTP/2 transport failed.
     Transport(H2Error),
+}
+
+impl SwwError {
+    /// Whether retrying the operation can plausibly succeed: saturation,
+    /// transport failures, corrupted payloads, generation faults, and
+    /// upstream `500`/`502`/`503` answers are transient; routing errors
+    /// (`404`/`405`), capability mismatches, and upstream `4xx`/`501` are
+    /// not.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            SwwError::Saturated { .. }
+            | SwwError::Transport(_)
+            | SwwError::IntegrityFailure { .. }
+            | SwwError::Generation { .. }
+            | SwwError::Internal { .. } => true,
+            SwwError::UpstreamStatus { status, .. } => matches!(status, 500 | 502 | 503),
+            SwwError::NotFound { .. }
+            | SwwError::MethodNotAllowed { .. }
+            | SwwError::UnsupportedModel { .. }
+            | SwwError::Negotiation { .. } => false,
+        }
+    }
+
+    /// The server's `Retry-After` advice attached to this error, if any.
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            SwwError::Saturated { retry_after_s } => {
+                Some(Duration::from_secs(u64::from(*retry_after_s)))
+            }
+            SwwError::UpstreamStatus { retry_after_s, .. } => {
+                retry_after_s.map(|s| Duration::from_secs(u64::from(s)))
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether the failure originated in content generation — the errors
+    /// for which degrading to traditional media (per the negotiated
+    /// ability) is the documented fallback.
+    pub fn is_generation_failure(&self) -> bool {
+        matches!(
+            self,
+            SwwError::Generation { .. } | SwwError::UnsupportedModel { .. }
+        )
+    }
 }
 
 impl fmt::Display for SwwError {
@@ -78,7 +139,11 @@ impl fmt::Display for SwwError {
             }
             SwwError::Negotiation { reason } => write!(f, "negotiation failed: {reason}"),
             SwwError::Internal { reason } => write!(f, "internal error: {reason}"),
-            SwwError::UpstreamStatus { path, status } => {
+            SwwError::Generation { reason } => write!(f, "generation failed: {reason}"),
+            SwwError::IntegrityFailure { path } => {
+                write!(f, "payload for {path} failed its integrity check")
+            }
+            SwwError::UpstreamStatus { path, status, .. } => {
                 write!(f, "GET {path} returned status {status}")
             }
             SwwError::Transport(e) => write!(f, "transport error: {e}"),
@@ -127,14 +192,85 @@ mod tests {
                 SwwError::UpstreamStatus {
                     path: "/p".into(),
                     status: 404,
+                    retry_after_s: None,
                 },
                 "404",
+            ),
+            (
+                SwwError::Generation {
+                    reason: "injected fault".into(),
+                },
+                "injected fault",
+            ),
+            (
+                SwwError::IntegrityFailure { path: "/p".into() },
+                "integrity",
             ),
         ];
         for (err, needle) in cases {
             let text = err.to_string();
             assert!(text.contains(needle), "{text} should contain {needle}");
         }
+    }
+
+    #[test]
+    fn retryability_splits_transient_from_terminal() {
+        assert!(SwwError::Saturated { retry_after_s: 1 }.is_retryable());
+        assert!(SwwError::Generation { reason: "x".into() }.is_retryable());
+        assert!(SwwError::IntegrityFailure { path: "/p".into() }.is_retryable());
+        assert!(SwwError::Transport(H2Error::protocol("x")).is_retryable());
+        for status in [500u16, 502, 503] {
+            assert!(SwwError::UpstreamStatus {
+                path: "/p".into(),
+                status,
+                retry_after_s: None
+            }
+            .is_retryable());
+        }
+        for status in [404u16, 405, 501] {
+            assert!(!SwwError::UpstreamStatus {
+                path: "/p".into(),
+                status,
+                retry_after_s: None
+            }
+            .is_retryable());
+        }
+        assert!(!SwwError::NotFound { path: "/p".into() }.is_retryable());
+        assert!(!SwwError::UnsupportedModel {
+            what: "image generation",
+            model: "Dalle3".into()
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn retry_after_surfaces_server_advice() {
+        assert_eq!(
+            SwwError::Saturated { retry_after_s: 3 }.retry_after(),
+            Some(Duration::from_secs(3))
+        );
+        assert_eq!(
+            SwwError::UpstreamStatus {
+                path: "/p".into(),
+                status: 503,
+                retry_after_s: Some(2)
+            }
+            .retry_after(),
+            Some(Duration::from_secs(2))
+        );
+        assert_eq!(SwwError::NotFound { path: "/p".into() }.retry_after(), None);
+    }
+
+    #[test]
+    fn generation_failures_are_the_fallback_triggers() {
+        assert!(SwwError::Generation { reason: "x".into() }.is_generation_failure());
+        assert!(SwwError::UnsupportedModel {
+            what: "image generation",
+            model: "Dalle3".into()
+        }
+        .is_generation_failure());
+        assert!(!SwwError::Saturated { retry_after_s: 1 }.is_generation_failure());
+        assert!(!SwwError::Transport(H2Error::protocol("x")).is_generation_failure());
     }
 
     #[test]

@@ -14,12 +14,14 @@ pub mod cms;
 pub mod convert;
 pub mod engine;
 pub mod error;
+pub mod faults;
 pub mod hls;
 pub mod mediagen;
 pub mod negotiate;
 pub mod personalize;
 pub mod policy;
 pub mod render;
+pub mod retry;
 pub mod server;
 pub mod stats;
 pub mod trust;
@@ -29,10 +31,12 @@ pub mod workpool;
 pub use client::GenerativeClient;
 pub use engine::{FetchOutcome, GenerationEngine, ShardedGenerationCache};
 pub use error::SwwError;
+pub use faults::{ChaosSpec, FaultKind, FaultSite};
 pub use mediagen::MediaGenerator;
 pub use negotiate::ServeMode;
 pub use policy::ServerPolicy;
 pub use render::RenderedPage;
+pub use retry::{BackoffSchedule, RetryPolicy};
 pub use server::{GenerativeServer, GenerativeServerBuilder, Session, SiteContent, SwwPage};
 pub use stats::PageStats;
 pub use workpool::WorkerPool;

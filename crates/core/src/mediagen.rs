@@ -97,6 +97,18 @@ impl MediaGenerator {
         self.inference_steps = steps.max(1);
     }
 
+    /// Switch the image model, re-preloading the pipeline. Selecting a
+    /// model without a cost profile on this device makes every image
+    /// [`try_generate`] fail with [`SwwError::UnsupportedModel`] — which
+    /// is exactly how tests force the client's generation-fallback path
+    /// deterministically.
+    ///
+    /// [`try_generate`]: MediaGenerator::try_generate
+    pub fn set_image_model(&mut self, model: ImageModelKind) {
+        self.image_model = model;
+        self.pipeline = GenerationPipeline::preload(model, self.text_model);
+    }
+
     /// Current inference step count.
     pub fn inference_steps(&self) -> u32 {
         self.inference_steps

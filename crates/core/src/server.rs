@@ -35,6 +35,7 @@
 use crate::cache::Recipe;
 use crate::engine::GenerationEngine;
 use crate::error::SwwError;
+use crate::faults::{self, FaultAction, FaultSite};
 use crate::hls::{self, VideoAsset};
 use crate::mediagen::{GeneratedMedia, MediaGenerator};
 use crate::negotiate::{decide, ServeMode};
@@ -456,6 +457,11 @@ fn count_route(route: &'static str) {
 
 /// Route a request to the pool (if configured) or handle it inline, and
 /// materialize any error into its response.
+///
+/// The `server.respond` failpoint ([`crate::faults`]) acts on the
+/// finished response: it can replace it with a `500`, delay it, or
+/// truncate its body (which a client detects through the
+/// content-addressed ETag and treats as an integrity failure).
 fn dispatch(shared: &Arc<ServerShared>, client_ability: GenAbility, req: &Request) -> Response {
     let result = match &shared.pool {
         None => handle_request(shared, client_ability, req),
@@ -466,7 +472,21 @@ fn dispatch(shared: &Arc<ServerShared>, client_ability: GenAbility, req: &Reques
                 .and_then(|inner| inner)
         }
     };
-    result.unwrap_or_else(|err| error_response(&err))
+    let mut resp = result.unwrap_or_else(|err| error_response(&err));
+    match faults::at(FaultSite::ServerRespond) {
+        Some(FaultAction::Error) => {
+            return error_response(&SwwError::Internal {
+                reason: "injected fault at server.respond".into(),
+            });
+        }
+        Some(FaultAction::Latency(d)) => std::thread::sleep(d),
+        Some(FaultAction::TruncateKeepPct(pct)) => {
+            let keep = resp.body.len() * usize::from(pct) / 100;
+            resp.body = resp.body.slice(..keep);
+        }
+        None => {}
+    }
+    resp
 }
 
 /// Map a [`SwwError`] to its HTTP response — the **single** place in the
@@ -475,9 +495,11 @@ fn error_response(err: &SwwError) -> Response {
     let status = match err {
         SwwError::NotFound { .. } => 404,
         SwwError::MethodNotAllowed { .. } => 405,
-        SwwError::Internal { .. } => 500,
+        SwwError::Internal { .. } | SwwError::Generation { .. } => 500,
         SwwError::UnsupportedModel { .. } => 501,
-        SwwError::UpstreamStatus { .. } | SwwError::Transport(_) => 502,
+        SwwError::UpstreamStatus { .. }
+        | SwwError::Transport(_)
+        | SwwError::IntegrityFailure { .. } => 502,
         SwwError::Saturated { .. } | SwwError::Negotiation { .. } => 503,
     };
     let status_label = status.to_string();
@@ -551,7 +573,7 @@ fn handle_request(
     .inc();
     let html = match mode {
         ServeMode::Generative | ServeMode::UpscaleAssisted => page.html.clone(),
-        ServeMode::ServerGenerated | ServeMode::Traditional => materialize(shared, &page.html),
+        ServeMode::ServerGenerated | ServeMode::Traditional => materialize(shared, &page.html)?,
     };
     // Conditional requests: the page body is content-addressed, so a
     // client that revalidates with If-None-Match skips the transfer —
@@ -618,8 +640,11 @@ fn handle_video(
 ///
 /// Image items flow through the generation engine: the recipe is looked
 /// up in the sharded cache, and concurrent requests for the same recipe
-/// coalesce onto one generation instead of each paying the cost.
-fn materialize(shared: &ServerShared, html: &str) -> String {
+/// coalesce onto one generation instead of each paying the cost. A
+/// generation failure (real or injected through the `engine.generate`
+/// failpoint) surfaces as [`SwwError`] — the request maps to an error
+/// response and the client retries.
+fn materialize(shared: &ServerShared, html: &str) -> Result<String, SwwError> {
     let mut doc = parse(html);
     for item in gencontent::extract(&doc) {
         match item.content_type {
@@ -632,18 +657,18 @@ fn materialize(shared: &ServerShared, html: &str) -> String {
                     height: item.height(),
                     steps,
                 };
-                let (image, _outcome) = shared.engine.fetch_image(&recipe, || {
+                let (image, _outcome) = shared.engine.try_fetch_image(&recipe, || {
                     let span = sww_obs::Span::begin("sww_server_generate", "materialize");
-                    let (media, cost) = with_generator(|g| g.generate(&item));
+                    let (media, cost) = with_generator(|g| g.try_generate(&item))?;
                     span.finish_with_virtual(cost.time_s);
                     shared.accounting.lock().generation_time_s += cost.time_s;
                     match media {
-                        GeneratedMedia::Image { image, .. } => image,
+                        GeneratedMedia::Image { image, .. } => Ok(image),
                         GeneratedMedia::Text { .. } => {
                             unreachable!("an Img item generates an image")
                         }
                     }
-                });
+                })?;
                 let encoded = codec::encode(&image, crate::mediagen::DEFAULT_CODEC_QUALITY);
                 let path = format!("/generated/{}", item.name());
                 shared
@@ -660,7 +685,7 @@ fn materialize(shared: &ServerShared, html: &str) -> String {
             }
             ContentType::Txt => {
                 let span = sww_obs::Span::begin("sww_server_generate", "materialize");
-                let (media, cost) = with_generator(|g| g.generate(&item));
+                let (media, cost) = with_generator(|g| g.try_generate(&item))?;
                 span.finish_with_virtual(cost.time_s);
                 shared.accounting.lock().generation_time_s += cost.time_s;
                 let GeneratedMedia::Text { text } = media else {
@@ -670,7 +695,7 @@ fn materialize(shared: &ServerShared, html: &str) -> String {
             }
         }
     }
-    serialize(&doc)
+    Ok(serialize(&doc))
 }
 
 #[cfg(test)]
@@ -803,6 +828,9 @@ mod tests {
 
     #[test]
     fn error_mapping_is_single_sourced() {
+        // Every `SwwError` variant and its documented status code (the
+        // DESIGN.md "Failure model" table). A new variant must be added
+        // here or this list stops being exhaustive.
         let cases = [
             (SwwError::NotFound { path: "/x".into() }, 404),
             (
@@ -818,6 +846,12 @@ mod tests {
                 500,
             ),
             (
+                SwwError::Generation {
+                    reason: "injected fault".into(),
+                },
+                500,
+            ),
+            (
                 SwwError::UnsupportedModel {
                     what: "image generation",
                     model: "Dalle3".into(),
@@ -828,10 +862,19 @@ mod tests {
                 SwwError::UpstreamStatus {
                     path: "/p".into(),
                     status: 404,
+                    retry_after_s: None,
                 },
                 502,
             ),
+            (SwwError::IntegrityFailure { path: "/p".into() }, 502),
+            (SwwError::Transport(H2Error::protocol("boom")), 502),
             (SwwError::Saturated { retry_after_s: 3 }, 503),
+            (
+                SwwError::Negotiation {
+                    reason: "no shared models".into(),
+                },
+                503,
+            ),
         ];
         for (err, status) in cases {
             let resp = error_response(&err);

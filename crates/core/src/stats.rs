@@ -26,6 +26,11 @@ pub struct PageStats {
     pub generation_time_s: f64,
     /// Modelled client-side generation energy.
     pub generation_energy: Energy,
+    /// Retries the client spent on this page (transient failures).
+    pub retries: u32,
+    /// Whether the page was ultimately served through the traditional
+    /// fallback (generation withdrawn after terminal failure).
+    pub fell_back: bool,
 }
 
 impl PageStats {
@@ -59,6 +64,8 @@ impl PageStats {
         self.items_fetched += other.items_fetched;
         self.generation_time_s += other.generation_time_s;
         self.generation_energy = self.generation_energy + other.generation_energy;
+        self.retries += other.retries;
+        self.fell_back |= other.fell_back;
     }
 }
 
@@ -106,6 +113,8 @@ mod tests {
             items_generated: 1,
             generation_time_s: 0.5,
             generation_energy: Energy::from_wh(0.05),
+            retries: 2,
+            fell_back: true,
             ..Default::default()
         };
         a.merge(&b);
@@ -114,6 +123,8 @@ mod tests {
         assert_eq!(a.items_generated, 3);
         assert!((a.generation_time_s - 2.0).abs() < 1e-12);
         assert!((a.generation_energy.wh() - 0.15).abs() < 1e-12);
+        assert_eq!(a.retries, 2);
+        assert!(a.fell_back, "fallback flag must survive a merge");
     }
 
     #[test]

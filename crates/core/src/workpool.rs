@@ -14,10 +14,19 @@
 //! fraction sampled at each job start.
 
 use crate::error::SwwError;
+use crate::faults::{self, FaultAction, FaultSite};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// EWMA smoothing factor for the per-job service-time estimate: each
+/// completed job contributes 20% of the new estimate.
+const SERVICE_EWMA_ALPHA: f64 = 0.2;
+
+/// Starting guess for per-job service time until real samples arrive.
+const SERVICE_TIME_PRIOR_S: f64 = 1.0;
 
 /// Buckets for the busy-worker fraction (0..=1].
 const UTILIZATION_BUCKETS: &[f64] = &[0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0];
@@ -35,11 +44,27 @@ struct PoolShared {
     queue_capacity: usize,
     workers: usize,
     active: AtomicUsize,
+    /// EWMA of observed per-job service time, stored as `f64` bits so
+    /// workers can update it without a lock.
+    service_ewma_bits: AtomicU64,
 }
 
 impl PoolShared {
     fn set_depth_gauge(&self, depth: usize) {
         sww_obs::gauge("sww_pool_queue_depth", &[]).set(depth as f64);
+    }
+
+    fn service_estimate_s(&self) -> f64 {
+        f64::from_bits(self.service_ewma_bits.load(Ordering::Relaxed))
+    }
+
+    fn record_service_time(&self, seconds: f64) {
+        // Racy read-modify-write is fine: this is a smoothed estimate,
+        // and a lost update only delays convergence by one sample.
+        let prev = self.service_estimate_s();
+        let next = prev * (1.0 - SERVICE_EWMA_ALPHA) + seconds * SERVICE_EWMA_ALPHA;
+        self.service_ewma_bits
+            .store(next.to_bits(), Ordering::Relaxed);
     }
 }
 
@@ -82,6 +107,7 @@ impl WorkerPool {
             queue_capacity,
             workers,
             active: AtomicUsize::new(0),
+            service_ewma_bits: AtomicU64::new(SERVICE_TIME_PRIOR_S.to_bits()),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -110,17 +136,41 @@ impl WorkerPool {
             .len()
     }
 
+    /// Seconds a rejected client should wait before retrying, derived
+    /// from live pool state: the backlog (`waiting` queued jobs plus the
+    /// one being rejected, plus currently busy workers) divided across
+    /// the workers, scaled by the EWMA of observed per-job service time.
+    /// Clamped to `1..=30` so advice stays sane under estimate noise.
+    pub fn retry_after_estimate(&self, waiting: usize) -> u32 {
+        let backlog = waiting + 1 + self.shared.active.load(Ordering::Relaxed);
+        let drain_s =
+            (backlog as f64 / self.shared.workers.max(1) as f64) * self.shared.service_estimate_s();
+        (drain_s.ceil() as u64).clamp(1, 30) as u32
+    }
+
     /// Enqueue a fire-and-forget job, failing fast when the queue is
     /// full instead of blocking the caller.
+    ///
+    /// The `pool.enqueue` failpoint ([`crate::faults`]) can force a
+    /// rejection (indistinguishable from real saturation, including the
+    /// `Retry-After` estimate) or delay admission.
     pub fn try_execute(&self, job: Job) -> Result<(), SwwError> {
+        match faults::at(FaultSite::PoolEnqueue) {
+            Some(FaultAction::Error) | Some(FaultAction::TruncateKeepPct(_)) => {
+                sww_obs::counter("sww_pool_jobs_total", &[("result", "rejected")]).inc();
+                let retry_after_s = self.retry_after_estimate(self.queue_depth());
+                return Err(SwwError::Saturated { retry_after_s });
+            }
+            Some(FaultAction::Latency(d)) => std::thread::sleep(d),
+            None => {}
+        }
         let depth = {
             let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             if q.jobs.len() >= self.shared.queue_capacity {
                 sww_obs::counter("sww_pool_jobs_total", &[("result", "rejected")]).inc();
-                // Scale the advised backoff with how far behind we are:
-                // one second per full queue's worth of backlog, minimum 1.
-                let retry_after_s = (q.jobs.len() / self.shared.workers.max(1)).clamp(1, 30) as u32;
-                return Err(SwwError::Saturated { retry_after_s });
+                return Err(SwwError::Saturated {
+                    retry_after_s: self.retry_after_estimate(q.jobs.len()),
+                });
             }
             q.jobs.push_back(job);
             q.jobs.len()
@@ -197,9 +247,11 @@ fn worker_loop(shared: &PoolShared) {
             .observe(busy as f64 / shared.workers as f64);
         // A panicking job must not take the worker thread down with it;
         // `run` observes the panic through its result slot.
+        let started = Instant::now();
         if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
             sww_obs::counter("sww_pool_jobs_total", &[("result", "panicked")]).inc();
         }
+        shared.record_service_time(started.elapsed().as_secs_f64());
         drop(guard);
     }
 }
@@ -263,6 +315,38 @@ mod tests {
             other => panic!("expected Saturated, got {other:?}"),
         }
         gate.wait();
+    }
+
+    #[test]
+    fn retry_after_scales_with_queue_depth() {
+        let pool = WorkerPool::new(2, 64);
+        // Pin the estimate so the test is about the depth scaling, not
+        // the EWMA convergence.
+        pool.shared
+            .service_ewma_bits
+            .store(1.0f64.to_bits(), Ordering::Relaxed);
+        let shallow = pool.retry_after_estimate(0);
+        let deep = pool.retry_after_estimate(40);
+        assert!(shallow >= 1);
+        assert!(
+            deep > shallow,
+            "deeper queue must advise a longer wait ({shallow} vs {deep})"
+        );
+        assert!(deep <= 30, "advice is clamped");
+    }
+
+    #[test]
+    fn service_estimate_tracks_observed_jobs() {
+        let pool = WorkerPool::new(1, 8);
+        // Fast jobs should pull the 1 s prior down substantially.
+        for _ in 0..32 {
+            pool.run(|| ()).unwrap();
+        }
+        assert!(
+            pool.shared.service_estimate_s() < SERVICE_TIME_PRIOR_S / 2.0,
+            "estimate {} never converged",
+            pool.shared.service_estimate_s()
+        );
     }
 
     #[test]

@@ -9,15 +9,22 @@
 //! generation) must equal 800 − 10 = 790 in the `/metrics` exposition.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier, Mutex};
 use sww::core::cache::Recipe;
-use sww::core::{FetchOutcome, GenAbility, GenerationEngine, GenerativeServer, SiteContent};
+use sww::core::{
+    FetchOutcome, GenAbility, GenerationEngine, GenerativeServer, SiteContent, SwwError,
+};
 use sww::genai::diffusion::ImageModelKind;
 use sww::genai::ImageBuffer;
 
 const THREADS: usize = 8;
 const REQUESTS_PER_THREAD: usize = 100;
 const UNIQUE_PROMPTS: usize = 10;
+
+/// The metrics registry is process-global and the stress test below
+/// asserts exact counter values, so the tests in this binary must not
+/// interleave.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 fn recipe(p: usize) -> Recipe {
     Recipe {
@@ -68,8 +75,9 @@ fn run_sequential(engine: &GenerationEngine, calls: &AtomicUsize) {
 }
 
 #[tokio::test(flavor = "multi_thread")]
+#[allow(clippy::await_holding_lock)] // the guard serializes the whole test
 async fn eight_threads_generate_each_unique_prompt_exactly_once() {
-    // The metrics registry is process-global; this test owns the binary.
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     sww::obs::reset();
 
     let engine = Arc::new(GenerationEngine::new(8, 64_000_000));
@@ -156,4 +164,74 @@ async fn eight_threads_generate_each_unique_prompt_exactly_once() {
         let sequential = baseline.cache().get(&r).expect("baseline cache entry");
         assert_eq!(concurrent, sequential, "cache divergence for {}", r.prompt);
     }
+}
+
+/// A leader that fails mid-generation must not strand its waiters: the
+/// flight is poisoned, every waiter wakes and retries, exactly one of
+/// them becomes the new leader, and exactly one extra generation runs.
+#[tokio::test(flavor = "multi_thread")]
+#[allow(clippy::await_holding_lock)] // the guard serializes the whole test
+async fn poisoned_flight_releases_waiters_with_one_extra_generation() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    const WORKERS: usize = 6;
+    let engine = Arc::new(GenerationEngine::new(4, 64_000_000));
+    let calls = Arc::new(AtomicUsize::new(0));
+    let errors = Arc::new(AtomicUsize::new(0));
+    let barrier = Arc::new(Barrier::new(WORKERS));
+
+    let threads: Vec<_> = (0..WORKERS)
+        .map(|_| {
+            let engine = Arc::clone(&engine);
+            let calls = Arc::clone(&calls);
+            let errors = Arc::clone(&errors);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let r = recipe(0);
+                barrier.wait();
+                // Retry until the fetch lands, like a resilient client
+                // would. The first generation closure to run anywhere
+                // sleeps long enough for waiters to pile onto its
+                // flight, then fails; every later invocation succeeds.
+                loop {
+                    let result = engine.try_fetch_image(&r, || {
+                        if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                            std::thread::sleep(std::time::Duration::from_millis(30));
+                            return Err(SwwError::Generation {
+                                reason: "leader faulted mid-generation".into(),
+                            });
+                        }
+                        Ok(render(&r))
+                    });
+                    match result {
+                        Ok((image, _)) => {
+                            assert_eq!(image, render(&r), "wrong image after recovery");
+                            return;
+                        }
+                        Err(err) => {
+                            assert!(err.is_generation_failure(), "unexpected error: {err:?}");
+                            errors.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("waiter thread must not be stranded");
+    }
+
+    // Only the faulting leader observed the failure; its waiters retried
+    // against the poisoned flight and exactly one extra generation ran.
+    assert_eq!(errors.load(Ordering::SeqCst), 1, "exactly one failed fetch");
+    assert_eq!(
+        calls.load(Ordering::SeqCst),
+        2,
+        "exactly one extra generation"
+    );
+    assert_eq!(engine.generations(), 1, "only the successful run counts");
+    assert_eq!(engine.cache().len(), 1);
+    assert_eq!(
+        engine.cache().get(&recipe(0)).expect("recovered entry"),
+        render(&recipe(0))
+    );
 }
