@@ -21,6 +21,29 @@ cargo test --release --test concurrent_engine -q
 echo "==> cargo test --release --test chaos_resilience (fixed-seed chaos gate)"
 cargo test --release --test chaos_resilience -q
 
+echo "==> cargo test --release --test batch_equivalence (batched == sequential, bit for bit)"
+cargo test --release --test batch_equivalence -q
+
+echo "==> cargo test --test golden_tables (paper-table regression snapshots)"
+cargo test --test golden_tables -q
+
+echo "==> cargo test -p sww-http2 --test proptest_hpack (HPACK property suite)"
+cargo test -p sww-http2 --test proptest_hpack -q
+
+echo "==> cargo test -p sww-html --test proptest_gencontent (generated-content property suite)"
+cargo test -p sww-html --test proptest_gencontent -q
+
+# Ratchet: the workspace test count must never silently shrink. Raise the
+# floor when a PR adds tests; a drop below it means tests were lost.
+TEST_FLOOR=661
+echo "==> workspace test-count floor (>= ${TEST_FLOOR})"
+TEST_COUNT=$(cargo test --workspace -- --list 2>/dev/null | grep -c ": test$")
+echo "    ${TEST_COUNT} tests"
+if [ "${TEST_COUNT}" -lt "${TEST_FLOOR}" ]; then
+    echo "FAIL: workspace test count ${TEST_COUNT} fell below the floor ${TEST_FLOOR}" >&2
+    exit 1
+fi
+
 echo "==> cargo clippy --workspace --all-targets (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -3,8 +3,8 @@
 //! subset with `--exp e2,e4`.
 
 use sww_bench::experiments::{
-    ablations, article, compression, concurrency, energy, fig1, mobile, models, negotiation,
-    video_cdn, wikimedia,
+    ablations, article, batching, compression, concurrency, energy, fig1, mobile, models,
+    negotiation, video_cdn, wikimedia,
 };
 
 fn wants(filter: &Option<Vec<String>>, id: &str) -> bool {
@@ -103,6 +103,11 @@ fn main() {
         let cfg = concurrency::ConcurrencyConfig::default();
         let samples = concurrency::run(cfg, &[0, 1, 2, 4, 8]);
         println!("{}", concurrency::table(cfg, &samples).render());
+    }
+    if wants(&filter, "e16") {
+        let cfg = batching::BatchingConfig::default();
+        let samples = batching::run(cfg, &[1, 2, 4, 8]);
+        println!("{}", batching::table(cfg, &samples).render());
     }
     if wants(&filter, "ablations") {
         let pre = ablations::preload(4);

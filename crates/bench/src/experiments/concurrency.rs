@@ -39,6 +39,11 @@ pub struct ConcurrencySample {
     /// Faults injected by the chaos layer during this sample (0 when
     /// chaos is off).
     pub faults: u64,
+    /// Jobs the worker pool executed during this sample (0 for inline
+    /// handling). The pool counter lives in the **global** metrics
+    /// registry, so this is a before/after delta — reading the raw
+    /// counter would make later sweep rows cumulative.
+    pub pool_jobs: u64,
 }
 
 /// Sweep configuration.
@@ -50,6 +55,12 @@ pub struct ConcurrencyConfig {
     pub requests: usize,
     /// Unique prompts (= unique pages) in the site.
     pub prompts: usize,
+    /// Batch-scheduler cap passed to the server (1 disables batching,
+    /// preserving the original E15 configuration exactly).
+    pub batch_max: usize,
+    /// Batch-wait deadline in milliseconds (ignored when `batch_max`
+    /// is 1).
+    pub batch_wait_ms: u64,
 }
 
 impl Default for ConcurrencyConfig {
@@ -58,11 +69,15 @@ impl Default for ConcurrencyConfig {
             threads: 8,
             requests: 50,
             prompts: 10,
+            batch_max: 1,
+            batch_wait_ms: 2,
         }
     }
 }
 
-fn bench_site(prompts: usize) -> SiteContent {
+/// The sweep workload: one page per unique prompt, each carrying one
+/// 64×64 generated-content image. Shared with the E16 batching sweep.
+pub(crate) fn bench_site(prompts: usize) -> SiteContent {
     let mut site = SiteContent::new();
     for p in 0..prompts {
         site.add_page(
@@ -81,14 +96,24 @@ fn bench_site(prompts: usize) -> SiteContent {
     site
 }
 
-/// Run one worker-count sample.
+/// The pool's executed-jobs counter from the global metrics registry.
+fn pool_jobs_executed() -> u64 {
+    sww_obs::counter("sww_pool_jobs_total", &[("result", "executed")]).get()
+}
+
+/// Run one worker-count sample. Every reported number is **per-sample**:
+/// engine counters come from the sample's own fresh server, and
+/// global-registry counters (faults, pool jobs) are before/after deltas.
 pub fn sample(cfg: ConcurrencyConfig, workers: usize) -> ConcurrencySample {
     let server = GenerativeServer::builder()
         .site(bench_site(cfg.prompts))
         .workers(workers)
+        .batch_max(cfg.batch_max)
+        .batch_wait(std::time::Duration::from_millis(cfg.batch_wait_ms))
         .build();
     let rejected = AtomicU64::new(0);
     let faults_before = sww_core::faults::injected_total();
+    let pool_jobs_before = pool_jobs_executed();
     let start = Instant::now();
     std::thread::scope(|scope| {
         for t in 0..cfg.threads {
@@ -118,6 +143,7 @@ pub fn sample(cfg: ConcurrencyConfig, workers: usize) -> ConcurrencySample {
         coalesced: server.engine().coalesced(),
         rejected: rejected.load(Ordering::Relaxed),
         faults: sww_core::faults::injected_total() - faults_before,
+        pool_jobs: pool_jobs_executed() - pool_jobs_before,
     }
 }
 
@@ -141,6 +167,7 @@ pub fn table(cfg: ConcurrencyConfig, samples: &[ConcurrencySample]) -> Table {
             "Coalesced",
             "Rejected",
             "Faults",
+            "PoolJobs",
         ],
     );
     for s in samples {
@@ -155,6 +182,7 @@ pub fn table(cfg: ConcurrencyConfig, samples: &[ConcurrencySample]) -> Table {
             s.coalesced.to_string(),
             s.rejected.to_string(),
             s.faults.to_string(),
+            s.pool_jobs.to_string(),
         ]);
     }
     t
@@ -166,10 +194,14 @@ mod tests {
 
     #[test]
     fn single_flight_holds_at_every_pool_size() {
+        let _serial = super::super::POOL_SERIAL
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         let cfg = ConcurrencyConfig {
             threads: 4,
             requests: 10,
             prompts: 5,
+            ..ConcurrencyConfig::default()
         };
         for s in run(cfg, &[0, 2]) {
             // Exactly one generation per unique prompt, regardless of
@@ -186,14 +218,47 @@ mod tests {
 
     #[test]
     fn table_renders_all_samples() {
+        let _serial = super::super::POOL_SERIAL
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         let cfg = ConcurrencyConfig {
             threads: 2,
             requests: 5,
             prompts: 2,
+            ..ConcurrencyConfig::default()
         };
         let samples = run(cfg, &[0, 1]);
         let t = table(cfg, &samples);
         assert_eq!(t.len(), 2);
         assert!(t.render().contains("inline"));
+    }
+
+    /// Regression: sweep rows must be per-sample, not cumulative. The
+    /// pool counter lives in the global metrics registry and only grows
+    /// across a process, so without the before/after delta every later
+    /// row would also carry all earlier rows' jobs.
+    #[test]
+    fn pool_jobs_are_per_sample_not_cumulative() {
+        let _serial = super::super::POOL_SERIAL
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let cfg = ConcurrencyConfig {
+            threads: 2,
+            requests: 5,
+            prompts: 2,
+            ..ConcurrencyConfig::default()
+        };
+        let expected = (cfg.threads * cfg.requests) as u64;
+        // Two pooled samples in sequence: each must report exactly its
+        // own jobs even though the underlying counter has doubled.
+        let first = sample(cfg, 2);
+        let second = sample(cfg, 2);
+        assert_eq!(first.pool_jobs, expected);
+        assert_eq!(
+            second.pool_jobs, expected,
+            "second row must not be cumulative"
+        );
+        // Inline handling uses no pool at all.
+        assert_eq!(sample(cfg, 0).pool_jobs, 0);
     }
 }

@@ -1,8 +1,9 @@
-//! The experiment implementations, one per table/figure (DESIGN.md E1–E15)
+//! The experiment implementations, one per table/figure (DESIGN.md E1–E16)
 //! plus the design-choice ablations.
 
 pub mod ablations;
 pub mod article;
+pub mod batching;
 pub mod compression;
 pub mod concurrency;
 pub mod energy;
@@ -12,3 +13,9 @@ pub mod models;
 pub mod negotiation;
 pub mod video_cdn;
 pub mod wikimedia;
+
+/// Serializes tests that read global-registry counter deltas around a
+/// pooled server (the worker-pool and batch counters are process-wide,
+/// so concurrent pooled tests would pollute each other's deltas).
+#[cfg(test)]
+pub(crate) static POOL_SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());

@@ -18,9 +18,23 @@ pub struct Args {
 }
 
 /// Option keys that take a value (everything else after `--` is a switch).
-const VALUE_KEYS: [&str; 14] = [
-    "addr", "device", "model", "steps", "out", "ability", "site", "workers", "shards", "queue",
-    "threads", "requests", "prompts", "chaos",
+const VALUE_KEYS: [&str; 16] = [
+    "addr",
+    "device",
+    "model",
+    "steps",
+    "out",
+    "ability",
+    "site",
+    "workers",
+    "shards",
+    "queue",
+    "threads",
+    "requests",
+    "prompts",
+    "chaos",
+    "batch-max",
+    "batch-wait",
 ];
 
 impl Args {

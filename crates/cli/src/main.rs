@@ -3,6 +3,7 @@
 //! ```text
 //! sww serve  [--addr 127.0.0.1:0] [--site blog|wikimedia] [--naive]
 //!            [--workers N] [--shards N] [--queue N] [--chaos SPEC]
+//!            [--batch-max N] [--batch-wait MS]
 //! sww fetch  <addr> <path> [--device laptop|workstation|mobile] [--naive] [--render] [--out DIR]
 //! sww generate <prompt...> [--model sd21|sd3|sd35|dalle3|flux] [--steps N] [--out FILE]
 //! sww expand <bullet;bullet;...> [--model llama|r1-1.5b|r1-8b|r1-14b]
@@ -10,8 +11,13 @@
 //! sww stock [category]
 //! sww stats [addr] [--device laptop|workstation|mobile]
 //! sww bench-concurrent [--threads 8] [--requests 100] [--prompts 10] [--workers 1,2,4,8]
-//!                      [--chaos SPEC]
+//!                      [--batch-max N] [--batch-wait MS] [--chaos SPEC]
 //! ```
+//!
+//! `--batch-max N` (N > 1) turns on continuous batching: compatible
+//! concurrent generations share one denoising pass, bit-identical per
+//! image to the unbatched path, with `--batch-wait` bounding how long an
+//! open batch may wait for company (milliseconds, default 2).
 //!
 //! `sww stats` scrapes the Prometheus-text `/metrics` endpoint of a
 //! running server when given an address; with no address it runs a small
@@ -132,12 +138,15 @@ async fn cmd_serve(args: &Args) {
     let workers: usize = args.opt("workers", "0").parse().unwrap_or(0);
     let shards: usize = args.opt("shards", "8").parse().unwrap_or(8);
     let queue: usize = args.opt("queue", "64").parse().unwrap_or(64);
+    let (batch_max, batch_wait_ms) = batch_options(args);
     let server = GenerativeServer::builder()
         .site(site)
         .ability(ability)
         .workers(workers)
         .cache_shards(shards)
         .queue_capacity(queue)
+        .batch_max(batch_max)
+        .batch_wait(std::time::Duration::from_millis(batch_wait_ms))
         .build();
     let addr = server
         .spawn_tcp(args.opt("addr", "127.0.0.1:0"))
@@ -147,6 +156,9 @@ async fn cmd_serve(args: &Args) {
     match server.worker_count() {
         Some(n) => println!("worker pool: {n} workers, queue {queue}, {shards} cache shards"),
         None => println!("inline handling (no worker pool), {shards} cache shards"),
+    }
+    if batch_max > 1 {
+        println!("continuous batching: up to {batch_max} per pass, {batch_wait_ms} ms deadline");
     }
     println!("stored {} B (prompt form)", server.stored_bytes());
     // Serve until interrupted.
@@ -305,80 +317,43 @@ fn cmd_stock(args: &Args) {
     }
 }
 
+/// `--batch-max` / `--batch-wait` (shared by `serve` and
+/// `bench-concurrent`).
+fn batch_options(args: &Args) -> (usize, u64) {
+    let batch_max: usize = args.opt("batch-max", "1").parse().unwrap_or(1);
+    let batch_wait_ms: u64 = args.opt("batch-wait", "2").parse().unwrap_or(2);
+    (batch_max, batch_wait_ms)
+}
+
 /// Stress the concurrent serving engine in-process: naive sessions drive
 /// server-side generation from many threads, sweeping the worker count.
+///
+/// This is the E15 harness (`sww_bench::experiments::concurrency`)
+/// behind a CLI: the sweep loop lives in one place, so the command and
+/// `bench-report` cannot drift apart — in particular both inherit the
+/// per-sample (delta, never cumulative) counter accounting.
 fn cmd_bench_concurrent(args: &Args) {
+    use sww_bench::experiments::concurrency;
     install_chaos(args);
-    let threads: usize = args.opt("threads", "8").parse().unwrap_or(8);
-    let requests: usize = args.opt("requests", "100").parse().unwrap_or(100);
-    let prompts: usize = args.opt("prompts", "10").parse().unwrap_or(10).max(1);
+    let (batch_max, batch_wait_ms) = batch_options(args);
+    let cfg = concurrency::ConcurrencyConfig {
+        threads: args.opt("threads", "8").parse().unwrap_or(8),
+        requests: args.opt("requests", "100").parse().unwrap_or(100),
+        prompts: args
+            .opt("prompts", "10")
+            .parse::<usize>()
+            .unwrap_or(10)
+            .max(1),
+        batch_max,
+        batch_wait_ms,
+    };
     let worker_counts: Vec<usize> = args
         .opt("workers", "1,2,4,8")
         .split(',')
         .filter_map(|w| w.trim().parse().ok())
         .collect();
-    println!(
-        "{threads} threads x {requests} requests over {prompts} unique prompts\n\
-         {:<8} {:>12} {:>12} {:>11} {:>9} {:>8}",
-        "workers", "throughput/s", "generations", "coalesced", "retried", "faults"
-    );
-    for &workers in &worker_counts {
-        let mut site = SiteContent::new();
-        for p in 0..prompts {
-            site.add_page(
-                format!("/page/{p}"),
-                format!(
-                    "<html><body>{}</body></html>",
-                    sww_html::gencontent::image_div(
-                        &format!("bench prompt {p} distant headland"),
-                        &format!("bench{p}.jpg"),
-                        64,
-                        64,
-                    )
-                ),
-            );
-        }
-        let server = GenerativeServer::builder()
-            .site(site)
-            .workers(workers)
-            .build();
-        let retried = std::sync::atomic::AtomicU64::new(0);
-        let faults_before = sww_core::faults::injected_total();
-        let start = std::time::Instant::now();
-        std::thread::scope(|scope| {
-            for t in 0..threads {
-                let session = server.accept(GenAbility::none());
-                let retried = &retried;
-                scope.spawn(move || {
-                    for i in 0..requests {
-                        let path = format!("/page/{}", (i + t) % prompts);
-                        loop {
-                            let resp = session.handle(&sww_http2::Request::get(&path));
-                            // 503 = saturation backpressure; 500/502 show
-                            // up under --chaos (injected faults). Both are
-                            // transient: honor the hint and retry.
-                            if !matches!(resp.status, 500 | 502 | 503) {
-                                assert_eq!(resp.status, 200, "GET {path}");
-                                break;
-                            }
-                            retried.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            std::thread::sleep(std::time::Duration::from_millis(1));
-                        }
-                    }
-                });
-            }
-        });
-        let elapsed = start.elapsed().as_secs_f64();
-        let total = (threads * requests) as f64;
-        println!(
-            "{workers:<8} {:>12.0} {:>12} {:>11} {:>9} {:>8}",
-            total / elapsed.max(1e-9),
-            server.engine().generations(),
-            server.engine().coalesced(),
-            retried.load(std::sync::atomic::Ordering::Relaxed),
-            sww_core::faults::injected_total() - faults_before,
-        );
-    }
+    let samples = concurrency::run(cfg, &worker_counts);
+    println!("{}", concurrency::table(cfg, &samples).render());
 }
 
 #[cfg(test)]

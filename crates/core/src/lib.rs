@@ -7,6 +7,7 @@
 //! (§2.2), video negotiation (§3.2), and the byte/energy accounting the
 //! evaluation (§6) is built on.
 
+pub mod batch;
 pub mod cache;
 pub mod cdn;
 pub mod client;
@@ -28,6 +29,7 @@ pub mod trust;
 pub mod video;
 pub mod workpool;
 
+pub use batch::{BatchConfig, BatchKey, BatchOutcome, BatchScheduler, BatchStats};
 pub use client::GenerativeClient;
 pub use engine::{FetchOutcome, GenerationEngine, ShardedGenerationCache};
 pub use error::SwwError;

@@ -27,11 +27,16 @@
 //! * Each OS thread that generates keeps its own preloaded
 //!   [`MediaGenerator`] (the §4.1 preload optimisation, per worker), so
 //!   generations for distinct recipes proceed in parallel.
+//! * With `batch_max(n)` (n > 1), cache-missing generations additionally
+//!   flow through a [`BatchScheduler`]: compatible concurrent recipes
+//!   share one multi-latent denoising pass, bit-identical per image to
+//!   the unbatched path (see [`crate::batch`] for the closing policy).
 //!
 //! Request handling is fallible internally ([`SwwError`]); the mapping
 //! from error to HTTP status code lives in exactly one place, the
 //! private `error_response` function.
 
+use crate::batch::{BatchConfig, BatchScheduler, BatchStats};
 use crate::cache::Recipe;
 use crate::engine::GenerationEngine;
 use crate::error::SwwError;
@@ -46,6 +51,8 @@ use parking_lot::{Mutex, RwLock};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
+use sww_energy::cost as gen_cost;
 use sww_energy::device::{profile as device_profile, DeviceKind};
 use sww_genai::image::codec;
 use sww_hash::{sha256, to_hex};
@@ -161,6 +168,9 @@ struct ServerShared {
     traditional_memo: Mutex<Option<u64>>,
     /// Present when the server was built with `workers(n > 0)`.
     pool: Option<WorkerPool>,
+    /// Present when the server was built with `batch_max(n > 1)`:
+    /// compatible cache-missing generations share denoising passes.
+    batcher: Option<BatchScheduler>,
 }
 
 thread_local! {
@@ -201,6 +211,8 @@ pub struct GenerativeServerBuilder {
     queue_capacity: usize,
     cache_shards: usize,
     cache_pixels: u64,
+    batch_max: usize,
+    batch_wait: Duration,
 }
 
 impl Default for GenerativeServerBuilder {
@@ -213,6 +225,8 @@ impl Default for GenerativeServerBuilder {
             queue_capacity: 64,
             cache_shards: 8,
             cache_pixels: 64_000_000,
+            batch_max: 1,
+            batch_wait: Duration::from_millis(2),
         }
     }
 }
@@ -264,6 +278,21 @@ impl GenerativeServerBuilder {
         self
     }
 
+    /// Most compatible generations one denoising pass may carry.
+    /// `1` (the default) disables batching entirely; `n > 1` routes
+    /// cache-missing generations through a [`BatchScheduler`].
+    pub fn batch_max(mut self, batch_max: usize) -> GenerativeServerBuilder {
+        self.batch_max = batch_max;
+        self
+    }
+
+    /// Hard bound on how long an open batch waits for company before it
+    /// executes (default: 2 ms). Only meaningful with `batch_max > 1`.
+    pub fn batch_wait(mut self, batch_wait: Duration) -> GenerativeServerBuilder {
+        self.batch_wait = batch_wait;
+        self
+    }
+
     /// Build the server.
     pub fn build(self) -> GenerativeServer {
         GenerativeServer {
@@ -277,6 +306,12 @@ impl GenerativeServerBuilder {
                 traditional_memo: Mutex::new(None),
                 pool: (self.workers > 0)
                     .then(|| WorkerPool::new(self.workers, self.queue_capacity)),
+                batcher: (self.batch_max > 1).then(|| {
+                    BatchScheduler::new(BatchConfig {
+                        max_batch: self.batch_max,
+                        max_wait: self.batch_wait,
+                    })
+                }),
             }),
         }
     }
@@ -402,6 +437,18 @@ impl GenerativeServer {
     /// Worker threads backing this server, if a pool was configured.
     pub fn worker_count(&self) -> Option<usize> {
         self.shared.pool.as_ref().map(|p| p.worker_count())
+    }
+
+    /// The batch scheduler, when the server was built with
+    /// `batch_max(n > 1)`. Benches and tests use this for
+    /// [`BatchScheduler::announce`] hints and policy introspection.
+    pub fn batcher(&self) -> Option<&BatchScheduler> {
+        self.shared.batcher.as_ref()
+    }
+
+    /// Lifetime batching tallies (`None` when batching is disabled).
+    pub fn batch_stats(&self) -> Option<BatchStats> {
+        self.shared.batcher.as_ref().map(|b| b.stats())
     }
 }
 
@@ -659,13 +706,49 @@ fn materialize(shared: &ServerShared, html: &str) -> Result<String, SwwError> {
                 };
                 let (image, _outcome) = shared.engine.try_fetch_image(&recipe, || {
                     let span = sww_obs::Span::begin("sww_server_generate", "materialize");
-                    let (media, cost) = with_generator(|g| g.try_generate(&item))?;
-                    span.finish_with_virtual(cost.time_s);
-                    shared.accounting.lock().generation_time_s += cost.time_s;
-                    match media {
-                        GeneratedMedia::Image { image, .. } => Ok(image),
-                        GeneratedMedia::Text { .. } => {
-                            unreachable!("an Img item generates an image")
+                    match &shared.batcher {
+                        // Batched path: the flight leader joins a shared
+                        // denoising pass. Bit-identical to the unbatched
+                        // path; only the modelled cost is amortized.
+                        Some(batcher) => {
+                            let device = device_profile(DeviceKind::Workstation);
+                            gen_cost::image_generation_time(
+                                recipe.model,
+                                &device,
+                                recipe.width,
+                                recipe.height,
+                                recipe.steps,
+                            )
+                            .ok_or_else(|| {
+                                SwwError::UnsupportedModel {
+                                    what: "image generation",
+                                    model: format!("{:?}", recipe.model),
+                                }
+                            })?;
+                            let outcome = batcher.submit(&recipe)?;
+                            let time_s = gen_cost::batched_image_generation_time(
+                                recipe.model,
+                                &device,
+                                recipe.width,
+                                recipe.height,
+                                recipe.steps,
+                                outcome.batch_size,
+                            )
+                            .unwrap_or(0.0);
+                            span.finish_with_virtual(time_s);
+                            shared.accounting.lock().generation_time_s += time_s;
+                            Ok(outcome.image)
+                        }
+                        None => {
+                            let (media, cost) = with_generator(|g| g.try_generate(&item))?;
+                            span.finish_with_virtual(cost.time_s);
+                            shared.accounting.lock().generation_time_s += cost.time_s;
+                            match media {
+                                GeneratedMedia::Image { image, .. } => Ok(image),
+                                GeneratedMedia::Text { .. } => {
+                                    unreachable!("an Img item generates an image")
+                                }
+                            }
                         }
                     }
                 })?;
@@ -811,6 +894,29 @@ mod tests {
             .accept(GenAbility::none())
             .handle(&Request::get("/hike"));
         assert_eq!(a.body, b.body);
+    }
+
+    #[test]
+    fn batched_server_materializes_identically_to_inline() {
+        let inline = demo_server();
+        let batched = GenerativeServer::builder()
+            .site(demo_site())
+            .workers(2)
+            .batch_max(4)
+            .batch_wait(Duration::from_millis(5))
+            .build();
+        assert!(batched.batcher().is_some());
+        let a = inline
+            .accept(GenAbility::none())
+            .handle(&Request::get("/hike"));
+        let b = batched
+            .accept(GenAbility::none())
+            .handle(&Request::get("/hike"));
+        assert_eq!(a.status, 200);
+        assert_eq!(a.body, b.body, "batched page must be byte-identical");
+        let stats = batched.batch_stats().expect("batching enabled");
+        assert_eq!(stats.jobs, 1, "one image item went through the batcher");
+        assert!(demo_server().batch_stats().is_none(), "disabled by default");
     }
 
     #[test]

@@ -72,6 +72,41 @@ pub fn time_per_step(model: ImageModelKind, device: &DeviceProfile) -> Option<f6
     image_generation_time(model, device, 224, 224, 15).map(|t| t / 15.0)
 }
 
+/// Fraction of a single image's per-step cost that is fixed launch
+/// overhead (weight streaming, scheduler bookkeeping, kernel dispatch)
+/// and therefore amortizes when N same-profile latents share one
+/// denoising pass. The remaining `1 - BATCH_OVERHEAD_FRACTION` is
+/// per-latent arithmetic that scales with batch size.
+pub const BATCH_OVERHEAD_FRACTION: f64 = 0.7;
+
+/// Per-image seconds when `batch` same-profile images share one batched
+/// denoising pass on `device`.
+///
+/// The model splits the single-image time into a fixed per-step overhead
+/// ([`BATCH_OVERHEAD_FRACTION`]) paid once per batch and a marginal
+/// per-latent share paid per image:
+///
+/// ```text
+/// t(batch) = t(1) · (overhead / batch + (1 − overhead))
+/// ```
+///
+/// At `batch == 1` this is *exactly* [`image_generation_time`] — the
+/// paper's Table 1/2 anchors are untouched — and it saturates toward the
+/// marginal fraction as the batch grows (≈2.6× per-image speedup at a
+/// batch of 8). `None` when the model cannot run on this device.
+pub fn batched_image_generation_time(
+    model: ImageModelKind,
+    device: &DeviceProfile,
+    width: u32,
+    height: u32,
+    steps: u32,
+    batch: usize,
+) -> Option<f64> {
+    let single = image_generation_time(model, device, width, height, steps)?;
+    let n = batch.max(1) as f64;
+    Some(single * (BATCH_OVERHEAD_FRACTION / n + (1.0 - BATCH_OVERHEAD_FRACTION)))
+}
+
 /// Seconds to upscale to `width`×`height`: a single lightweight pass with
 /// linear pixel scaling and no attention penalty — sub-second on capable
 /// hardware (paper §2.2).
@@ -195,6 +230,51 @@ mod tests {
             assert!(t > prev, "non-monotonic at {side}: {t} <= {prev}");
             prev = t;
         }
+    }
+
+    #[test]
+    fn batch_of_one_matches_single_image_time_exactly() {
+        for (w, h, steps) in [(256, 256, 15), (512, 512, 30), (64, 64, 7)] {
+            let single =
+                image_generation_time(ImageModelKind::Sd3Medium, &ws(), w, h, steps).unwrap();
+            let b1 =
+                batched_image_generation_time(ImageModelKind::Sd3Medium, &ws(), w, h, steps, 1)
+                    .unwrap();
+            assert_eq!(single, b1, "{w}x{h}@{steps}");
+        }
+    }
+
+    #[test]
+    fn batch_of_eight_amortizes_at_least_two_x() {
+        let t1 = batched_image_generation_time(ImageModelKind::Sd3Medium, &ws(), 256, 256, 15, 1)
+            .unwrap();
+        let t8 = batched_image_generation_time(ImageModelKind::Sd3Medium, &ws(), 256, 256, 15, 8)
+            .unwrap();
+        assert!(t1 / t8 >= 2.0, "batch-8 speedup only {:.2}x", t1 / t8);
+    }
+
+    #[test]
+    fn batched_time_monotonically_decreases_and_saturates() {
+        let mut prev = f64::MAX;
+        for n in 1..=64 {
+            let t =
+                batched_image_generation_time(ImageModelKind::Sd3Medium, &ws(), 256, 256, 15, n)
+                    .unwrap();
+            assert!(t < prev, "batch {n} not cheaper per image");
+            // Never below the marginal per-latent share.
+            let floor = image_generation_time(ImageModelKind::Sd3Medium, &ws(), 256, 256, 15)
+                .unwrap()
+                * (1.0 - BATCH_OVERHEAD_FRACTION);
+            assert!(t > floor);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn batched_time_none_for_server_only_models() {
+        assert!(
+            batched_image_generation_time(ImageModelKind::Dalle3, &ws(), 256, 256, 15, 4).is_none()
+        );
     }
 
     #[test]

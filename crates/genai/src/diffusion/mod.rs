@@ -74,6 +74,58 @@ impl DiffusionModel {
         let steps = steps.max(1);
         let denoise_span = sww_obs::Span::begin("sww_genai_stage", "denoise");
         let schedule = Schedule::new(steps);
+        let mut job = self.prepare_job(features);
+        denoise_batch(&schedule, std::slice::from_mut(&mut job));
+        denoise_span.finish();
+
+        let decode_span = sww_obs::Span::begin("sww_genai_stage", "decode");
+        let out = self.decode(features, &job.latent, width, height, &mut job.rng);
+        decode_span.finish();
+        out
+    }
+
+    /// Generate one image per prompt through a single batched denoising
+    /// pass: all latents advance together, one sigma step at a time, then
+    /// each decodes at the shared `width`×`height`.
+    ///
+    /// Per-image output is **bit-identical** to [`generate_with_features`]:
+    /// every job keeps its own prompt-seeded RNG stream and its own latent
+    /// field, so batching restructures the loop nesting (step-major over
+    /// the batch) without reordering any image's random draws or float
+    /// operations.
+    ///
+    /// [`generate_with_features`]: DiffusionModel::generate_with_features
+    pub fn generate_batch(
+        &self,
+        features: &[PromptFeatures],
+        width: u32,
+        height: u32,
+        steps: u32,
+    ) -> Vec<ImageBuffer> {
+        let steps = steps.max(1);
+        let denoise_span = sww_obs::Span::begin("sww_genai_stage", "denoise_batch");
+        let schedule = Schedule::new(steps);
+        let mut jobs: Vec<LatentJob> = features.iter().map(|f| self.prepare_job(f)).collect();
+        denoise_batch(&schedule, &mut jobs);
+        denoise_span.finish();
+
+        features
+            .iter()
+            .zip(jobs.iter_mut())
+            .map(|(f, job)| {
+                let decode_span = sww_obs::Span::begin("sww_genai_stage", "decode");
+                let out = self.decode(f, &job.latent, width, height, &mut job.rng);
+                decode_span.finish();
+                out
+            })
+            .collect()
+    }
+
+    /// Build one image's denoising state: its private prompt-seeded RNG,
+    /// the quality-degraded semantic target, and the noise-initialized
+    /// latent. The RNG draw order (latent init, then denoise, then decode)
+    /// is the contract the batch kernel's bit-identity rests on.
+    fn prepare_job(&self, features: &PromptFeatures) -> LatentJob {
         let mut rng = Rng::new(features.seed ^ self.profile.seed_salt);
 
         // The model's target: the ideal semantic field degraded by model
@@ -86,24 +138,15 @@ impl DiffusionModel {
             *t = q * ideal[i] + (1.0 - q) * distortion[i];
         }
 
-        // Latent denoising loop on the coarse grid.
         let mut latent = [0.0f64; GRID * GRID];
         for l in latent.iter_mut() {
             *l = rng.gaussian();
         }
-        for k in 0..steps {
-            let alpha = schedule.alpha(k);
-            let sigma = schedule.sigma(k);
-            for (i, l) in latent.iter_mut().enumerate() {
-                *l += alpha * (target[i] - *l) + sigma * rng.gaussian() * 0.15;
-            }
+        LatentJob {
+            rng,
+            target,
+            latent,
         }
-        denoise_span.finish();
-
-        let decode_span = sww_obs::Span::begin("sww_genai_stage", "decode");
-        let out = self.decode(features, &latent, width, height, &mut rng);
-        decode_span.finish();
-        out
     }
 
     /// Model-specific smooth distortion field: what a weaker model "sees"
@@ -198,6 +241,39 @@ impl DiffusionModel {
     }
 }
 
+/// One image's in-flight denoising state: the latent field being refined,
+/// its target, and the image's private prompt-seeded RNG.
+///
+/// Keeping the RNG *inside* the job is what makes batched denoising
+/// bit-identical to the single-image path: no matter how many jobs share
+/// a [`denoise_batch`] pass, each image consumes exactly the random
+/// stream it would have consumed alone.
+#[derive(Debug, Clone)]
+pub struct LatentJob {
+    rng: Rng,
+    target: [f64; GRID * GRID],
+    latent: [f64; GRID * GRID],
+}
+
+/// The batched denoising kernel: advance every job's latent field through
+/// the shared schedule, one sigma step at a time across the whole batch
+/// (step-major, the memory-access shape a real batched sampler has).
+///
+/// All jobs must share the schedule — callers group work by (model,
+/// resolution, steps) before batching. With a single job this executes
+/// the exact instruction sequence of the pre-batching denoise loop.
+pub fn denoise_batch(schedule: &Schedule, jobs: &mut [LatentJob]) {
+    for k in 0..schedule.steps() {
+        let alpha = schedule.alpha(k);
+        let sigma = schedule.sigma(k);
+        for job in jobs.iter_mut() {
+            for (i, l) in job.latent.iter_mut().enumerate() {
+                *l += alpha * (job.target[i] - *l) + sigma * job.rng.gaussian() * 0.15;
+            }
+        }
+    }
+}
+
 /// Bilinear sample of the coarse latent grid at `(u, v) ∈ [0,1]²`.
 fn sample_grid(grid: &[f64; GRID * GRID], u: f64, v: f64) -> f64 {
     let x = u.clamp(0.0, 1.0) * (GRID - 1) as f64;
@@ -280,5 +356,57 @@ mod tests {
         let m = DiffusionModel::new(ImageModelKind::Sd21Base);
         let img = m.generate("x", 16, 16, 0);
         assert_eq!(img.width(), 16);
+    }
+
+    #[test]
+    fn batched_generation_is_bit_identical_to_single() {
+        let prompts = [
+            "a mountain lake at sunset",
+            "a city street at night",
+            "rolling hills under storm clouds",
+            "a sandy beach with palm trees",
+            "a snow covered village",
+            "a dense autumn forest",
+            "a desert canyon at noon",
+            "a harbor with fishing boats",
+        ];
+        for model in [ImageModelKind::Sd3Medium, ImageModelKind::Sd21Base] {
+            let m = DiffusionModel::new(model);
+            for n in 1..=prompts.len() {
+                let features: Vec<PromptFeatures> = prompts[..n]
+                    .iter()
+                    .map(|p| PromptFeatures::analyze(p))
+                    .collect();
+                let batched = m.generate_batch(&features, 48, 48, 15);
+                for (f, img) in features.iter().zip(&batched) {
+                    let single = m.generate_with_features(f, 48, 48, 15);
+                    assert_eq!(
+                        *img, single,
+                        "batch of {n} diverged from single pass ({model:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_equivalence_holds_across_steps_and_sizes() {
+        let m = DiffusionModel::new(ImageModelKind::Sd35Medium);
+        let features: Vec<PromptFeatures> = ["foggy pier", "red rock mesa", "alpine meadow"]
+            .iter()
+            .map(|p| PromptFeatures::analyze(p))
+            .collect();
+        for (w, h, steps) in [(16, 16, 1), (64, 32, 7), (32, 64, 30)] {
+            let batched = m.generate_batch(&features, w, h, steps);
+            for (f, img) in features.iter().zip(&batched) {
+                assert_eq!(*img, m.generate_with_features(f, w, h, steps));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let m = DiffusionModel::new(ImageModelKind::Sd3Medium);
+        assert!(m.generate_batch(&[], 32, 32, 15).is_empty());
     }
 }
