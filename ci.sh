@@ -21,6 +21,9 @@ cargo test --release --test concurrent_engine -q
 echo "==> cargo test --release --test chaos_resilience (fixed-seed chaos gate)"
 cargo test --release --test chaos_resilience -q
 
+echo "==> cargo test --release --test lifecycle (deadline/cancel/overload gate)"
+cargo test --release --test lifecycle -q
+
 echo "==> cargo test --release --test batch_equivalence (batched == sequential, bit for bit)"
 cargo test --release --test batch_equivalence -q
 
@@ -35,7 +38,7 @@ cargo test -p sww-html --test proptest_gencontent -q
 
 # Ratchet: the workspace test count must never silently shrink. Raise the
 # floor when a PR adds tests; a drop below it means tests were lost.
-TEST_FLOOR=661
+TEST_FLOOR=690
 echo "==> workspace test-count floor (>= ${TEST_FLOOR})"
 TEST_COUNT=$(cargo test --workspace -- --list 2>/dev/null | grep -c ": test$")
 echo "    ${TEST_COUNT} tests"

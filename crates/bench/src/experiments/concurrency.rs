@@ -44,6 +44,15 @@ pub struct ConcurrencySample {
     /// registry, so this is a before/after delta — reading the raw
     /// counter would make later sweep rows cumulative.
     pub pool_jobs: u64,
+    /// Requests shed at admission during this sample (global
+    /// `sww_shed_total` delta, summed over reasons).
+    pub shed: u64,
+    /// Cancellations that took effect during this sample (global
+    /// `sww_cancelled_total` delta, summed over sites).
+    pub cancelled: u64,
+    /// Deadline misses answered `504` during this sample (global
+    /// `sww_deadline_exceeded_total` delta).
+    pub deadline_misses: u64,
 }
 
 /// Sweep configuration.
@@ -61,6 +70,13 @@ pub struct ConcurrencyConfig {
     /// Batch-wait deadline in milliseconds (ignored when `batch_max`
     /// is 1).
     pub batch_wait_ms: u64,
+    /// Per-request deadline budget in milliseconds (`None` preserves the
+    /// original unbounded behaviour). With a deadline set, `504`s and
+    /// admission sheds join the retryable set.
+    pub deadline_ms: Option<u64>,
+    /// Circuit-breaker tuning as `(failure_threshold, cooldown_ms)`;
+    /// `None` leaves the breaker off.
+    pub breaker: Option<(u32, u64)>,
 }
 
 impl Default for ConcurrencyConfig {
@@ -71,6 +87,8 @@ impl Default for ConcurrencyConfig {
             prompts: 10,
             batch_max: 1,
             batch_wait_ms: 2,
+            deadline_ms: None,
+            breaker: None,
         }
     }
 }
@@ -101,19 +119,52 @@ fn pool_jobs_executed() -> u64 {
     sww_obs::counter("sww_pool_jobs_total", &[("result", "executed")]).get()
 }
 
+/// Lifecycle counters from the global registry: `(shed, cancelled,
+/// deadline_misses)`. Labelled series are summed over their documented
+/// label values. Shared with the E16 sweep.
+pub(crate) fn lifecycle_counters() -> (u64, u64, u64) {
+    let shed = ["deadline", "breaker", "draining"]
+        .iter()
+        .map(|r| sww_obs::counter("sww_shed_total", &[("reason", r)]).get())
+        .sum();
+    let cancelled = [
+        "engine.wait",
+        "engine.handoff",
+        "denoise",
+        "batch.wait",
+        "pool.queue",
+    ]
+    .iter()
+    .map(|s| sww_obs::counter("sww_cancelled_total", &[("site", s)]).get())
+    .sum();
+    let misses = sww_obs::counter("sww_deadline_exceeded_total", &[]).get();
+    (shed, cancelled, misses)
+}
+
 /// Run one worker-count sample. Every reported number is **per-sample**:
 /// engine counters come from the sample's own fresh server, and
-/// global-registry counters (faults, pool jobs) are before/after deltas.
+/// global-registry counters (faults, pool jobs, lifecycle) are
+/// before/after deltas.
 pub fn sample(cfg: ConcurrencyConfig, workers: usize) -> ConcurrencySample {
-    let server = GenerativeServer::builder()
+    let mut builder = GenerativeServer::builder()
         .site(bench_site(cfg.prompts))
         .workers(workers)
         .batch_max(cfg.batch_max)
-        .batch_wait(std::time::Duration::from_millis(cfg.batch_wait_ms))
-        .build();
+        .batch_wait(std::time::Duration::from_millis(cfg.batch_wait_ms));
+    if let Some(ms) = cfg.deadline_ms {
+        builder = builder.default_deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some((failure_threshold, cooldown_ms)) = cfg.breaker {
+        builder = builder.breaker(sww_core::BreakerConfig {
+            failure_threshold,
+            cooldown: std::time::Duration::from_millis(cooldown_ms),
+        });
+    }
+    let server = builder.build();
     let rejected = AtomicU64::new(0);
     let faults_before = sww_core::faults::injected_total();
     let pool_jobs_before = pool_jobs_executed();
+    let (shed_before, cancelled_before, misses_before) = lifecycle_counters();
     let start = Instant::now();
     std::thread::scope(|scope| {
         for t in 0..cfg.threads {
@@ -124,7 +175,9 @@ pub fn sample(cfg: ConcurrencyConfig, workers: usize) -> ConcurrencySample {
                     let path = format!("/page/{}", (i + t) % cfg.prompts);
                     loop {
                         let resp = session.handle(&Request::get(&path));
-                        if !matches!(resp.status, 500 | 502 | 503) {
+                        // 504 joins the retryable set: a missed deadline
+                        // is transient — the retry carries a fresh budget.
+                        if !matches!(resp.status, 500 | 502 | 503 | 504) {
                             assert_eq!(resp.status, 200, "GET {path}");
                             break;
                         }
@@ -136,6 +189,7 @@ pub fn sample(cfg: ConcurrencyConfig, workers: usize) -> ConcurrencySample {
         }
     });
     let elapsed = start.elapsed().as_secs_f64();
+    let (shed_after, cancelled_after, misses_after) = lifecycle_counters();
     ConcurrencySample {
         workers,
         throughput_rps: (cfg.threads * cfg.requests) as f64 / elapsed.max(1e-9),
@@ -144,6 +198,9 @@ pub fn sample(cfg: ConcurrencyConfig, workers: usize) -> ConcurrencySample {
         rejected: rejected.load(Ordering::Relaxed),
         faults: sww_core::faults::injected_total() - faults_before,
         pool_jobs: pool_jobs_executed() - pool_jobs_before,
+        shed: shed_after - shed_before,
+        cancelled: cancelled_after - cancelled_before,
+        deadline_misses: misses_after - misses_before,
     }
 }
 
@@ -168,6 +225,8 @@ pub fn table(cfg: ConcurrencyConfig, samples: &[ConcurrencySample]) -> Table {
             "Rejected",
             "Faults",
             "PoolJobs",
+            "Shed/Cxl",
+            "504s",
         ],
     );
     for s in samples {
@@ -183,6 +242,8 @@ pub fn table(cfg: ConcurrencyConfig, samples: &[ConcurrencySample]) -> Table {
             s.rejected.to_string(),
             s.faults.to_string(),
             s.pool_jobs.to_string(),
+            format!("{}/{}", s.shed, s.cancelled),
+            s.deadline_misses.to_string(),
         ]);
     }
     t

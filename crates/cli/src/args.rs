@@ -18,7 +18,7 @@ pub struct Args {
 }
 
 /// Option keys that take a value (everything else after `--` is a switch).
-const VALUE_KEYS: [&str; 16] = [
+const VALUE_KEYS: [&str; 20] = [
     "addr",
     "device",
     "model",
@@ -35,6 +35,10 @@ const VALUE_KEYS: [&str; 16] = [
     "chaos",
     "batch-max",
     "batch-wait",
+    "deadline-ms",
+    "breaker-threshold",
+    "breaker-cooldown-ms",
+    "drain-after",
 ];
 
 impl Args {

@@ -3,7 +3,9 @@
 //! ```text
 //! sww serve  [--addr 127.0.0.1:0] [--site blog|wikimedia] [--naive]
 //!            [--workers N] [--shards N] [--queue N] [--chaos SPEC]
-//!            [--batch-max N] [--batch-wait MS]
+//!            [--batch-max N] [--batch-wait MS] [--deadline-ms MS]
+//!            [--breaker-threshold N] [--breaker-cooldown-ms MS]
+//!            [--drain-after SECONDS]
 //! sww fetch  <addr> <path> [--device laptop|workstation|mobile] [--naive] [--render] [--out DIR]
 //! sww generate <prompt...> [--model sd21|sd3|sd35|dalle3|flux] [--steps N] [--out FILE]
 //! sww expand <bullet;bullet;...> [--model llama|r1-1.5b|r1-8b|r1-14b]
@@ -12,12 +14,24 @@
 //! sww stats [addr] [--device laptop|workstation|mobile]
 //! sww bench-concurrent [--threads 8] [--requests 100] [--prompts 10] [--workers 1,2,4,8]
 //!                      [--batch-max N] [--batch-wait MS] [--chaos SPEC]
+//!                      [--deadline-ms MS] [--breaker-threshold N]
+//!                      [--breaker-cooldown-ms MS]
 //! ```
 //!
 //! `--batch-max N` (N > 1) turns on continuous batching: compatible
 //! concurrent generations share one denoising pass, bit-identical per
 //! image to the unbatched path, with `--batch-wait` bounding how long an
 //! open batch may wait for company (milliseconds, default 2).
+//!
+//! `--deadline-ms MS` gives every request that carries no
+//! `x-sww-deadline-ms` header a deadline budget: expiry answers `504`,
+//! and a request whose predicted queue wait already exceeds its budget is
+//! shed `503` at admission. `--breaker-threshold N` enables the per-model
+//! circuit breaker (open after N consecutive generation failures,
+//! half-open probe after `--breaker-cooldown-ms`, default 30000).
+//! `--drain-after SECONDS` makes `sww serve` drain gracefully after that
+//! long: stop admitting, finish in-flight requests, GOAWAY connections,
+//! then exit — the knob that makes graceful shutdown scriptable.
 //!
 //! `sww stats` scrapes the Prometheus-text `/metrics` endpoint of a
 //! running server when given an address; with no address it runs a small
@@ -139,15 +153,27 @@ async fn cmd_serve(args: &Args) {
     let shards: usize = args.opt("shards", "8").parse().unwrap_or(8);
     let queue: usize = args.opt("queue", "64").parse().unwrap_or(64);
     let (batch_max, batch_wait_ms) = batch_options(args);
-    let server = GenerativeServer::builder()
+    let mut builder = GenerativeServer::builder()
         .site(site)
         .ability(ability)
         .workers(workers)
         .cache_shards(shards)
         .queue_capacity(queue)
         .batch_max(batch_max)
-        .batch_wait(std::time::Duration::from_millis(batch_wait_ms))
-        .build();
+        .batch_wait(std::time::Duration::from_millis(batch_wait_ms));
+    if let Some(deadline) = deadline_option(args) {
+        builder = builder.default_deadline(deadline);
+        println!("default deadline: {} ms", deadline.as_millis());
+    }
+    if let Some(cfg) = breaker_option(args) {
+        builder = builder.breaker(cfg);
+        println!(
+            "circuit breaker: open after {} consecutive failures, {} ms cooldown",
+            cfg.failure_threshold,
+            cfg.cooldown.as_millis()
+        );
+    }
+    let server = builder.build();
     let addr = server
         .spawn_tcp(args.opt("addr", "127.0.0.1:0"))
         .await
@@ -161,7 +187,19 @@ async fn cmd_serve(args: &Args) {
         println!("continuous batching: up to {batch_max} per pass, {batch_wait_ms} ms deadline");
     }
     println!("stored {} B (prompt form)", server.stored_bytes());
-    // Serve until interrupted.
+    // Serve until interrupted — or until --drain-after fires a graceful
+    // shutdown (stop admitting, finish in-flight, GOAWAY, exit 0).
+    if let Some(secs) = args.options.get("drain-after").and_then(|s| s.parse().ok()) {
+        tokio::time::sleep(std::time::Duration::from_secs(secs)).await;
+        println!("draining …");
+        let report = server.drain();
+        println!(
+            "drained: {} in-flight at start, waited {:.3} s",
+            report.inflight_at_start,
+            report.waited.as_secs_f64()
+        );
+        return;
+    }
     loop {
         tokio::time::sleep(std::time::Duration::from_secs(3600)).await;
     }
@@ -325,6 +363,33 @@ fn batch_options(args: &Args) -> (usize, u64) {
     (batch_max, batch_wait_ms)
 }
 
+/// `--deadline-ms` (shared by `serve` and `bench-concurrent`).
+fn deadline_option(args: &Args) -> Option<std::time::Duration> {
+    args.options
+        .get("deadline-ms")
+        .and_then(|s| s.parse().ok())
+        .map(std::time::Duration::from_millis)
+}
+
+/// `--breaker-threshold` / `--breaker-cooldown-ms` (shared by `serve`
+/// and `bench-concurrent`). The breaker stays off unless a threshold is
+/// given; the cooldown defaults to the library's 30 s.
+fn breaker_option(args: &Args) -> Option<sww_core::BreakerConfig> {
+    let threshold: u32 = args.options.get("breaker-threshold")?.parse().ok()?;
+    let mut cfg = sww_core::BreakerConfig {
+        failure_threshold: threshold.max(1),
+        ..sww_core::BreakerConfig::default()
+    };
+    if let Some(ms) = args
+        .options
+        .get("breaker-cooldown-ms")
+        .and_then(|s| s.parse().ok())
+    {
+        cfg.cooldown = std::time::Duration::from_millis(ms);
+    }
+    Some(cfg)
+}
+
 /// Stress the concurrent serving engine in-process: naive sessions drive
 /// server-side generation from many threads, sweeping the worker count.
 ///
@@ -346,6 +411,8 @@ fn cmd_bench_concurrent(args: &Args) {
             .max(1),
         batch_max,
         batch_wait_ms,
+        deadline_ms: args.options.get("deadline-ms").and_then(|s| s.parse().ok()),
+        breaker: breaker_option(args).map(|c| (c.failure_threshold, c.cooldown.as_millis() as u64)),
     };
     let worker_counts: Vec<usize> = args
         .opt("workers", "1,2,4,8")

@@ -33,22 +33,39 @@
 //! panics poisons its group: members fail with a retryable
 //! [`SwwError::Generation`] instead of hanging.
 //!
+//! # Cancellation
+//!
+//! [`submit_ctx`] threads each member's [`StepCancel`] probe into the
+//! group. The denoising pass is handed a *group* probe that fires only
+//! when **every** member's probe has fired — a batch aborts as a unit,
+//! never because one member gave up. A member whose own probe fires
+//! while waiting detaches with [`SwwError::DeadlineExceeded`]
+//! (`sww_cancelled_total{site="batch.wait"}`); an abandoned pass counts
+//! under `site="denoise"` and is excluded from the batching tallies.
+//!
+//! [`submit_ctx`]: BatchScheduler::submit_ctx
+//!
 //! [`GenerationEngine`]: crate::engine::GenerationEngine
 //! [`generate_batch`]: sww_genai::diffusion::DiffusionModel::generate_batch
 //! [`submit`]: BatchScheduler::submit
 
 use crate::cache::Recipe;
 use crate::error::SwwError;
+use crate::lifecycle::{record_cancelled, RequestCtx};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
-use sww_genai::diffusion::{DiffusionModel, ImageModelKind};
+use sww_genai::diffusion::{DiffusionModel, ImageModelKind, StepCancel};
 use sww_genai::prompt::PromptFeatures;
 use sww_genai::ImageBuffer;
 
 /// Buckets for the achieved-batch-size histogram.
 const BATCH_SIZE_BUCKETS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+
+/// How often a batch member re-polls its cancellation probe while
+/// blocked on the group outcome.
+const MEMBER_TICK: Duration = Duration::from_millis(5);
 
 /// The compatibility key: jobs batch together only when they share the
 /// model profile, output resolution and step schedule (everything the
@@ -122,14 +139,20 @@ pub struct BatchStats {
     pub p99_wait_s: f64,
 }
 
-/// Runs a closed group: produces one image per prompt, in order.
-/// Injectable so tests can count passes or misbehave deliberately.
-type Executor = dyn Fn(&BatchKey, &[String]) -> Vec<ImageBuffer> + Send + Sync;
+/// Runs a closed group: produces one image per prompt, in order, or
+/// `None` when the pass was abandoned via the cancellation probe (only
+/// possible once every member's waiters are gone — batches cancel as a
+/// unit, never per-member). Injectable so tests can count passes or
+/// misbehave deliberately.
+type Executor = dyn Fn(&BatchKey, &[String], &StepCancel) -> Option<Vec<ImageBuffer>> + Send + Sync;
 
 #[derive(Debug)]
 enum GroupOutcome {
     /// Executor finished; one image per member, in join order.
     Done(Vec<ImageBuffer>),
+    /// The pass was abandoned mid-denoise: every member's cancellation
+    /// probe had fired, so nobody is owed an image.
+    Cancelled,
     /// The leader unwound before publishing; members must fail (the
     /// engine flight above them poisons too, so callers retry cleanly).
     Poisoned,
@@ -138,6 +161,10 @@ enum GroupOutcome {
 #[derive(Debug)]
 struct GroupState {
     prompts: Vec<String>,
+    /// One cancellation probe per member, in join order. The group's own
+    /// probe (handed to the executor) fires only when **all** of these
+    /// fire: one cancelled member never aborts its batch-mates' pass.
+    cancels: Vec<StepCancel>,
     /// Set once the leader stops admitting members.
     closed: bool,
     /// How long the group stayed open collecting members (the added
@@ -154,10 +181,11 @@ struct Group {
 }
 
 impl Group {
-    fn new(first_prompt: String) -> Group {
+    fn new(first_prompt: String, first_cancel: StepCancel) -> Group {
         Group {
             state: Mutex::new(GroupState {
                 prompts: vec![first_prompt],
+                cancels: vec![first_cancel],
                 closed: false,
                 waited: Duration::ZERO,
                 outcome: None,
@@ -235,15 +263,17 @@ impl Drop for ArrivalGuard<'_> {
 
 impl BatchScheduler {
     /// A scheduler running the real diffusion synthesizer: a closed
-    /// group becomes one [`DiffusionModel::generate_batch`] call.
+    /// group becomes one cancellable
+    /// [`DiffusionModel::try_generate_batch`] call, with the group's
+    /// all-members-gone probe checked every shared denoise step.
     pub fn new(config: BatchConfig) -> BatchScheduler {
         BatchScheduler::with_executor(
             config,
-            Box::new(|key: &BatchKey, prompts: &[String]| {
+            Box::new(|key: &BatchKey, prompts: &[String], cancel: &StepCancel| {
                 let features: Vec<PromptFeatures> =
                     prompts.iter().map(|p| PromptFeatures::analyze(p)).collect();
                 DiffusionModel::new(key.model)
-                    .generate_batch(&features, key.width, key.height, key.steps)
+                    .try_generate_batch(&features, key.width, key.height, key.steps, cancel)
             }),
         )
     }
@@ -308,6 +338,29 @@ impl BatchScheduler {
     /// its own image. Errors only when the group's leader died
     /// mid-execution (a retryable [`SwwError::Generation`]).
     pub fn submit(&self, recipe: &Recipe) -> Result<BatchOutcome, SwwError> {
+        self.submit_ctx(recipe, &RequestCtx::unbounded(), &StepCancel::never())
+    }
+
+    /// Lifecycle-aware [`submit`](BatchScheduler::submit): `cancel` is
+    /// this member's own abandonment probe (for an engine flight leader,
+    /// "my flight has no waiters left and my request is finished"), and
+    /// `ctx` supplies the error a detaching member unwinds with.
+    ///
+    /// Cancellation composes conservatively:
+    ///
+    /// * The pass handed to the executor aborts only when **every**
+    ///   member's probe fires — one cancelled member never costs its
+    ///   batch-mates their images.
+    /// * A member whose own probe fires while it waits for the group
+    ///   outcome detaches with [`SwwError::DeadlineExceeded`]; its slot
+    ///   still computes (the marginal cost of a batch slot is one
+    ///   latent's worth of arithmetic), but nobody blocks on it.
+    pub fn submit_ctx(
+        &self,
+        recipe: &Recipe,
+        ctx: &RequestCtx,
+        cancel: &StepCancel,
+    ) -> Result<BatchOutcome, SwwError> {
         let key = BatchKey::of(recipe);
         self.rendezvous.fetch_add(1, Ordering::SeqCst);
 
@@ -318,6 +371,7 @@ impl BatchScheduler {
                 let mut st = g.state.lock().unwrap_or_else(|e| e.into_inner());
                 if !st.closed && st.prompts.len() < self.config.max_batch {
                     st.prompts.push(recipe.prompt.clone());
+                    st.cancels.push(cancel.clone());
                     let idx = st.prompts.len() - 1;
                     g.changed.notify_all();
                     Some((Arc::clone(g), idx))
@@ -328,7 +382,7 @@ impl BatchScheduler {
             match attach {
                 Some((g, idx)) => (g, idx, false),
                 None => {
-                    let g = Arc::new(Group::new(recipe.prompt.clone()));
+                    let g = Arc::new(Group::new(recipe.prompt.clone(), cancel.clone()));
                     groups.insert(key, Arc::clone(&g));
                     (g, 0, true)
                 }
@@ -340,7 +394,7 @@ impl BatchScheduler {
         if leads {
             self.lead(&key, &group);
         }
-        let (image, waited, batch_size) = self.await_outcome(&group, index)?;
+        let (image, waited, batch_size) = self.await_outcome(&group, index, ctx, cancel)?;
         Ok(BatchOutcome {
             image,
             batch_size,
@@ -377,6 +431,7 @@ impl BatchScheduler {
         let wait = group.opened.elapsed();
         st.waited = wait;
         let prompts = st.prompts.clone();
+        let cancels = st.cancels.clone();
         drop(st);
 
         // Unregister so the next submitter for this key opens a fresh
@@ -389,25 +444,45 @@ impl BatchScheduler {
             }
         }
 
+        // The group aborts only as a unit: the pass dies when *every*
+        // member's probe has fired, never while anyone still wants an
+        // image from it.
+        let group_cancel =
+            StepCancel::from_fn(move || cancels.iter().all(StepCancel::is_cancelled));
+
         let mut guard = BatchLeaderGuard { group, armed: true };
         let started = Instant::now();
-        let images = (self.executor)(key, &prompts);
-        debug_assert_eq!(images.len(), prompts.len(), "executor contract");
-        let elapsed = started.elapsed().as_secs_f64();
-        self.record(prompts.len(), wait, elapsed);
+        let images = (self.executor)(key, &prompts, &group_cancel);
+        let outcome = match images {
+            Some(images) => {
+                debug_assert_eq!(images.len(), prompts.len(), "executor contract");
+                let elapsed = started.elapsed().as_secs_f64();
+                self.record(prompts.len(), wait, elapsed);
+                GroupOutcome::Done(images)
+            }
+            None => {
+                // Abandoned mid-denoise: everyone already left, so this
+                // never surfaces to a caller — count it where it happened.
+                record_cancelled("denoise");
+                GroupOutcome::Cancelled
+            }
+        };
 
         let mut st = group.state.lock().unwrap_or_else(|e| e.into_inner());
-        st.outcome = Some(GroupOutcome::Done(images));
+        st.outcome = Some(outcome);
         drop(st);
         guard.armed = false;
         group.changed.notify_all();
     }
 
-    /// Member path: block until the leader publishes, then take our image.
+    /// Member path: block until the leader publishes, then take our
+    /// image — or detach early when our own cancellation probe fires.
     fn await_outcome(
         &self,
         group: &Group,
         index: usize,
+        ctx: &RequestCtx,
+        cancel: &StepCancel,
     ) -> Result<(ImageBuffer, Duration, usize), SwwError> {
         let mut st = group.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
@@ -422,13 +497,26 @@ impl BatchScheduler {
                         })?;
                     return Ok((image, st.waited, size));
                 }
+                Some(GroupOutcome::Cancelled) => {
+                    // Only reachable when every member's probe fired, so
+                    // unwinding with the deadline error is truthful.
+                    return Err(ctx.deadline_error());
+                }
                 Some(GroupOutcome::Poisoned) => {
                     return Err(SwwError::Generation {
                         reason: "batch leader failed before publishing".into(),
                     });
                 }
                 None => {
-                    st = group.changed.wait(st).unwrap_or_else(|e| e.into_inner());
+                    if cancel.is_cancelled() {
+                        record_cancelled("batch.wait");
+                        return Err(ctx.deadline_error());
+                    }
+                    let (guard, _) = group
+                        .changed
+                        .wait_timeout(st, MEMBER_TICK)
+                        .unwrap_or_else(|e| e.into_inner());
+                    st = guard;
                 }
             }
         }
@@ -476,12 +564,12 @@ mod tests {
         let p = Arc::clone(&passes);
         let sched = Arc::new(BatchScheduler::with_executor(
             config,
-            Box::new(move |key, prompts| {
+            Box::new(move |key, prompts, cancel| {
                 p.fetch_add(1, Ordering::SeqCst);
                 let features: Vec<PromptFeatures> =
                     prompts.iter().map(|s| PromptFeatures::analyze(s)).collect();
                 DiffusionModel::new(key.model)
-                    .generate_batch(&features, key.width, key.height, key.steps)
+                    .try_generate_batch(&features, key.width, key.height, key.steps, cancel)
             }),
         ));
         (sched, passes)
@@ -623,13 +711,93 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_member_never_aborts_its_batchmates() {
+        use std::sync::atomic::AtomicBool;
+        // Two members share a group; one's probe fires while it waits.
+        // The pass must still complete (the group probe needs *all*
+        // members gone) and the survivor must get its image.
+        let (sched, passes) = counting_scheduler(BatchConfig {
+            max_batch: 2,
+            max_wait: Duration::from_millis(250),
+        });
+        let doomed = Arc::new(AtomicBool::new(false));
+        let probe = {
+            let doomed = Arc::clone(&doomed);
+            StepCancel::from_fn(move || doomed.load(Ordering::SeqCst))
+        };
+        // Keep the group open until both threads attach (same trick as
+        // the bit-identical test: without it the first arrival can close
+        // for drain before the second reaches submit).
+        let hint = sched.announce();
+        let barrier = Arc::new(Barrier::new(2));
+        std::thread::scope(|scope| {
+            let s1 = Arc::clone(&sched);
+            let b1 = Arc::clone(&barrier);
+            let d = Arc::clone(&doomed);
+            let a = scope.spawn(move || {
+                b1.wait();
+                let ctx = RequestCtx::unbounded();
+                d.store(true, Ordering::SeqCst);
+                s1.submit_ctx(&recipe("cancelled member"), &ctx, &probe)
+            });
+            let s2 = Arc::clone(&sched);
+            let b2 = Arc::clone(&barrier);
+            let b = scope.spawn(move || {
+                b2.wait();
+                s2.submit(&recipe("surviving member"))
+            });
+            let (ra, rb) = (a.join().unwrap(), b.join().unwrap());
+            // The cancelled member either detached in time (deadline
+            // error) or the pass finished first and it got its image —
+            // both are legal; what is *illegal* is the survivor losing.
+            if let Err(e) = ra {
+                assert!(matches!(e, SwwError::DeadlineExceeded { .. }), "{e:?}");
+            }
+            let out = rb.expect("survivor must get its image");
+            let expected = DiffusionModel::new(ImageModelKind::Sd3Medium).generate(
+                "surviving member",
+                32,
+                32,
+                15,
+            );
+            assert_eq!(out.image, expected);
+        });
+        drop(hint);
+        assert_eq!(passes.load(Ordering::SeqCst), 1, "one shared pass ran");
+    }
+
+    #[test]
+    fn fully_abandoned_group_cancels_the_pass() {
+        // A lone member whose probe is already fired: the group probe is
+        // satisfied immediately, the executor abandons the pass, and the
+        // member unwinds with the deadline error instead of an image.
+        let (sched, passes) = counting_scheduler(BatchConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(50),
+        });
+        let ctx = RequestCtx::unbounded();
+        ctx.cancel();
+        let probe = StepCancel::from_fn(|| true);
+        let err = sched
+            .submit_ctx(&recipe("abandoned"), &ctx, &probe)
+            .unwrap_err();
+        assert!(matches!(err, SwwError::DeadlineExceeded { budget_ms: 0 }));
+        assert_eq!(
+            passes.load(Ordering::SeqCst),
+            1,
+            "pass started then aborted"
+        );
+        assert_eq!(sched.stats().batches, 0, "abandoned pass is not tallied");
+    }
+
+    #[test]
     fn poisoned_leader_fails_members_without_hanging() {
         let sched = Arc::new(BatchScheduler::with_executor(
             BatchConfig {
                 max_batch: 2,
                 max_wait: Duration::from_millis(200),
             },
-            Box::new(|_, _| panic!("executor dies")),
+            Box::new(|_, _, _| panic!("executor dies")),
         ));
         let barrier = Arc::new(Barrier::new(2));
         let results: Vec<Result<BatchOutcome, SwwError>> = std::thread::scope(|scope| {

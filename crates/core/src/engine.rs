@@ -26,13 +26,19 @@
 use crate::cache::{GenerationCache, Recipe};
 use crate::error::SwwError;
 use crate::faults::{self, FaultAction, FaultSite};
+use crate::lifecycle::{record_cancelled, RequestCtx};
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
-use sww_genai::ImageBuffer;
+use std::time::Duration;
+use sww_genai::{ImageBuffer, StepCancel};
+
+/// How often a waiter re-polls its [`RequestCtx`] while blocked on a
+/// flight. Bounds cancellation latency for waiters without a deadline.
+const WAITER_TICK: Duration = Duration::from_millis(25);
 
 /// A generation cache split into independently locked shards.
 ///
@@ -138,6 +144,12 @@ enum FlightState {
 struct Flight {
     state: StdMutex<FlightState>,
     ready: Condvar,
+    /// Waiter refcount: requests (other than the leader) currently
+    /// blocked on this flight. A flight may only be abandoned when this
+    /// is zero *and* the leader's own request is finished — so a
+    /// cancelled leader with surviving waiters completes the generation
+    /// for them instead of poisoning it.
+    waiters: AtomicUsize,
 }
 
 impl Flight {
@@ -145,12 +157,18 @@ impl Flight {
         Flight {
             state: StdMutex::new(FlightState::Pending),
             ready: Condvar::new(),
+            waiters: AtomicUsize::new(0),
         }
     }
 
     fn resolve(&self, state: FlightState) {
         *self.state.lock().unwrap_or_else(|e| e.into_inner()) = state;
         self.ready.notify_all();
+    }
+
+    /// True once no request — leader included — still wants this result.
+    fn abandoned(&self, leader_ctx: &RequestCtx) -> bool {
+        self.waiters.load(Ordering::SeqCst) == 0 && leader_ctx.finished()
     }
 }
 
@@ -256,7 +274,7 @@ impl GenerationEngine {
     where
         F: FnOnce() -> ImageBuffer,
     {
-        self.fetch_inner(recipe, || Ok(generate()), false)
+        self.fetch_inner(recipe, &RequestCtx::unbounded(), |_| Ok(generate()), false)
             .expect("infallible generate closure")
     }
 
@@ -276,18 +294,53 @@ impl GenerationEngine {
     where
         F: FnOnce() -> Result<ImageBuffer, SwwError>,
     {
-        self.fetch_inner(recipe, generate, true)
+        self.fetch_inner(recipe, &RequestCtx::unbounded(), |_| generate(), true)
+    }
+
+    /// Lifecycle-aware [`try_fetch_image`]: the request's [`RequestCtx`]
+    /// governs how long this call may block, and the generate closure
+    /// receives a [`StepCancel`] probe to poll every denoise step.
+    ///
+    /// Deadline semantics per role:
+    ///
+    /// * **Waiter** — blocks at most until its own deadline; on expiry it
+    ///   detaches from the flight (decrementing the waiter refcount) and
+    ///   returns [`SwwError::DeadlineExceeded`]. The flight is untouched.
+    /// * **Leader, flight still wanted** — a leader whose own ctx expires
+    ///   while waiters remain *hands off*: it completes the generation on
+    ///   its (already doomed) thread, publishes the result for the
+    ///   survivors, and only then returns `DeadlineExceeded` for itself.
+    ///   The flight is never poisoned by a deadline.
+    /// * **Leader, flight abandoned** — once the waiter refcount is zero
+    ///   *and* the leader's ctx is finished, the probe fires and the
+    ///   denoise loop aborts within one step. The closure returns
+    ///   `DeadlineExceeded`, the flight poisons and unregisters, and the
+    ///   recipe is generated fresh by whoever asks next.
+    ///
+    /// [`try_fetch_image`]: GenerationEngine::try_fetch_image
+    pub fn try_fetch_image_ctx<F>(
+        &self,
+        recipe: &Recipe,
+        ctx: &RequestCtx,
+        generate: F,
+    ) -> Result<(ImageBuffer, FetchOutcome), SwwError>
+    where
+        F: FnOnce(&StepCancel) -> Result<ImageBuffer, SwwError>,
+    {
+        self.fetch_inner(recipe, ctx, generate, true)
     }
 
     fn fetch_inner<F>(
         &self,
         recipe: &Recipe,
+        ctx: &RequestCtx,
         generate: F,
         inject: bool,
     ) -> Result<(ImageBuffer, FetchOutcome), SwwError>
     where
-        F: FnOnce() -> Result<ImageBuffer, SwwError>,
+        F: FnOnce(&StepCancel) -> Result<ImageBuffer, SwwError>,
     {
+        ctx.check()?;
         // Fast path: no map lock at all for warm recipes.
         if let Some(image) = self.cache.get(recipe) {
             self.record(FetchOutcome::Hit);
@@ -302,6 +355,9 @@ impl GenerationEngine {
             let role = {
                 let mut map = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
                 if let Some(flight) = map.get(recipe) {
+                    // Attach under the map lock, so the leader's
+                    // abandonment probe can never miss a joining waiter.
+                    flight.waiters.fetch_add(1, Ordering::SeqCst);
                     Role::Waiter(Arc::clone(flight))
                 } else {
                     // Re-check under the map lock: a leader publishes to
@@ -338,7 +394,13 @@ impl GenerationEngine {
                             None => {}
                         }
                     }
-                    let image = match (generate.take().expect("leader role claimed once"))() {
+                    let cancel = {
+                        let flight = Arc::clone(&flight);
+                        let ctx = ctx.clone();
+                        StepCancel::from_fn(move || flight.abandoned(&ctx))
+                    };
+                    let image = match (generate.take().expect("leader role claimed once"))(&cancel)
+                    {
                         Ok(image) => image,
                         Err(err) => {
                             drop(guard);
@@ -355,6 +417,13 @@ impl GenerationEngine {
                         .remove(recipe);
                     guard.armed = false;
                     self.record(FetchOutcome::Generated);
+                    if ctx.finished() {
+                        // Hand-off: the generation completed (and was
+                        // published for the surviving waiters) on a thread
+                        // whose own request no longer wants it.
+                        record_cancelled("engine.handoff");
+                        return Err(ctx.deadline_error());
+                    }
                     return Ok((image, FetchOutcome::Generated));
                 }
                 Role::Waiter(flight) => {
@@ -362,17 +431,32 @@ impl GenerationEngine {
                     loop {
                         match &*state {
                             FlightState::Pending => {
-                                state = flight.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+                                if ctx.finished() {
+                                    drop(state);
+                                    flight.waiters.fetch_sub(1, Ordering::SeqCst);
+                                    record_cancelled("engine.wait");
+                                    return Err(ctx.deadline_error());
+                                }
+                                let tick =
+                                    ctx.remaining().map_or(WAITER_TICK, |r| r.min(WAITER_TICK));
+                                state = flight
+                                    .ready
+                                    .wait_timeout(state, tick)
+                                    .unwrap_or_else(|e| e.into_inner())
+                                    .0;
                             }
                             FlightState::Done(image) => {
                                 let image = image.clone();
                                 drop(state);
+                                flight.waiters.fetch_sub(1, Ordering::SeqCst);
                                 self.record(FetchOutcome::Coalesced);
                                 return Ok((image, FetchOutcome::Coalesced));
                             }
                             FlightState::Poisoned => break,
                         }
                     }
+                    drop(state);
+                    flight.waiters.fetch_sub(1, Ordering::SeqCst);
                     // Leader died; retry (this request may now lead).
                 }
             }
@@ -473,6 +557,102 @@ mod tests {
         // The key must not be stuck: a later request generates normally.
         let (_, outcome) = engine.fetch_image(&recipe("doomed"), || ImageBuffer::new(16, 16));
         assert_eq!(outcome, FetchOutcome::Generated);
+    }
+
+    #[test]
+    fn ctx_expired_at_entry_is_rejected() {
+        let engine = GenerationEngine::new(2, 1_000_000);
+        let ctx = RequestCtx::with_deadline(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(5));
+        let out = engine.try_fetch_image_ctx(&recipe("late"), &ctx, |_| {
+            unreachable!("expired ctx must not reach the generator")
+        });
+        assert!(matches!(out, Err(SwwError::DeadlineExceeded { .. })));
+        assert_eq!(engine.generations(), 0);
+    }
+
+    #[test]
+    fn waiter_detaches_at_its_own_deadline() {
+        let engine = Arc::new(GenerationEngine::new(2, 1_000_000));
+        let leader = {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                engine.try_fetch_image_ctx(&recipe("slow"), &RequestCtx::unbounded(), |_| {
+                    std::thread::sleep(Duration::from_millis(150));
+                    Ok(ImageBuffer::new(16, 16))
+                })
+            })
+        };
+        // Let the leader register its flight, then join with a deadline
+        // far shorter than the leader's sleep.
+        std::thread::sleep(Duration::from_millis(30));
+        let ctx = RequestCtx::with_deadline(Duration::from_millis(20));
+        let waited = engine.try_fetch_image_ctx(&recipe("slow"), &ctx, |_| {
+            unreachable!("a waiter never generates")
+        });
+        assert!(matches!(waited, Err(SwwError::DeadlineExceeded { .. })));
+        // The leader is unaffected by the waiter's deadline.
+        let (_, outcome) = leader.join().unwrap().unwrap();
+        assert_eq!(outcome, FetchOutcome::Generated);
+    }
+
+    #[test]
+    fn abandoned_flight_fires_the_cancel_probe() {
+        let engine = GenerationEngine::new(2, 1_000_000);
+        let ctx = RequestCtx::with_deadline(Duration::from_millis(20));
+        let out = engine.try_fetch_image_ctx(&recipe("orphan"), &ctx, |cancel| {
+            // Emulate the denoise loop: poll the probe until it fires.
+            for _ in 0..100 {
+                if cancel.is_cancelled() {
+                    return Err(ctx.deadline_error());
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            panic!("probe never fired for an abandoned flight");
+        });
+        assert!(matches!(out, Err(SwwError::DeadlineExceeded { .. })));
+        // The poisoned flight is not stuck: the next request regenerates.
+        let (_, outcome) = engine.fetch_image(&recipe("orphan"), || ImageBuffer::new(16, 16));
+        assert_eq!(outcome, FetchOutcome::Generated);
+    }
+
+    #[test]
+    fn cancelled_leader_with_waiter_hands_off() {
+        let engine = Arc::new(GenerationEngine::new(2, 1_000_000));
+        let leader_ctx = RequestCtx::with_deadline(Duration::from_millis(30));
+        let calls = Arc::new(AtomicUsize::new(0));
+        let leader = {
+            let engine = Arc::clone(&engine);
+            let ctx = leader_ctx.clone();
+            let calls = Arc::clone(&calls);
+            std::thread::spawn(move || {
+                engine.try_fetch_image_ctx(&recipe("adopted"), &ctx, |cancel| {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    // Outlive the leader's own deadline, polling the probe
+                    // like the denoise loop does. With a live waiter the
+                    // probe must never fire.
+                    for _ in 0..20 {
+                        assert!(!cancel.is_cancelled(), "flight still has a waiter");
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Ok(ImageBuffer::new(16, 16))
+                })
+            })
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        // A patient waiter joins before the leader's deadline passes.
+        let waited =
+            engine.try_fetch_image_ctx(&recipe("adopted"), &RequestCtx::unbounded(), |_| {
+                unreachable!("the flight already has a leader")
+            });
+        // The leader's own request missed its deadline...
+        let led = leader.join().unwrap();
+        assert!(matches!(led, Err(SwwError::DeadlineExceeded { .. })));
+        // ...but the waiter adopted the flight: one generation, shared.
+        let (_, outcome) = waited.unwrap();
+        assert_eq!(outcome, FetchOutcome::Coalesced);
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "exactly one generation");
+        assert_eq!(engine.generations(), 1);
     }
 
     #[test]

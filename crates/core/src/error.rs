@@ -66,6 +66,14 @@ pub enum SwwError {
         /// The path whose payload was corrupt.
         path: String,
     },
+    /// The request's deadline budget ran out before the work completed —
+    /// at admission, while queued, while waiting on a coalesced flight,
+    /// or mid-generation (maps to `504`). A `budget_ms` of 0 means the
+    /// request was cancelled outright rather than timed out.
+    DeadlineExceeded {
+        /// The request's total deadline budget, in milliseconds.
+        budget_ms: u64,
+    },
     /// The peer answered a page fetch with a non-200 status.
     UpstreamStatus {
         /// The path that was requested.
@@ -81,8 +89,9 @@ pub enum SwwError {
 
 impl SwwError {
     /// Whether retrying the operation can plausibly succeed: saturation,
-    /// transport failures, corrupted payloads, generation faults, and
-    /// upstream `500`/`502`/`503` answers are transient; routing errors
+    /// transport failures, corrupted payloads, generation faults, missed
+    /// deadlines (a retry may land on a now-warm cache), and upstream
+    /// `500`/`502`/`503`/`504` answers are transient; routing errors
     /// (`404`/`405`), capability mismatches, and upstream `4xx`/`501` are
     /// not.
     pub fn is_retryable(&self) -> bool {
@@ -91,8 +100,9 @@ impl SwwError {
             | SwwError::Transport(_)
             | SwwError::IntegrityFailure { .. }
             | SwwError::Generation { .. }
+            | SwwError::DeadlineExceeded { .. }
             | SwwError::Internal { .. } => true,
-            SwwError::UpstreamStatus { status, .. } => matches!(status, 500 | 502 | 503),
+            SwwError::UpstreamStatus { status, .. } => matches!(status, 500 | 502 | 503 | 504),
             SwwError::NotFound { .. }
             | SwwError::MethodNotAllowed { .. }
             | SwwError::UnsupportedModel { .. }
@@ -142,6 +152,10 @@ impl fmt::Display for SwwError {
             SwwError::Generation { reason } => write!(f, "generation failed: {reason}"),
             SwwError::IntegrityFailure { path } => {
                 write!(f, "payload for {path} failed its integrity check")
+            }
+            SwwError::DeadlineExceeded { budget_ms: 0 } => write!(f, "request cancelled"),
+            SwwError::DeadlineExceeded { budget_ms } => {
+                write!(f, "deadline of {budget_ms}ms exceeded")
             }
             SwwError::UpstreamStatus { path, status, .. } => {
                 write!(f, "GET {path} returned status {status}")
@@ -206,6 +220,8 @@ mod tests {
                 SwwError::IntegrityFailure { path: "/p".into() },
                 "integrity",
             ),
+            (SwwError::DeadlineExceeded { budget_ms: 250 }, "250ms"),
+            (SwwError::DeadlineExceeded { budget_ms: 0 }, "cancelled"),
         ];
         for (err, needle) in cases {
             let text = err.to_string();
@@ -219,7 +235,8 @@ mod tests {
         assert!(SwwError::Generation { reason: "x".into() }.is_retryable());
         assert!(SwwError::IntegrityFailure { path: "/p".into() }.is_retryable());
         assert!(SwwError::Transport(H2Error::protocol("x")).is_retryable());
-        for status in [500u16, 502, 503] {
+        assert!(SwwError::DeadlineExceeded { budget_ms: 100 }.is_retryable());
+        for status in [500u16, 502, 503, 504] {
             assert!(SwwError::UpstreamStatus {
                 path: "/p".into(),
                 status,
@@ -271,6 +288,9 @@ mod tests {
         .is_generation_failure());
         assert!(!SwwError::Saturated { retry_after_s: 1 }.is_generation_failure());
         assert!(!SwwError::Transport(H2Error::protocol("x")).is_generation_failure());
+        // A missed deadline is the *client's* budget running out, not the
+        // backend failing — it must not trip fallback or the breaker.
+        assert!(!SwwError::DeadlineExceeded { budget_ms: 50 }.is_generation_failure());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! evaluation (§6) is built on.
 
 pub mod batch;
+pub mod breaker;
 pub mod cache;
 pub mod cdn;
 pub mod client;
@@ -17,6 +18,7 @@ pub mod engine;
 pub mod error;
 pub mod faults;
 pub mod hls;
+pub mod lifecycle;
 pub mod mediagen;
 pub mod negotiate;
 pub mod personalize;
@@ -30,10 +32,12 @@ pub mod video;
 pub mod workpool;
 
 pub use batch::{BatchConfig, BatchKey, BatchOutcome, BatchScheduler, BatchStats};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use client::GenerativeClient;
 pub use engine::{FetchOutcome, GenerationEngine, ShardedGenerationCache};
 pub use error::SwwError;
 pub use faults::{ChaosSpec, FaultKind, FaultSite};
+pub use lifecycle::RequestCtx;
 pub use mediagen::MediaGenerator;
 pub use negotiate::ServeMode;
 pub use policy::ServerPolicy;
@@ -45,3 +49,7 @@ pub use workpool::WorkerPool;
 
 /// Re-export of the wire-level capability type.
 pub use sww_http2::GenAbility;
+
+/// Re-export of the per-denoise-step cancellation probe, so serving-layer
+/// callers can build probes without depending on `sww-genai` directly.
+pub use sww_genai::StepCancel;

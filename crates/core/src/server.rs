@@ -37,11 +37,13 @@
 //! private `error_response` function.
 
 use crate::batch::{BatchConfig, BatchScheduler, BatchStats};
+use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::cache::Recipe;
 use crate::engine::GenerationEngine;
 use crate::error::SwwError;
 use crate::faults::{self, FaultAction, FaultSite};
 use crate::hls::{self, VideoAsset};
+use crate::lifecycle::{record_cancelled, record_shed, RequestCtx};
 use crate::mediagen::{GeneratedMedia, MediaGenerator};
 use crate::negotiate::{decide, ServeMode};
 use crate::policy::ServerPolicy;
@@ -50,15 +52,16 @@ use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use sww_energy::cost as gen_cost;
 use sww_energy::device::{profile as device_profile, DeviceKind};
 use sww_genai::image::codec;
 use sww_hash::{sha256, to_hex};
 use sww_html::gencontent::ContentType;
 use sww_html::{gencontent, parse, serialize};
-use sww_http2::server::{serve_connection, ServeStats};
+use sww_http2::server::{serve_connection_until, ServeStats};
 use sww_http2::{GenAbility, H2Error, Request, Response};
 use tokio::io::{AsyncRead, AsyncWrite};
 
@@ -171,6 +174,35 @@ struct ServerShared {
     /// Present when the server was built with `batch_max(n > 1)`:
     /// compatible cache-missing generations share denoising passes.
     batcher: Option<BatchScheduler>,
+    /// Deadline for requests that carry no `x-sww-deadline-ms` header.
+    default_deadline: Option<Duration>,
+    /// Per-model circuit breaker, when enabled at build time.
+    breaker: Option<CircuitBreaker>,
+    /// Set by [`GenerativeServer::drain`]: stop admitting requests.
+    draining: AtomicBool,
+    /// Requests currently inside `dispatch` (admission through response).
+    /// `drain` waits for this to reach zero.
+    inflight: AtomicUsize,
+}
+
+/// RAII in-flight counter: held for the full life of one `dispatch`
+/// call so [`GenerativeServer::drain`] can wait for admitted requests
+/// to finish rather than abandoning them.
+struct InflightGuard<'a> {
+    shared: &'a ServerShared,
+}
+
+impl<'a> InflightGuard<'a> {
+    fn enter(shared: &'a ServerShared) -> InflightGuard<'a> {
+        shared.inflight.fetch_add(1, Ordering::SeqCst);
+        InflightGuard { shared }
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 thread_local! {
@@ -213,6 +245,9 @@ pub struct GenerativeServerBuilder {
     cache_pixels: u64,
     batch_max: usize,
     batch_wait: Duration,
+    default_deadline: Option<Duration>,
+    breaker: Option<BreakerConfig>,
+    service_time_prior_s: Option<f64>,
 }
 
 impl Default for GenerativeServerBuilder {
@@ -227,6 +262,9 @@ impl Default for GenerativeServerBuilder {
             cache_pixels: 64_000_000,
             batch_max: 1,
             batch_wait: Duration::from_millis(2),
+            default_deadline: None,
+            breaker: None,
+            service_time_prior_s: None,
         }
     }
 }
@@ -293,6 +331,31 @@ impl GenerativeServerBuilder {
         self
     }
 
+    /// Deadline applied to every request that does not carry its own
+    /// `x-sww-deadline-ms` header (default: none — requests may block
+    /// indefinitely, the pre-lifecycle behaviour).
+    pub fn default_deadline(mut self, deadline: Duration) -> GenerativeServerBuilder {
+        self.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Enable the per-model circuit breaker with the given tuning
+    /// (default: disabled — generation failures surface individually and
+    /// nothing is shed pre-emptively).
+    pub fn breaker(mut self, config: BreakerConfig) -> GenerativeServerBuilder {
+        self.breaker = Some(config);
+        self
+    }
+
+    /// Seed for the pool's EWMA job-service-time estimate, in seconds
+    /// (default: [`crate::workpool::SERVICE_TIME_PRIOR_S`]). Drives both
+    /// `Retry-After` advice and deadline-aware admission before real
+    /// samples arrive. Ignored when `workers` is 0.
+    pub fn service_time_prior(mut self, prior_s: f64) -> GenerativeServerBuilder {
+        self.service_time_prior_s = Some(prior_s);
+        self
+    }
+
     /// Build the server.
     pub fn build(self) -> GenerativeServer {
         GenerativeServer {
@@ -304,14 +367,22 @@ impl GenerativeServerBuilder {
                 generated_assets: RwLock::new(HashMap::new()),
                 accounting: Mutex::new(Accounting::default()),
                 traditional_memo: Mutex::new(None),
-                pool: (self.workers > 0)
-                    .then(|| WorkerPool::new(self.workers, self.queue_capacity)),
+                pool: (self.workers > 0).then(|| match self.service_time_prior_s {
+                    Some(prior) => {
+                        WorkerPool::with_service_prior(self.workers, self.queue_capacity, prior)
+                    }
+                    None => WorkerPool::new(self.workers, self.queue_capacity),
+                }),
                 batcher: (self.batch_max > 1).then(|| {
                     BatchScheduler::new(BatchConfig {
                         max_batch: self.batch_max,
                         max_wait: self.batch_wait,
                     })
                 }),
+                default_deadline: self.default_deadline,
+                breaker: self.breaker.map(CircuitBreaker::new),
+                draining: AtomicBool::new(false),
+                inflight: AtomicUsize::new(0),
             }),
         }
     }
@@ -361,26 +432,38 @@ impl GenerativeServer {
     }
 
     /// Serve one accepted connection (duplex stream or TCP socket).
+    /// Once the server is [draining](GenerativeServer::drain), the
+    /// connection finishes the exchange in progress, sends
+    /// GOAWAY(NO_ERROR) and closes.
     pub async fn serve_stream<T>(&self, io: T) -> Result<ServeStats, H2Error>
     where
         T: AsyncRead + AsyncWrite + Unpin,
     {
         let shared = Arc::clone(&self.shared);
+        let drain_watch = Arc::clone(&self.shared);
         let ability = self.shared.ability;
-        serve_connection(io, ability, move |req, ctx| {
-            dispatch(&shared, ctx.client_ability, &req)
-        })
+        serve_connection_until(
+            io,
+            ability,
+            move |req, ctx| dispatch(&shared, ctx.client_ability, &req),
+            move || drain_watch.draining.load(Ordering::SeqCst),
+        )
         .await
     }
 
     /// Bind a TCP listener and serve connections until the task is
-    /// dropped. Returns the bound address.
+    /// dropped or the server drains (a draining listener stops accepting;
+    /// connections already accepted close via GOAWAY after their next
+    /// response). Returns the bound address.
     pub async fn spawn_tcp(&self, addr: &str) -> std::io::Result<std::net::SocketAddr> {
         let listener = tokio::net::TcpListener::bind(addr).await?;
         let local = listener.local_addr()?;
         let this = self.clone();
         tokio::spawn(async move {
             while let Ok((sock, _)) = listener.accept().await {
+                if this.is_draining() {
+                    break;
+                }
                 let server = this.clone();
                 tokio::spawn(async move {
                     let _ = server.serve_stream(sock).await;
@@ -450,6 +533,57 @@ impl GenerativeServer {
     pub fn batch_stats(&self) -> Option<BatchStats> {
         self.shared.batcher.as_ref().map(|b| b.stats())
     }
+
+    /// The per-model circuit breaker, when one was enabled at build time.
+    pub fn breaker(&self) -> Option<&CircuitBreaker> {
+        self.shared.breaker.as_ref()
+    }
+
+    /// Whether [`drain`](GenerativeServer::drain) has been called.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Gracefully drain: stop admitting new requests (they shed `503`,
+    /// `sww_shed_total{reason="draining"}`; `/metrics` stays readable),
+    /// then block until every already-admitted request has its response.
+    /// Connections served through [`serve_stream`] receive a GOAWAY after
+    /// their next response. Idempotent; concurrent callers all block
+    /// until the server is idle.
+    ///
+    /// Admission is a promise: a request inside `dispatch` when the flag
+    /// flips is never abandoned — `drain` waits for it, however slow.
+    ///
+    /// [`serve_stream`]: GenerativeServer::serve_stream
+    pub fn drain(&self) -> DrainReport {
+        let started = Instant::now();
+        self.shared.draining.store(true, Ordering::SeqCst);
+        let inflight_at_start = self.shared.inflight.load(Ordering::SeqCst);
+        sww_obs::gauge("sww_drain_state", &[]).set(1.0);
+        sww_obs::gauge("sww_drain_inflight_at_start", &[]).set(inflight_at_start as f64);
+        // In-flight requests finish on their own threads; short-poll
+        // rather than wiring a condvar through every dispatch exit.
+        while self.shared.inflight.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let waited = started.elapsed();
+        sww_obs::gauge("sww_drain_state", &[]).set(2.0);
+        sww_obs::gauge("sww_drain_duration_seconds", &[]).set(waited.as_secs_f64());
+        DrainReport {
+            inflight_at_start,
+            waited,
+        }
+    }
+}
+
+/// What [`GenerativeServer::drain`] observed.
+#[derive(Debug, Clone, Copy)]
+pub struct DrainReport {
+    /// Requests that were mid-dispatch when draining began (all of them
+    /// got their responses before `drain` returned).
+    pub inflight_at_start: usize,
+    /// How long the drain blocked waiting for in-flight work.
+    pub waited: Duration,
 }
 
 /// One accepted client's serving context: the server plus the client's
@@ -502,23 +636,77 @@ fn count_route(route: &'static str) {
     sww_obs::counter("sww_server_requests_total", &[("route", route)]).inc();
 }
 
+/// The lifecycle context for one request: an explicit
+/// `x-sww-deadline-ms` header wins, then the server's default deadline,
+/// then unbounded (the pre-lifecycle behaviour).
+fn request_ctx(shared: &ServerShared, req: &Request) -> RequestCtx {
+    let header = req
+        .headers
+        .get("x-sww-deadline-ms")
+        .and_then(|v| v.parse::<u64>().ok());
+    match header
+        .map(Duration::from_millis)
+        .or(shared.default_deadline)
+    {
+        Some(budget) => RequestCtx::with_deadline(budget),
+        None => RequestCtx::unbounded(),
+    }
+}
+
 /// Route a request to the pool (if configured) or handle it inline, and
 /// materialize any error into its response.
+///
+/// Overload protection happens here, before any work is queued:
+/// a draining server sheds everything but `/metrics`, and a request
+/// whose EWMA-predicted queue wait already exceeds its remaining
+/// deadline budget sheds immediately (`503` + `Retry-After`) instead of
+/// queueing toward a guaranteed `504`. Symmetrically, a response that
+/// was computed but missed its deadline is converted to `504` at the
+/// end — the client stopped waiting, so a late success is no success.
 ///
 /// The `server.respond` failpoint ([`crate::faults`]) acts on the
 /// finished response: it can replace it with a `500`, delay it, or
 /// truncate its body (which a client detects through the
 /// content-addressed ETag and treats as an integrity failure).
 fn dispatch(shared: &Arc<ServerShared>, client_ability: GenAbility, req: &Request) -> Response {
+    let _inflight = InflightGuard::enter(shared);
+    if shared.draining.load(Ordering::SeqCst) && req.path != "/metrics" {
+        record_shed("draining");
+        return error_response(&SwwError::Saturated { retry_after_s: 1 });
+    }
+    let ctx = request_ctx(shared, req);
+    if let (Some(pool), Some(remaining)) = (&shared.pool, ctx.remaining()) {
+        let predicted = pool.predicted_wait();
+        if predicted > remaining {
+            record_shed("deadline");
+            let retry_after_s = u32::try_from(predicted.as_secs())
+                .unwrap_or(u32::MAX)
+                .max(1);
+            return error_response(&SwwError::Saturated { retry_after_s });
+        }
+    }
     let result = match &shared.pool {
-        None => handle_request(shared, client_ability, req),
+        None => handle_request(shared, client_ability, req, &ctx),
         Some(pool) => {
             let task_shared = Arc::clone(shared);
             let task_req = req.clone();
-            pool.run(move || handle_request(&task_shared, client_ability, &task_req))
-                .and_then(|inner| inner)
+            let task_ctx = ctx.clone();
+            pool.run(move || {
+                if task_ctx.finished() {
+                    // Expired while queued: a worker finally picked the
+                    // job up, but nobody wants the answer anymore.
+                    record_cancelled("pool.queue");
+                    return Err(task_ctx.deadline_error());
+                }
+                handle_request(&task_shared, client_ability, &task_req, &task_ctx)
+            })
+            .and_then(|inner| inner)
         }
     };
+    let result = result.and_then(|resp| {
+        ctx.check()?;
+        Ok(resp)
+    });
     let mut resp = result.unwrap_or_else(|err| error_response(&err));
     match faults::at(FaultSite::ServerRespond) {
         Some(FaultAction::Error) => {
@@ -548,9 +736,15 @@ fn error_response(err: &SwwError) -> Response {
         | SwwError::Transport(_)
         | SwwError::IntegrityFailure { .. } => 502,
         SwwError::Saturated { .. } | SwwError::Negotiation { .. } => 503,
+        SwwError::DeadlineExceeded { .. } => 504,
     };
     let status_label = status.to_string();
     sww_obs::counter("sww_server_errors_total", &[("status", &status_label)]).inc();
+    if status == 504 {
+        // Counted here — the single error→status choke point — so every
+        // deadline miss is tallied exactly once however deep it surfaced.
+        sww_obs::counter("sww_deadline_exceeded_total", &[]).inc();
+    }
     let mut resp = Response::status(status);
     if let SwwError::Saturated { retry_after_s } = err {
         resp.headers
@@ -564,6 +758,7 @@ fn handle_request(
     shared: &ServerShared,
     client_ability: GenAbility,
     req: &Request,
+    ctx: &RequestCtx,
 ) -> Result<Response, SwwError> {
     let server_ability = shared.ability;
     if req.method != "GET" {
@@ -620,7 +815,9 @@ fn handle_request(
     .inc();
     let html = match mode {
         ServeMode::Generative | ServeMode::UpscaleAssisted => page.html.clone(),
-        ServeMode::ServerGenerated | ServeMode::Traditional => materialize(shared, &page.html)?,
+        ServeMode::ServerGenerated | ServeMode::Traditional => {
+            materialize(shared, &page.html, ctx)?
+        }
     };
     // Conditional requests: the page body is content-addressed, so a
     // client that revalidates with If-None-Match skips the transfer —
@@ -691,7 +888,15 @@ fn handle_video(
 /// generation failure (real or injected through the `engine.generate`
 /// failpoint) surfaces as [`SwwError`] — the request maps to an error
 /// response and the client retries.
-fn materialize(shared: &ServerShared, html: &str) -> Result<String, SwwError> {
+///
+/// The request's [`RequestCtx`] rides along: the engine turns it into a
+/// flight-abandonment [`StepCancel`](crate::StepCancel) probe, the batcher composes that
+/// probe with its batch-mates', and the diffusion step loop checks it
+/// every denoise step. When the circuit breaker is enabled, each image
+/// item is admitted against its model's breaker first and the outcome is
+/// reported back (only [`SwwError::is_generation_failure`] errors count
+/// against the backend — a deadline miss says nothing about its health).
+fn materialize(shared: &ServerShared, html: &str, ctx: &RequestCtx) -> Result<String, SwwError> {
     let mut doc = parse(html);
     for item in gencontent::extract(&doc) {
         match item.content_type {
@@ -704,7 +909,13 @@ fn materialize(shared: &ServerShared, html: &str) -> Result<String, SwwError> {
                     height: item.height(),
                     steps,
                 };
-                let (image, _outcome) = shared.engine.try_fetch_image(&recipe, || {
+                if let Some(breaker) = &shared.breaker {
+                    if let Err(err) = breaker.try_admit(recipe.model) {
+                        record_shed("breaker");
+                        return Err(err);
+                    }
+                }
+                let fetched = shared.engine.try_fetch_image_ctx(&recipe, ctx, |cancel| {
                     let span = sww_obs::Span::begin("sww_server_generate", "materialize");
                     match &shared.batcher {
                         // Batched path: the flight leader joins a shared
@@ -725,7 +936,7 @@ fn materialize(shared: &ServerShared, html: &str) -> Result<String, SwwError> {
                                     model: format!("{:?}", recipe.model),
                                 }
                             })?;
-                            let outcome = batcher.submit(&recipe)?;
+                            let outcome = batcher.submit_ctx(&recipe, ctx, cancel)?;
                             let time_s = gen_cost::batched_image_generation_time(
                                 recipe.model,
                                 &device,
@@ -740,6 +951,14 @@ fn materialize(shared: &ServerShared, html: &str) -> Result<String, SwwError> {
                             Ok(outcome.image)
                         }
                         None => {
+                            // Unbatched: the probe gates entry (cheap
+                            // abort before the synthesizer warms up);
+                            // mid-generation expiry is caught by the
+                            // final dispatch check.
+                            if cancel.is_cancelled() {
+                                record_cancelled("denoise");
+                                return Err(ctx.deadline_error());
+                            }
                             let (media, cost) = with_generator(|g| g.try_generate(&item))?;
                             span.finish_with_virtual(cost.time_s);
                             shared.accounting.lock().generation_time_s += cost.time_s;
@@ -751,7 +970,16 @@ fn materialize(shared: &ServerShared, html: &str) -> Result<String, SwwError> {
                             }
                         }
                     }
-                })?;
+                });
+                if let Some(breaker) = &shared.breaker {
+                    match &fetched {
+                        Err(err) if err.is_generation_failure() => {
+                            breaker.record_failure(recipe.model);
+                        }
+                        _ => breaker.record_success(recipe.model),
+                    }
+                }
+                let (image, _outcome) = fetched?;
                 let encoded = codec::encode(&image, crate::mediagen::DEFAULT_CODEC_QUALITY);
                 let path = format!("/generated/{}", item.name());
                 shared
@@ -981,6 +1209,7 @@ mod tests {
                 },
                 503,
             ),
+            (SwwError::DeadlineExceeded { budget_ms: 250 }, 504),
         ];
         for (err, status) in cases {
             let resp = error_response(&err);
@@ -989,6 +1218,153 @@ mod tests {
         }
         let resp = error_response(&SwwError::Saturated { retry_after_s: 3 });
         assert_eq!(resp.headers.get("retry-after"), Some("3"));
+    }
+
+    #[test]
+    fn deadline_header_expiry_maps_to_504() {
+        let server = demo_server();
+        let session = server.accept(GenAbility::none());
+        // A 0 ms budget is expired on arrival: the request must come
+        // back 504 without generating anything.
+        let mut req = Request::get("/hike");
+        req.headers.insert("x-sww-deadline-ms", "0");
+        let resp = session.handle(&req);
+        assert_eq!(resp.status, 504);
+        // A 0 ms budget reports as a cancellation (budget_ms 0 is the
+        // explicit-cancel sentinel); either way the header is present.
+        assert!(resp.headers.get("x-sww-error").is_some());
+        assert_eq!(server.engine().generations(), 0, "no wasted work");
+        // The same request without the header succeeds.
+        let resp = session.handle(&Request::get("/hike"));
+        assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn builder_default_deadline_applies_without_header() {
+        let server = GenerativeServer::builder()
+            .site(demo_site())
+            .default_deadline(Duration::ZERO)
+            .build();
+        let resp = server
+            .accept(GenAbility::none())
+            .handle(&Request::get("/hike"));
+        assert_eq!(resp.status, 504);
+    }
+
+    #[test]
+    fn tight_deadline_sheds_at_admission_when_pool_is_busy() {
+        // Cold-start EWMA prior is 1 s/job; with the single worker held
+        // busy, predicted wait for a newcomer is ≥ 1 s — far beyond a
+        // 50 ms budget, so admission sheds 503 before queueing.
+        let server = GenerativeServer::builder()
+            .site(demo_site())
+            .workers(1)
+            .build();
+        let pool = server.shared.pool.as_ref().unwrap();
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let enter = Arc::clone(&gate);
+        let release = Arc::clone(&gate);
+        let occupied = pool.try_execute(Box::new(move || {
+            enter.wait(); // worker is now provably busy
+            release.wait();
+        }));
+        assert!(occupied.is_ok());
+        gate.wait();
+        let mut req = Request::get("/hike");
+        req.headers.insert("x-sww-deadline-ms", "50");
+        let resp = server.accept(GenAbility::none()).handle(&req);
+        gate.wait();
+        assert_eq!(resp.status, 503, "shed, not queued toward a 504");
+        assert!(resp.headers.get("retry-after").is_some());
+    }
+
+    #[test]
+    fn open_breaker_sheds_requests_before_the_engine() {
+        use crate::breaker::BreakerState;
+        use sww_genai::ImageModelKind;
+        // Failpoint-driven trip/recover lives in tests/lifecycle.rs
+        // (global failpoints would leak into parallel unit tests); here
+        // the breaker is tripped directly to prove the server wiring.
+        let server = GenerativeServer::builder()
+            .site(demo_site())
+            .breaker(BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_secs(60),
+            })
+            .build();
+        let breaker = server.breaker().expect("enabled at build time");
+        // demo_site generates with the default generator model; read it
+        // off the same thread-local path materialize uses.
+        let model = with_generator(|g| g.image_model());
+        breaker.record_failure(model);
+        breaker.record_failure(model);
+        assert_eq!(breaker.state(model), BreakerState::Open);
+        let resp = server
+            .accept(GenAbility::none())
+            .handle(&Request::get("/hike"));
+        assert_eq!(resp.status, 503);
+        assert!(resp.headers.get("retry-after").is_some());
+        assert_eq!(
+            server.engine().generations(),
+            0,
+            "open breaker must shed before the engine generates"
+        );
+        // Other models are unaffected.
+        let other = if model == ImageModelKind::Sd21Base {
+            ImageModelKind::Sd3Medium
+        } else {
+            ImageModelKind::Sd21Base
+        };
+        assert_eq!(breaker.state(other), BreakerState::Closed);
+        // A server without a breaker never sheds this way.
+        let plain = demo_server();
+        assert!(plain.breaker().is_none());
+        assert_eq!(
+            plain
+                .accept(GenAbility::none())
+                .handle(&Request::get("/hike"))
+                .status,
+            200
+        );
+    }
+
+    #[test]
+    fn drain_sheds_new_requests_but_metrics_stay_readable() {
+        let server = demo_server();
+        let report = server.drain();
+        assert_eq!(report.inflight_at_start, 0);
+        assert!(server.is_draining());
+        let session = server.accept(GenAbility::full());
+        assert_eq!(session.handle(&Request::get("/hike")).status, 503);
+        assert_eq!(session.handle(&Request::get("/metrics")).status, 200);
+        // Idempotent.
+        let report = server.drain();
+        assert_eq!(report.inflight_at_start, 0);
+    }
+
+    #[test]
+    fn drain_waits_for_inflight_requests() {
+        let server = GenerativeServer::builder()
+            .site(demo_site())
+            .workers(2)
+            .build();
+        let session = server.accept(GenAbility::none());
+        let started = Arc::new(std::sync::Barrier::new(2));
+        let s = Arc::clone(&started);
+        let handle = std::thread::spawn(move || {
+            s.wait();
+            // Admitted before drain flips: must get a real response.
+            session.handle(&Request::get("/hike"))
+        });
+        started.wait();
+        // Give the request a moment to pass admission before draining.
+        while server.shared.inflight.load(Ordering::SeqCst) == 0 {
+            std::hint::spin_loop();
+        }
+        let report = server.drain();
+        let resp = handle.join().unwrap();
+        assert_eq!(resp.status, 200, "in-flight response must not be lost");
+        assert!(report.inflight_at_start >= 1);
     }
 
     #[test]

@@ -19,14 +19,22 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// EWMA smoothing factor for the per-job service-time estimate: each
 /// completed job contributes 20% of the new estimate.
 const SERVICE_EWMA_ALPHA: f64 = 0.2;
 
-/// Starting guess for per-job service time until real samples arrive.
-const SERVICE_TIME_PRIOR_S: f64 = 1.0;
+/// Default starting guess for per-job service time until real samples
+/// arrive. This cold-start prior drives both `Retry-After` advice and
+/// deadline-aware admission control before the first job completes, so
+/// deployments whose jobs are far from 1 s should override it via
+/// [`WorkerPool::with_service_prior`] (surfaced as
+/// `GenerativeServerBuilder::service_time_prior`). A deliberately
+/// pessimistic prior sheds deadline-bounded work aggressively while the
+/// pool is cold; a tiny prior admits everything until the EWMA learns
+/// better.
+pub const SERVICE_TIME_PRIOR_S: f64 = 1.0;
 
 /// Buckets for the busy-worker fraction (0..=1].
 const UTILIZATION_BUCKETS: &[f64] = &[0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0];
@@ -95,9 +103,26 @@ impl std::fmt::Debug for WorkerPool {
 
 impl WorkerPool {
     /// Spawn `workers` threads (clamped to at least 1) sharing a queue
-    /// that holds at most `queue_capacity` waiting jobs.
+    /// that holds at most `queue_capacity` waiting jobs, with the default
+    /// [`SERVICE_TIME_PRIOR_S`] cold-start service-time estimate.
     pub fn new(workers: usize, queue_capacity: usize) -> WorkerPool {
+        WorkerPool::with_service_prior(workers, queue_capacity, SERVICE_TIME_PRIOR_S)
+    }
+
+    /// [`new`](WorkerPool::new) with an explicit cold-start service-time
+    /// prior (seconds per job, clamped to a sane positive range). The
+    /// prior seeds the EWMA that backs [`retry_after_estimate`] and
+    /// [`predicted_wait`]; real samples take over as jobs complete.
+    ///
+    /// [`retry_after_estimate`]: WorkerPool::retry_after_estimate
+    /// [`predicted_wait`]: WorkerPool::predicted_wait
+    pub fn with_service_prior(workers: usize, queue_capacity: usize, prior_s: f64) -> WorkerPool {
         let workers = workers.max(1);
+        let prior_s = if prior_s.is_finite() {
+            prior_s.clamp(1e-6, 3600.0)
+        } else {
+            SERVICE_TIME_PRIOR_S
+        };
         let shared = Arc::new(PoolShared {
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
@@ -107,7 +132,7 @@ impl WorkerPool {
             queue_capacity,
             workers,
             active: AtomicUsize::new(0),
-            service_ewma_bits: AtomicU64::new(SERVICE_TIME_PRIOR_S.to_bits()),
+            service_ewma_bits: AtomicU64::new(prior_s.to_bits()),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -148,6 +173,21 @@ impl WorkerPool {
         (drain_s.ceil() as u64).clamp(1, 30) as u32
     }
 
+    /// Predicted wait before a job submitted *now* would start: the
+    /// current backlog (queued + busy) divided across workers, scaled by
+    /// the EWMA service-time estimate. Unlike [`retry_after_estimate`]
+    /// this is unclamped and sub-second precise — it is compared against
+    /// a request's remaining deadline budget for admission control, where
+    /// rounding up to 1 s would shed every sub-second deadline.
+    ///
+    /// [`retry_after_estimate`]: WorkerPool::retry_after_estimate
+    pub fn predicted_wait(&self) -> Duration {
+        let backlog = self.queue_depth() + self.shared.active.load(Ordering::Relaxed);
+        let wait_s =
+            (backlog as f64 / self.shared.workers.max(1) as f64) * self.shared.service_estimate_s();
+        Duration::from_secs_f64(wait_s.max(0.0))
+    }
+
     /// Enqueue a fire-and-forget job, failing fast when the queue is
     /// full instead of blocking the caller.
     ///
@@ -166,6 +206,13 @@ impl WorkerPool {
         }
         let depth = {
             let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            // A stopping pool rejects instead of accepting a job no
+            // worker will ever pick up (which would strand a `run()`
+            // caller on its result slot forever).
+            if q.shutdown {
+                sww_obs::counter("sww_pool_jobs_total", &[("result", "rejected")]).inc();
+                return Err(SwwError::Saturated { retry_after_s: 1 });
+            }
             if q.jobs.len() >= self.shared.queue_capacity {
                 sww_obs::counter("sww_pool_jobs_total", &[("result", "rejected")]).inc();
                 return Err(SwwError::Saturated {
@@ -212,8 +259,21 @@ impl WorkerPool {
     }
 }
 
-impl Drop for WorkerPool {
-    fn drop(&mut self) {
+impl WorkerPool {
+    /// Stop the pool: **drain, then join**. Explicit semantics:
+    ///
+    /// * Jobs already queued when `stop` is called are **completed** —
+    ///   each was admitted with a success return from
+    ///   [`try_execute`](WorkerPool::try_execute)/[`run`](WorkerPool::run),
+    ///   and that admission is a promise. Workers drain the queue to
+    ///   empty before exiting.
+    /// * Jobs submitted *after* `stop` are **rejected** with
+    ///   [`SwwError::Saturated`] — never silently dropped, and never
+    ///   accepted into a queue no worker will drain (the pre-stop race
+    ///   that could strand a `run()` caller forever).
+    /// * `stop` blocks until every worker thread has exited, and is
+    ///   idempotent (`Drop` calls it too).
+    pub fn stop(&mut self) {
         self.shared
             .queue
             .lock()
@@ -223,6 +283,12 @@ impl Drop for WorkerPool {
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.stop();
     }
 }
 
@@ -347,6 +413,84 @@ mod tests {
             "estimate {} never converged",
             pool.shared.service_estimate_s()
         );
+    }
+
+    /// Regression for the shutdown race: a job submitted after `stop()`
+    /// used to be accepted into a queue no worker would ever drain,
+    /// stranding its `run()` caller on the result slot forever. It must
+    /// be rejected instead — and jobs queued *before* the stop must all
+    /// complete (drain-then-join).
+    #[test]
+    fn stop_drains_queued_jobs_and_rejects_late_submissions() {
+        let mut pool = WorkerPool::new(1, 16);
+        let completed = Arc::new(AtomicU64::new(0));
+        // Park the single worker so follow-up jobs genuinely queue.
+        let gate = Arc::new(Barrier::new(2));
+        let g = Arc::clone(&gate);
+        pool.try_execute(Box::new(move || {
+            g.wait();
+        }))
+        .unwrap();
+        for _ in 0..5 {
+            let completed = Arc::clone(&completed);
+            pool.try_execute(Box::new(move || {
+                completed.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap();
+        }
+        // Release the worker and stop: the 5 queued jobs are a promise.
+        gate.wait();
+        pool.stop();
+        assert_eq!(completed.load(Ordering::SeqCst), 5, "queued jobs complete");
+        // Post-stop submissions reject fast instead of hanging.
+        let err = pool.run(|| ()).unwrap_err();
+        assert!(matches!(err, SwwError::Saturated { .. }), "{err:?}");
+        let err = pool.try_execute(Box::new(|| ())).unwrap_err();
+        assert!(matches!(err, SwwError::Saturated { .. }), "{err:?}");
+        // stop() is idempotent; Drop will call it again harmlessly.
+        pool.stop();
+    }
+
+    #[test]
+    fn service_prior_knob_seeds_the_estimate() {
+        let slow = WorkerPool::with_service_prior(2, 8, 10.0);
+        assert_eq!(slow.shared.service_estimate_s(), 10.0);
+        // The estimate feeds retry advice: a 10 s prior with one busy
+        // backlog slot advises ~5 s, not the default-prior ~1 s.
+        assert!(slow.retry_after_estimate(8) > WorkerPool::new(2, 8).retry_after_estimate(8));
+        // Degenerate priors are clamped, not honoured.
+        let weird = WorkerPool::with_service_prior(1, 4, f64::NAN);
+        assert_eq!(weird.shared.service_estimate_s(), SERVICE_TIME_PRIOR_S);
+    }
+
+    #[test]
+    fn predicted_wait_scales_with_backlog_and_estimate() {
+        let pool = WorkerPool::with_service_prior(2, 64, 2.0);
+        // Idle pool: nothing queued, nothing active — zero wait.
+        assert_eq!(pool.predicted_wait(), Duration::ZERO);
+        // Park both workers and queue two more: backlog 4 over 2 workers
+        // at 2 s each predicts ~4 s (active count may lag admission, so
+        // accept the 2 s floor from the queued jobs alone).
+        let gate = Arc::new(Barrier::new(3));
+        for _ in 0..2 {
+            let g = Arc::clone(&gate);
+            pool.try_execute(Box::new(move || {
+                g.wait();
+            }))
+            .unwrap();
+        }
+        while pool.shared.active.load(Ordering::Relaxed) < 2 {
+            std::thread::yield_now();
+        }
+        for _ in 0..2 {
+            pool.try_execute(Box::new(|| {})).unwrap();
+        }
+        let predicted = pool.predicted_wait();
+        assert!(
+            predicted >= Duration::from_secs(2),
+            "backlog of 4 at 2s prior predicted only {predicted:?}"
+        );
+        gate.wait();
     }
 
     #[test]

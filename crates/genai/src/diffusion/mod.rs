@@ -26,6 +26,55 @@ use scheduler::Schedule;
 /// Amplitude of the semantic luminance field planted into the image.
 pub const SEMANTIC_AMPLITUDE: f64 = 60.0;
 
+/// A cooperative cancellation probe checked once per denoise step.
+///
+/// The serving layer sits *above* this crate (`sww-core` depends on
+/// `sww-genai`), so the step loop cannot know about request deadlines or
+/// waiter refcounts directly. Instead it accepts this opaque probe: a
+/// cheap `Fn() -> bool` the caller builds from whatever lifecycle state
+/// it tracks. Returning `true` means "nobody wants this image anymore";
+/// the kernel then abandons the batch before the next sigma step —
+/// bounding wasted work to at most one step past the cancellation.
+///
+/// [`StepCancel::never`] is the identity probe; every pre-existing entry
+/// point delegates through it, so the cancellable paths are bit-identical
+/// to the original ones when the probe stays false.
+#[derive(Clone)]
+pub struct StepCancel {
+    check: std::sync::Arc<dyn Fn() -> bool + Send + Sync>,
+}
+
+impl StepCancel {
+    /// A probe that never fires: the denoise loop runs to completion.
+    #[must_use]
+    pub fn never() -> StepCancel {
+        StepCancel {
+            check: std::sync::Arc::new(|| false),
+        }
+    }
+
+    /// Build a probe from an arbitrary predicate.
+    #[must_use]
+    pub fn from_fn(f: impl Fn() -> bool + Send + Sync + 'static) -> StepCancel {
+        StepCancel {
+            check: std::sync::Arc::new(f),
+        }
+    }
+
+    /// Evaluate the probe. Called once per denoise step per batch (not
+    /// per job), so a relaxed atomic load or two is the expected cost.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        (self.check)()
+    }
+}
+
+impl std::fmt::Debug for StepCancel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StepCancel {{ cancelled: {} }}", self.is_cancelled())
+    }
+}
+
 /// A ready-to-run text-to-image model.
 #[derive(Debug, Clone)]
 pub struct DiffusionModel {
@@ -71,17 +120,37 @@ impl DiffusionModel {
         height: u32,
         steps: u32,
     ) -> ImageBuffer {
+        self.try_generate_with_features(features, width, height, steps, &StepCancel::never())
+            .expect("StepCancel::never cannot abort a generation")
+    }
+
+    /// Cancellable [`generate_with_features`]: the probe is checked once
+    /// per denoise step; `None` means the generation was abandoned
+    /// mid-loop (no image is decoded — decode cost is skipped too).
+    ///
+    /// [`generate_with_features`]: DiffusionModel::generate_with_features
+    pub fn try_generate_with_features(
+        &self,
+        features: &PromptFeatures,
+        width: u32,
+        height: u32,
+        steps: u32,
+        cancel: &StepCancel,
+    ) -> Option<ImageBuffer> {
         let steps = steps.max(1);
         let denoise_span = sww_obs::Span::begin("sww_genai_stage", "denoise");
         let schedule = Schedule::new(steps);
         let mut job = self.prepare_job(features);
-        denoise_batch(&schedule, std::slice::from_mut(&mut job));
+        let completed = try_denoise_batch(&schedule, std::slice::from_mut(&mut job), cancel);
         denoise_span.finish();
+        if !completed {
+            return None;
+        }
 
         let decode_span = sww_obs::Span::begin("sww_genai_stage", "decode");
         let out = self.decode(features, &job.latent, width, height, &mut job.rng);
         decode_span.finish();
-        out
+        Some(out)
     }
 
     /// Generate one image per prompt through a single batched denoising
@@ -102,23 +171,46 @@ impl DiffusionModel {
         height: u32,
         steps: u32,
     ) -> Vec<ImageBuffer> {
+        self.try_generate_batch(features, width, height, steps, &StepCancel::never())
+            .expect("StepCancel::never cannot abort a batch")
+    }
+
+    /// Cancellable [`generate_batch`]: the probe is checked once per
+    /// shared sigma step (not per job). `None` means the whole batch was
+    /// abandoned — batches are only cancelled as a unit, when every
+    /// member's waiters are gone.
+    ///
+    /// [`generate_batch`]: DiffusionModel::generate_batch
+    pub fn try_generate_batch(
+        &self,
+        features: &[PromptFeatures],
+        width: u32,
+        height: u32,
+        steps: u32,
+        cancel: &StepCancel,
+    ) -> Option<Vec<ImageBuffer>> {
         let steps = steps.max(1);
         let denoise_span = sww_obs::Span::begin("sww_genai_stage", "denoise_batch");
         let schedule = Schedule::new(steps);
         let mut jobs: Vec<LatentJob> = features.iter().map(|f| self.prepare_job(f)).collect();
-        denoise_batch(&schedule, &mut jobs);
+        let completed = try_denoise_batch(&schedule, &mut jobs, cancel);
         denoise_span.finish();
+        if !completed {
+            return None;
+        }
 
-        features
-            .iter()
-            .zip(jobs.iter_mut())
-            .map(|(f, job)| {
-                let decode_span = sww_obs::Span::begin("sww_genai_stage", "decode");
-                let out = self.decode(f, &job.latent, width, height, &mut job.rng);
-                decode_span.finish();
-                out
-            })
-            .collect()
+        Some(
+            features
+                .iter()
+                .zip(jobs.iter_mut())
+                .map(|(f, job)| {
+                    let decode_span = sww_obs::Span::begin("sww_genai_stage", "decode");
+                    let out = self.decode(f, &job.latent, width, height, &mut job.rng);
+                    decode_span.finish();
+                    out
+                })
+                .collect(),
+        )
     }
 
     /// Build one image's denoising state: its private prompt-seeded RNG,
@@ -263,7 +355,24 @@ pub struct LatentJob {
 /// resolution, steps) before batching. With a single job this executes
 /// the exact instruction sequence of the pre-batching denoise loop.
 pub fn denoise_batch(schedule: &Schedule, jobs: &mut [LatentJob]) {
+    let done = try_denoise_batch(schedule, jobs, &StepCancel::never());
+    debug_assert!(done, "StepCancel::never cannot abort the kernel");
+}
+
+/// Cancellable denoising kernel: identical to [`denoise_batch`] except
+/// that the probe is evaluated once before each sigma step. Returns
+/// `true` if the schedule ran to completion, `false` if the batch was
+/// abandoned mid-loop (the jobs' latents are then partial and must not
+/// be decoded).
+///
+/// The check is per *step*, not per job or per grid cell, so the
+/// steady-state overhead with [`StepCancel::never`] is one virtual call
+/// per step — and a cancelled flight wastes at most one step of work.
+pub fn try_denoise_batch(schedule: &Schedule, jobs: &mut [LatentJob], cancel: &StepCancel) -> bool {
     for k in 0..schedule.steps() {
+        if cancel.is_cancelled() {
+            return false;
+        }
         let alpha = schedule.alpha(k);
         let sigma = schedule.sigma(k);
         for job in jobs.iter_mut() {
@@ -272,6 +381,7 @@ pub fn denoise_batch(schedule: &Schedule, jobs: &mut [LatentJob]) {
             }
         }
     }
+    true
 }
 
 /// Bilinear sample of the coarse latent grid at `(u, v) ∈ [0,1]²`.
@@ -408,5 +518,66 @@ mod tests {
     fn empty_batch_is_empty() {
         let m = DiffusionModel::new(ImageModelKind::Sd3Medium);
         assert!(m.generate_batch(&[], 32, 32, 15).is_empty());
+    }
+
+    #[test]
+    fn never_cancel_path_is_bit_identical() {
+        let m = DiffusionModel::new(ImageModelKind::Sd3Medium);
+        let f = PromptFeatures::analyze("a mountain lake at sunset");
+        let plain = m.generate_with_features(&f, 48, 48, 12);
+        let via_try = m
+            .try_generate_with_features(&f, 48, 48, 12, &StepCancel::never())
+            .unwrap();
+        assert_eq!(plain, via_try);
+    }
+
+    #[test]
+    fn pre_cancelled_generation_aborts_before_any_step() {
+        let m = DiffusionModel::new(ImageModelKind::Sd3Medium);
+        let f = PromptFeatures::analyze("abandoned before start");
+        let cancel = StepCancel::from_fn(|| true);
+        assert!(m
+            .try_generate_with_features(&f, 64, 64, 40, &cancel)
+            .is_none());
+        assert!(m.try_generate_batch(&[f], 64, 64, 40, &cancel).is_none());
+    }
+
+    #[test]
+    fn mid_loop_cancel_aborts_within_one_step() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        // Fire the probe on its 4th evaluation: the kernel must run
+        // exactly 3 steps (probe precedes each step) and then abandon.
+        let checks = Arc::new(AtomicU32::new(0));
+        let probe_checks = Arc::clone(&checks);
+        let cancel = StepCancel::from_fn(move || probe_checks.fetch_add(1, Ordering::SeqCst) >= 3);
+        let m = DiffusionModel::new(ImageModelKind::Sd3Medium);
+        let f = PromptFeatures::analyze("cancelled mid flight");
+        let schedule = Schedule::new(40);
+        let mut jobs = vec![m.prepare_job(&f)];
+        assert!(!try_denoise_batch(&schedule, &mut jobs, &cancel));
+        assert_eq!(checks.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn cancel_probe_is_per_step_not_per_job() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        let checks = Arc::new(AtomicU32::new(0));
+        let probe_checks = Arc::clone(&checks);
+        let cancel = StepCancel::from_fn(move || {
+            probe_checks.fetch_add(1, Ordering::SeqCst);
+            false
+        });
+        let m = DiffusionModel::new(ImageModelKind::Sd3Medium);
+        let features: Vec<PromptFeatures> = ["one", "two", "three"]
+            .iter()
+            .map(|p| PromptFeatures::analyze(p))
+            .collect();
+        let steps = 9;
+        assert!(m
+            .try_generate_batch(&features, 16, 16, steps, &cancel)
+            .is_some());
+        assert_eq!(checks.load(Ordering::SeqCst), steps);
     }
 }

@@ -32,7 +32,7 @@ pub mod rng;
 pub mod text;
 pub mod upscale;
 
-pub use diffusion::{DiffusionModel, ImageModelKind};
+pub use diffusion::{DiffusionModel, ImageModelKind, StepCancel};
 pub use image::{codec, ImageBuffer};
 pub use pipeline::GenerationPipeline;
 pub use prompt::PromptFeatures;

@@ -23,15 +23,39 @@ pub struct ServeContext {
 pub async fn serve_connection<T, H>(
     io: T,
     ability: GenAbility,
-    mut handler: H,
+    handler: H,
 ) -> Result<ServeStats, H2Error>
 where
     T: AsyncRead + AsyncWrite + Unpin,
     H: FnMut(Request, ServeContext) -> Response,
 {
+    serve_connection_until(io, ability, handler, || false).await
+}
+
+/// [`serve_connection`] with a graceful-shutdown predicate: after each
+/// delivered response (and before blocking for the next request),
+/// `should_close` is consulted; once it returns `true` the connection
+/// sends GOAWAY(NO_ERROR) and stops. In-flight request/response pairs
+/// are never cut — the check sits between exchanges, so a draining
+/// server finishes the answer it owes before saying goodbye.
+pub async fn serve_connection_until<T, H, P>(
+    io: T,
+    ability: GenAbility,
+    mut handler: H,
+    should_close: P,
+) -> Result<ServeStats, H2Error>
+where
+    T: AsyncRead + AsyncWrite + Unpin,
+    H: FnMut(Request, ServeContext) -> Response,
+    P: Fn() -> bool,
+{
     let mut conn = Connection::server_handshake(io, Settings::sww(ability)).await?;
     let mut stats = ServeStats::default();
     loop {
+        if should_close() {
+            conn.close().await?;
+            break;
+        }
         let msg = match conn.next_message().await {
             Ok(m) => m,
             Err(H2Error::Closed) => break,

@@ -16,6 +16,7 @@ use sww::core::{
 };
 use sww::genai::diffusion::ImageModelKind;
 use sww::genai::ImageBuffer;
+use sww::http2::Request;
 
 const THREADS: usize = 8;
 const REQUESTS_PER_THREAD: usize = 100;
@@ -164,6 +165,114 @@ async fn eight_threads_generate_each_unique_prompt_exactly_once() {
         let sequential = baseline.cache().get(&r).expect("baseline cache entry");
         assert_eq!(concurrent, sequential, "cache divergence for {}", r.prompt);
     }
+}
+
+/// Graceful drain under concurrent load must lose no responses:
+/// every request admitted before (or racing) the drain completes with a
+/// real `200`, every request arriving after the flag flips is shed
+/// `503`, and `drain` itself returns only once the server is idle.
+///
+/// Injected latency (`engine.generate=latency:1.0:50`) keeps the first
+/// wave of requests in flight long enough for the drain to observably
+/// overlap them.
+#[test]
+fn drain_under_concurrent_load_loses_no_responses() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    const THREADS: usize = 4;
+    const REQUESTS: usize = 4;
+    sww::obs::reset();
+    sww::core::faults::clear();
+    sww::core::faults::install(
+        &sww::core::faults::ChaosSpec::parse("seed=5,engine.generate=latency:1.0:50")
+            .expect("spec parses"),
+    );
+
+    let mut site = SiteContent::new();
+    for p in 0..THREADS * REQUESTS {
+        site.add_page(
+            format!("/page/{p}"),
+            format!(
+                "<html><body>{}</body></html>",
+                sww::html::gencontent::image_div(
+                    &format!("drain prompt {p} under the viaduct"),
+                    &format!("drain{p}.jpg"),
+                    32,
+                    32,
+                )
+            ),
+        );
+    }
+    let server = GenerativeServer::builder().site(site).workers(2).build();
+
+    let (mut served, mut shed) = (0u64, 0u64);
+    let report = std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let session = server.accept(GenAbility::none());
+                scope.spawn(move || {
+                    let (mut served, mut shed) = (0u64, 0u64);
+                    for i in 0..REQUESTS {
+                        // Distinct page per request: every 200 below is
+                        // backed by exactly one generation of its own.
+                        let path = format!("/page/{}", t * REQUESTS + i);
+                        let resp = session.handle(&Request::get(&path));
+                        match resp.status {
+                            200 => served += 1,
+                            503 => shed += 1,
+                            other => panic!("GET {path}: unexpected status {other}"),
+                        }
+                    }
+                    (served, shed)
+                })
+            })
+            .collect();
+        // Flip the flag while the first wave (50 ms of injected latency
+        // each) is still in flight; drain must block until they finish.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let report = server.drain();
+        for c in clients {
+            let (s, r) = c.join().expect("client thread");
+            served += s;
+            shed += r;
+        }
+        report
+    });
+
+    // Admission is a promise: everything in flight when the drain began
+    // got a real response, and nothing was silently dropped.
+    assert!(report.inflight_at_start >= 1, "drain must overlap requests");
+    assert_eq!(served + shed, (THREADS * REQUESTS) as u64);
+    assert!(served >= report.inflight_at_start as u64);
+    assert_eq!(server.engine().generations(), served, "one per 200");
+    assert!(server.is_draining());
+    assert_eq!(
+        server
+            .accept(GenAbility::none())
+            .handle(&Request::get("/page/0"))
+            .status,
+        503,
+        "post-drain requests must shed"
+    );
+
+    // /metrics stays readable on a drained server and agrees with the
+    // tallies (the post-drain probe above is the +1).
+    let resp = server
+        .accept(GenAbility::none())
+        .handle(&Request::get("/metrics"));
+    assert_eq!(resp.status, 200);
+    let exposition = String::from_utf8(resp.body.to_vec()).unwrap();
+    assert_eq!(series_value(&exposition, "sww_drain_state"), Some(2.0));
+    assert_eq!(
+        series_value(&exposition, "sww_drain_inflight_at_start"),
+        Some(report.inflight_at_start as f64)
+    );
+    assert_eq!(
+        series_value(&exposition, "sww_shed_total{reason=\"draining\"}"),
+        Some((shed + 1) as f64),
+        "shed exposition:\n{exposition}"
+    );
+
+    sww::core::faults::clear();
 }
 
 /// A leader that fails mid-generation must not strand its waiters: the
