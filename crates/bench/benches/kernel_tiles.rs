@@ -1,0 +1,39 @@
+//! E17 bench: one batch-8 denoise+decode pass, tiled across 1–8 kernel
+//! lanes on a worker-pool runner. Wall-clock here is host-shaped (it
+//! tracks the modelled curve only up to the core count); the
+//! machine-independent numbers live in BENCH_PR6.json via `sww-cli
+//! bench-pr6`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sww_core::WorkerPool;
+use sww_genai::diffusion::{DiffusionModel, ImageModelKind, StepCancel, Tiling};
+use sww_genai::prompt::PromptFeatures;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e17_kernel_tiles");
+    g.sample_size(10);
+    let model = DiffusionModel::new(ImageModelKind::Sd3Medium);
+    let features: Vec<PromptFeatures> = (0..8)
+        .map(|i| PromptFeatures::analyze(&format!("bench tile {i} evening square")))
+        .collect();
+    let runner = WorkerPool::new(7, 32);
+    for tiles in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(tiles), &tiles, |b, &tiles| {
+            b.iter(|| {
+                black_box(model.try_generate_batch_on(
+                    &features,
+                    64,
+                    64,
+                    15,
+                    &StepCancel::never(),
+                    Tiling::new(&runner, tiles),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

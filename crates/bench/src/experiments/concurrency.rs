@@ -17,6 +17,7 @@
 
 use crate::table::Table;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 use sww_core::{GenAbility, GenerativeServer, SiteContent};
 use sww_html::gencontent;
@@ -53,6 +54,11 @@ pub struct ConcurrencySample {
     /// Deadline misses answered `504` during this sample (global
     /// `sww_deadline_exceeded_total` delta).
     pub deadline_misses: u64,
+    /// Median request latency in milliseconds (successful attempt only —
+    /// a retried request's clock restarts with its fresh budget).
+    pub p50_ms: f64,
+    /// 99th-percentile request latency in milliseconds.
+    pub p99_ms: f64,
 }
 
 /// Sweep configuration.
@@ -77,6 +83,9 @@ pub struct ConcurrencyConfig {
     /// Circuit-breaker tuning as `(failure_threshold, cooldown_ms)`;
     /// `None` leaves the breaker off.
     pub breaker: Option<(u32, u64)>,
+    /// Data-parallel denoise lanes inside each batched kernel pass
+    /// (1 = scalar kernel; ignored when `batch_max` is 1).
+    pub kernel_tiles: usize,
 }
 
 impl Default for ConcurrencyConfig {
@@ -89,8 +98,19 @@ impl Default for ConcurrencyConfig {
             batch_wait_ms: 2,
             deadline_ms: None,
             breaker: None,
+            kernel_tiles: 1,
         }
     }
+}
+
+/// Percentile over a latency set, by nearest-rank on the sorted samples.
+/// Shared with the E17 kernel sweep. Returns 0 for an empty set.
+pub(crate) fn percentile_ms(sorted: &[f64], pct: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// The sweep workload: one page per unique prompt, each carrying one
@@ -150,7 +170,8 @@ pub fn sample(cfg: ConcurrencyConfig, workers: usize) -> ConcurrencySample {
         .site(bench_site(cfg.prompts))
         .workers(workers)
         .batch_max(cfg.batch_max)
-        .batch_wait(std::time::Duration::from_millis(cfg.batch_wait_ms));
+        .batch_wait(std::time::Duration::from_millis(cfg.batch_wait_ms))
+        .kernel_tiles(cfg.kernel_tiles);
     if let Some(ms) = cfg.deadline_ms {
         builder = builder.default_deadline(std::time::Duration::from_millis(ms));
     }
@@ -162,6 +183,7 @@ pub fn sample(cfg: ConcurrencyConfig, workers: usize) -> ConcurrencySample {
     }
     let server = builder.build();
     let rejected = AtomicU64::new(0);
+    let latencies_ms = Mutex::new(Vec::with_capacity(cfg.threads * cfg.requests));
     let faults_before = sww_core::faults::injected_total();
     let pool_jobs_before = pool_jobs_executed();
     let (shed_before, cancelled_before, misses_before) = lifecycle_counters();
@@ -170,26 +192,36 @@ pub fn sample(cfg: ConcurrencyConfig, workers: usize) -> ConcurrencySample {
         for t in 0..cfg.threads {
             let session = server.accept(GenAbility::none());
             let rejected = &rejected;
+            let latencies_ms = &latencies_ms;
             scope.spawn(move || {
+                let mut mine = Vec::with_capacity(cfg.requests);
                 for i in 0..cfg.requests {
                     let path = format!("/page/{}", (i + t) % cfg.prompts);
                     loop {
+                        let attempt = Instant::now();
                         let resp = session.handle(&Request::get(&path));
                         // 504 joins the retryable set: a missed deadline
                         // is transient — the retry carries a fresh budget.
                         if !matches!(resp.status, 500 | 502 | 503 | 504) {
                             assert_eq!(resp.status, 200, "GET {path}");
+                            mine.push(attempt.elapsed().as_secs_f64() * 1e3);
                             break;
                         }
                         rejected.fetch_add(1, Ordering::Relaxed);
                         std::thread::sleep(std::time::Duration::from_millis(1));
                     }
                 }
+                latencies_ms
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .extend(mine);
             });
         }
     });
     let elapsed = start.elapsed().as_secs_f64();
     let (shed_after, cancelled_after, misses_after) = lifecycle_counters();
+    let mut latencies_ms = latencies_ms.into_inner().unwrap_or_else(|e| e.into_inner());
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
     ConcurrencySample {
         workers,
         throughput_rps: (cfg.threads * cfg.requests) as f64 / elapsed.max(1e-9),
@@ -201,6 +233,8 @@ pub fn sample(cfg: ConcurrencyConfig, workers: usize) -> ConcurrencySample {
         shed: shed_after - shed_before,
         cancelled: cancelled_after - cancelled_before,
         deadline_misses: misses_after - misses_before,
+        p50_ms: percentile_ms(&latencies_ms, 50.0),
+        p99_ms: percentile_ms(&latencies_ms, 99.0),
     }
 }
 
@@ -220,6 +254,7 @@ pub fn table(cfg: ConcurrencyConfig, samples: &[ConcurrencySample]) -> Table {
         &[
             "Workers",
             "Throughput",
+            "p50/p99 ms",
             "Generations",
             "Coalesced",
             "Rejected",
@@ -237,6 +272,7 @@ pub fn table(cfg: ConcurrencyConfig, samples: &[ConcurrencySample]) -> Table {
                 s.workers.to_string()
             },
             format!("{:.0}/s", s.throughput_rps),
+            format!("{:.2}/{:.2}", s.p50_ms, s.p99_ms),
             s.generations.to_string(),
             s.coalesced.to_string(),
             s.rejected.to_string(),

@@ -1,4 +1,4 @@
-//! The experiment implementations, one per table/figure (DESIGN.md E1–E16)
+//! The experiment implementations, one per table/figure (DESIGN.md E1–E17)
 //! plus the design-choice ablations.
 
 pub mod ablations;
@@ -8,6 +8,7 @@ pub mod compression;
 pub mod concurrency;
 pub mod energy;
 pub mod fig1;
+pub mod kernel;
 pub mod mobile;
 pub mod models;
 pub mod negotiation;

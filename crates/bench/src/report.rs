@@ -1,0 +1,321 @@
+//! Machine-readable bench reports (`BENCH_*.json`) and the regression
+//! gate that compares a fresh run against a checked-in baseline.
+//!
+//! The PR 6 report captures the E17 tiled-kernel sweeps in the
+//! `sww-bench-pr6/1` schema (documented in PERFORMANCE.md). Two kinds of
+//! numbers live side by side and are treated differently:
+//!
+//! * **Modelled** throughput (`modelled_qps`, `speedup`) comes from the
+//!   deterministic cost model, so it is bit-reproducible across hosts —
+//!   the regression gate compares these.
+//! * **Wall-clock** numbers (`wall_qps`, `p50_ms`, `p99_ms`) are
+//!   host-shaped and noisy — recorded for the perf trajectory, never
+//!   gated.
+//!
+//! [`compare`] is the gate `ci.sh bench` runs: every baseline record must
+//! still exist, modelled throughput must be within tolerance, the
+//! headline speedups must clear the PR 6 floor, and the steady-state
+//! allocation counters must read zero.
+
+use crate::experiments::kernel::{KernelConfig, KernelSample, ServingConfig, ServingSample};
+use sww_json::Value;
+
+/// Schema tag every PR 6 report carries.
+pub const PR6_SCHEMA: &str = "sww-bench-pr6/1";
+
+/// Modelled-speedup floor from the PR 6 acceptance criterion: the tiled
+/// kernel must buy ≥ 1.5× at batch 8.
+pub const SPEEDUP_FLOOR: f64 = 1.5;
+
+/// Round to 3 decimals: keeps checked-in baselines readable while staying
+/// far above the cost model's discrimination threshold.
+fn r3(x: f64) -> f64 {
+    (x * 1e3).round() / 1e3
+}
+
+fn kernel_record(cfg: KernelConfig, s: &KernelSample) -> Value {
+    Value::object([
+        ("experiment", Value::from("kernel_denoise")),
+        ("kernel_tiles", Value::from(s.tiles)),
+        ("batch", Value::from(cfg.batch)),
+        ("workers", Value::from(s.tiles.saturating_sub(1))),
+        ("wall_qps", Value::from(r3(s.wall_qps))),
+        ("p50_ms", Value::from(r3(s.p50_ms))),
+        ("p99_ms", Value::from(r3(s.p99_ms))),
+        ("modelled_qps", Value::from(r3(s.modelled_rate))),
+        ("speedup", Value::from(r3(s.speedup))),
+        ("alloc_bytes_steady", Value::from(s.alloc_bytes as usize)),
+    ])
+}
+
+fn serving_record(cfg: ServingConfig, s: &ServingSample) -> Value {
+    Value::object([
+        ("experiment", Value::from("serve_batched")),
+        ("kernel_tiles", Value::from(s.kernel_tiles)),
+        ("batch", Value::from(cfg.threads)),
+        ("workers", Value::from(cfg.threads)),
+        ("wall_qps", Value::from(r3(s.wall_qps))),
+        ("p50_ms", Value::from(r3(s.p50_ms))),
+        ("p99_ms", Value::from(r3(s.p99_ms))),
+        ("modelled_qps", Value::from(r3(s.modelled_rate))),
+        ("speedup", Value::from(r3(s.speedup))),
+        ("mean_batch", Value::from(r3(s.mean_batch))),
+        ("alloc_bytes_steady", Value::from(s.alloc_bytes as usize)),
+    ])
+}
+
+/// Assemble the PR 6 report from both E17 sweeps.
+pub fn pr6_report(
+    kcfg: KernelConfig,
+    kernel: &[KernelSample],
+    scfg: ServingConfig,
+    serving: &[ServingSample],
+) -> Value {
+    let records: Vec<Value> = kernel
+        .iter()
+        .map(|s| kernel_record(kcfg, s))
+        .chain(serving.iter().map(|s| serving_record(scfg, s)))
+        .collect();
+    let widest = |speedups: Vec<(usize, f64)>| {
+        speedups
+            .into_iter()
+            .max_by_key(|&(tiles, _)| tiles)
+            .map_or(1.0, |(_, s)| s)
+    };
+    let kernel_speedup = widest(kernel.iter().map(|s| (s.tiles, s.speedup)).collect());
+    let serving_speedup = widest(
+        serving
+            .iter()
+            .map(|s| (s.kernel_tiles, s.speedup))
+            .collect(),
+    );
+    let steady: u64 = kernel.iter().map(|s| s.alloc_bytes).sum::<u64>()
+        + serving.iter().map(|s| s.alloc_bytes).sum::<u64>();
+    Value::object([
+        ("schema", Value::from(PR6_SCHEMA)),
+        ("records", Value::Array(records)),
+        (
+            "summary",
+            Value::object([
+                ("kernel_speedup_batch8", Value::from(r3(kernel_speedup))),
+                ("serving_speedup_batch8", Value::from(r3(serving_speedup))),
+                ("steady_state_alloc_bytes", Value::from(steady as usize)),
+            ]),
+        ),
+    ])
+}
+
+/// Serialize a report for writing to disk (pretty, trailing newline —
+/// diff-friendly for the checked-in baseline).
+pub fn render(report: &Value) -> String {
+    let mut out = sww_json::to_string_pretty(report);
+    out.push('\n');
+    out
+}
+
+/// A record's identity within a report: `(experiment, kernel_tiles)`.
+fn record_key(record: &Value) -> (String, u64) {
+    (
+        record["experiment"].as_str().unwrap_or("?").to_owned(),
+        record["kernel_tiles"].as_u64().unwrap_or(0),
+    )
+}
+
+/// Gate a fresh report against the checked-in baseline.
+///
+/// Checks, in order:
+///
+/// 1. both reports carry the [`PR6_SCHEMA`] tag;
+/// 2. every baseline record still exists in `current`;
+/// 3. each record's **modelled** throughput is within `tolerance`
+///    (fractional, e.g. `0.10`) of the baseline — wall-clock columns are
+///    never gated;
+/// 4. the current headline speedups clear [`SPEEDUP_FLOOR`];
+/// 5. every current record's steady-state allocation counter reads zero.
+///
+/// Returns the per-check log lines on success, the failure messages
+/// otherwise.
+pub fn compare(
+    baseline: &Value,
+    current: &Value,
+    tolerance: f64,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    for (which, report) in [("baseline", baseline), ("current", current)] {
+        if report["schema"].as_str() != Some(PR6_SCHEMA) {
+            bad.push(format!("{which}: missing schema tag {PR6_SCHEMA:?}"));
+        }
+    }
+    if !bad.is_empty() {
+        return Err(bad);
+    }
+    let empty = Vec::new();
+    let base_records = baseline["records"].as_array().unwrap_or(&empty);
+    let cur_records = current["records"].as_array().unwrap_or(&empty);
+    for base in base_records {
+        let key = record_key(base);
+        let Some(cur) = cur_records.iter().find(|r| record_key(r) == key) else {
+            bad.push(format!("{key:?}: record missing from current report"));
+            continue;
+        };
+        let base_qps = base["modelled_qps"].as_f64().unwrap_or(0.0);
+        let cur_qps = cur["modelled_qps"].as_f64().unwrap_or(0.0);
+        if cur_qps < base_qps * (1.0 - tolerance) {
+            bad.push(format!(
+                "{key:?}: modelled throughput regressed {base_qps:.3} -> {cur_qps:.3} \
+                 (> {:.0}% drop)",
+                tolerance * 100.0
+            ));
+        } else {
+            ok.push(format!(
+                "{key:?}: modelled qps {cur_qps:.3} vs baseline {base_qps:.3}"
+            ));
+        }
+        let alloc = cur["alloc_bytes_steady"].as_u64().unwrap_or(u64::MAX);
+        if alloc != 0 {
+            bad.push(format!(
+                "{key:?}: steady state allocated {alloc} fresh pool bytes"
+            ));
+        }
+    }
+    for headline in ["kernel_speedup_batch8", "serving_speedup_batch8"] {
+        let speedup = current["summary"][headline].as_f64().unwrap_or(0.0);
+        if speedup < SPEEDUP_FLOOR {
+            bad.push(format!(
+                "summary.{headline}: {speedup:.2}x below the {SPEEDUP_FLOOR}x floor"
+            ));
+        } else {
+            ok.push(format!("summary.{headline}: {speedup:.2}x"));
+        }
+    }
+    if bad.is_empty() {
+        Ok(ok)
+    } else {
+        Err(bad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_kernel(tiles: usize, rate: f64, speedup: f64) -> KernelSample {
+        KernelSample {
+            tiles,
+            wall_qps: 100.0,
+            p50_ms: 5.0,
+            p99_ms: 9.0,
+            modelled_rate: rate,
+            speedup,
+            alloc_bytes: 0,
+        }
+    }
+
+    fn fake_serving(tiles: usize, rate: f64, speedup: f64) -> ServingSample {
+        ServingSample {
+            kernel_tiles: tiles,
+            wall_qps: 50.0,
+            p50_ms: 20.0,
+            p99_ms: 40.0,
+            modelled_rate: rate,
+            speedup,
+            mean_batch: 8.0,
+            alloc_bytes: 0,
+        }
+    }
+
+    fn report() -> Value {
+        pr6_report(
+            KernelConfig::default(),
+            &[fake_kernel(1, 4.0, 1.0), fake_kernel(8, 12.4, 3.1)],
+            ServingConfig::default(),
+            &[fake_serving(1, 4.0, 1.0), fake_serving(8, 12.4, 3.1)],
+        )
+    }
+
+    #[test]
+    fn report_round_trips_through_the_parser() {
+        let r = report();
+        let text = render(&r);
+        let back = sww_json::parse(&text).expect("render must emit valid JSON");
+        assert_eq!(back, r);
+        assert_eq!(back["schema"].as_str(), Some(PR6_SCHEMA));
+        assert_eq!(back["records"].as_array().unwrap().len(), 4);
+        assert_eq!(back["summary"]["kernel_speedup_batch8"].as_f64(), Some(3.1));
+    }
+
+    #[test]
+    fn identical_reports_pass_the_gate() {
+        let r = report();
+        let checks = compare(&r, &r, 0.10).expect("self-compare must pass");
+        assert!(checks.iter().any(|l| l.contains("kernel_speedup")));
+    }
+
+    #[test]
+    fn modelled_regression_fails_the_gate() {
+        let base = report();
+        let cur = pr6_report(
+            KernelConfig::default(),
+            // 20% modelled regression on the 8-lane row.
+            &[fake_kernel(1, 4.0, 1.0), fake_kernel(8, 9.9, 2.5)],
+            ServingConfig::default(),
+            &[fake_serving(1, 4.0, 1.0), fake_serving(8, 12.4, 3.1)],
+        );
+        let failures = compare(&base, &cur, 0.10).expect_err("regression must fail");
+        assert!(
+            failures.iter().any(|f| f.contains("regressed")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn speedup_below_floor_fails_the_gate() {
+        let base = report();
+        let cur = pr6_report(
+            KernelConfig::default(),
+            &[fake_kernel(1, 4.0, 1.0), fake_kernel(8, 5.0, 1.25)],
+            ServingConfig::default(),
+            &[fake_serving(1, 4.0, 1.0), fake_serving(8, 12.4, 3.1)],
+        );
+        let failures = compare(&base, &cur, 0.99).expect_err("floor must bind");
+        assert!(
+            failures.iter().any(|f| f.contains("below the 1.5x floor")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn steady_state_allocation_fails_the_gate() {
+        let base = report();
+        let mut leaky = fake_kernel(8, 12.4, 3.1);
+        leaky.alloc_bytes = 4096;
+        let cur = pr6_report(
+            KernelConfig::default(),
+            &[fake_kernel(1, 4.0, 1.0), leaky],
+            ServingConfig::default(),
+            &[fake_serving(1, 4.0, 1.0), fake_serving(8, 12.4, 3.1)],
+        );
+        let failures = compare(&base, &cur, 0.10).expect_err("allocation must fail");
+        assert!(
+            failures.iter().any(|f| f.contains("4096 fresh pool bytes")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn missing_record_fails_the_gate() {
+        let base = report();
+        let cur = pr6_report(
+            KernelConfig::default(),
+            &[fake_kernel(1, 4.0, 1.0)],
+            ServingConfig::default(),
+            &[fake_serving(1, 4.0, 1.0), fake_serving(8, 12.4, 3.1)],
+        );
+        let failures = compare(&base, &cur, 0.10).expect_err("missing record must fail");
+        assert!(
+            failures.iter().any(|f| f.contains("missing")),
+            "{failures:?}"
+        );
+    }
+}

@@ -18,7 +18,7 @@ pub struct Args {
 }
 
 /// Option keys that take a value (everything else after `--` is a switch).
-const VALUE_KEYS: [&str; 20] = [
+const VALUE_KEYS: [&str; 23] = [
     "addr",
     "device",
     "model",
@@ -39,6 +39,9 @@ const VALUE_KEYS: [&str; 20] = [
     "breaker-threshold",
     "breaker-cooldown-ms",
     "drain-after",
+    "kernel-tiles",
+    "tiles",
+    "tolerance",
 ];
 
 impl Args {

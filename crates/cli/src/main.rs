@@ -3,7 +3,8 @@
 //! ```text
 //! sww serve  [--addr 127.0.0.1:0] [--site blog|wikimedia] [--naive]
 //!            [--workers N] [--shards N] [--queue N] [--chaos SPEC]
-//!            [--batch-max N] [--batch-wait MS] [--deadline-ms MS]
+//!            [--batch-max N] [--batch-wait MS] [--kernel-tiles N]
+//!            [--deadline-ms MS]
 //!            [--breaker-threshold N] [--breaker-cooldown-ms MS]
 //!            [--drain-after SECONDS]
 //! sww fetch  <addr> <path> [--device laptop|workstation|mobile] [--naive] [--render] [--out DIR]
@@ -13,15 +14,29 @@
 //! sww stock [category]
 //! sww stats [addr] [--device laptop|workstation|mobile]
 //! sww bench-concurrent [--threads 8] [--requests 100] [--prompts 10] [--workers 1,2,4,8]
-//!                      [--batch-max N] [--batch-wait MS] [--chaos SPEC]
+//!                      [--batch-max N] [--batch-wait MS] [--kernel-tiles N]
+//!                      [--chaos SPEC]
 //!                      [--deadline-ms MS] [--breaker-threshold N]
 //!                      [--breaker-cooldown-ms MS]
+//! sww bench-pr6 [--tiles 1,2,4,8] [--out FILE]
+//! sww bench-compare <baseline.json> <current.json> [--tolerance 0.10]
 //! ```
 //!
 //! `--batch-max N` (N > 1) turns on continuous batching: compatible
 //! concurrent generations share one denoising pass, bit-identical per
 //! image to the unbatched path, with `--batch-wait` bounding how long an
 //! open batch may wait for company (milliseconds, default 2).
+//! `--kernel-tiles N` (N > 1) additionally tiles each batched pass across
+//! N data-parallel kernel lanes on a dedicated worker pool — still
+//! bit-identical per image (see DESIGN.md "Kernel & memory model").
+//!
+//! `bench-pr6` runs the E17 tiled-kernel sweeps and emits the
+//! machine-readable `BENCH_PR6.json` report (schema `sww-bench-pr6/1`,
+//! documented in PERFORMANCE.md); tables go to stderr so `--out -`-less
+//! stdout stays parseable. `bench-compare` gates a fresh report against a
+//! checked-in baseline and exits non-zero on a modelled-throughput
+//! regression, a missing record, a headline speedup under 1.5x, or any
+//! steady-state pool allocation.
 //!
 //! `--deadline-ms MS` gives every request that carries no
 //! `x-sww-deadline-ms` header a deadline budget: expiry answers `504`,
@@ -128,6 +143,8 @@ fn main() {
         "stock" => cmd_stock(&args),
         "stats" => rt.block_on(cmd_stats(&args)),
         "bench-concurrent" => cmd_bench_concurrent(&args),
+        "bench-pr6" => cmd_bench_pr6(&args),
+        "bench-compare" => cmd_bench_compare(&args),
         _ => usage(),
     }
 }
@@ -153,6 +170,7 @@ async fn cmd_serve(args: &Args) {
     let shards: usize = args.opt("shards", "8").parse().unwrap_or(8);
     let queue: usize = args.opt("queue", "64").parse().unwrap_or(64);
     let (batch_max, batch_wait_ms) = batch_options(args);
+    let kernel_tiles = kernel_tiles_option(args);
     let mut builder = GenerativeServer::builder()
         .site(site)
         .ability(ability)
@@ -160,7 +178,8 @@ async fn cmd_serve(args: &Args) {
         .cache_shards(shards)
         .queue_capacity(queue)
         .batch_max(batch_max)
-        .batch_wait(std::time::Duration::from_millis(batch_wait_ms));
+        .batch_wait(std::time::Duration::from_millis(batch_wait_ms))
+        .kernel_tiles(kernel_tiles);
     if let Some(deadline) = deadline_option(args) {
         builder = builder.default_deadline(deadline);
         println!("default deadline: {} ms", deadline.as_millis());
@@ -185,6 +204,9 @@ async fn cmd_serve(args: &Args) {
     }
     if batch_max > 1 {
         println!("continuous batching: up to {batch_max} per pass, {batch_wait_ms} ms deadline");
+        if kernel_tiles > 1 {
+            println!("tiled kernel: {kernel_tiles} data-parallel lanes per batched pass");
+        }
     }
     println!("stored {} B (prompt form)", server.stored_bytes());
     // Serve until interrupted — or until --drain-after fires a graceful
@@ -363,6 +385,12 @@ fn batch_options(args: &Args) -> (usize, u64) {
     (batch_max, batch_wait_ms)
 }
 
+/// `--kernel-tiles` (shared by `serve` and `bench-concurrent`): data-
+/// parallel lanes per batched denoise pass, 1 = scalar kernel.
+fn kernel_tiles_option(args: &Args) -> usize {
+    args.opt("kernel-tiles", "1").parse().unwrap_or(1).max(1)
+}
+
 /// `--deadline-ms` (shared by `serve` and `bench-concurrent`).
 fn deadline_option(args: &Args) -> Option<std::time::Duration> {
     args.options
@@ -413,6 +441,7 @@ fn cmd_bench_concurrent(args: &Args) {
         batch_wait_ms,
         deadline_ms: args.options.get("deadline-ms").and_then(|s| s.parse().ok()),
         breaker: breaker_option(args).map(|c| (c.failure_threshold, c.cooldown.as_millis() as u64)),
+        kernel_tiles: kernel_tiles_option(args),
     };
     let worker_counts: Vec<usize> = args
         .opt("workers", "1,2,4,8")
@@ -421,6 +450,71 @@ fn cmd_bench_concurrent(args: &Args) {
         .collect();
     let samples = concurrency::run(cfg, &worker_counts);
     println!("{}", concurrency::table(cfg, &samples).render());
+}
+
+/// Run the E17 tiled-kernel sweeps and emit the `BENCH_PR6.json` report.
+///
+/// Human-readable tables go to **stderr**; the JSON report goes to
+/// stdout, or to `--out FILE` so `ci.sh` can archive and gate it.
+fn cmd_bench_pr6(args: &Args) {
+    use sww_bench::experiments::kernel;
+    use sww_bench::report;
+    let tiles: Vec<usize> = args
+        .opt("tiles", "1,2,4,8")
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .collect();
+    let widest = tiles.iter().copied().max().unwrap_or(1);
+    let kcfg = kernel::KernelConfig::default();
+    let kernel_samples = kernel::kernel_sweep(kcfg, &tiles);
+    eprintln!("{}", kernel::kernel_table(kcfg, &kernel_samples).render());
+    // The serving sweep is the expensive end-to-end pass, so it compares
+    // just the scalar kernel against the widest requested lane count.
+    let scfg = kernel::ServingConfig::default();
+    let serving_tiles: Vec<usize> = if widest > 1 { vec![1, widest] } else { vec![1] };
+    let serving_samples = kernel::serving_sweep(scfg, &serving_tiles);
+    eprintln!("{}", kernel::serving_table(scfg, &serving_samples).render());
+    let text = report::render(&report::pr6_report(
+        kcfg,
+        &kernel_samples,
+        scfg,
+        &serving_samples,
+    ));
+    match args.options.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text).expect("write report");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+}
+
+/// Gate a fresh `BENCH_PR6.json` against the checked-in baseline; exits
+/// non-zero when `sww_bench::report::compare` reports failures.
+fn cmd_bench_compare(args: &Args) {
+    let (Some(base_path), Some(cur_path)) = (args.positionals.first(), args.positionals.get(1))
+    else {
+        usage();
+    };
+    let tolerance: f64 = args.opt("tolerance", "0.10").parse().unwrap_or(0.10);
+    let load = |path: &str| -> sww_json::Value {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|err| panic!("read {path}: {err}"));
+        sww_json::parse(&text).unwrap_or_else(|err| panic!("parse {path}: {err:?}"))
+    };
+    match sww_bench::report::compare(&load(base_path), &load(cur_path), tolerance) {
+        Ok(checks) => {
+            for line in checks {
+                println!("ok: {line}");
+            }
+            println!("bench gate passed ({cur_path} vs {base_path})");
+        }
+        Err(failures) => {
+            for line in failures {
+                eprintln!("FAIL: {line}");
+            }
+            std::process::exit(1);
+        }
+    }
 }
 
 #[cfg(test)]

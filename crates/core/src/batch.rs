@@ -56,7 +56,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
-use sww_genai::diffusion::{DiffusionModel, ImageModelKind, StepCancel};
+use sww_genai::diffusion::{DiffusionModel, ImageModelKind, StepCancel, TileRunner, Tiling};
 use sww_genai::prompt::PromptFeatures;
 use sww_genai::ImageBuffer;
 
@@ -275,6 +275,43 @@ impl BatchScheduler {
                 DiffusionModel::new(key.model)
                     .try_generate_batch(&features, key.width, key.height, key.steps, cancel)
             }),
+        )
+    }
+
+    /// A scheduler whose closed groups run the **data-parallel** kernel:
+    /// the batch is split into at most `kernel_tiles` tiles and each tile
+    /// — prepare, denoise, decode — runs as one task on `runner`
+    /// ([`DiffusionModel::try_generate_batch_on`]). Per-image output is
+    /// bit-identical to [`BatchScheduler::new`] for every tile count and
+    /// runner (the per-latent-RNG invariant; see PERFORMANCE.md), so
+    /// tiling is purely a wall-clock decision.
+    ///
+    /// With `kernel_tiles <= 1` this *is* [`BatchScheduler::new`] — the
+    /// scalar step-major kernel, no runner involved.
+    pub fn new_tiled(
+        config: BatchConfig,
+        kernel_tiles: usize,
+        runner: Arc<dyn TileRunner>,
+    ) -> BatchScheduler {
+        if kernel_tiles <= 1 {
+            return BatchScheduler::new(config);
+        }
+        BatchScheduler::with_executor(
+            config,
+            Box::new(
+                move |key: &BatchKey, prompts: &[String], cancel: &StepCancel| {
+                    let features: Vec<PromptFeatures> =
+                        prompts.iter().map(|p| PromptFeatures::analyze(p)).collect();
+                    DiffusionModel::new(key.model).try_generate_batch_on(
+                        &features,
+                        key.width,
+                        key.height,
+                        key.steps,
+                        cancel,
+                        Tiling::new(runner.as_ref(), kernel_tiles),
+                    )
+                },
+            ),
         )
     }
 
@@ -788,6 +825,59 @@ mod tests {
             "pass started then aborted"
         );
         assert_eq!(sched.stats().batches, 0, "abandoned pass is not tallied");
+    }
+
+    /// The tiled scheduler is a drop-in for the scalar one: same images,
+    /// bit for bit, with the pass fanned out across worker-pool tiles.
+    #[test]
+    fn tiled_scheduler_is_bit_identical_to_scalar() {
+        let config = BatchConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(250),
+        };
+        let runner = Arc::new(crate::workpool::WorkerPool::new(3, 16));
+        let sched = Arc::new(BatchScheduler::new_tiled(config, 4, runner));
+        let hint = sched.announce();
+        let barrier = Arc::new(Barrier::new(4));
+        let outs: Vec<BatchOutcome> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|i| {
+                    let sched = Arc::clone(&sched);
+                    let barrier = Arc::clone(&barrier);
+                    scope.spawn(move || {
+                        barrier.wait();
+                        sched.submit(&recipe(&format!("tiled prompt {i}"))).unwrap()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        drop(hint);
+        let model = DiffusionModel::new(ImageModelKind::Sd3Medium);
+        for (i, out) in outs.iter().enumerate() {
+            assert_eq!(
+                out.image,
+                model.generate(&format!("tiled prompt {i}"), 32, 32, 15),
+                "member {i} diverged under tiling"
+            );
+        }
+        assert_eq!(sched.stats().batches, 1, "one shared tiled pass");
+    }
+
+    #[test]
+    fn new_tiled_with_one_tile_is_the_scalar_scheduler() {
+        let runner = Arc::new(crate::workpool::WorkerPool::new(1, 4));
+        let sched = BatchScheduler::new_tiled(BatchConfig::default(), 1, runner);
+        let out = sched.submit(&recipe("single tile fallback")).unwrap();
+        let expected = DiffusionModel::new(ImageModelKind::Sd3Medium).generate(
+            "single tile fallback",
+            32,
+            32,
+            15,
+        );
+        assert_eq!(out.image, expected);
     }
 
     #[test]

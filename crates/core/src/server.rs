@@ -174,6 +174,8 @@ struct ServerShared {
     /// Present when the server was built with `batch_max(n > 1)`:
     /// compatible cache-missing generations share denoising passes.
     batcher: Option<BatchScheduler>,
+    /// Data-parallel kernel lanes configured at build time (1 = scalar).
+    kernel_tiles: usize,
     /// Deadline for requests that carry no `x-sww-deadline-ms` header.
     default_deadline: Option<Duration>,
     /// Per-model circuit breaker, when enabled at build time.
@@ -245,6 +247,7 @@ pub struct GenerativeServerBuilder {
     cache_pixels: u64,
     batch_max: usize,
     batch_wait: Duration,
+    kernel_tiles: usize,
     default_deadline: Option<Duration>,
     breaker: Option<BreakerConfig>,
     service_time_prior_s: Option<f64>,
@@ -262,6 +265,7 @@ impl Default for GenerativeServerBuilder {
             cache_pixels: 64_000_000,
             batch_max: 1,
             batch_wait: Duration::from_millis(2),
+            kernel_tiles: 1,
             default_deadline: None,
             breaker: None,
             service_time_prior_s: None,
@@ -331,6 +335,22 @@ impl GenerativeServerBuilder {
         self
     }
 
+    /// Data-parallel kernel lanes for batched denoising passes (default:
+    /// 1 — the scalar step-major kernel). With `n > 1` and `batch_max >
+    /// 1`, each closed batch splits into up to `n` tiles that run
+    /// concurrently on a dedicated kernel [`WorkerPool`] (`n - 1` helper
+    /// threads; the batch leader is the n-th lane). Output stays
+    /// bit-identical to the scalar kernel for every lane count — see
+    /// PERFORMANCE.md "Kernel & memory model".
+    ///
+    /// The kernel pool is separate from the request pool on purpose:
+    /// batch *members* block on the group outcome while occupying
+    /// request workers, so tiles queued behind them would never run.
+    pub fn kernel_tiles(mut self, kernel_tiles: usize) -> GenerativeServerBuilder {
+        self.kernel_tiles = kernel_tiles.max(1);
+        self
+    }
+
     /// Deadline applied to every request that does not carry its own
     /// `x-sww-deadline-ms` header (default: none — requests may block
     /// indefinitely, the pre-lifecycle behaviour).
@@ -374,11 +394,19 @@ impl GenerativeServerBuilder {
                     None => WorkerPool::new(self.workers, self.queue_capacity),
                 }),
                 batcher: (self.batch_max > 1).then(|| {
-                    BatchScheduler::new(BatchConfig {
+                    let config = BatchConfig {
                         max_batch: self.batch_max,
                         max_wait: self.batch_wait,
-                    })
+                    };
+                    if self.kernel_tiles > 1 {
+                        let lanes = self.kernel_tiles;
+                        let runner = Arc::new(WorkerPool::new(lanes - 1, lanes * 4));
+                        BatchScheduler::new_tiled(config, lanes, runner)
+                    } else {
+                        BatchScheduler::new(config)
+                    }
                 }),
+                kernel_tiles: self.kernel_tiles,
                 default_deadline: self.default_deadline,
                 breaker: self.breaker.map(CircuitBreaker::new),
                 draining: AtomicBool::new(false),
@@ -532,6 +560,12 @@ impl GenerativeServer {
     /// Lifetime batching tallies (`None` when batching is disabled).
     pub fn batch_stats(&self) -> Option<BatchStats> {
         self.shared.batcher.as_ref().map(|b| b.stats())
+    }
+
+    /// Kernel lanes batched denoising passes fan out across (1 = the
+    /// scalar kernel; see [`GenerativeServerBuilder::kernel_tiles`]).
+    pub fn kernel_tiles(&self) -> usize {
+        self.shared.kernel_tiles
     }
 
     /// The per-model circuit breaker, when one was enabled at build time.
@@ -937,14 +971,19 @@ fn materialize(shared: &ServerShared, html: &str, ctx: &RequestCtx) -> Result<St
                                 }
                             })?;
                             let outcome = batcher.submit_ctx(&recipe, ctx, cancel)?;
-                            let time_s = gen_cost::batched_image_generation_time(
+                            // Per-image share of the (possibly tiled)
+                            // pass; at kernel_tiles == 1 this is exactly
+                            // the pre-tiling batched per-image time.
+                            let time_s = gen_cost::tiled_batch_pass_time(
                                 recipe.model,
                                 &device,
                                 recipe.width,
                                 recipe.height,
                                 recipe.steps,
                                 outcome.batch_size,
+                                shared.kernel_tiles,
                             )
+                            .map(|pass| pass / outcome.batch_size.max(1) as f64)
                             .unwrap_or(0.0);
                             span.finish_with_virtual(time_s);
                             shared.accounting.lock().generation_time_s += time_s;

@@ -20,6 +20,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use sww_genai::diffusion::{TileRunner, TileTask};
 
 /// EWMA smoothing factor for the per-job service-time estimate: each
 /// completed job contributes 20% of the new estimate.
@@ -292,6 +293,97 @@ impl Drop for WorkerPool {
     }
 }
 
+/// Shared state of one [`TileRunner::run_all`] fan-out: unclaimed tiles
+/// plus the number of tiles currently executing somewhere.
+struct TileWork {
+    state: Mutex<(VecDeque<TileTask>, usize)>,
+    idle: Condvar,
+}
+
+/// Decrements the running count even if a tile panics, so the caller's
+/// idle wait terminates and surfaces the loss (the kernel panics on the
+/// unfilled result slot) instead of hanging.
+struct TileRunGuard<'a>(&'a TileWork);
+
+impl Drop for TileRunGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.1 -= 1;
+        drop(st);
+        self.0.idle.notify_all();
+    }
+}
+
+impl TileWork {
+    fn new(tasks: Vec<TileTask>) -> TileWork {
+        TileWork {
+            state: Mutex::new((tasks.into(), 0)),
+            idle: Condvar::new(),
+        }
+    }
+
+    /// Claim-and-run tiles until none are left unclaimed.
+    fn drain(&self) {
+        loop {
+            let task = {
+                let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                match st.0.pop_front() {
+                    Some(task) => {
+                        st.1 += 1;
+                        task
+                    }
+                    None => return,
+                }
+            };
+            let guard = TileRunGuard(self);
+            task();
+            drop(guard);
+        }
+    }
+
+    /// Block until every tile has been claimed and finished running.
+    fn wait_idle(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while !st.0.is_empty() || st.1 > 0 {
+            st = self.idle.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Kernel tiles on the worker pool — the data-parallel denoise substrate
+/// (PERFORMANCE.md "Kernel & memory model").
+///
+/// The design is *caller-drains*: the tasks go into a shared claim queue,
+/// up to `tasks - 1` helper jobs are enqueued on the pool, and the
+/// calling thread then drains the queue itself before waiting for tiles
+/// that helpers have already claimed. Every tile is therefore executed
+/// exactly once by *someone*, and the call makes progress even when
+///
+/// * the pool is saturated or stopping (helper enqueue rejects — the
+///   caller simply runs every tile inline, sequential-kernel behaviour),
+/// * helpers are stuck behind a long queue (whatever they have not
+///   claimed by the time the caller gets to it, the caller runs).
+///
+/// The result is a hard no-deadlock guarantee: the caller never blocks
+/// on work that is not actively executing on some thread.
+impl TileRunner for WorkerPool {
+    fn run_all(&self, tasks: Vec<TileTask>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let helpers = tasks.len().saturating_sub(1).min(self.worker_count());
+        let work = Arc::new(TileWork::new(tasks));
+        for _ in 0..helpers {
+            let w = Arc::clone(&work);
+            if self.try_execute(Box::new(move || w.drain())).is_err() {
+                break; // saturated or stopping: the caller drains alone
+            }
+        }
+        work.drain();
+        work.wait_idle();
+    }
+}
+
 fn worker_loop(shared: &PoolShared) {
     loop {
         let job = {
@@ -491,6 +583,64 @@ mod tests {
             "backlog of 4 at 2s prior predicted only {predicted:?}"
         );
         gate.wait();
+    }
+
+    fn tile_tasks(n: usize, hits: &Arc<AtomicU64>) -> Vec<TileTask> {
+        (0..n)
+            .map(|_| {
+                let hits = Arc::clone(hits);
+                Box::new(move || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                }) as TileTask
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pool_runner_executes_every_tile() {
+        let pool = WorkerPool::new(4, 64);
+        let hits = Arc::new(AtomicU64::new(0));
+        TileRunner::run_all(&pool, tile_tasks(16, &hits));
+        assert_eq!(hits.load(Ordering::SeqCst), 16);
+        // And again: the runner is reusable across batches.
+        TileRunner::run_all(&pool, tile_tasks(3, &hits));
+        assert_eq!(hits.load(Ordering::SeqCst), 19);
+    }
+
+    #[test]
+    fn saturated_pool_degrades_to_inline_tiles() {
+        // One worker, parked; queue full. Helper enqueue rejects, so the
+        // caller must drain every tile itself — no deadlock, no loss.
+        let pool = WorkerPool::new(1, 1);
+        let gate = Arc::new(Barrier::new(2));
+        let g = Arc::clone(&gate);
+        pool.try_execute(Box::new(move || {
+            g.wait();
+        }))
+        .unwrap();
+        while pool.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+        pool.try_execute(Box::new(|| {})).unwrap();
+        let hits = Arc::new(AtomicU64::new(0));
+        TileRunner::run_all(&pool, tile_tasks(8, &hits));
+        assert_eq!(hits.load(Ordering::SeqCst), 8, "caller drained alone");
+        gate.wait();
+    }
+
+    #[test]
+    fn stopped_pool_still_runs_tiles_inline() {
+        let mut pool = WorkerPool::new(2, 8);
+        pool.stop();
+        let hits = Arc::new(AtomicU64::new(0));
+        TileRunner::run_all(&pool, tile_tasks(5, &hits));
+        assert_eq!(hits.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn empty_tile_batch_is_a_no_op() {
+        let pool = WorkerPool::new(1, 4);
+        TileRunner::run_all(&pool, Vec::new());
     }
 
     #[test]

@@ -107,6 +107,38 @@ pub fn batched_image_generation_time(
     Some(single * (BATCH_OVERHEAD_FRACTION / n + (1.0 - BATCH_OVERHEAD_FRACTION)))
 }
 
+/// Seconds for one **tiled** batched denoising pass: `batch` images split
+/// across `lanes` data-parallel kernel lanes, each lane running a
+/// contiguous tile of `ceil(batch / lanes)` images as its own batched
+/// pass.
+///
+/// Lanes execute concurrently, so the pass costs its slowest (= largest)
+/// tile: `tile · t(tile)` with `t` from
+/// [`batched_image_generation_time`]. The two effects pull against each
+/// other — more lanes buy concurrency but shrink each tile's batch
+/// amortization — which is why the model is a product, not a naive
+/// `1/lanes`: at `batch == 8`, 8 lanes model ≈3.1× over one lane, not 8×.
+///
+/// At `lanes == 1` this is exactly
+/// `batch · batched_image_generation_time(.., batch)` — the scalar
+/// step-major pass, leaving all pre-tiling accounting untouched. Lanes
+/// beyond `batch` are idle and do not help. `None` when the model cannot
+/// run on this device.
+pub fn tiled_batch_pass_time(
+    model: ImageModelKind,
+    device: &DeviceProfile,
+    width: u32,
+    height: u32,
+    steps: u32,
+    batch: usize,
+    lanes: usize,
+) -> Option<f64> {
+    let batch = batch.max(1);
+    let tile = batch.div_ceil(lanes.clamp(1, batch));
+    let per_image = batched_image_generation_time(model, device, width, height, steps, tile)?;
+    Some(tile as f64 * per_image)
+}
+
 /// Seconds to upscale to `width`×`height`: a single lightweight pass with
 /// linear pixel scaling and no attention penalty — sub-second on capable
 /// hardware (paper §2.2).
@@ -268,6 +300,63 @@ mod tests {
             assert!(t > floor);
             prev = t;
         }
+    }
+
+    #[test]
+    fn one_lane_pass_is_exactly_the_scalar_batched_pass() {
+        for batch in [1usize, 3, 8, 16] {
+            let pass =
+                tiled_batch_pass_time(ImageModelKind::Sd3Medium, &ws(), 256, 256, 15, batch, 1)
+                    .unwrap();
+            let scalar = batched_image_generation_time(
+                ImageModelKind::Sd3Medium,
+                &ws(),
+                256,
+                256,
+                15,
+                batch,
+            )
+            .unwrap()
+                * batch as f64;
+            assert_eq!(pass, scalar, "batch={batch}");
+        }
+    }
+
+    #[test]
+    fn eight_lanes_at_batch_eight_speed_up_at_least_1_5x() {
+        let scalar =
+            tiled_batch_pass_time(ImageModelKind::Sd3Medium, &ws(), 256, 256, 15, 8, 1).unwrap();
+        let tiled =
+            tiled_batch_pass_time(ImageModelKind::Sd3Medium, &ws(), 256, 256, 15, 8, 8).unwrap();
+        let speedup = scalar / tiled;
+        // 8 lanes of batch-1 tiles vs one batch-8 pass:
+        // 8·t1·(0.7/8 + 0.3) / t1 = 3.1.
+        assert!(
+            (speedup - 3.1).abs() < 1e-9,
+            "modelled 8-lane speedup {speedup:.3}x"
+        );
+    }
+
+    #[test]
+    fn lane_speedup_is_monotone_but_sublinear() {
+        let base = tiled_batch_pass_time(ImageModelKind::Sd3Medium, &ws(), 256, 256, 15, 8, 1);
+        let mut prev = base.unwrap();
+        for lanes in [2usize, 4, 8] {
+            let t = tiled_batch_pass_time(ImageModelKind::Sd3Medium, &ws(), 256, 256, 15, 8, lanes)
+                .unwrap();
+            assert!(t < prev, "lanes={lanes} not faster");
+            // Sublinear: shrinking tiles forfeits batch amortization.
+            assert!(
+                base.unwrap() / t < lanes as f64,
+                "lanes={lanes} modelled superlinear"
+            );
+            prev = t;
+        }
+        // Lanes beyond the batch are idle.
+        assert_eq!(
+            tiled_batch_pass_time(ImageModelKind::Sd3Medium, &ws(), 256, 256, 15, 8, 8),
+            tiled_batch_pass_time(ImageModelKind::Sd3Medium, &ws(), 256, 256, 15, 8, 64),
+        );
     }
 
     #[test]

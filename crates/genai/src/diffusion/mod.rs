@@ -9,22 +9,51 @@
 //! paper's Table 1. Because fidelity is planted in a measurable feature
 //! space, the CLIP-sim metric *measures* quality from pixels rather than
 //! reading it from a table.
+//!
+//! # Kernel shape (PR 6)
+//!
+//! The batched kernel is **step-major** (all latents advance one sigma
+//! step together) and, within a step, each job refreshes a noise scratch
+//! from its private RNG and then runs a pure element-wise update the
+//! autovectorizer can chunk — the serial RNG draw is separated from the
+//! arithmetic, but the per-cell floating-point expression and draw order
+//! are exactly the original fused loop's, so outputs stay bit-identical.
+//! Because each [`LatentJob`] owns its RNG, target and latent, the batch
+//! is also data-parallel across jobs: [`try_denoise_batch_tiled`] and
+//! [`DiffusionModel::try_generate_batch_on`] split a batch into tiles and
+//! run them on any [`TileRunner`] with, again, bit-identical output for
+//! every tile/worker count. Scratch buffers come from [`crate::pool`], so
+//! a warm server denoises without allocating.
 
 pub mod field;
 pub mod models;
 pub mod noise;
 pub mod scheduler;
+pub mod tile;
 
 pub use models::{ImageModelKind, ImageModelProfile};
+pub use tile::{InlineRunner, ThreadRunner, TileRunner, TileTask, Tiling};
 
 use crate::image::ImageBuffer;
+use crate::pool::{self, PooledF64};
 use crate::prompt::{PromptFeatures, TextureClass, EMBED_DIM};
 use crate::rng::Rng;
 use field::{semantic_target, GRID};
 use scheduler::Schedule;
+use std::sync::{Arc, Mutex};
 
 /// Amplitude of the semantic luminance field planted into the image.
 pub const SEMANTIC_AMPLITUDE: f64 = 60.0;
+
+/// Element-wise chunk width for the denoise update loop. `GRID²` (1024)
+/// is a multiple of this, so the remainder loop is cold; 8 f64 lanes fill
+/// a pair of AVX2 registers, the widest target the autovectorizer sees
+/// without `-C target-feature` flags.
+const LANE: usize = 8;
+
+/// Result slot a tile task writes back into; `None` until the task ran,
+/// which is how the kernel detects a runner that dropped a tile.
+type TileSlot<T> = Arc<Mutex<Option<T>>>;
 
 /// A cooperative cancellation probe checked once per denoise step.
 ///
@@ -41,7 +70,7 @@ pub const SEMANTIC_AMPLITUDE: f64 = 60.0;
 /// to the original ones when the probe stays false.
 #[derive(Clone)]
 pub struct StepCancel {
-    check: std::sync::Arc<dyn Fn() -> bool + Send + Sync>,
+    check: Arc<dyn Fn() -> bool + Send + Sync>,
 }
 
 impl StepCancel {
@@ -49,20 +78,19 @@ impl StepCancel {
     #[must_use]
     pub fn never() -> StepCancel {
         StepCancel {
-            check: std::sync::Arc::new(|| false),
+            check: Arc::new(|| false),
         }
     }
 
     /// Build a probe from an arbitrary predicate.
     #[must_use]
     pub fn from_fn(f: impl Fn() -> bool + Send + Sync + 'static) -> StepCancel {
-        StepCancel {
-            check: std::sync::Arc::new(f),
-        }
+        StepCancel { check: Arc::new(f) }
     }
 
-    /// Evaluate the probe. Called once per denoise step per batch (not
-    /// per job), so a relaxed atomic load or two is the expected cost.
+    /// Evaluate the probe. Called once per denoise step per batch (once
+    /// per step *per tile* on the tiled paths), so a relaxed atomic load
+    /// or two is the expected cost.
     #[must_use]
     pub fn is_cancelled(&self) -> bool {
         (self.check)()
@@ -213,11 +241,82 @@ impl DiffusionModel {
         )
     }
 
+    /// Data-parallel [`try_generate_batch`]: split the batch into at most
+    /// [`Tiling::max_tiles`] contiguous tiles of jobs and run each tile —
+    /// prepare, denoise, decode — as one task on the plan's runner.
+    ///
+    /// Per-image output is **bit-identical** to [`try_generate_batch`]
+    /// (and therefore to the single-image path) for every tile and worker
+    /// count: jobs never share state, so tiling only changes *where* a
+    /// job's instruction stream executes, never its contents. With a plan
+    /// of one tile, a single-job batch, or an [`InlineRunner`], this *is*
+    /// the sequential path.
+    ///
+    /// Cancellation stays batch-as-a-unit, but each tile polls the probe
+    /// independently (once per step per tile); if any tile observes the
+    /// probe and aborts, the whole call returns `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runner` violates the [`TileRunner`] contract by dropping
+    /// a task without running it.
+    ///
+    /// [`try_generate_batch`]: DiffusionModel::try_generate_batch
+    pub fn try_generate_batch_on(
+        &self,
+        features: &[PromptFeatures],
+        width: u32,
+        height: u32,
+        steps: u32,
+        cancel: &StepCancel,
+        tiling: Tiling<'_>,
+    ) -> Option<Vec<ImageBuffer>> {
+        let tiles = tiling.max_tiles.min(features.len()).max(1);
+        if tiles <= 1 {
+            return self.try_generate_batch(features, width, height, steps, cancel);
+        }
+        let chunk = features.len().div_ceil(tiles);
+        let slots: Vec<TileSlot<Option<Vec<ImageBuffer>>>> = features
+            .chunks(chunk)
+            .map(|_| Arc::new(Mutex::new(None)))
+            .collect();
+        let tasks: Vec<TileTask> = features
+            .chunks(chunk)
+            .zip(&slots)
+            .map(|(tile_features, slot)| {
+                let slot = Arc::clone(slot);
+                let model = self.clone();
+                let tile_features = tile_features.to_vec();
+                let cancel = cancel.clone();
+                Box::new(move || {
+                    let result =
+                        model.try_generate_batch(&tile_features, width, height, steps, &cancel);
+                    *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+                }) as TileTask
+            })
+            .collect();
+        tiling.runner.run_all(tasks);
+
+        let mut out = Vec::with_capacity(features.len());
+        for slot in slots {
+            match slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                Some(Some(images)) => out.extend(images),
+                Some(None) => return None,
+                None => panic!("TileRunner dropped a tile without running it"),
+            }
+        }
+        Some(out)
+    }
+
     /// Build one image's denoising state: its private prompt-seeded RNG,
     /// the quality-degraded semantic target, and the noise-initialized
-    /// latent. The RNG draw order (latent init, then denoise, then decode)
-    /// is the contract the batch kernel's bit-identity rests on.
-    fn prepare_job(&self, features: &PromptFeatures) -> LatentJob {
+    /// latent — all in buffers checked out of [`crate::pool::latent_pool`].
+    /// The RNG draw order (latent init, then denoise, then decode) is the
+    /// contract the batch kernel's bit-identity rests on.
+    ///
+    /// Public so kernel-level callers (benches, the tiled property tests)
+    /// can drive [`denoise_batch`] directly.
+    pub fn prepare_job(&self, features: &PromptFeatures) -> LatentJob {
         let mut rng = Rng::new(features.seed ^ self.profile.seed_salt);
 
         // The model's target: the ideal semantic field degraded by model
@@ -225,19 +324,21 @@ impl DiffusionModel {
         let ideal = semantic_target(&features.embedding);
         let distortion = self.model_distortion(features.seed);
         let q = self.profile.quality;
-        let mut target = [0.0f64; GRID * GRID];
+        let mut target = pool::latent_pool().acquire(GRID * GRID);
         for (i, t) in target.iter_mut().enumerate() {
             *t = q * ideal[i] + (1.0 - q) * distortion[i];
         }
 
-        let mut latent = [0.0f64; GRID * GRID];
+        let mut latent = pool::latent_pool().acquire(GRID * GRID);
         for l in latent.iter_mut() {
             *l = rng.gaussian();
         }
+        let noise = pool::latent_pool().acquire(GRID * GRID);
         LatentJob {
             rng,
             target,
             latent,
+            noise,
         }
     }
 
@@ -259,23 +360,33 @@ impl DiffusionModel {
     /// Decode the latent to RGB: aesthetic base color from the palette and
     /// texture class, plus the semantic luminance field, plus residual
     /// noise that the schedule did not remove.
+    ///
+    /// Two passes: the residual-noise plane is drawn first, serially and
+    /// row-major (the exact stream the fused pre-PR-6 loop consumed), into
+    /// a pooled scratch; the per-pixel combine is then pure arithmetic
+    /// over it. Output is bit-identical to the fused loop.
     fn decode(
         &self,
         features: &PromptFeatures,
-        latent: &[f64; GRID * GRID],
+        latent: &[f64],
         width: u32,
         height: u32,
         rng: &mut Rng,
     ) -> ImageBuffer {
         let mut img = ImageBuffer::new(width, height);
         let residual = 3.5 * (1.0 - self.profile.quality);
+        let mut noise = pool::decode_pool().acquire(width as usize * height as usize);
+        for g in noise.iter_mut() {
+            *g = rng.gaussian();
+        }
         for y in 0..height {
             let v = f64::from(y) / f64::from(height.max(1));
+            let row = y as usize * width as usize;
             for x in 0..width {
                 let u = f64::from(x) / f64::from(width.max(1));
                 let base = self.aesthetic_color(features, u, v);
                 let s = sample_grid(latent, u, v) * SEMANTIC_AMPLITUDE;
-                let n = rng.gaussian() * residual;
+                let n = noise[row + x as usize] * residual;
                 let px = [
                     (base[0] + s + n).clamp(0.0, 255.0) as u8,
                     (base[1] + s + n).clamp(0.0, 255.0) as u8,
@@ -334,17 +445,69 @@ impl DiffusionModel {
 }
 
 /// One image's in-flight denoising state: the latent field being refined,
-/// its target, and the image's private prompt-seeded RNG.
+/// its target, a per-step noise scratch, and the image's private
+/// prompt-seeded RNG. Built by [`DiffusionModel::prepare_job`]; the field
+/// buffers live in [`crate::pool::latent_pool`] and recycle on drop.
 ///
-/// Keeping the RNG *inside* the job is what makes batched denoising
-/// bit-identical to the single-image path: no matter how many jobs share
-/// a [`denoise_batch`] pass, each image consumes exactly the random
-/// stream it would have consumed alone.
+/// Keeping the RNG *inside* the job is what makes batched — and tiled —
+/// denoising bit-identical to the single-image path: no matter how many
+/// jobs share a [`denoise_batch`] pass or which thread a tile lands on,
+/// each image consumes exactly the random stream it would have consumed
+/// alone.
+///
+/// # Example
+///
+/// ```
+/// use sww_genai::diffusion::{DiffusionModel, ImageModelKind};
+/// use sww_genai::PromptFeatures;
+///
+/// let model = DiffusionModel::new(ImageModelKind::Sd3Medium);
+/// let job = model.prepare_job(&PromptFeatures::analyze("a mountain lake"));
+/// // The latent starts as pure prompt-seeded gaussian noise.
+/// assert_eq!(job.latent().len(), 32 * 32);
+/// ```
 #[derive(Debug, Clone)]
 pub struct LatentJob {
     rng: Rng,
-    target: [f64; GRID * GRID],
-    latent: [f64; GRID * GRID],
+    target: PooledF64,
+    latent: PooledF64,
+    noise: PooledF64,
+}
+
+impl LatentJob {
+    /// Read access to the latent field (`GRID²` cells, row-major).
+    pub fn latent(&self) -> &[f64] {
+        &self.latent
+    }
+
+    /// Advance this job one sigma step. The noise scratch is refreshed
+    /// from the job's RNG first (the serial part), then the update runs as
+    /// a pure element-wise loop in [`LANE`]-wide chunks — separable
+    /// because the latent values never feed back into the RNG. The
+    /// per-cell expression is kept literally as
+    /// `l += alpha * (t - l) + sigma * g * 0.15` so no floating-point
+    /// operation is reassociated relative to the original fused loop.
+    fn step(&mut self, alpha: f64, sigma: f64) {
+        for g in self.noise.iter_mut() {
+            *g = self.rng.gaussian();
+        }
+        let mut lat = self.latent.chunks_exact_mut(LANE);
+        let mut tgt = self.target.chunks_exact(LANE);
+        let mut noi = self.noise.chunks_exact(LANE);
+        for ((lc, tc), nc) in (&mut lat).zip(&mut tgt).zip(&mut noi) {
+            for i in 0..LANE {
+                lc[i] += alpha * (tc[i] - lc[i]) + sigma * nc[i] * 0.15;
+            }
+        }
+        for ((l, &t), &g) in lat
+            .into_remainder()
+            .iter_mut()
+            .zip(tgt.remainder())
+            .zip(noi.remainder())
+        {
+            *l += alpha * (t - *l) + sigma * g * 0.15;
+        }
+    }
 }
 
 /// The batched denoising kernel: advance every job's latent field through
@@ -354,6 +517,21 @@ pub struct LatentJob {
 /// All jobs must share the schedule — callers group work by (model,
 /// resolution, steps) before batching. With a single job this executes
 /// the exact instruction sequence of the pre-batching denoise loop.
+///
+/// # Example
+///
+/// ```
+/// use sww_genai::diffusion::scheduler::Schedule;
+/// use sww_genai::diffusion::{denoise_batch, DiffusionModel, ImageModelKind};
+/// use sww_genai::PromptFeatures;
+///
+/// let model = DiffusionModel::new(ImageModelKind::Sd3Medium);
+/// let f = PromptFeatures::analyze("a mountain lake");
+/// let mut jobs = vec![model.prepare_job(&f), model.prepare_job(&f)];
+/// denoise_batch(&Schedule::new(4), &mut jobs);
+/// // Same prompt, same schedule: the jobs advanced identically.
+/// assert_eq!(jobs[0].latent(), jobs[1].latent());
+/// ```
 pub fn denoise_batch(schedule: &Schedule, jobs: &mut [LatentJob]) {
     let done = try_denoise_batch(schedule, jobs, &StepCancel::never());
     debug_assert!(done, "StepCancel::never cannot abort the kernel");
@@ -368,6 +546,22 @@ pub fn denoise_batch(schedule: &Schedule, jobs: &mut [LatentJob]) {
 /// The check is per *step*, not per job or per grid cell, so the
 /// steady-state overhead with [`StepCancel::never`] is one virtual call
 /// per step — and a cancelled flight wastes at most one step of work.
+///
+/// # Example
+///
+/// ```
+/// use sww_genai::diffusion::scheduler::Schedule;
+/// use sww_genai::diffusion::{try_denoise_batch, DiffusionModel, ImageModelKind, StepCancel};
+/// use sww_genai::PromptFeatures;
+///
+/// let model = DiffusionModel::new(ImageModelKind::Sd3Medium);
+/// let f = PromptFeatures::analyze("a mountain lake");
+/// let mut jobs = vec![model.prepare_job(&f)];
+/// assert!(try_denoise_batch(&Schedule::new(4), &mut jobs, &StepCancel::never()));
+/// // A pre-fired probe aborts before the first step runs.
+/// let mut jobs = vec![model.prepare_job(&f)];
+/// assert!(!try_denoise_batch(&Schedule::new(4), &mut jobs, &StepCancel::from_fn(|| true)));
+/// ```
 pub fn try_denoise_batch(schedule: &Schedule, jobs: &mut [LatentJob], cancel: &StepCancel) -> bool {
     for k in 0..schedule.steps() {
         if cancel.is_cancelled() {
@@ -376,16 +570,94 @@ pub fn try_denoise_batch(schedule: &Schedule, jobs: &mut [LatentJob], cancel: &S
         let alpha = schedule.alpha(k);
         let sigma = schedule.sigma(k);
         for job in jobs.iter_mut() {
-            for (i, l) in job.latent.iter_mut().enumerate() {
-                *l += alpha * (job.target[i] - *l) + sigma * job.rng.gaussian() * 0.15;
-            }
+            job.step(alpha, sigma);
         }
     }
     true
 }
 
+/// Data-parallel [`try_denoise_batch`]: split `jobs` into at most
+/// [`Tiling::max_tiles`] contiguous tiles and advance each tile through
+/// the full schedule as one task on the plan's runner.
+///
+/// Jobs never share state, so the result is **bit-identical** to the
+/// sequential kernel for every tile count, worker count and runner —
+/// including after a cancellation (each job is either untouched, partial
+/// by whole steps, or complete, exactly as sequential cancellation leaves
+/// it). Returns the jobs in their original order, or `None` if any tile
+/// observed the probe and abandoned (tiles poll independently, once per
+/// step per tile).
+///
+/// # Panics
+///
+/// Panics if `runner` violates the [`TileRunner`] contract by dropping a
+/// task without running it.
+///
+/// # Example
+///
+/// ```
+/// use sww_genai::diffusion::scheduler::Schedule;
+/// use sww_genai::diffusion::{
+///     try_denoise_batch_tiled, DiffusionModel, ImageModelKind, InlineRunner, StepCancel, Tiling,
+/// };
+/// use sww_genai::PromptFeatures;
+///
+/// let model = DiffusionModel::new(ImageModelKind::Sd3Medium);
+/// let jobs: Vec<_> = ["a", "b", "c"]
+///     .iter()
+///     .map(|p| model.prepare_job(&PromptFeatures::analyze(p)))
+///     .collect();
+/// let done = try_denoise_batch_tiled(
+///     &Schedule::new(4), jobs, &StepCancel::never(), Tiling::new(&InlineRunner, 2),
+/// );
+/// assert_eq!(done.expect("never cancelled").len(), 3);
+/// ```
+pub fn try_denoise_batch_tiled(
+    schedule: &Schedule,
+    mut jobs: Vec<LatentJob>,
+    cancel: &StepCancel,
+    tiling: Tiling<'_>,
+) -> Option<Vec<LatentJob>> {
+    let tiles = tiling.max_tiles.min(jobs.len()).max(1);
+    if tiles <= 1 {
+        let done = try_denoise_batch(schedule, &mut jobs, cancel);
+        return done.then_some(jobs);
+    }
+    let chunk = jobs.len().div_ceil(tiles);
+    let mut slots: Vec<TileSlot<(Vec<LatentJob>, bool)>> = Vec::new();
+    let mut tasks: Vec<TileTask> = Vec::new();
+    while !jobs.is_empty() {
+        let rest = jobs.split_off(chunk.min(jobs.len()));
+        let mut tile = std::mem::replace(&mut jobs, rest);
+        let slot = Arc::new(Mutex::new(None));
+        slots.push(Arc::clone(&slot));
+        let schedule = *schedule;
+        let cancel = cancel.clone();
+        tasks.push(Box::new(move || {
+            let done = try_denoise_batch(&schedule, &mut tile, &cancel);
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some((tile, done));
+        }));
+    }
+    tiling.runner.run_all(tasks);
+
+    let mut out = Vec::new();
+    let mut completed = true;
+    for slot in slots {
+        match slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            Some((tile, done)) => {
+                completed &= done;
+                out.extend(tile);
+            }
+            None => panic!("TileRunner dropped a tile without running it"),
+        }
+    }
+    completed.then_some(out)
+}
+
 /// Bilinear sample of the coarse latent grid at `(u, v) ∈ [0,1]²`.
-fn sample_grid(grid: &[f64; GRID * GRID], u: f64, v: f64) -> f64 {
+/// `grid` must hold `GRID²` cells, row-major.
+fn sample_grid(grid: &[f64], u: f64, v: f64) -> f64 {
+    debug_assert_eq!(grid.len(), GRID * GRID);
     let x = u.clamp(0.0, 1.0) * (GRID - 1) as f64;
     let y = v.clamp(0.0, 1.0) * (GRID - 1) as f64;
     let x0 = x.floor() as usize;
@@ -579,5 +851,144 @@ mod tests {
             .try_generate_batch(&features, 16, 16, steps, &cancel)
             .is_some());
         assert_eq!(checks.load(Ordering::SeqCst), steps);
+    }
+
+    fn batch_features(n: usize) -> Vec<PromptFeatures> {
+        (0..n)
+            .map(|i| PromptFeatures::analyze(&format!("tiled kernel prompt {i}")))
+            .collect()
+    }
+
+    #[test]
+    fn tiled_kernel_is_bit_identical_for_every_tile_count() {
+        let m = DiffusionModel::new(ImageModelKind::Sd3Medium);
+        let features = batch_features(7);
+        let schedule = Schedule::new(11);
+        let mut reference: Vec<LatentJob> = features.iter().map(|f| m.prepare_job(f)).collect();
+        denoise_batch(&schedule, &mut reference);
+        for tiles in 1..=9 {
+            let jobs: Vec<LatentJob> = features.iter().map(|f| m.prepare_job(f)).collect();
+            let tiled = try_denoise_batch_tiled(
+                &schedule,
+                jobs,
+                &StepCancel::never(),
+                Tiling::new(&InlineRunner, tiles),
+            )
+            .expect("never cancelled");
+            for (r, t) in reference.iter().zip(&tiled) {
+                assert_eq!(r.latent(), t.latent(), "tiles={tiles}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_kernel_is_bit_identical_across_threads() {
+        let m = DiffusionModel::new(ImageModelKind::Sd35Medium);
+        let features = batch_features(8);
+        let schedule = Schedule::new(9);
+        let mut reference: Vec<LatentJob> = features.iter().map(|f| m.prepare_job(f)).collect();
+        denoise_batch(&schedule, &mut reference);
+        for tiles in [2, 3, 8] {
+            let jobs: Vec<LatentJob> = features.iter().map(|f| m.prepare_job(f)).collect();
+            let tiled = try_denoise_batch_tiled(
+                &schedule,
+                jobs,
+                &StepCancel::never(),
+                Tiling::new(&ThreadRunner, tiles),
+            )
+            .expect("never cancelled");
+            for (r, t) in reference.iter().zip(&tiled) {
+                assert_eq!(r.latent(), t.latent(), "tiles={tiles}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_generation_matches_sequential_batch() {
+        let m = DiffusionModel::new(ImageModelKind::Sd3Medium);
+        let features = batch_features(6);
+        let sequential = m.generate_batch(&features, 40, 24, 8);
+        for (runner, tiles) in [
+            (&InlineRunner as &dyn TileRunner, 1),
+            (&InlineRunner, 4),
+            (&ThreadRunner, 3),
+            (&ThreadRunner, 6),
+        ] {
+            let tiled = m
+                .try_generate_batch_on(
+                    &features,
+                    40,
+                    24,
+                    8,
+                    &StepCancel::never(),
+                    Tiling::new(runner, tiles),
+                )
+                .expect("never cancelled");
+            assert_eq!(sequential, tiled, "tiles={tiles}");
+        }
+    }
+
+    #[test]
+    fn tiled_generation_cancels_as_a_unit() {
+        let m = DiffusionModel::new(ImageModelKind::Sd3Medium);
+        let features = batch_features(4);
+        let cancel = StepCancel::from_fn(|| true);
+        assert!(m
+            .try_generate_batch_on(
+                &features,
+                24,
+                24,
+                10,
+                &cancel,
+                Tiling::new(&ThreadRunner, 4)
+            )
+            .is_none());
+        let jobs: Vec<LatentJob> = features.iter().map(|f| m.prepare_job(f)).collect();
+        assert!(try_denoise_batch_tiled(
+            &Schedule::new(10),
+            jobs,
+            &cancel,
+            Tiling::new(&ThreadRunner, 2)
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn tiled_generation_of_empty_batch_is_empty() {
+        let m = DiffusionModel::new(ImageModelKind::Sd3Medium);
+        let out = m
+            .try_generate_batch_on(
+                &[],
+                24,
+                24,
+                5,
+                &StepCancel::never(),
+                Tiling::new(&ThreadRunner, 4),
+            )
+            .expect("empty batch cannot cancel");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn broken_runner_that_drops_tiles_panics() {
+        struct DropRunner;
+        impl TileRunner for DropRunner {
+            fn run_all(&self, tasks: Vec<TileTask>) {
+                drop(tasks);
+            }
+        }
+        let m = DiffusionModel::new(ImageModelKind::Sd3Medium);
+        let features = batch_features(4);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.try_generate_batch_on(
+                &features,
+                16,
+                16,
+                3,
+                &StepCancel::never(),
+                Tiling::new(&DropRunner, 2),
+            )
+        }));
+        assert!(panicked.is_err(), "a lost tile must never pass silently");
     }
 }

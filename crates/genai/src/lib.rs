@@ -16,6 +16,8 @@
 //! * [`upscale`] — content upscaling (§2.2), one-step and fast,
 //! * [`invert`] — prompt inversion (image → prompt, §4.2),
 //! * [`metrics`] — CLIP-like, SBERT-like and ELO quality metrics,
+//! * [`pool`] — reusable scratch-buffer pools keeping the denoise/decode
+//!   hot path allocation-free at steady state (PERFORMANCE.md),
 //! * [`pipeline`] — the preloaded generation pipeline object whose reuse
 //!   the paper's §4.1 design calls out as a performance optimisation.
 //!
@@ -27,12 +29,13 @@ pub mod image;
 pub mod invert;
 pub mod metrics;
 pub mod pipeline;
+pub mod pool;
 pub mod prompt;
 pub mod rng;
 pub mod text;
 pub mod upscale;
 
-pub use diffusion::{DiffusionModel, ImageModelKind, StepCancel};
+pub use diffusion::{DiffusionModel, ImageModelKind, StepCancel, TileRunner, Tiling};
 pub use image::{codec, ImageBuffer};
 pub use pipeline::GenerationPipeline;
 pub use prompt::PromptFeatures;

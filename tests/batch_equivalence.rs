@@ -241,6 +241,62 @@ fn chaos_faults_leave_batch_mates_byte_identical() {
     );
 }
 
+/// Tiled-kernel equivalence (PR 6): a batching server whose denoise
+/// passes are split across data-parallel kernel lanes materializes
+/// pages byte-identical to both the scalar batching server and the
+/// inline unbatched reference, under a concurrent fetch storm. Tiling
+/// may only move *where* a job's instruction stream runs — never what
+/// it computes.
+#[test]
+fn tiled_kernel_server_pages_match_scalar_and_unbatched() {
+    let _guard = serial();
+    const PAGES: usize = 8;
+    let reference = GenerativeServerBuilder::default()
+        .site(equivalence_site(PAGES))
+        .build();
+    let scalar = batching_server(equivalence_site(PAGES), 4, 4);
+    let tiled = GenerativeServerBuilder::default()
+        .site(equivalence_site(PAGES))
+        .workers(4)
+        .batch_max(4)
+        .batch_wait(Duration::from_millis(50))
+        .kernel_tiles(4)
+        .build();
+    assert_eq!(tiled.kernel_tiles(), 4);
+
+    // Storm the tiled server so real multi-lane batches form.
+    let barrier = Barrier::new(PAGES * 2);
+    std::thread::scope(|scope| {
+        for t in 0..PAGES * 2 {
+            let tiled = &tiled;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                fetch_converged(tiled, &format!("/page/{}", t % PAGES));
+            });
+        }
+    });
+    for p in 0..PAGES {
+        let path = format!("/page/{p}");
+        let tiled_body = fetch_converged(&tiled, &path);
+        assert_eq!(
+            tiled_body,
+            fetch_converged(&reference, &path),
+            "{path} diverged between tiled-kernel and unbatched servers"
+        );
+        assert_eq!(
+            tiled_body,
+            fetch_converged(&scalar, &path),
+            "{path} diverged between tiled and scalar kernels"
+        );
+    }
+    let stats = tiled.batch_stats().expect("batching enabled");
+    assert_eq!(
+        stats.jobs, PAGES as u64,
+        "one generation per page: single-flight composed with tiled batching"
+    );
+}
+
 /// A lone request through a batching server closes its group
 /// immediately (rendezvous drain), and every member's reported wait is
 /// bounded by the configured deadline.
