@@ -54,12 +54,29 @@ fi
 echo "==> cargo test -p sww-http2 --test proptest_hpack (HPACK property suite)"
 cargo test -p sww-http2 --test proptest_hpack -q
 
+echo "==> cargo test -p sww-http3 --test proptest_h3_state (h3 wire-state property suite)"
+cargo test -p sww-http3 --test proptest_h3_state -q
+
+echo "==> cargo test --release --test transport_equivalence (h2 == h3, byte for byte)"
+cargo test --release --test transport_equivalence -q
+
+echo "==> cargo test --release --test transport_hol (E18 head-of-line + /metrics reconciliation)"
+cargo test --release --test transport_hol -q
+
+# E18 gate: the h2-vs-h3 page-load comparison through the real chaos
+# registry, with the latency spec on the command line exactly as a user
+# would run it. Exits non-zero if the per-recipe payloads diverge
+# between transports.
+echo "==> bench-transport --chaos (E18 h2-vs-h3 gate)"
+./target/release/sww-cli bench-transport --pages 3 --recipes 4 --gen-latency-ms 20 \
+    --chaos "seed=7,engine.generate=latency:1.0:20" >/dev/null
+
 echo "==> cargo test -p sww-html --test proptest_gencontent (generated-content property suite)"
 cargo test -p sww-html --test proptest_gencontent -q
 
 # Ratchet: the workspace test count must never silently shrink. Raise the
 # floor when a PR adds tests; a drop below it means tests were lost.
-TEST_FLOOR=735
+TEST_FLOOR=760
 echo "==> workspace test-count floor (>= ${TEST_FLOOR})"
 TEST_COUNT=$(cargo test --workspace -- --list 2>/dev/null | grep -c ": test$")
 echo "    ${TEST_COUNT} tests"

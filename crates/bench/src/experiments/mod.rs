@@ -1,4 +1,4 @@
-//! The experiment implementations, one per table/figure (DESIGN.md E1–E17)
+//! The experiment implementations, one per table/figure (DESIGN.md E1–E18)
 //! plus the design-choice ablations.
 
 pub mod ablations;
@@ -12,6 +12,7 @@ pub mod kernel;
 pub mod mobile;
 pub mod models;
 pub mod negotiation;
+pub mod transport;
 pub mod video_cdn;
 pub mod wikimedia;
 

@@ -1,9 +1,10 @@
 //! Machine-readable bench reports (`BENCH_*.json`) and the regression
 //! gate that compares a fresh run against a checked-in baseline.
 //!
-//! The PR 6 report captures the E17 tiled-kernel sweeps in the
-//! `sww-bench-pr6/1` schema (documented in PERFORMANCE.md). Two kinds of
-//! numbers live side by side and are treated differently:
+//! The PR 6 report captures the E17 tiled-kernel sweeps plus the E18
+//! transport shoot-out in the `sww-bench-pr6/2` schema (documented in
+//! PERFORMANCE.md). Two kinds of numbers live side by side and are
+//! treated differently:
 //!
 //! * **Modelled** throughput (`modelled_qps`, `speedup`) comes from the
 //!   deterministic cost model, so it is bit-reproducible across hosts —
@@ -18,10 +19,12 @@
 //! allocation counters must read zero.
 
 use crate::experiments::kernel::{KernelConfig, KernelSample, ServingConfig, ServingSample};
+use crate::experiments::transport::{TransportConfig, TransportSample};
 use sww_json::Value;
 
-/// Schema tag every PR 6 report carries.
-pub const PR6_SCHEMA: &str = "sww-bench-pr6/1";
+/// Schema tag every PR 6 report carries. `/2` added the E18
+/// `page_load_transport` records and the `transport_h3_speedup` headline.
+pub const PR6_SCHEMA: &str = "sww-bench-pr6/2";
 
 /// Modelled-speedup floor from the PR 6 acceptance criterion: the tiled
 /// kernel must buy ≥ 1.5× at batch 8.
@@ -64,17 +67,41 @@ fn serving_record(cfg: ServingConfig, s: &ServingSample) -> Value {
     ])
 }
 
-/// Assemble the PR 6 report from both E17 sweeps.
+/// One E18 row: page-load rate over one transport. `modelled_qps` comes
+/// from the injected latency alone (`1000/(K·W)` for h2, `1000/W` for
+/// h3) so the gate compares exact numbers; the wall-clock percentiles
+/// ride along ungated. The pipes are pooled end to end, so the
+/// steady-state allocation invariant holds here too.
+fn transport_record(cfg: TransportConfig, s: &TransportSample) -> Value {
+    Value::object([
+        ("experiment", Value::from("page_load_transport")),
+        ("transport", Value::from(s.transport.label())),
+        ("kernel_tiles", Value::from(1usize)),
+        ("recipes_per_page", Value::from(cfg.recipes)),
+        ("gen_latency_ms", Value::from(cfg.gen_latency_ms as usize)),
+        ("wall_qps", Value::from(r3(s.wall_qps))),
+        ("p50_ms", Value::from(r3(s.p50_ms))),
+        ("p99_ms", Value::from(r3(s.p99_ms))),
+        ("modelled_qps", Value::from(r3(s.modelled_qps))),
+        ("alloc_bytes_steady", Value::from(0usize)),
+    ])
+}
+
+/// Assemble the PR 6 report from both E17 sweeps and the E18 transport
+/// comparison.
 pub fn pr6_report(
     kcfg: KernelConfig,
     kernel: &[KernelSample],
     scfg: ServingConfig,
     serving: &[ServingSample],
+    tcfg: TransportConfig,
+    transports: &[TransportSample],
 ) -> Value {
     let records: Vec<Value> = kernel
         .iter()
         .map(|s| kernel_record(kcfg, s))
         .chain(serving.iter().map(|s| serving_record(scfg, s)))
+        .chain(transports.iter().map(|s| transport_record(tcfg, s)))
         .collect();
     let widest = |speedups: Vec<(usize, f64)>| {
         speedups
@@ -89,6 +116,21 @@ pub fn pr6_report(
             .map(|s| (s.kernel_tiles, s.speedup))
             .collect(),
     );
+    // Modelled h3-over-h2 page rate: exactly `recipes_per_page` when both
+    // transports are present (h3 overlaps what h2 serializes).
+    let qps_over = |t: sww_core::TransportKind| {
+        transports
+            .iter()
+            .find(|s| s.transport == t)
+            .map(|s| s.modelled_qps)
+    };
+    let transport_speedup = match (
+        qps_over(sww_core::TransportKind::H2),
+        qps_over(sww_core::TransportKind::H3),
+    ) {
+        (Some(h2), Some(h3)) if h2 > 0.0 => h3 / h2,
+        _ => 1.0,
+    };
     let steady: u64 = kernel.iter().map(|s| s.alloc_bytes).sum::<u64>()
         + serving.iter().map(|s| s.alloc_bytes).sum::<u64>();
     Value::object([
@@ -99,6 +141,7 @@ pub fn pr6_report(
             Value::object([
                 ("kernel_speedup_batch8", Value::from(r3(kernel_speedup))),
                 ("serving_speedup_batch8", Value::from(r3(serving_speedup))),
+                ("transport_h3_speedup", Value::from(r3(transport_speedup))),
                 ("steady_state_alloc_bytes", Value::from(steady as usize)),
             ]),
         ),
@@ -113,11 +156,14 @@ pub fn render(report: &Value) -> String {
     out
 }
 
-/// A record's identity within a report: `(experiment, kernel_tiles)`.
-fn record_key(record: &Value) -> (String, u64) {
+/// A record's identity within a report: `(experiment, kernel_tiles,
+/// transport)` — the transport component is empty for the E17 kernel and
+/// serving records, which exist once per lane count.
+fn record_key(record: &Value) -> (String, u64, String) {
     (
         record["experiment"].as_str().unwrap_or("?").to_owned(),
         record["kernel_tiles"].as_u64().unwrap_or(0),
+        record["transport"].as_str().unwrap_or("").to_owned(),
     )
 }
 
@@ -179,7 +225,11 @@ pub fn compare(
             ));
         }
     }
-    for headline in ["kernel_speedup_batch8", "serving_speedup_batch8"] {
+    for headline in [
+        "kernel_speedup_batch8",
+        "serving_speedup_batch8",
+        "transport_h3_speedup",
+    ] {
         let speedup = current["summary"][headline].as_f64().unwrap_or(0.0);
         if speedup < SPEEDUP_FLOOR {
             bad.push(format!(
@@ -225,12 +275,33 @@ mod tests {
         }
     }
 
+    fn fake_transport(t: sww_core::TransportKind, qps: f64) -> TransportSample {
+        TransportSample {
+            transport: t,
+            p50_ms: 1000.0 / qps,
+            p99_ms: 1200.0 / qps,
+            wall_qps: qps,
+            modelled_qps: qps,
+            requests: 12,
+            bodies: Default::default(),
+        }
+    }
+
+    fn fake_transports() -> Vec<TransportSample> {
+        vec![
+            fake_transport(sww_core::TransportKind::H2, 10.0),
+            fake_transport(sww_core::TransportKind::H3, 40.0),
+        ]
+    }
+
     fn report() -> Value {
         pr6_report(
             KernelConfig::default(),
             &[fake_kernel(1, 4.0, 1.0), fake_kernel(8, 12.4, 3.1)],
             ServingConfig::default(),
             &[fake_serving(1, 4.0, 1.0), fake_serving(8, 12.4, 3.1)],
+            TransportConfig::default(),
+            &fake_transports(),
         )
     }
 
@@ -241,8 +312,9 @@ mod tests {
         let back = sww_json::parse(&text).expect("render must emit valid JSON");
         assert_eq!(back, r);
         assert_eq!(back["schema"].as_str(), Some(PR6_SCHEMA));
-        assert_eq!(back["records"].as_array().unwrap().len(), 4);
+        assert_eq!(back["records"].as_array().unwrap().len(), 6);
         assert_eq!(back["summary"]["kernel_speedup_batch8"].as_f64(), Some(3.1));
+        assert_eq!(back["summary"]["transport_h3_speedup"].as_f64(), Some(4.0));
     }
 
     #[test]
@@ -261,6 +333,8 @@ mod tests {
             &[fake_kernel(1, 4.0, 1.0), fake_kernel(8, 9.9, 2.5)],
             ServingConfig::default(),
             &[fake_serving(1, 4.0, 1.0), fake_serving(8, 12.4, 3.1)],
+            TransportConfig::default(),
+            &fake_transports(),
         );
         let failures = compare(&base, &cur, 0.10).expect_err("regression must fail");
         assert!(
@@ -277,6 +351,8 @@ mod tests {
             &[fake_kernel(1, 4.0, 1.0), fake_kernel(8, 5.0, 1.25)],
             ServingConfig::default(),
             &[fake_serving(1, 4.0, 1.0), fake_serving(8, 12.4, 3.1)],
+            TransportConfig::default(),
+            &fake_transports(),
         );
         let failures = compare(&base, &cur, 0.99).expect_err("floor must bind");
         assert!(
@@ -295,10 +371,40 @@ mod tests {
             &[fake_kernel(1, 4.0, 1.0), leaky],
             ServingConfig::default(),
             &[fake_serving(1, 4.0, 1.0), fake_serving(8, 12.4, 3.1)],
+            TransportConfig::default(),
+            &fake_transports(),
         );
         let failures = compare(&base, &cur, 0.10).expect_err("allocation must fail");
         assert!(
             failures.iter().any(|f| f.contains("4096 fresh pool bytes")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn transport_rows_are_distinct_records_and_gate_the_h3_speedup() {
+        let base = report();
+        // Dropping the h3 row must fail record presence, and with only h2
+        // left the headline collapses to 1.0 — below the floor.
+        let cur = pr6_report(
+            KernelConfig::default(),
+            &[fake_kernel(1, 4.0, 1.0), fake_kernel(8, 12.4, 3.1)],
+            ServingConfig::default(),
+            &[fake_serving(1, 4.0, 1.0), fake_serving(8, 12.4, 3.1)],
+            TransportConfig::default(),
+            &[fake_transport(sww_core::TransportKind::H2, 10.0)],
+        );
+        let failures = compare(&base, &cur, 0.10).expect_err("missing h3 row must fail");
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("h3") && f.contains("missing")),
+            "{failures:?}"
+        );
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("transport_h3_speedup") && f.contains("below")),
             "{failures:?}"
         );
     }
@@ -311,6 +417,8 @@ mod tests {
             &[fake_kernel(1, 4.0, 1.0)],
             ServingConfig::default(),
             &[fake_serving(1, 4.0, 1.0), fake_serving(8, 12.4, 3.1)],
+            TransportConfig::default(),
+            &fake_transports(),
         );
         let failures = compare(&base, &cur, 0.10).expect_err("missing record must fail");
         assert!(

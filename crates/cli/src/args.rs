@@ -18,8 +18,13 @@ pub struct Args {
 }
 
 /// Option keys that take a value (everything else after `--` is a switch).
-const VALUE_KEYS: [&str; 23] = [
+const VALUE_KEYS: [&str; 28] = [
     "addr",
+    "h3-addr",
+    "transport",
+    "pages",
+    "recipes",
+    "gen-latency-ms",
     "device",
     "model",
     "steps",

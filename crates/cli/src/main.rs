@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! sww serve  [--addr 127.0.0.1:0] [--site blog|wikimedia] [--naive]
+//!            [--transport h2|h3|both] [--h3-addr 127.0.0.1:0]
 //!            [--workers N] [--shards N] [--queue N] [--chaos SPEC]
 //!            [--batch-max N] [--batch-wait MS] [--kernel-tiles N]
 //!            [--deadline-ms MS]
@@ -19,6 +20,8 @@
 //!                      [--deadline-ms MS] [--breaker-threshold N]
 //!                      [--breaker-cooldown-ms MS]
 //! sww bench-pr6 [--tiles 1,2,4,8] [--out FILE]
+//! sww bench-transport [--pages 5] [--recipes 4] [--gen-latency-ms 25]
+//!                     [--chaos SPEC]
 //! sww bench-compare <baseline.json> <current.json> [--tolerance 0.10]
 //! ```
 //!
@@ -31,7 +34,7 @@
 //! bit-identical per image (see DESIGN.md "Kernel & memory model").
 //!
 //! `bench-pr6` runs the E17 tiled-kernel sweeps and emits the
-//! machine-readable `BENCH_PR6.json` report (schema `sww-bench-pr6/1`,
+//! machine-readable `BENCH_PR6.json` report (schema `sww-bench-pr6/2`,
 //! documented in PERFORMANCE.md); tables go to stderr so `--out -`-less
 //! stdout stays parseable. `bench-compare` gates a fresh report against a
 //! checked-in baseline and exits non-zero on a modelled-throughput
@@ -53,6 +56,13 @@
 //! in-process demo fetch and dumps this process's own metrics registry.
 //! Every series it prints is documented in OBSERVABILITY.md.
 //!
+//! `--transport h3` serves over the HTTP/3 framing (QUIC-lite stream
+//! mux) instead of HTTP/2; `--transport both` binds two listeners (the
+//! h3 one on `--h3-addr`, default ephemeral). Both transports drive the
+//! same request core, so responses are byte-identical — h3 additionally
+//! avoids head-of-line blocking across a page's generation streams (see
+//! DESIGN.md "Transports" and experiment E18).
+//!
 //! `--chaos SPEC` installs the deterministic fault-injection layer
 //! (`sww_core::faults`) for the lifetime of the process. The spec grammar
 //! is `seed=<u64>,<site>=<kind>:<prob>[:<param>],…` — e.g.
@@ -64,7 +74,7 @@ mod args;
 use args::Args;
 use sww_core::cms::Cms;
 use sww_core::convert::Converter;
-use sww_core::{GenAbility, GenerativeClient, GenerativeServer, SiteContent};
+use sww_core::{GenAbility, GenerativeClient, GenerativeServer, ServerConfig, SiteContent};
 use sww_energy::device::{profile, DeviceKind};
 use sww_genai::diffusion::{DiffusionModel, ImageModelKind};
 use sww_genai::image::codec;
@@ -144,13 +154,16 @@ fn main() {
         "stats" => rt.block_on(cmd_stats(&args)),
         "bench-concurrent" => cmd_bench_concurrent(&args),
         "bench-pr6" => cmd_bench_pr6(&args),
+        "bench-transport" => cmd_bench_transport(&args),
         "bench-compare" => cmd_bench_compare(&args),
         _ => usage(),
     }
 }
 
-async fn cmd_serve(args: &Args) {
-    install_chaos(args);
+/// Translate `sww serve` / `bench-concurrent` flags into the library's
+/// [`ServerConfig`] — the CLI builds the exact struct the library
+/// consumes, so the two can never drift apart.
+fn server_config_from(args: &Args) -> ServerConfig {
     let site: SiteContent = match args.opt("site", "blog") {
         "wikimedia" => {
             eprintln!("building the 49-image Wikimedia workload …");
@@ -161,43 +174,74 @@ async fn cmd_serve(args: &Args) {
         }
         _ => sww_workload::blog::travel_blog(),
     };
-    let ability = if args.has_flag("naive") {
-        GenAbility::none()
-    } else {
-        GenAbility::full()
-    };
-    let workers: usize = args.opt("workers", "0").parse().unwrap_or(0);
-    let shards: usize = args.opt("shards", "8").parse().unwrap_or(8);
-    let queue: usize = args.opt("queue", "64").parse().unwrap_or(64);
     let (batch_max, batch_wait_ms) = batch_options(args);
-    let kernel_tiles = kernel_tiles_option(args);
-    let mut builder = GenerativeServer::builder()
-        .site(site)
-        .ability(ability)
-        .workers(workers)
-        .cache_shards(shards)
-        .queue_capacity(queue)
-        .batch_max(batch_max)
-        .batch_wait(std::time::Duration::from_millis(batch_wait_ms))
-        .kernel_tiles(kernel_tiles);
-    if let Some(deadline) = deadline_option(args) {
-        builder = builder.default_deadline(deadline);
+    ServerConfig {
+        site,
+        ability: if args.has_flag("naive") {
+            GenAbility::none()
+        } else {
+            GenAbility::full()
+        },
+        workers: args.opt("workers", "0").parse().unwrap_or(0),
+        cache_shards: args.opt("shards", "8").parse().unwrap_or(8),
+        queue_capacity: args.opt("queue", "64").parse().unwrap_or(64),
+        batch_max,
+        batch_wait: std::time::Duration::from_millis(batch_wait_ms),
+        kernel_tiles: kernel_tiles_option(args),
+        default_deadline: deadline_option(args),
+        breaker: breaker_option(args),
+        ..ServerConfig::default()
+    }
+}
+
+async fn cmd_serve(args: &Args) {
+    install_chaos(args);
+    let config = server_config_from(args);
+    let ability = config.ability;
+    let (batch_max, batch_wait_ms) = (config.batch_max, config.batch_wait.as_millis());
+    let (kernel_tiles, queue, shards) = (
+        config.kernel_tiles,
+        config.queue_capacity,
+        config.cache_shards,
+    );
+    if let Some(deadline) = config.default_deadline {
         println!("default deadline: {} ms", deadline.as_millis());
     }
-    if let Some(cfg) = breaker_option(args) {
-        builder = builder.breaker(cfg);
+    if let Some(cfg) = config.breaker {
         println!(
             "circuit breaker: open after {} consecutive failures, {} ms cooldown",
             cfg.failure_threshold,
             cfg.cooldown.as_millis()
         );
     }
-    let server = builder.build();
-    let addr = server
-        .spawn_tcp(args.opt("addr", "127.0.0.1:0"))
-        .await
-        .expect("bind");
-    println!("serving on {addr} (ability: {:?})", ability.bits());
+    let server = GenerativeServer::from_config(config);
+    let transport = args.opt("transport", "h2");
+    let addr_opt = args.opt("addr", "127.0.0.1:0");
+    match transport {
+        "h3" => {
+            let addr = server.spawn_tcp_h3(addr_opt).await.expect("bind h3");
+            println!("serving h3 on {addr} (ability: {:?})", ability.bits());
+        }
+        "both" => {
+            let h2 = server.spawn_tcp(addr_opt).await.expect("bind h2");
+            let h3 = server
+                .spawn_tcp_h3(args.opt("h3-addr", "127.0.0.1:0"))
+                .await
+                .expect("bind h3");
+            println!(
+                "serving h2 on {h2}, h3 on {h3} (ability: {:?})",
+                ability.bits()
+            );
+        }
+        "h2" => {
+            let addr = server.spawn_tcp(addr_opt).await.expect("bind h2");
+            println!("serving h2 on {addr} (ability: {:?})", ability.bits());
+        }
+        other => {
+            eprintln!("bad --transport {other:?}: expected h2, h3 or both");
+            std::process::exit(2);
+        }
+    }
     match server.worker_count() {
         Some(n) => println!("worker pool: {n} workers, queue {queue}, {shards} cache shards"),
         None => println!("inline handling (no worker pool), {shards} cache shards"),
@@ -457,7 +501,7 @@ fn cmd_bench_concurrent(args: &Args) {
 /// Human-readable tables go to **stderr**; the JSON report goes to
 /// stdout, or to `--out FILE` so `ci.sh` can archive and gate it.
 fn cmd_bench_pr6(args: &Args) {
-    use sww_bench::experiments::kernel;
+    use sww_bench::experiments::{kernel, transport};
     use sww_bench::report;
     let tiles: Vec<usize> = args
         .opt("tiles", "1,2,4,8")
@@ -474,11 +518,18 @@ fn cmd_bench_pr6(args: &Args) {
     let serving_tiles: Vec<usize> = if widest > 1 { vec![1, widest] } else { vec![1] };
     let serving_samples = kernel::serving_sweep(scfg, &serving_tiles);
     eprintln!("{}", kernel::serving_table(scfg, &serving_samples).render());
+    // E18 last: its latency chaos spec is process-global, so it must not
+    // overlap the kernel sweeps (run_with_latency installs and clears it).
+    let tcfg = transport::TransportConfig::default();
+    let trun = transport::run_with_latency(tcfg);
+    eprintln!("{}", transport::table(tcfg, &trun).render());
     let text = report::render(&report::pr6_report(
         kcfg,
         &kernel_samples,
         scfg,
         &serving_samples,
+        tcfg,
+        &[trun.h2, trun.h3],
     ));
     match args.options.get("out") {
         Some(path) => {
@@ -487,6 +538,39 @@ fn cmd_bench_pr6(args: &Args) {
         }
         None => print!("{text}"),
     }
+}
+
+/// Run the E18 transport shoot-out on its own: h2 vs h3 page loads with
+/// a slow generation behind every recipe. With `--chaos` the caller's
+/// spec drives the slowness; otherwise the experiment installs its own
+/// deterministic `engine.generate` latency. Exits non-zero if the h3
+/// payloads are not byte-identical to the h2 ones.
+fn cmd_bench_transport(args: &Args) {
+    use sww_bench::experiments::transport;
+    let cfg = transport::TransportConfig {
+        pages: args.opt("pages", "5").parse().unwrap_or(5).max(1),
+        recipes: args.opt("recipes", "4").parse().unwrap_or(4).max(1),
+        gen_latency_ms: args.opt("gen-latency-ms", "25").parse().unwrap_or(25),
+        ..transport::TransportConfig::default()
+    };
+    let run = if args.options.contains_key("chaos") {
+        install_chaos(args);
+        transport::run(cfg)
+    } else {
+        println!("chaos: {} (default E18 spec)", transport::latency_spec(cfg));
+        transport::run_with_latency(cfg)
+    };
+    println!("{}", transport::table(cfg, &run).render());
+    println!(
+        "modelled h3 speedup: {:.2}x, measured p99 speedup: {:.2}x",
+        run.modelled_speedup(),
+        run.measured_p99_speedup()
+    );
+    if !run.byte_identical {
+        eprintln!("FAIL: per-recipe payloads differ between h2 and h3");
+        std::process::exit(1);
+    }
+    println!("payloads byte-identical across transports");
 }
 
 /// Gate a fresh `BENCH_PR6.json` against the checked-in baseline; exits

@@ -27,6 +27,7 @@ pub mod render;
 pub mod retry;
 pub mod server;
 pub mod stats;
+pub mod transport;
 pub mod trust;
 pub mod video;
 pub mod workpool;
@@ -39,12 +40,15 @@ pub use error::SwwError;
 pub use faults::{ChaosSpec, FaultKind, FaultSite};
 pub use lifecycle::RequestCtx;
 pub use mediagen::MediaGenerator;
-pub use negotiate::ServeMode;
+pub use negotiate::{ServeMode, SessionAbilities};
 pub use policy::ServerPolicy;
 pub use render::RenderedPage;
 pub use retry::{BackoffSchedule, RetryPolicy};
-pub use server::{GenerativeServer, GenerativeServerBuilder, Session, SiteContent, SwwPage};
+pub use server::{
+    GenerativeServer, GenerativeServerBuilder, ServerConfig, Session, SiteContent, SwwPage,
+};
 pub use stats::PageStats;
+pub use transport::TransportKind;
 pub use workpool::WorkerPool;
 
 /// Re-export of the wire-level capability type.

@@ -55,6 +55,49 @@ pub fn decide(server: GenAbility, client: GenAbility, policy: &ServerPolicy) -> 
     }
 }
 
+/// One session's negotiation state: both advertisements plus their
+/// intersection, computed in exactly one place.
+///
+/// Both transports funnel through [`session`] on **every request**, with
+/// whatever the peer most recently advertised — h2 re-reads the
+/// connection's live SETTINGS, h3 re-reads the latest control-stream
+/// update. Withdraw/restore therefore needs no extra machinery: a client
+/// that re-announces `GenAbility::none()` mid-connection simply produces
+/// a different `client` input on its next request, and the min
+/// (intersection) semantics degrade the session to the PR 3 fallback
+/// path; re-announcing the old ability restores it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionAbilities {
+    /// What the server advertised.
+    pub server: GenAbility,
+    /// What the client most recently advertised.
+    pub client: GenAbility,
+    /// The shared capability: bitwise min of the flags and the lower of
+    /// each model level.
+    pub negotiated: GenAbility,
+}
+
+impl SessionAbilities {
+    /// The serve mode this session's abilities produce under `policy` —
+    /// the §6.2 functionality matrix, looked up through the one shared
+    /// negotiation record.
+    pub fn mode(&self, policy: &ServerPolicy) -> ServeMode {
+        decide(self.server, self.client, policy)
+    }
+}
+
+/// The single h2/h3 negotiation entry point: fold both advertisements
+/// into a [`SessionAbilities`]. `SETTINGS_GEN_ABILITY` semantics (min,
+/// withdraw, restore) live here and nowhere else — transport adapters
+/// only deliver the peer's latest advertisement.
+pub fn session(server: GenAbility, client: GenAbility) -> SessionAbilities {
+    SessionAbilities {
+        server,
+        client,
+        negotiated: server.intersect(client),
+    }
+}
+
 /// Ordinal image-model generations for the §7 model negotiation: higher
 /// level = newer model generation. Level 0 means "unspecified", which
 /// resolves to the paper's default (SD 3 Medium).
@@ -173,6 +216,38 @@ mod tests {
         ] {
             assert_eq!(image_model_for_level(level_for_image_model(kind)), kind);
         }
+    }
+
+    #[test]
+    fn session_entry_point_computes_min_and_mode() {
+        let s = session(
+            GenAbility::full().with_image_model_level(2),
+            GenAbility::full().with_image_model_level(4),
+        );
+        assert!(s.negotiated.can_generate());
+        assert_eq!(s.negotiated.image_model_level(), 2, "min of model levels");
+        assert_eq!(s.mode(&default_policy()), ServeMode::Generative);
+    }
+
+    #[test]
+    fn session_withdraw_and_restore_through_reinvocation() {
+        // The withdraw/restore contract: the entry point is pure, so the
+        // transport re-invokes it with the latest advertisement and the
+        // outcome tracks the wire state.
+        let server = GenAbility::full();
+        assert!(session(server, GenAbility::full())
+            .negotiated
+            .can_generate());
+        let withdrawn = session(server, GenAbility::none());
+        assert!(!withdrawn.negotiated.supported());
+        assert_eq!(
+            withdrawn.mode(&default_policy()),
+            ServeMode::ServerGenerated,
+            "withdraw degrades to the PR 3 fallback path"
+        );
+        assert!(session(server, GenAbility::full())
+            .negotiated
+            .can_generate());
     }
 
     #[test]

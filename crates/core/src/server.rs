@@ -45,8 +45,9 @@ use crate::faults::{self, FaultAction, FaultSite};
 use crate::hls::{self, VideoAsset};
 use crate::lifecycle::{record_cancelled, record_shed, RequestCtx};
 use crate::mediagen::{GeneratedMedia, MediaGenerator};
-use crate::negotiate::{decide, ServeMode};
+use crate::negotiate::{session, ServeMode, SessionAbilities};
 use crate::policy::ServerPolicy;
+use crate::transport::TransportKind;
 use crate::workpool::WorkerPool;
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
@@ -63,6 +64,8 @@ use sww_html::gencontent::ContentType;
 use sww_html::{gencontent, parse, serialize};
 use sww_http2::server::{serve_connection_until, ServeStats};
 use sww_http2::{GenAbility, H2Error, Request, Response};
+use sww_http3::server::{serve_h3_connection_until, H3ServeContext, H3ServeStats};
+use sww_http3::H3Error;
 use tokio::io::{AsyncRead, AsyncWrite};
 
 /// One page of site content, stored in SWW (prompt) form.
@@ -223,39 +226,78 @@ fn with_generator<R>(f: impl FnOnce(&mut MediaGenerator) -> R) -> R {
     })
 }
 
-/// Configures and builds a [`GenerativeServer`].
+/// Complete server configuration — one plain struct, shared verbatim by
+/// the library ([`GenerativeServer::from_config`]), the fluent builder
+/// (a thin wrapper over this), and `sww serve` flag parsing (which
+/// produces a `ServerConfig` directly, so CLI and library can never
+/// drift).
 ///
 /// ```
-/// use sww_core::{GenAbility, GenerativeServer, ServerPolicy, SiteContent};
-/// let server = GenerativeServer::builder()
-///     .site(SiteContent::new())
-///     .ability(GenAbility::full())
-///     .policy(ServerPolicy::default())
-///     .workers(4)
-///     .cache_shards(16)
-///     .build();
+/// use sww_core::{GenerativeServer, ServerConfig};
+/// let server = GenerativeServer::from_config(ServerConfig {
+///     workers: 4,
+///     cache_shards: 16,
+///     ..ServerConfig::default()
+/// });
 /// assert!(server.ability().supported());
 /// ```
 #[derive(Debug)]
-pub struct GenerativeServerBuilder {
-    site: SiteContent,
-    ability: GenAbility,
-    policy: ServerPolicy,
-    workers: usize,
-    queue_capacity: usize,
-    cache_shards: usize,
-    cache_pixels: u64,
-    batch_max: usize,
-    batch_wait: Duration,
-    kernel_tiles: usize,
-    default_deadline: Option<Duration>,
-    breaker: Option<BreakerConfig>,
-    service_time_prior_s: Option<f64>,
+pub struct ServerConfig {
+    /// The site to serve (default: empty).
+    pub site: SiteContent,
+    /// The generative ability to advertise (default: full).
+    pub ability: GenAbility,
+    /// The serving policy (default: [`ServerPolicy::default`]).
+    pub policy: ServerPolicy,
+    /// Number of pool workers. `0` (the default) handles requests inline
+    /// on the calling thread with no pool at all.
+    pub workers: usize,
+    /// Bound on jobs waiting for a worker before the server starts
+    /// answering `503` (default: 64). Ignored when `workers` is 0.
+    pub queue_capacity: usize,
+    /// Number of lock stripes in the server-side generation cache
+    /// (default: 8, clamped to at least 1).
+    pub cache_shards: usize,
+    /// Total pixel budget of the server-side generation cache (default:
+    /// 64 MP), divided evenly across shards.
+    pub cache_pixels: u64,
+    /// Most compatible generations one denoising pass may carry.
+    /// `1` (the default) disables batching entirely; `n > 1` routes
+    /// cache-missing generations through a [`BatchScheduler`].
+    pub batch_max: usize,
+    /// Hard bound on how long an open batch waits for company before it
+    /// executes (default: 2 ms). Only meaningful with `batch_max > 1`.
+    pub batch_wait: Duration,
+    /// Data-parallel kernel lanes for batched denoising passes (default:
+    /// 1 — the scalar step-major kernel). With `n > 1` and `batch_max >
+    /// 1`, each closed batch splits into up to `n` tiles that run
+    /// concurrently on a dedicated kernel [`WorkerPool`] (`n - 1` helper
+    /// threads; the batch leader is the n-th lane). Output stays
+    /// bit-identical to the scalar kernel for every lane count — see
+    /// PERFORMANCE.md "Kernel & memory model".
+    ///
+    /// The kernel pool is separate from the request pool on purpose:
+    /// batch *members* block on the group outcome while occupying
+    /// request workers, so tiles queued behind them would never run.
+    pub kernel_tiles: usize,
+    /// Deadline applied to every request that does not carry its own
+    /// `x-sww-deadline-ms` header (default: none — requests may block
+    /// indefinitely, the pre-lifecycle behaviour).
+    pub default_deadline: Option<Duration>,
+    /// Per-model circuit breaker tuning (default: `None`, disabled —
+    /// generation failures surface individually and nothing is shed
+    /// pre-emptively).
+    pub breaker: Option<BreakerConfig>,
+    /// Seed for the pool's EWMA job-service-time estimate, in seconds
+    /// (default: `None` → [`crate::workpool::SERVICE_TIME_PRIOR_S`]).
+    /// Drives both `Retry-After` advice and deadline-aware admission
+    /// before real samples arrive. Ignored when `workers` is 0.
+    pub service_time_prior_s: Option<f64>,
 }
 
-impl Default for GenerativeServerBuilder {
-    fn default() -> GenerativeServerBuilder {
-        GenerativeServerBuilder {
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
             site: SiteContent::new(),
             ability: GenAbility::full(),
             policy: ServerPolicy::default(),
@@ -273,146 +315,109 @@ impl Default for GenerativeServerBuilder {
     }
 }
 
+/// Fluent facade over [`ServerConfig`] — every method sets exactly one
+/// field; [`GenerativeServerBuilder::build`] is
+/// [`GenerativeServer::from_config`]. See the field docs on
+/// [`ServerConfig`] for semantics and defaults.
+///
+/// ```
+/// use sww_core::{GenAbility, GenerativeServer, ServerPolicy, SiteContent};
+/// let server = GenerativeServer::builder()
+///     .site(SiteContent::new())
+///     .ability(GenAbility::full())
+///     .policy(ServerPolicy::default())
+///     .workers(4)
+///     .cache_shards(16)
+///     .build();
+/// assert!(server.ability().supported());
+/// ```
+#[derive(Debug, Default)]
+pub struct GenerativeServerBuilder {
+    config: ServerConfig,
+}
+
 impl GenerativeServerBuilder {
-    /// The site to serve (default: empty).
+    /// The site to serve ([`ServerConfig::site`]).
     pub fn site(mut self, site: SiteContent) -> GenerativeServerBuilder {
-        self.site = site;
+        self.config.site = site;
         self
     }
 
-    /// The generative ability to advertise (default: full).
+    /// The ability to advertise ([`ServerConfig::ability`]).
     pub fn ability(mut self, ability: GenAbility) -> GenerativeServerBuilder {
-        self.ability = ability;
+        self.config.ability = ability;
         self
     }
 
-    /// The serving policy (default: [`ServerPolicy::default`]).
+    /// The serving policy ([`ServerConfig::policy`]).
     pub fn policy(mut self, policy: ServerPolicy) -> GenerativeServerBuilder {
-        self.policy = policy;
+        self.config.policy = policy;
         self
     }
 
-    /// Number of pool workers. `0` (the default) handles requests inline
-    /// on the calling thread with no pool at all.
+    /// Pool worker count ([`ServerConfig::workers`]).
     pub fn workers(mut self, workers: usize) -> GenerativeServerBuilder {
-        self.workers = workers;
+        self.config.workers = workers;
         self
     }
 
-    /// Bound on jobs waiting for a worker before the server starts
-    /// answering `503` (default: 64). Ignored when `workers` is 0.
+    /// Pool queue bound ([`ServerConfig::queue_capacity`]).
     pub fn queue_capacity(mut self, capacity: usize) -> GenerativeServerBuilder {
-        self.queue_capacity = capacity;
+        self.config.queue_capacity = capacity;
         self
     }
 
-    /// Number of lock stripes in the server-side generation cache
-    /// (default: 8, clamped to at least 1).
+    /// Generation-cache lock stripes ([`ServerConfig::cache_shards`]).
     pub fn cache_shards(mut self, shards: usize) -> GenerativeServerBuilder {
-        self.cache_shards = shards;
+        self.config.cache_shards = shards;
         self
     }
 
-    /// Total pixel budget of the server-side generation cache (default:
-    /// 64 MP), divided evenly across shards.
+    /// Generation-cache pixel budget ([`ServerConfig::cache_pixels`]).
     pub fn cache_pixels(mut self, pixels: u64) -> GenerativeServerBuilder {
-        self.cache_pixels = pixels;
+        self.config.cache_pixels = pixels;
         self
     }
 
-    /// Most compatible generations one denoising pass may carry.
-    /// `1` (the default) disables batching entirely; `n > 1` routes
-    /// cache-missing generations through a [`BatchScheduler`].
+    /// Batch size bound ([`ServerConfig::batch_max`]).
     pub fn batch_max(mut self, batch_max: usize) -> GenerativeServerBuilder {
-        self.batch_max = batch_max;
+        self.config.batch_max = batch_max;
         self
     }
 
-    /// Hard bound on how long an open batch waits for company before it
-    /// executes (default: 2 ms). Only meaningful with `batch_max > 1`.
+    /// Open-batch wait bound ([`ServerConfig::batch_wait`]).
     pub fn batch_wait(mut self, batch_wait: Duration) -> GenerativeServerBuilder {
-        self.batch_wait = batch_wait;
+        self.config.batch_wait = batch_wait;
         self
     }
 
-    /// Data-parallel kernel lanes for batched denoising passes (default:
-    /// 1 — the scalar step-major kernel). With `n > 1` and `batch_max >
-    /// 1`, each closed batch splits into up to `n` tiles that run
-    /// concurrently on a dedicated kernel [`WorkerPool`] (`n - 1` helper
-    /// threads; the batch leader is the n-th lane). Output stays
-    /// bit-identical to the scalar kernel for every lane count — see
-    /// PERFORMANCE.md "Kernel & memory model".
-    ///
-    /// The kernel pool is separate from the request pool on purpose:
-    /// batch *members* block on the group outcome while occupying
-    /// request workers, so tiles queued behind them would never run.
+    /// Data-parallel kernel lanes ([`ServerConfig::kernel_tiles`]).
     pub fn kernel_tiles(mut self, kernel_tiles: usize) -> GenerativeServerBuilder {
-        self.kernel_tiles = kernel_tiles.max(1);
+        self.config.kernel_tiles = kernel_tiles.max(1);
         self
     }
 
-    /// Deadline applied to every request that does not carry its own
-    /// `x-sww-deadline-ms` header (default: none — requests may block
-    /// indefinitely, the pre-lifecycle behaviour).
+    /// Default per-request deadline ([`ServerConfig::default_deadline`]).
     pub fn default_deadline(mut self, deadline: Duration) -> GenerativeServerBuilder {
-        self.default_deadline = Some(deadline);
+        self.config.default_deadline = Some(deadline);
         self
     }
 
-    /// Enable the per-model circuit breaker with the given tuning
-    /// (default: disabled — generation failures surface individually and
-    /// nothing is shed pre-emptively).
+    /// Enable the circuit breaker ([`ServerConfig::breaker`]).
     pub fn breaker(mut self, config: BreakerConfig) -> GenerativeServerBuilder {
-        self.breaker = Some(config);
+        self.config.breaker = Some(config);
         self
     }
 
-    /// Seed for the pool's EWMA job-service-time estimate, in seconds
-    /// (default: [`crate::workpool::SERVICE_TIME_PRIOR_S`]). Drives both
-    /// `Retry-After` advice and deadline-aware admission before real
-    /// samples arrive. Ignored when `workers` is 0.
+    /// EWMA service-time seed ([`ServerConfig::service_time_prior_s`]).
     pub fn service_time_prior(mut self, prior_s: f64) -> GenerativeServerBuilder {
-        self.service_time_prior_s = Some(prior_s);
+        self.config.service_time_prior_s = Some(prior_s);
         self
     }
 
-    /// Build the server.
+    /// Build the server: [`GenerativeServer::from_config`].
     pub fn build(self) -> GenerativeServer {
-        GenerativeServer {
-            shared: Arc::new(ServerShared {
-                ability: self.ability,
-                site: self.site,
-                policy: self.policy,
-                engine: GenerationEngine::new(self.cache_shards, self.cache_pixels),
-                generated_assets: RwLock::new(HashMap::new()),
-                accounting: Mutex::new(Accounting::default()),
-                traditional_memo: Mutex::new(None),
-                pool: (self.workers > 0).then(|| match self.service_time_prior_s {
-                    Some(prior) => {
-                        WorkerPool::with_service_prior(self.workers, self.queue_capacity, prior)
-                    }
-                    None => WorkerPool::new(self.workers, self.queue_capacity),
-                }),
-                batcher: (self.batch_max > 1).then(|| {
-                    let config = BatchConfig {
-                        max_batch: self.batch_max,
-                        max_wait: self.batch_wait,
-                    };
-                    if self.kernel_tiles > 1 {
-                        let lanes = self.kernel_tiles;
-                        let runner = Arc::new(WorkerPool::new(lanes - 1, lanes * 4));
-                        BatchScheduler::new_tiled(config, lanes, runner)
-                    } else {
-                        BatchScheduler::new(config)
-                    }
-                }),
-                kernel_tiles: self.kernel_tiles,
-                default_deadline: self.default_deadline,
-                breaker: self.breaker.map(CircuitBreaker::new),
-                draining: AtomicBool::new(false),
-                inflight: AtomicUsize::new(0),
-            }),
-        }
+        GenerativeServer::from_config(self.config)
     }
 }
 
@@ -428,14 +433,44 @@ impl GenerativeServer {
         GenerativeServerBuilder::default()
     }
 
-    /// A server advertising `ability` and holding `site` in prompt form.
-    #[deprecated(note = "use GenerativeServer::builder()")]
-    pub fn new(site: SiteContent, ability: GenAbility, policy: ServerPolicy) -> GenerativeServer {
-        GenerativeServer::builder()
-            .site(site)
-            .ability(ability)
-            .policy(policy)
-            .build()
+    /// Build a server from a complete [`ServerConfig`] — the single
+    /// construction path (the builder and `sww serve` both land here).
+    pub fn from_config(config: ServerConfig) -> GenerativeServer {
+        let kernel_tiles = config.kernel_tiles.max(1);
+        GenerativeServer {
+            shared: Arc::new(ServerShared {
+                ability: config.ability,
+                site: config.site,
+                policy: config.policy,
+                engine: GenerationEngine::new(config.cache_shards, config.cache_pixels),
+                generated_assets: RwLock::new(HashMap::new()),
+                accounting: Mutex::new(Accounting::default()),
+                traditional_memo: Mutex::new(None),
+                pool: (config.workers > 0).then(|| match config.service_time_prior_s {
+                    Some(prior) => {
+                        WorkerPool::with_service_prior(config.workers, config.queue_capacity, prior)
+                    }
+                    None => WorkerPool::new(config.workers, config.queue_capacity),
+                }),
+                batcher: (config.batch_max > 1).then(|| {
+                    let batch = BatchConfig {
+                        max_batch: config.batch_max,
+                        max_wait: config.batch_wait,
+                    };
+                    if kernel_tiles > 1 {
+                        let runner = Arc::new(WorkerPool::new(kernel_tiles - 1, kernel_tiles * 4));
+                        BatchScheduler::new_tiled(batch, kernel_tiles, runner)
+                    } else {
+                        BatchScheduler::new(batch)
+                    }
+                }),
+                kernel_tiles,
+                default_deadline: config.default_deadline,
+                breaker: config.breaker.map(CircuitBreaker::new),
+                draining: AtomicBool::new(false),
+                inflight: AtomicUsize::new(0),
+            }),
+        }
     }
 
     /// The ability this server advertises.
@@ -447,39 +482,62 @@ impl GenerativeServer {
     /// `client_ability`. The [`Session`] carries the negotiated ability,
     /// so per-request calls no longer re-state the client's capability.
     pub fn accept(&self, client_ability: GenAbility) -> Session {
+        count_session(TransportKind::Inproc);
         Session {
             shared: Arc::clone(&self.shared),
             client_ability,
         }
     }
 
-    /// Answer one request directly.
-    #[deprecated(note = "use server.accept(client_ability) and Session::handle")]
-    pub fn handle(&self, req: &Request, client_ability: GenAbility) -> Response {
-        dispatch(&self.shared, client_ability, req)
-    }
-
-    /// Serve one accepted connection (duplex stream or TCP socket).
-    /// Once the server is [draining](GenerativeServer::drain), the
-    /// connection finishes the exchange in progress, sends
+    /// Serve one accepted HTTP/2 connection (duplex stream or TCP
+    /// socket). Once the server is [draining](GenerativeServer::drain),
+    /// the connection finishes the exchange in progress, sends
     /// GOAWAY(NO_ERROR) and closes.
     pub async fn serve_stream<T>(&self, io: T) -> Result<ServeStats, H2Error>
     where
         T: AsyncRead + AsyncWrite + Unpin,
     {
+        count_session(TransportKind::H2);
         let shared = Arc::clone(&self.shared);
         let drain_watch = Arc::clone(&self.shared);
         let ability = self.shared.ability;
         serve_connection_until(
             io,
             ability,
-            move |req, ctx| dispatch(&shared, ctx.client_ability, &req),
+            move |req, ctx| dispatch(&shared, ctx.client_ability, &req, TransportKind::H2),
             move || drain_watch.draining.load(Ordering::SeqCst),
         )
         .await
     }
 
-    /// Bind a TCP listener and serve connections until the task is
+    /// Serve one accepted HTTP/3 connection through the same dispatch
+    /// path as [`serve_stream`](GenerativeServer::serve_stream) — the h3
+    /// framing adapter delivers the client's latest advertised ability
+    /// per request and the transport-agnostic core does the rest.
+    /// Requests on distinct streams execute concurrently, so one slow
+    /// generation never head-of-line-blocks the other recipes on a page.
+    /// A [draining](GenerativeServer::drain) server sends GOAWAY and
+    /// finishes the streams in flight.
+    pub async fn serve_h3_stream<T>(&self, io: T) -> Result<H3ServeStats, H3Error>
+    where
+        T: AsyncRead + AsyncWrite + Unpin,
+    {
+        count_session(TransportKind::H3);
+        let shared = Arc::clone(&self.shared);
+        let drain_watch = Arc::clone(&self.shared);
+        let ability = self.shared.ability;
+        serve_h3_connection_until(
+            io,
+            ability,
+            move |req: Request, ctx: H3ServeContext| {
+                dispatch(&shared, ctx.client_ability, &req, TransportKind::H3)
+            },
+            move || drain_watch.draining.load(Ordering::SeqCst),
+        )
+        .await
+    }
+
+    /// Bind a TCP listener and serve HTTP/2 connections until the task is
     /// dropped or the server drains (a draining listener stops accepting;
     /// connections already accepted close via GOAWAY after their next
     /// response). Returns the bound address.
@@ -495,6 +553,28 @@ impl GenerativeServer {
                 let server = this.clone();
                 tokio::spawn(async move {
                     let _ = server.serve_stream(sock).await;
+                });
+            }
+        });
+        Ok(local)
+    }
+
+    /// Bind a TCP listener and serve HTTP/3 (QUIC-lite over the socket)
+    /// connections — the h3 twin of
+    /// [`spawn_tcp`](GenerativeServer::spawn_tcp). Returns the bound
+    /// address.
+    pub async fn spawn_tcp_h3(&self, addr: &str) -> std::io::Result<std::net::SocketAddr> {
+        let listener = tokio::net::TcpListener::bind(addr).await?;
+        let local = listener.local_addr()?;
+        let this = self.clone();
+        tokio::spawn(async move {
+            while let Ok((sock, _)) = listener.accept().await {
+                if this.is_draining() {
+                    break;
+                }
+                let server = this.clone();
+                tokio::spawn(async move {
+                    let _ = server.serve_h3_stream(sock).await;
                 });
             }
         });
@@ -635,25 +715,32 @@ impl Session {
         self.client_ability
     }
 
+    /// This session's negotiation record, from the single
+    /// [`crate::negotiate::session`] entry point.
+    pub fn abilities(&self) -> SessionAbilities {
+        session(self.shared.ability, self.client_ability)
+    }
+
     /// The negotiated (shared) ability for this session.
     pub fn negotiated_ability(&self) -> GenAbility {
-        self.shared.ability.intersect(self.client_ability)
+        self.abilities().negotiated
     }
 
     /// How page requests on this session will be served.
     pub fn serve_mode(&self) -> ServeMode {
-        decide(
-            self.shared.ability,
-            self.client_ability,
-            &self.shared.policy,
-        )
+        self.abilities().mode(&self.shared.policy)
     }
 
     /// Answer one request on this session. With a worker pool configured
     /// the request executes on a worker (bounded queue, `503` +
     /// `Retry-After` under saturation); otherwise it runs inline.
     pub fn handle(&self, req: &Request) -> Response {
-        dispatch(&self.shared, self.client_ability, req)
+        dispatch(
+            &self.shared,
+            self.client_ability,
+            req,
+            TransportKind::Inproc,
+        )
     }
 }
 
@@ -666,8 +753,20 @@ fn mode_label(mode: ServeMode) -> &'static str {
     }
 }
 
-fn count_route(route: &'static str) {
-    sww_obs::counter("sww_server_requests_total", &[("route", route)]).inc();
+fn count_route(route: &'static str, transport: TransportKind) {
+    sww_obs::counter(
+        "sww_server_requests_total",
+        &[("route", route), ("transport", transport.label())],
+    )
+    .inc();
+}
+
+fn count_session(transport: TransportKind) {
+    sww_obs::counter(
+        "sww_server_sessions_total",
+        &[("transport", transport.label())],
+    )
+    .inc();
 }
 
 /// The lifecycle context for one request: an explicit
@@ -702,7 +801,12 @@ fn request_ctx(shared: &ServerShared, req: &Request) -> RequestCtx {
 /// finished response: it can replace it with a `500`, delay it, or
 /// truncate its body (which a client detects through the
 /// content-addressed ETag and treats as an integrity failure).
-fn dispatch(shared: &Arc<ServerShared>, client_ability: GenAbility, req: &Request) -> Response {
+fn dispatch(
+    shared: &Arc<ServerShared>,
+    client_ability: GenAbility,
+    req: &Request,
+    transport: TransportKind,
+) -> Response {
     let _inflight = InflightGuard::enter(shared);
     if shared.draining.load(Ordering::SeqCst) && req.path != "/metrics" {
         record_shed("draining");
@@ -720,7 +824,7 @@ fn dispatch(shared: &Arc<ServerShared>, client_ability: GenAbility, req: &Reques
         }
     }
     let result = match &shared.pool {
-        None => handle_request(shared, client_ability, req, &ctx),
+        None => handle_request(shared, client_ability, req, &ctx, transport),
         Some(pool) => {
             let task_shared = Arc::clone(shared);
             let task_req = req.clone();
@@ -732,7 +836,13 @@ fn dispatch(shared: &Arc<ServerShared>, client_ability: GenAbility, req: &Reques
                     record_cancelled("pool.queue");
                     return Err(task_ctx.deadline_error());
                 }
-                handle_request(&task_shared, client_ability, &task_req, &task_ctx)
+                handle_request(
+                    &task_shared,
+                    client_ability,
+                    &task_req,
+                    &task_ctx,
+                    transport,
+                )
             })
             .and_then(|inner| inner)
         }
@@ -793,10 +903,15 @@ fn handle_request(
     client_ability: GenAbility,
     req: &Request,
     ctx: &RequestCtx,
+    transport: TransportKind,
 ) -> Result<Response, SwwError> {
-    let server_ability = shared.ability;
+    // The one negotiation entry point, re-evaluated per request with the
+    // client's *latest* advertisement — h2 reads it off the connection's
+    // live SETTINGS, h3 off the most recent control-stream update, so
+    // mid-connection withdraw/restore lands here identically.
+    let abilities = session(shared.ability, client_ability);
     if req.method != "GET" {
-        count_route("bad_method");
+        count_route("bad_method", transport);
         return Err(SwwError::MethodNotAllowed {
             method: req.method.clone(),
         });
@@ -804,7 +919,7 @@ fn handle_request(
     // Observability endpoint: the whole metrics registry in Prometheus
     // text format. Purely read-only with respect to site state.
     if req.path == "/metrics" {
-        count_route("metrics");
+        count_route("metrics", transport);
         let mut resp = Response::ok(Bytes::from(sww_obs::render()));
         resp.headers
             .insert("content-type", "text/plain; version=0.0.4");
@@ -818,24 +933,24 @@ fn handle_request(
         .cloned()
         .or_else(|| shared.site.assets.get(&req.path).cloned());
     if let Some(bytes) = asset {
-        count_route("asset");
+        count_route("asset", transport);
         let mut resp = Response::ok(bytes);
         resp.headers.insert("content-type", "image/swim");
         return Ok(resp);
     }
     // Video routes (§3.2): /video/<name>/playlist.m3u8 and segments.
     if let Some(rest) = req.path.strip_prefix("/video/") {
-        count_route("video");
-        return handle_video(shared, server_ability, client_ability, rest);
+        count_route("video", transport);
+        return handle_video(shared, abilities, rest);
     }
     let Some(page) = shared.site.page(&req.path) else {
-        count_route("not_found");
+        count_route("not_found", transport);
         return Err(SwwError::NotFound {
             path: req.path.clone(),
         });
     };
-    count_route("page");
-    let mode = decide(server_ability, client_ability, &shared.policy);
+    count_route("page", transport);
+    let mode = abilities.mode(&shared.policy);
     *shared
         .accounting
         .lock()
@@ -875,8 +990,7 @@ fn handle_request(
 /// withdraws VIDEO mid-connection falls back to full rate.
 fn handle_video(
     shared: &ServerShared,
-    server_ability: GenAbility,
-    client_ability: GenAbility,
+    abilities: SessionAbilities,
     rest: &str,
 ) -> Result<Response, SwwError> {
     let not_found = || SwwError::NotFound {
@@ -888,7 +1002,7 @@ fn handle_video(
     let Some(asset) = shared.site.videos.get(name) else {
         return Err(not_found());
     };
-    let playlist = hls::build_playlist(asset, client_ability, server_ability);
+    let playlist = hls::build_playlist(asset, abilities.client, abilities.server);
     if file == "playlist.m3u8" {
         let mut resp = Response::ok(Bytes::from(playlist.to_m3u8(asset)));
         resp.headers
@@ -1407,13 +1521,71 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_and_handle_still_work() {
-        let server =
-            GenerativeServer::new(demo_site(), GenAbility::full(), ServerPolicy::default());
-        let resp = server.handle(&Request::get("/hike"), GenAbility::full());
+    fn from_config_and_builder_agree() {
+        let a = GenerativeServer::from_config(ServerConfig {
+            site: demo_site(),
+            workers: 2,
+            cache_shards: 4,
+            ..ServerConfig::default()
+        });
+        let b = GenerativeServer::builder()
+            .site(demo_site())
+            .workers(2)
+            .cache_shards(4)
+            .build();
+        assert_eq!(a.worker_count(), b.worker_count());
+        assert_eq!(
+            a.engine().cache().shard_count(),
+            b.engine().cache().shard_count()
+        );
+        let ra = a.accept(GenAbility::none()).handle(&Request::get("/hike"));
+        let rb = b.accept(GenAbility::none()).handle(&Request::get("/hike"));
+        assert_eq!(ra.status, 200);
+        assert_eq!(ra.body, rb.body, "one construction path, one behaviour");
+    }
+
+    #[tokio::test]
+    async fn serves_prompt_form_over_h3() {
+        let server = demo_server();
+        let (a, b) = tokio::io::duplex(1 << 20);
+        let srv = server.clone();
+        tokio::spawn(async move {
+            let _ = srv.serve_h3_stream(b).await;
+        });
+        let mut client = sww_http3::H3ClientConnection::handshake(a, GenAbility::full())
+            .await
+            .unwrap();
+        assert!(client.negotiated_ability().can_generate());
+        let resp = client.send_request(&Request::get("/hike")).await.unwrap();
         assert_eq!(resp.status, 200);
         assert_eq!(resp.headers.get("x-sww-mode"), Some("generative"));
+        let body = String::from_utf8(resp.body.to_vec()).unwrap();
+        assert!(body.contains("generated-content"), "prompt form expected");
+        assert_eq!(server.served_modes()["generative"], 1);
+    }
+
+    #[tokio::test]
+    async fn h3_materializes_for_naive_client_via_same_core() {
+        let server = demo_server();
+        let (a, b) = tokio::io::duplex(1 << 20);
+        let srv = server.clone();
+        tokio::spawn(async move {
+            let _ = srv.serve_h3_stream(b).await;
+        });
+        let mut client = sww_http3::H3ClientConnection::handshake(a, GenAbility::none())
+            .await
+            .unwrap();
+        let resp = client.send_request(&Request::get("/hike")).await.unwrap();
+        assert_eq!(resp.headers.get("x-sww-mode"), Some("server-generated"));
+        let body = String::from_utf8(resp.body.to_vec()).unwrap();
+        assert!(body.contains("/generated/trail.jpg"));
+        // Errors flow through the same single choke point.
+        let missing = client
+            .send_request(&Request::get("/missing"))
+            .await
+            .unwrap();
+        assert_eq!(missing.status, 404);
+        assert!(missing.headers.get("x-sww-error").is_some());
     }
 
     #[tokio::test]

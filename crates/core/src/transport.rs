@@ -1,0 +1,50 @@
+//! Transport identity for the serving core.
+//!
+//! The dispatch path (admission, negotiation, engine, the single
+//! `error_response` choke point) is transport-agnostic; what varies per
+//! transport is the framing adapter that feeds it and the label the
+//! request lands under in `/metrics`. [`TransportKind`] is that label.
+
+/// Which framing adapter delivered a request to the serving core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransportKind {
+    /// HTTP/2 over a byte stream (`sww-http2`'s `serve_connection_until`).
+    H2,
+    /// HTTP/3 over the QUIC-lite shim (`sww-http3`'s concurrent driver).
+    H3,
+    /// No wire at all: a [`Session`](crate::Session) driven in-process
+    /// (tests, benches, library embedding).
+    Inproc,
+}
+
+impl TransportKind {
+    /// The `transport` metric-label value (OBSERVABILITY.md).
+    pub fn label(self) -> &'static str {
+        match self {
+            TransportKind::H2 => "h2",
+            TransportKind::H3 => "h3",
+            TransportKind::Inproc => "inproc",
+        }
+    }
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        // These strings are a metrics contract: dashboards and the E18
+        // reconciliation key on them.
+        assert_eq!(TransportKind::H2.label(), "h2");
+        assert_eq!(TransportKind::H3.label(), "h3");
+        assert_eq!(TransportKind::Inproc.label(), "inproc");
+        assert_eq!(TransportKind::H3.to_string(), "h3");
+    }
+}

@@ -59,16 +59,39 @@ impl From<qpack::QpackError> for H3Error {
     }
 }
 
-/// Build the control-stream payload: stream type + SETTINGS frame.
-fn control_stream_payload(settings: &H3Settings) -> Vec<u8> {
+/// What one unidirectional (control) stream carried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ControlSignal {
+    /// SETTINGS were applied (initial exchange or a mid-connection
+    /// update such as an ability withdraw/restore).
+    Settings,
+    /// The peer announced graceful shutdown.
+    Goaway,
+}
+
+/// Build a control-stream payload: stream type + one SETTINGS frame.
+pub(crate) fn control_stream_payload(settings: &H3Settings) -> Vec<u8> {
+    control_frame_payload(&settings.to_frame())
+}
+
+/// Build a control-stream payload carrying an arbitrary control frame
+/// (SETTINGS update, GOAWAY). The `QuicLite` shim closes each stream
+/// with FIN before the receiver sees it, so every control *message*
+/// travels on a fresh control-typed stream rather than as successive
+/// frames on one long-lived stream — same frames, shim-shaped framing.
+pub(crate) fn control_frame_payload(frame: &H3Frame) -> Vec<u8> {
     let mut out = Vec::new();
     varint::encode(STREAM_TYPE_CONTROL, &mut out);
-    settings.to_frame().encode(&mut out);
+    frame.encode(&mut out);
     out
 }
 
-/// Parse a received control stream: verify the type and apply SETTINGS.
-fn apply_control_stream(data: &[u8], settings: &mut H3Settings) -> Result<(), H3Error> {
+/// Parse a received control stream: verify the type, apply SETTINGS or
+/// note a GOAWAY, and report which it was.
+pub(crate) fn apply_control_stream(
+    data: &[u8],
+    settings: &mut H3Settings,
+) -> Result<ControlSignal, H3Error> {
     let mut pos = 0usize;
     let stream_type = varint::decode(data, &mut pos)
         .map_err(|_| H3Error::Protocol("control stream type truncated".into()))?;
@@ -81,16 +104,17 @@ fn apply_control_stream(data: &[u8], settings: &mut H3Settings) -> Result<(), H3
     match frame {
         H3Frame::Settings(pairs) => {
             settings.apply(&pairs);
-            Ok(())
+            Ok(ControlSignal::Settings)
         }
+        H3Frame::GoAway(_) => Ok(ControlSignal::Goaway),
         other => Err(H3Error::Protocol(format!(
-            "first control frame must be SETTINGS, got {other:?}"
+            "control frame must be SETTINGS or GOAWAY, got {other:?}"
         ))),
     }
 }
 
 /// Encode a request as an HTTP/3 request-stream payload.
-fn encode_request(req: &Request) -> Vec<u8> {
+pub(crate) fn encode_request(req: &Request) -> Vec<u8> {
     let mut out = Vec::new();
     H3Frame::Headers(Bytes::from(qpack::encode(&req.to_fields()))).encode(&mut out);
     if !req.body.is_empty() {
@@ -100,7 +124,7 @@ fn encode_request(req: &Request) -> Vec<u8> {
 }
 
 /// Decode a request-stream payload into a request.
-fn decode_request(data: &[u8]) -> Result<Request, H3Error> {
+pub(crate) fn decode_request(data: &[u8]) -> Result<Request, H3Error> {
     let (fields, body) = decode_message(data)?;
     let mut req = Request::from_fields(fields).map_err(|e| H3Error::Protocol(e.to_string()))?;
     req.body = body;
@@ -108,7 +132,7 @@ fn decode_request(data: &[u8]) -> Result<Request, H3Error> {
 }
 
 /// Encode a response as a response-stream payload.
-fn encode_response(resp: &Response) -> Vec<u8> {
+pub(crate) fn encode_response(resp: &Response) -> Vec<u8> {
     let mut out = Vec::new();
     H3Frame::Headers(Bytes::from(qpack::encode(&resp.to_fields()))).encode(&mut out);
     if !resp.body.is_empty() {
@@ -151,31 +175,114 @@ fn decode_message(data: &[u8]) -> Result<(Vec<sww_http2::hpack::HeaderField>, By
     Ok((fields, Bytes::from(body)))
 }
 
+/// A resumption ticket: the server settings a client remembers from a
+/// previous connection. Presenting one lets
+/// [`H3ClientConnection::handshake_0rtt`] skip the wait for the server's
+/// control stream and put the first request on the wire in the very
+/// first flight — the QUIC 0-RTT shape, minus the crypto.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionTicket {
+    /// The server's settings as seen when the ticket was minted.
+    pub server_settings: H3Settings,
+}
+
 /// An HTTP/3 client connection.
 pub struct H3ClientConnection<T> {
     quic: QuicLite<T>,
     local: H3Settings,
     remote: H3Settings,
+    /// Responses that finished while we were waiting on a different
+    /// stream — the no-head-of-line-blocking stash.
+    ready: std::collections::HashMap<u64, Vec<u8>>,
+    /// Whether the server's authoritative control stream has been seen
+    /// (false while running on a 0-RTT ticket).
+    server_control_seen: bool,
+    /// The server announced graceful shutdown.
+    goaway: bool,
+    /// This connection resumed from a [`SessionTicket`].
+    resumed: bool,
 }
 
 impl<T: AsyncRead + AsyncWrite + Unpin> H3ClientConnection<T> {
+    fn start(io: T, ability: GenAbility) -> (QuicLite<T>, H3Settings, Vec<u8>) {
+        let quic = QuicLite::client(io);
+        let local = H3Settings::sww(ability);
+        let payload = control_stream_payload(&local);
+        (quic, local, payload)
+    }
+
     /// Handshake: exchange control streams carrying SETTINGS (including
     /// GEN_ABILITY) and return the connected client.
     pub async fn handshake(io: T, ability: GenAbility) -> Result<H3ClientConnection<T>, H3Error> {
-        let mut quic = QuicLite::client(io);
-        let local = H3Settings::sww(ability);
+        let (mut quic, local, payload) = Self::start(io, ability);
         let control = quic.open_uni();
-        quic.send(control, &control_stream_payload(&local), true)
-            .await?;
-        // Await the server's control stream (server-uni id 3).
-        let data = quic.recv_stream(3).await?;
-        let mut remote = H3Settings::default();
-        apply_control_stream(&data, &mut remote)?;
+        quic.send(control, &payload, true).await?;
+        let mut conn = H3ClientConnection {
+            quic,
+            local,
+            remote: H3Settings::default(),
+            ready: std::collections::HashMap::new(),
+            server_control_seen: false,
+            goaway: false,
+            resumed: false,
+        };
+        // Await the server's control stream before the first request —
+        // the full 1-RTT setup.
+        while !conn.server_control_seen {
+            let (stream, data) = conn.quic.recv_any_stream().await?;
+            conn.consume(stream, data)?;
+        }
+        Ok(conn)
+    }
+
+    /// 0-RTT resumption: adopt the ticket's remembered server settings
+    /// and return immediately — without reading a single server byte —
+    /// so the first request rides the same flight as the client's
+    /// SETTINGS. The server's real control stream is applied whenever it
+    /// arrives, transparently correcting a stale ticket.
+    pub async fn handshake_0rtt(
+        io: T,
+        ability: GenAbility,
+        ticket: SessionTicket,
+    ) -> Result<H3ClientConnection<T>, H3Error> {
+        let (mut quic, local, payload) = Self::start(io, ability);
+        let control = quic.open_uni();
+        quic.send(control, &payload, true).await?;
         Ok(H3ClientConnection {
             quic,
             local,
-            remote,
+            remote: ticket.server_settings,
+            ready: std::collections::HashMap::new(),
+            server_control_seen: false,
+            goaway: false,
+            resumed: true,
         })
+    }
+
+    /// Mint a resumption ticket for a future [`handshake_0rtt`].
+    ///
+    /// [`handshake_0rtt`]: H3ClientConnection::handshake_0rtt
+    pub fn session_ticket(&self) -> SessionTicket {
+        SessionTicket {
+            server_settings: self.remote,
+        }
+    }
+
+    /// Whether this connection resumed from a ticket.
+    pub fn resumed(&self) -> bool {
+        self.resumed
+    }
+
+    /// Whether the server's authoritative control stream has been seen
+    /// (always true after [`H3ClientConnection::handshake`]; becomes true
+    /// on a 0-RTT connection once any response has been collected).
+    pub fn server_control_seen(&self) -> bool {
+        self.server_control_seen
+    }
+
+    /// Whether the server announced graceful shutdown (GOAWAY).
+    pub fn goaway_received(&self) -> bool {
+        self.goaway
     }
 
     /// The server's advertised ability.
@@ -188,59 +295,88 @@ impl<T: AsyncRead + AsyncWrite + Unpin> H3ClientConnection<T> {
         self.local.gen_ability.intersect(self.remote.gen_ability)
     }
 
+    /// Re-announce this client's ability mid-connection (withdraw or
+    /// restore) on a fresh control-typed stream. The pair is always
+    /// explicit on the wire — settings keep their previous value, so
+    /// withdrawal cannot be expressed by omission.
+    pub async fn update_ability(&mut self, ability: GenAbility) -> Result<(), H3Error> {
+        self.local.gen_ability = ability;
+        let stream = self.quic.open_uni();
+        let payload = control_frame_payload(&H3Settings::ability_update_frame(ability));
+        self.quic.send(stream, &payload, true).await?;
+        Ok(())
+    }
+
+    /// Route one completed incoming stream: server-uni streams carry
+    /// control signals, bidirectional streams carry responses (stashed
+    /// until their requester asks).
+    fn consume(&mut self, stream: u64, data: Vec<u8>) -> Result<(), H3Error> {
+        if crate::transport::stream_id::is_uni(stream) {
+            // The first authoritative SETTINGS replace a 0-RTT ticket's
+            // remembered values wholesale — an omitted ability pair from
+            // a non-participating server must erase the stale guess, not
+            // merge with it. Later updates merge as usual.
+            let mut incoming = if self.server_control_seen {
+                self.remote
+            } else {
+                H3Settings::default()
+            };
+            match apply_control_stream(&data, &mut incoming)? {
+                ControlSignal::Settings => {
+                    self.remote = incoming;
+                    self.server_control_seen = true;
+                }
+                ControlSignal::Goaway => self.goaway = true,
+            }
+        } else {
+            self.ready.insert(stream, data);
+        }
+        Ok(())
+    }
+
+    /// Read until `stream` completes, consuming control streams and
+    /// stashing other responses along the way.
+    async fn collect(&mut self, stream: u64) -> Result<Response, H3Error> {
+        loop {
+            if let Some(data) = self.ready.remove(&stream) {
+                return decode_response(&data);
+            }
+            let (id, data) = self.quic.recv_any_stream().await?;
+            self.consume(id, data)?;
+        }
+    }
+
     /// Issue a request on a fresh bidirectional stream.
     pub async fn send_request(&mut self, req: &Request) -> Result<Response, H3Error> {
         let stream = self.quic.open_bidi();
         self.quic.send(stream, &encode_request(req), true).await?;
-        let data = self.quic.recv_stream(stream).await?;
-        decode_response(&data)
+        self.collect(stream).await
     }
-}
 
-/// Serve one HTTP/3 connection: exchange SETTINGS, then answer request
-/// streams until the peer closes.
-pub async fn serve_h3_connection<T, H>(
-    io: T,
-    ability: GenAbility,
-    mut handler: H,
-) -> Result<u64, H3Error>
-where
-    T: AsyncRead + AsyncWrite + Unpin,
-    H: FnMut(Request, GenAbility) -> Response,
-{
-    let mut quic = QuicLite::server(io);
-    let local = H3Settings::sww(ability);
-    let control = quic.open_uni();
-    quic.send(control, &control_stream_payload(&local), true)
-        .await?;
-    let mut remote = H3Settings::default();
-    let mut served = 0u64;
-    let mut got_control = false;
-    loop {
-        let (stream, data) = match quic.recv_any_stream().await {
-            Ok(x) => x,
-            Err(TransportError::Closed) => return Ok(served),
-            Err(e) => return Err(e.into()),
-        };
-        if crate::transport::stream_id::is_uni(stream) {
-            apply_control_stream(&data, &mut remote)?;
-            got_control = true;
-            continue;
+    /// Issue a batch of requests, each on its own stream, *before*
+    /// reading any response — the page-load pattern. Responses are
+    /// returned in request order but collected in arrival order, so one
+    /// slow generation never blocks the wire behind it (no head-of-line
+    /// blocking across streams).
+    pub async fn send_requests(&mut self, reqs: &[Request]) -> Result<Vec<Response>, H3Error> {
+        let mut streams = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            let stream = self.quic.open_bidi();
+            self.quic.send(stream, &encode_request(req), true).await?;
+            streams.push(stream);
         }
-        if !got_control {
-            return Err(H3Error::Protocol("request before client SETTINGS".into()));
+        let mut out = Vec::with_capacity(streams.len());
+        for stream in streams {
+            out.push(self.collect(stream).await?);
         }
-        let req = decode_request(&data)?;
-        let negotiated = local.gen_ability.intersect(remote.gen_ability);
-        let resp = handler(req, negotiated);
-        quic.send(stream, &encode_response(&resp), true).await?;
-        served += 1;
+        Ok(out)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::server::serve_h3_connection;
 
     async fn pair(
         server_ability: GenAbility,
@@ -248,11 +384,11 @@ mod tests {
     ) -> H3ClientConnection<tokio::io::DuplexStream> {
         let (a, b) = tokio::io::duplex(1 << 20);
         tokio::spawn(async move {
-            let _ = serve_h3_connection(b, server_ability, |req, negotiated| {
+            let _ = serve_h3_connection(b, server_ability, |req: Request, ctx| {
                 let mut resp = Response::ok(Bytes::from(format!(
                     "echo:{} gen:{}",
                     req.path,
-                    negotiated.can_generate()
+                    ctx.negotiated().can_generate()
                 )));
                 resp.headers.insert("content-type", "text/plain");
                 resp
@@ -298,7 +434,7 @@ mod tests {
     async fn h3_post_body_travels() {
         let (a, b) = tokio::io::duplex(1 << 20);
         tokio::spawn(async move {
-            let _ = serve_h3_connection(b, GenAbility::full(), |req, _| {
+            let _ = serve_h3_connection(b, GenAbility::full(), |req: Request, _ctx| {
                 Response::ok(Bytes::from(req.body.len().to_string()))
             })
             .await;

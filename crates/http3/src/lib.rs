@@ -25,17 +25,23 @@
 //!   bidirectional request streams with varint stream framing. A real
 //!   QUIC implementation (UDP, loss recovery, TLS) is out of scope; the
 //!   paper's negotiation semantics only need ordered streams,
-//! * [`connection`] — the H3 connection: control-stream SETTINGS
-//!   exchange, GEN_ABILITY negotiation and request/response transfer.
+//! * [`connection`] — the H3 client connection: control-stream SETTINGS
+//!   exchange, GEN_ABILITY negotiation, pipelined request streams and
+//!   0-RTT resumption tickets,
+//! * [`server`] — the serving driver: one event loop per connection that
+//!   dispatches each request stream to its own worker, so a slow
+//!   generation never head-of-line-blocks the other streams.
 
 pub mod connection;
 pub mod frame;
 pub mod qpack;
+pub mod server;
 pub mod settings;
 pub mod transport;
 pub mod varint;
 
-pub use connection::{H3ClientConnection, H3Error};
+pub use connection::{H3ClientConnection, H3Error, SessionTicket};
+pub use server::{serve_h3_connection, serve_h3_connection_until, H3ServeContext, H3ServeStats};
 pub use settings::{H3Settings, SETTINGS_SWW_GEN_ABILITY};
 
 /// Re-export: the capability type is shared with HTTP/2.

@@ -63,6 +63,16 @@ impl H3Settings {
         H3Frame::Settings(pairs)
     }
 
+    /// A SETTINGS frame carrying exactly the ability pair — even when the
+    /// ability is empty. Settings keep their previous value until
+    /// re-announced, so a mid-connection *withdraw* must put the zero on
+    /// the wire; [`H3Settings::to_frame`] omits the pair for endpoints
+    /// that never participate, which would silently leave the old
+    /// advertisement standing.
+    pub fn ability_update_frame(ability: GenAbility) -> H3Frame {
+        H3Frame::Settings(vec![(SETTINGS_SWW_GEN_ABILITY, u64::from(ability.bits()))])
+    }
+
     /// Apply received pairs; unknown identifiers are ignored (§7.2.4.1).
     pub fn apply(&mut self, pairs: &[(u64, u64)]) {
         for &(id, value) in pairs {

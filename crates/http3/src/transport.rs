@@ -12,7 +12,9 @@
 
 use crate::varint;
 use std::collections::HashMap;
-use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt};
+use std::pin::Pin;
+use std::task::{Context, Poll};
+use tokio::io::{AsyncRead, AsyncWrite, AsyncWriteExt, ReadBuf};
 
 /// Stream-id helpers.
 pub mod stream_id {
@@ -90,6 +92,15 @@ pub struct QuicLite<T> {
     finished: HashMap<u64, Vec<u8>>,
     /// Partially received streams.
     partial: HashMap<u64, Vec<u8>>,
+    /// Raw octets read off the pipe but not yet parsed into a chunk.
+    /// Chunk parsing is restartable from this buffer, which makes
+    /// [`QuicLite::poll_recv_chunk`] cancel-safe: a future dropped
+    /// mid-header loses nothing.
+    rbuf: Vec<u8>,
+    /// Parse cursor into `rbuf` (consumed prefix, compacted lazily).
+    rpos: usize,
+    /// The pipe reported EOF; parsing continues until `rbuf` drains.
+    eof: bool,
 }
 
 /// Maximum accepted chunk payload, bounding buffer growth.
@@ -104,6 +115,9 @@ impl<T: AsyncRead + AsyncWrite + Unpin> QuicLite<T> {
             next_uni: stream_id::CLIENT_UNI_BASE,
             finished: HashMap::new(),
             partial: HashMap::new(),
+            rbuf: Vec::new(),
+            rpos: 0,
+            eof: false,
         }
     }
 
@@ -115,6 +129,9 @@ impl<T: AsyncRead + AsyncWrite + Unpin> QuicLite<T> {
             next_uni: stream_id::SERVER_UNI_BASE,
             finished: HashMap::new(),
             partial: HashMap::new(),
+            rbuf: Vec::new(),
+            rpos: 0,
+            eof: false,
         }
     }
 
@@ -149,22 +166,107 @@ impl<T: AsyncRead + AsyncWrite + Unpin> QuicLite<T> {
         Ok(())
     }
 
-    /// Receive the next chunk from the peer.
-    pub async fn recv_chunk(&mut self) -> Result<StreamChunk, TransportError> {
-        let stream_id = self.read_varint().await?;
-        let mut flag = [0u8; 1];
-        self.io.read_exact(&mut flag).await?;
-        let len = self.read_varint().await?;
+    /// Try to parse one complete chunk out of the read buffer. Returns
+    /// `Ok(None)` when the buffer holds only a partial chunk.
+    fn parse_chunk(&mut self) -> Result<Option<StreamChunk>, TransportError> {
+        let buf = &self.rbuf[self.rpos..];
+        let mut pos = 0usize;
+        let Ok(stream_id) = varint::decode(buf, &mut pos) else {
+            return Ok(None);
+        };
+        let Some(&flag) = buf.get(pos) else {
+            return Ok(None);
+        };
+        pos += 1;
+        let Ok(len) = varint::decode(buf, &mut pos) else {
+            return Ok(None);
+        };
         if len > MAX_CHUNK {
             return Err(TransportError::Malformed("chunk too large"));
         }
-        let mut data = vec![0u8; len as usize];
-        self.io.read_exact(&mut data).await?;
-        Ok(StreamChunk {
+        let len = len as usize;
+        if buf.len() < pos + len {
+            return Ok(None);
+        }
+        let data = buf[pos..pos + len].to_vec();
+        self.rpos += pos + len;
+        // Compact once the consumed prefix dominates the buffer.
+        if self.rpos > 4096 && self.rpos * 2 > self.rbuf.len() {
+            self.rbuf.drain(..self.rpos);
+            self.rpos = 0;
+        }
+        Ok(Some(StreamChunk {
             stream_id,
             data,
-            fin: flag[0] & 1 != 0,
-        })
+            fin: flag & 1 != 0,
+        }))
+    }
+
+    /// Poll for the next chunk from the peer. Restartable: partial reads
+    /// accumulate in an internal buffer, so callers may drop the
+    /// surrounding future between polls without losing wire state. This
+    /// is what lets a server interleave "wait for more requests" with
+    /// "send finished responses" on one task.
+    pub fn poll_recv_chunk(
+        &mut self,
+        cx: &mut Context<'_>,
+    ) -> Poll<Result<StreamChunk, TransportError>> {
+        loop {
+            if let Some(chunk) = self.parse_chunk()? {
+                return Poll::Ready(Ok(chunk));
+            }
+            if self.eof {
+                return Poll::Ready(Err(if self.rpos < self.rbuf.len() {
+                    TransportError::Malformed("pipe closed mid-chunk")
+                } else {
+                    TransportError::Closed
+                }));
+            }
+            let mut tmp = [0u8; 4096];
+            let mut rb = ReadBuf::new(&mut tmp);
+            match Pin::new(&mut self.io).poll_read(cx, &mut rb) {
+                Poll::Ready(Ok(())) if rb.filled().is_empty() => self.eof = true,
+                Poll::Ready(Ok(())) => self.rbuf.extend_from_slice(rb.filled()),
+                Poll::Ready(Err(e)) => return Poll::Ready(Err(e.into())),
+                Poll::Pending => return Poll::Pending,
+            }
+        }
+    }
+
+    /// Receive the next chunk from the peer.
+    pub async fn recv_chunk(&mut self) -> Result<StreamChunk, TransportError> {
+        std::future::poll_fn(|cx| self.poll_recv_chunk(cx)).await
+    }
+
+    /// Route one received chunk into the per-stream reassembly maps.
+    fn ingest(&mut self, chunk: StreamChunk) {
+        let buf = self.partial.entry(chunk.stream_id).or_default();
+        buf.extend_from_slice(&chunk.data);
+        if chunk.fin {
+            let whole = self.partial.remove(&chunk.stream_id).unwrap_or_default();
+            self.finished.insert(chunk.stream_id, whole);
+        }
+    }
+
+    /// Poll until *any* stream finishes; `Ready((id, payload))` hands the
+    /// completed stream over. The poll-shaped twin of
+    /// [`QuicLite::recv_any_stream`], for callers that multiplex reading
+    /// with other event sources.
+    pub fn poll_recv_any_stream(
+        &mut self,
+        cx: &mut Context<'_>,
+    ) -> Poll<Result<(u64, Vec<u8>), TransportError>> {
+        loop {
+            if let Some(id) = self.finished.keys().next().copied() {
+                let data = self.finished.remove(&id).expect("key just seen");
+                return Poll::Ready(Ok((id, data)));
+            }
+            match self.poll_recv_chunk(cx) {
+                Poll::Ready(Ok(chunk)) => self.ingest(chunk),
+                Poll::Ready(Err(e)) => return Poll::Ready(Err(e)),
+                Poll::Pending => return Poll::Pending,
+            }
+        }
     }
 
     /// Read chunks until `stream` finishes, buffering other streams;
@@ -175,45 +277,13 @@ impl<T: AsyncRead + AsyncWrite + Unpin> QuicLite<T> {
                 return Ok(done);
             }
             let chunk = self.recv_chunk().await?;
-            let buf = self.partial.entry(chunk.stream_id).or_default();
-            buf.extend_from_slice(&chunk.data);
-            if chunk.fin {
-                let whole = self.partial.remove(&chunk.stream_id).unwrap_or_default();
-                self.finished.insert(chunk.stream_id, whole);
-            }
+            self.ingest(chunk);
         }
     }
 
     /// Read chunks until *any* stream finishes; returns `(id, payload)`.
     pub async fn recv_any_stream(&mut self) -> Result<(u64, Vec<u8>), TransportError> {
-        loop {
-            if let Some(id) = self.finished.keys().next().copied() {
-                let data = self.finished.remove(&id).expect("key just seen");
-                return Ok((id, data));
-            }
-            let chunk = self.recv_chunk().await?;
-            let buf = self.partial.entry(chunk.stream_id).or_default();
-            buf.extend_from_slice(&chunk.data);
-            if chunk.fin {
-                let whole = self.partial.remove(&chunk.stream_id).unwrap_or_default();
-                self.finished.insert(chunk.stream_id, whole);
-            }
-        }
-    }
-
-    async fn read_varint(&mut self) -> Result<u64, TransportError> {
-        let mut first = [0u8; 1];
-        self.io.read_exact(&mut first).await?;
-        let n = 1usize << (first[0] >> 6);
-        let mut rest = vec![0u8; n - 1];
-        if n > 1 {
-            self.io.read_exact(&mut rest).await?;
-        }
-        let mut value = u64::from(first[0] & 0x3f);
-        for b in rest {
-            value = (value << 8) | u64::from(b);
-        }
-        Ok(value)
+        std::future::poll_fn(|cx| self.poll_recv_any_stream(cx)).await
     }
 }
 

@@ -9,7 +9,7 @@ use sww::core::{GenAbility, GenerativeServer, SiteContent};
 use sww::energy::device::{profile, DeviceKind};
 use sww::html::gencontent;
 use sww::http2::Request;
-use sww::http3::connection::{serve_h3_connection, H3ClientConnection};
+use sww::http3::H3ClientConnection;
 
 #[tokio::main]
 async fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -33,12 +33,8 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build();
 
     let (client_io, server_io) = tokio::io::duplex(1 << 20);
-    let ability = server.ability();
     tokio::spawn(async move {
-        let _ = serve_h3_connection(server_io, ability, move |req, negotiated| {
-            server.accept(negotiated).handle(&req)
-        })
-        .await;
+        let _ = server.serve_h3_stream(server_io).await;
     });
 
     let mut client = H3ClientConnection::handshake(client_io, GenAbility::full()).await?;

@@ -1,11 +1,15 @@
 //! Cross-crate integration: the generative server's transport-independent
 //! core behind an HTTP/3 front end (paper §3.1) — the same SiteContent
 //! serves both protocol versions with identical negotiation semantics.
+//!
+//! Since the transport-agnostic refactor this needs no adapter glue at
+//! all: [`GenerativeServer::serve_h3_stream`] is the h3 twin of
+//! `serve_stream`, driving the same dispatch core behind the h3 framing.
 
 use sww::core::{GenAbility, GenerativeServer, SiteContent};
 use sww::html::gencontent;
 use sww::http2::Request;
-use sww::http3::connection::{serve_h3_connection, H3ClientConnection};
+use sww::http3::H3ClientConnection;
 
 fn site() -> SiteContent {
     let mut s = SiteContent::new();
@@ -24,16 +28,8 @@ async fn h3_front_end(
     client_ability: GenAbility,
 ) -> H3ClientConnection<tokio::io::DuplexStream> {
     let (a, b) = tokio::io::duplex(1 << 20);
-    let ability = server.ability();
     tokio::spawn(async move {
-        let _ = serve_h3_connection(b, ability, move |req, negotiated| {
-            // The negotiated value under H3 carries the client bits; the
-            // server core wants the *client's* ability, which equals the
-            // negotiated value when the server supports everything it
-            // advertises — recover it from the negotiation result.
-            server.accept(negotiated).handle(&req)
-        })
-        .await;
+        let _ = server.serve_h3_stream(b).await;
     });
     H3ClientConnection::handshake(a, client_ability)
         .await
@@ -97,4 +93,30 @@ async fn same_site_same_bytes_across_h2_and_h3() {
     let h2_body = h2.send_request(&Request::get("/page")).await.unwrap().body;
 
     assert_eq!(h2_body, h3_body, "transport must not change content");
+}
+
+#[tokio::test(flavor = "multi_thread")]
+async fn zero_rtt_resumption_reaches_the_same_core() {
+    // First connection establishes the ticket; the 0-RTT resume skips
+    // the SETTINGS wait and still gets an identical prompt-form page.
+    let server = GenerativeServer::builder()
+        .site(site())
+        .ability(GenAbility::full())
+        .build();
+    let mut first = h3_front_end(server.clone(), GenAbility::full()).await;
+    let cold = first.send_request(&Request::get("/page")).await.unwrap();
+    let ticket = first.session_ticket();
+
+    let (a, b) = tokio::io::duplex(1 << 20);
+    let srv = server.clone();
+    tokio::spawn(async move {
+        let _ = srv.serve_h3_stream(b).await;
+    });
+    let mut resumed = H3ClientConnection::handshake_0rtt(a, GenAbility::full(), ticket)
+        .await
+        .unwrap();
+    assert!(resumed.resumed());
+    assert!(resumed.negotiated_ability().can_generate());
+    let warm = resumed.send_request(&Request::get("/page")).await.unwrap();
+    assert_eq!(cold.body, warm.body, "0-RTT must not change content");
 }

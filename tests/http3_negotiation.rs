@@ -2,14 +2,16 @@
 //! The server delivers a prompt-form page over H3; the client negotiates
 //! GEN_ABILITY via H3 SETTINGS, fetches, and resolves the page with the
 //! same media generator the HTTP/2 path uses — same content, different
-//! transport.
+//! transport. Uses the raw `serve_h3_connection` driver (handlers run on
+//! worker threads and receive an [`H3ServeContext`] with both sides'
+//! advertisements).
 
 use bytes::Bytes;
 use sww::core::mediagen::{GeneratedMedia, MediaGenerator};
 use sww::energy::device::{profile, DeviceKind};
 use sww::html::gencontent;
 use sww::http2::{GenAbility, Request, Response};
-use sww::http3::connection::{serve_h3_connection, H3ClientConnection};
+use sww::http3::{serve_h3_connection, H3ClientConnection, H3ServeContext};
 
 fn page_html() -> String {
     format!(
@@ -28,14 +30,27 @@ async fn sww_page_over_http3() {
     let (a, b) = tokio::io::duplex(1 << 20);
     tokio::spawn(async move {
         let html = page_html();
-        let _ = serve_h3_connection(b, GenAbility::full(), move |req, negotiated| {
-            assert_eq!(req.path, "/harbor");
-            assert!(negotiated.can_generate());
-            let mut resp = Response::ok(Bytes::from(html.clone()));
-            resp.headers.insert("content-type", "text/html");
-            resp.headers.insert("x-sww-mode", "generative");
-            resp
-        })
+        // Handlers run off-thread, so report what was seen in headers
+        // instead of asserting (a panicking handler never responds).
+        let _ = serve_h3_connection(
+            b,
+            GenAbility::full(),
+            move |req: Request, ctx: H3ServeContext| {
+                let mut resp = Response::ok(Bytes::from(html.clone()));
+                resp.headers.insert("content-type", "text/html");
+                resp.headers.insert("x-sww-mode", "generative");
+                resp.headers.insert("x-seen-path", &req.path);
+                resp.headers.insert(
+                    "x-negotiated-generate",
+                    if ctx.negotiated().can_generate() {
+                        "true"
+                    } else {
+                        "false"
+                    },
+                );
+                resp
+            },
+        )
         .await;
     });
     let mut client = H3ClientConnection::handshake(a, GenAbility::full())
@@ -44,6 +59,8 @@ async fn sww_page_over_http3() {
     assert!(client.negotiated_ability().can_generate());
     let resp = client.send_request(&Request::get("/harbor")).await.unwrap();
     assert_eq!(resp.headers.get("x-sww-mode"), Some("generative"));
+    assert_eq!(resp.headers.get("x-seen-path"), Some("/harbor"));
+    assert_eq!(resp.headers.get("x-negotiated-generate"), Some("true"));
 
     // Resolve the page with the shared media generator.
     let html = String::from_utf8(resp.body.to_vec()).unwrap();
@@ -88,8 +105,8 @@ async fn h3_fallback_matrix() {
     ] {
         let (a, b) = tokio::io::duplex(1 << 18);
         tokio::spawn(async move {
-            let _ = serve_h3_connection(b, server, |_, negotiated| {
-                Response::ok(Bytes::from(negotiated.can_generate().to_string()))
+            let _ = serve_h3_connection(b, server, |_req: Request, ctx: H3ServeContext| {
+                Response::ok(Bytes::from(ctx.negotiated().can_generate().to_string()))
             })
             .await;
         });

@@ -94,10 +94,19 @@ async fn metrics_reflect_a_generative_fetch() {
         stats.generation_time_s
     );
     // Both page requests (fetch + scrape-side HEADERS already counted) hit
-    // the server's route counters.
+    // the server's route counters, labelled with the transport that
+    // carried them (both connections here are h2).
     assert_eq!(
-        series_value(&text, "sww_server_requests_total{route=\"page\"}"),
+        series_value(
+            &text,
+            "sww_server_requests_total{route=\"page\",transport=\"h2\"}"
+        ),
         Some(1.0)
+    );
+    assert_eq!(
+        series_value(&text, "sww_server_sessions_total{transport=\"h2\"}"),
+        Some(2.0),
+        "fetch connection + scrape connection"
     );
     assert_eq!(
         series_value(&text, "sww_negotiate_outcomes_total{mode=\"generative\"}"),
