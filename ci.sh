@@ -71,12 +71,26 @@ echo "==> bench-transport --chaos (E18 h2-vs-h3 gate)"
 ./target/release/sww-cli bench-transport --pages 3 --recipes 4 --gen-latency-ms 20 \
     --chaos "seed=7,engine.generate=latency:1.0:20" >/dev/null
 
+echo "==> cargo test -p sww-core --test proptest_ring (consistent-hash ring property suite)"
+cargo test -p sww-core --test proptest_ring -q
+
+echo "==> cargo test --release --test edge_cluster (E19 exactly-once + chaos node-kill battery)"
+cargo test --release --test edge_cluster -q
+
+# E19 gate: the edge-cluster sweep and node-kill chaos run from the
+# command line exactly as a user would run it. Exits non-zero if the
+# global hit rate is not strictly increasing with node count, any
+# response is lost across the kill, or payloads diverge after failover.
+echo "==> bench-cluster --chaos (E19 edge gate)"
+./target/release/sww-cli bench-cluster --nodes 1,2 --threads 2 --requests 5 \
+    --chaos "seed=7,engine.generate=latency:1.0:10" >/dev/null
+
 echo "==> cargo test -p sww-html --test proptest_gencontent (generated-content property suite)"
 cargo test -p sww-html --test proptest_gencontent -q
 
 # Ratchet: the workspace test count must never silently shrink. Raise the
 # floor when a PR adds tests; a drop below it means tests were lost.
-TEST_FLOOR=760
+TEST_FLOOR=800
 echo "==> workspace test-count floor (>= ${TEST_FLOOR})"
 TEST_COUNT=$(cargo test --workspace -- --list 2>/dev/null | grep -c ": test$")
 echo "    ${TEST_COUNT} tests"

@@ -1,4 +1,4 @@
-//! The experiment implementations, one per table/figure (DESIGN.md E1–E18)
+//! The experiment implementations, one per table/figure (DESIGN.md E1–E19)
 //! plus the design-choice ablations.
 
 pub mod ablations;
@@ -6,6 +6,7 @@ pub mod article;
 pub mod batching;
 pub mod compression;
 pub mod concurrency;
+pub mod edge;
 pub mod energy;
 pub mod fig1;
 pub mod kernel;

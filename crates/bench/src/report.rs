@@ -1,10 +1,10 @@
 //! Machine-readable bench reports (`BENCH_*.json`) and the regression
 //! gate that compares a fresh run against a checked-in baseline.
 //!
-//! The PR 6 report captures the E17 tiled-kernel sweeps plus the E18
-//! transport shoot-out in the `sww-bench-pr6/2` schema (documented in
-//! PERFORMANCE.md). Two kinds of numbers live side by side and are
-//! treated differently:
+//! The PR 6 report captures the E17 tiled-kernel sweeps, the E18
+//! transport shoot-out, and the E19 edge-cluster scaling sweep in the
+//! `sww-bench-pr6/3` schema (documented in PERFORMANCE.md). Two kinds of
+//! numbers live side by side and are treated differently:
 //!
 //! * **Modelled** throughput (`modelled_qps`, `speedup`) comes from the
 //!   deterministic cost model, so it is bit-reproducible across hosts —
@@ -15,16 +15,21 @@
 //!
 //! [`compare`] is the gate `ci.sh bench` runs: every baseline record must
 //! still exist, modelled throughput must be within tolerance, the
-//! headline speedups must clear the PR 6 floor, and the steady-state
-//! allocation counters must read zero.
+//! headline speedups must clear the PR 6 floor, the steady-state
+//! allocation counters must read zero, the E19 global hit rate must
+//! strictly increase with node count, and the chaos node-kill must lose
+//! zero responses with byte-identical payloads.
 
+use crate::experiments::edge::{EdgeChaosOutcome, EdgeClusterConfig, EdgeSample};
 use crate::experiments::kernel::{KernelConfig, KernelSample, ServingConfig, ServingSample};
 use crate::experiments::transport::{TransportConfig, TransportSample};
 use sww_json::Value;
 
 /// Schema tag every PR 6 report carries. `/2` added the E18
-/// `page_load_transport` records and the `transport_h3_speedup` headline.
-pub const PR6_SCHEMA: &str = "sww-bench-pr6/2";
+/// `page_load_transport` records and the `transport_h3_speedup` headline;
+/// `/3` added the E19 `edge_cluster` scaling records (keyed by `nodes`)
+/// and the `edge_chaos` node-kill record.
+pub const PR6_SCHEMA: &str = "sww-bench-pr6/3";
 
 /// Modelled-speedup floor from the PR 6 acceptance criterion: the tiled
 /// kernel must buy ≥ 1.5× at batch 8.
@@ -87,8 +92,62 @@ fn transport_record(cfg: TransportConfig, s: &TransportSample) -> Value {
     ])
 }
 
-/// Assemble the PR 6 report from both E17 sweeps and the E18 transport
-/// comparison.
+/// One E19 row: the edge cluster at one node count. `modelled_qps` is
+/// ring ownership × the cost model — deterministic, gated; the hit rate
+/// is also deterministic (request volume and prompt pool are both fixed
+/// by the config) and gated for strict monotonicity across node counts.
+fn edge_record(cfg: &EdgeClusterConfig, s: &EdgeSample) -> Value {
+    Value::object([
+        ("experiment", Value::from("edge_cluster")),
+        ("nodes", Value::from(s.nodes)),
+        ("kernel_tiles", Value::from(1usize)),
+        ("prompts", Value::from(cfg.prompts)),
+        ("requests", Value::from(s.requests as usize)),
+        ("generations", Value::from(s.generations as usize)),
+        ("hit_rate", Value::from(r3(s.hit_rate))),
+        ("peer_fills", Value::from(s.peer_fills as usize)),
+        ("max_owned", Value::from(s.max_owned)),
+        ("wall_qps", Value::from(r3(s.wall_qps))),
+        ("p50_ms", Value::from(r3(s.p50_ms))),
+        ("p99_ms", Value::from(r3(s.p99_ms))),
+        ("modelled_qps", Value::from(r3(s.modelled_qps))),
+        ("alloc_bytes_steady", Value::from(0usize)),
+    ])
+}
+
+/// The E19 chaos node-kill outcome. `modelled_qps` is pinned at zero —
+/// the chaos run is gated on its own invariants (`lost == 0`,
+/// `byte_identical`), not on throughput.
+fn chaos_record(o: &EdgeChaosOutcome) -> Value {
+    Value::object([
+        ("experiment", Value::from("edge_chaos")),
+        ("nodes", Value::from(o.nodes)),
+        ("kernel_tiles", Value::from(1usize)),
+        ("requests", Value::from(o.requests as usize)),
+        ("completed", Value::from(o.completed as usize)),
+        ("lost", Value::from(o.lost as usize)),
+        ("failovers", Value::from(o.failovers as usize)),
+        ("retries", Value::from(o.retries as usize)),
+        ("byte_identical", Value::from(o.byte_identical)),
+        ("modelled_qps", Value::from(0.0)),
+        ("alloc_bytes_steady", Value::from(0usize)),
+    ])
+}
+
+/// The E19 inputs to a report: sweep config, per-width samples, and the
+/// chaos node-kill outcome — grouped so `pr6_report` keeps a sane arity
+/// as experiments accumulate.
+pub struct EdgeSection<'a> {
+    /// Sweep configuration (prompt pool, threads, replicas).
+    pub cfg: &'a EdgeClusterConfig,
+    /// One sample per node count, in sweep order.
+    pub sweep: &'a [EdgeSample],
+    /// The node-kill outcome.
+    pub chaos: &'a EdgeChaosOutcome,
+}
+
+/// Assemble the PR 6 report from both E17 sweeps, the E18 transport
+/// comparison, and the E19 edge-cluster sweep + chaos outcome.
 pub fn pr6_report(
     kcfg: KernelConfig,
     kernel: &[KernelSample],
@@ -96,12 +155,15 @@ pub fn pr6_report(
     serving: &[ServingSample],
     tcfg: TransportConfig,
     transports: &[TransportSample],
+    edge: EdgeSection<'_>,
 ) -> Value {
     let records: Vec<Value> = kernel
         .iter()
         .map(|s| kernel_record(kcfg, s))
         .chain(serving.iter().map(|s| serving_record(scfg, s)))
         .chain(transports.iter().map(|s| transport_record(tcfg, s)))
+        .chain(edge.sweep.iter().map(|s| edge_record(edge.cfg, s)))
+        .chain(std::iter::once(chaos_record(edge.chaos)))
         .collect();
     let widest = |speedups: Vec<(usize, f64)>| {
         speedups
@@ -133,6 +195,12 @@ pub fn pr6_report(
     };
     let steady: u64 = kernel.iter().map(|s| s.alloc_bytes).sum::<u64>()
         + serving.iter().map(|s| s.alloc_bytes).sum::<u64>();
+    // Peak global hit rate: the widest cluster in the sweep.
+    let edge_hit_rate = edge
+        .sweep
+        .iter()
+        .max_by_key(|s| s.nodes)
+        .map_or(0.0, |s| s.hit_rate);
     Value::object([
         ("schema", Value::from(PR6_SCHEMA)),
         ("records", Value::Array(records)),
@@ -142,6 +210,8 @@ pub fn pr6_report(
                 ("kernel_speedup_batch8", Value::from(r3(kernel_speedup))),
                 ("serving_speedup_batch8", Value::from(r3(serving_speedup))),
                 ("transport_h3_speedup", Value::from(r3(transport_speedup))),
+                ("edge_hit_rate_peak", Value::from(r3(edge_hit_rate))),
+                ("edge_chaos_lost", Value::from(edge.chaos.lost as usize)),
                 ("steady_state_alloc_bytes", Value::from(steady as usize)),
             ]),
         ),
@@ -157,13 +227,16 @@ pub fn render(report: &Value) -> String {
 }
 
 /// A record's identity within a report: `(experiment, kernel_tiles,
-/// transport)` — the transport component is empty for the E17 kernel and
-/// serving records, which exist once per lane count.
-fn record_key(record: &Value) -> (String, u64, String) {
+/// transport, nodes)` — the transport component is empty for the E17
+/// kernel and serving records (which exist once per lane count), and the
+/// nodes component is zero for everything but the E19 edge records
+/// (which exist once per cluster size).
+fn record_key(record: &Value) -> (String, u64, String, u64) {
     (
         record["experiment"].as_str().unwrap_or("?").to_owned(),
         record["kernel_tiles"].as_u64().unwrap_or(0),
         record["transport"].as_str().unwrap_or("").to_owned(),
+        record["nodes"].as_u64().unwrap_or(0),
     )
 }
 
@@ -177,7 +250,11 @@ fn record_key(record: &Value) -> (String, u64, String) {
 ///    (fractional, e.g. `0.10`) of the baseline — wall-clock columns are
 ///    never gated;
 /// 4. the current headline speedups clear [`SPEEDUP_FLOOR`];
-/// 5. every current record's steady-state allocation counter reads zero.
+/// 5. every current record's steady-state allocation counter reads zero;
+/// 6. the E19 `edge_cluster` hit rate **strictly increases** with node
+///    count — the cluster-wide exactly-once property in one number;
+/// 7. every `edge_chaos` record lost zero responses and kept payloads
+///    byte-identical to the single-node baseline.
 ///
 /// Returns the per-check log lines on success, the failure messages
 /// otherwise.
@@ -222,6 +299,55 @@ pub fn compare(
         if alloc != 0 {
             bad.push(format!(
                 "{key:?}: steady state allocated {alloc} fresh pool bytes"
+            ));
+        }
+    }
+    // E19: the global hit rate must strictly increase with node count —
+    // if it plateaus, some node generated a recipe it did not own and the
+    // cluster-wide single-flight is broken.
+    let mut edge_rows: Vec<(u64, f64)> = cur_records
+        .iter()
+        .filter(|r| r["experiment"].as_str() == Some("edge_cluster"))
+        .map(|r| {
+            (
+                r["nodes"].as_u64().unwrap_or(0),
+                r["hit_rate"].as_f64().unwrap_or(0.0),
+            )
+        })
+        .collect();
+    edge_rows.sort_by_key(|&(nodes, _)| nodes);
+    for pair in edge_rows.windows(2) {
+        let ((n0, h0), (n1, h1)) = (pair[0], pair[1]);
+        if h1 <= h0 {
+            bad.push(format!(
+                "edge_cluster: hit rate must strictly increase with nodes \
+                 ({n0} nodes: {h0:.3} -> {n1} nodes: {h1:.3})"
+            ));
+        } else {
+            ok.push(format!(
+                "edge_cluster: hit rate {h0:.3} @ {n0} nodes < {h1:.3} @ {n1} nodes"
+            ));
+        }
+    }
+    // E19 chaos: a node-kill may cost retries, never responses or bytes.
+    for chaos in cur_records
+        .iter()
+        .filter(|r| r["experiment"].as_str() == Some("edge_chaos"))
+    {
+        let nodes = chaos["nodes"].as_u64().unwrap_or(0);
+        let lost = chaos["lost"].as_u64().unwrap_or(u64::MAX);
+        if lost != 0 {
+            bad.push(format!("edge_chaos @ {nodes} nodes: {lost} lost responses"));
+        } else {
+            ok.push(format!("edge_chaos @ {nodes} nodes: zero lost responses"));
+        }
+        if chaos["byte_identical"].as_bool() != Some(true) {
+            bad.push(format!(
+                "edge_chaos @ {nodes} nodes: payloads diverged from the 1-node baseline"
+            ));
+        } else {
+            ok.push(format!(
+                "edge_chaos @ {nodes} nodes: payloads byte-identical"
             ));
         }
     }
@@ -294,7 +420,49 @@ mod tests {
         ]
     }
 
-    fn report() -> Value {
+    fn fake_edge(nodes: usize, hit_rate: f64, qps: f64) -> EdgeSample {
+        EdgeSample {
+            nodes,
+            requests: (nodes * 20) as u64,
+            generations: 10,
+            coalesced: 5,
+            peer_fills: 4,
+            fill_hits: 6,
+            local: 8,
+            routed: 6,
+            failovers: 0,
+            hit_rate,
+            max_owned: 6,
+            modelled_qps: qps,
+            wall_qps: qps * 0.8,
+            p50_ms: 3.0,
+            p99_ms: 9.0,
+        }
+    }
+
+    fn fake_edges() -> Vec<EdgeSample> {
+        vec![
+            fake_edge(1, 0.5, 2.0),
+            fake_edge(2, 0.75, 4.0),
+            fake_edge(4, 0.875, 8.0),
+        ]
+    }
+
+    fn fake_chaos(lost: u64, byte_identical: bool) -> EdgeChaosOutcome {
+        EdgeChaosOutcome {
+            nodes: 3,
+            requests: 30,
+            completed: 30 - lost,
+            lost,
+            failovers: 12,
+            retries: 14,
+            generations: 13,
+            byte_identical,
+            killed: "n0".into(),
+        }
+    }
+
+    fn report_with(edge: &[EdgeSample], chaos: &EdgeChaosOutcome) -> Value {
         pr6_report(
             KernelConfig::default(),
             &[fake_kernel(1, 4.0, 1.0), fake_kernel(8, 12.4, 3.1)],
@@ -302,7 +470,16 @@ mod tests {
             &[fake_serving(1, 4.0, 1.0), fake_serving(8, 12.4, 3.1)],
             TransportConfig::default(),
             &fake_transports(),
+            EdgeSection {
+                cfg: &EdgeClusterConfig::default(),
+                sweep: edge,
+                chaos,
+            },
         )
+    }
+
+    fn report() -> Value {
+        report_with(&fake_edges(), &fake_chaos(0, true))
     }
 
     #[test]
@@ -312,9 +489,12 @@ mod tests {
         let back = sww_json::parse(&text).expect("render must emit valid JSON");
         assert_eq!(back, r);
         assert_eq!(back["schema"].as_str(), Some(PR6_SCHEMA));
-        assert_eq!(back["records"].as_array().unwrap().len(), 6);
+        // 2 kernel + 2 serving + 2 transport + 3 edge + 1 chaos.
+        assert_eq!(back["records"].as_array().unwrap().len(), 10);
         assert_eq!(back["summary"]["kernel_speedup_batch8"].as_f64(), Some(3.1));
         assert_eq!(back["summary"]["transport_h3_speedup"].as_f64(), Some(4.0));
+        assert_eq!(back["summary"]["edge_hit_rate_peak"].as_f64(), Some(0.875));
+        assert_eq!(back["summary"]["edge_chaos_lost"].as_u64(), Some(0));
     }
 
     #[test]
@@ -335,6 +515,11 @@ mod tests {
             &[fake_serving(1, 4.0, 1.0), fake_serving(8, 12.4, 3.1)],
             TransportConfig::default(),
             &fake_transports(),
+            EdgeSection {
+                cfg: &EdgeClusterConfig::default(),
+                sweep: &fake_edges(),
+                chaos: &fake_chaos(0, true),
+            },
         );
         let failures = compare(&base, &cur, 0.10).expect_err("regression must fail");
         assert!(
@@ -353,6 +538,11 @@ mod tests {
             &[fake_serving(1, 4.0, 1.0), fake_serving(8, 12.4, 3.1)],
             TransportConfig::default(),
             &fake_transports(),
+            EdgeSection {
+                cfg: &EdgeClusterConfig::default(),
+                sweep: &fake_edges(),
+                chaos: &fake_chaos(0, true),
+            },
         );
         let failures = compare(&base, &cur, 0.99).expect_err("floor must bind");
         assert!(
@@ -373,6 +563,11 @@ mod tests {
             &[fake_serving(1, 4.0, 1.0), fake_serving(8, 12.4, 3.1)],
             TransportConfig::default(),
             &fake_transports(),
+            EdgeSection {
+                cfg: &EdgeClusterConfig::default(),
+                sweep: &fake_edges(),
+                chaos: &fake_chaos(0, true),
+            },
         );
         let failures = compare(&base, &cur, 0.10).expect_err("allocation must fail");
         assert!(
@@ -393,6 +588,11 @@ mod tests {
             &[fake_serving(1, 4.0, 1.0), fake_serving(8, 12.4, 3.1)],
             TransportConfig::default(),
             &[fake_transport(sww_core::TransportKind::H2, 10.0)],
+            EdgeSection {
+                cfg: &EdgeClusterConfig::default(),
+                sweep: &fake_edges(),
+                chaos: &fake_chaos(0, true),
+            },
         );
         let failures = compare(&base, &cur, 0.10).expect_err("missing h3 row must fail");
         assert!(
@@ -419,10 +619,70 @@ mod tests {
             &[fake_serving(1, 4.0, 1.0), fake_serving(8, 12.4, 3.1)],
             TransportConfig::default(),
             &fake_transports(),
+            EdgeSection {
+                cfg: &EdgeClusterConfig::default(),
+                sweep: &fake_edges(),
+                chaos: &fake_chaos(0, true),
+            },
         );
         let failures = compare(&base, &cur, 0.10).expect_err("missing record must fail");
         assert!(
             failures.iter().any(|f| f.contains("missing")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn edge_records_are_keyed_by_node_count() {
+        let base = report();
+        // Dropping the 4-node row must fail presence even though a
+        // 2-node edge_cluster record with the same tiles/transport
+        // remains — the nodes component disambiguates.
+        let cur = report_with(
+            &[fake_edge(1, 0.5, 2.0), fake_edge(2, 0.75, 4.0)],
+            &fake_chaos(0, true),
+        );
+        let failures = compare(&base, &cur, 0.10).expect_err("missing 4-node row must fail");
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("edge_cluster") && f.contains("missing")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn flat_edge_hit_rate_fails_the_gate() {
+        let base = report();
+        // 4 nodes no better than 2: the exactly-once property broke.
+        let cur = report_with(
+            &[
+                fake_edge(1, 0.5, 2.0),
+                fake_edge(2, 0.75, 4.0),
+                fake_edge(4, 0.75, 8.0),
+            ],
+            &fake_chaos(0, true),
+        );
+        let failures = compare(&base, &cur, 0.99).expect_err("flat hit rate must fail");
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("strictly increase with nodes")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn chaos_losses_and_divergent_bytes_fail_the_gate() {
+        let base = report();
+        let cur = report_with(&fake_edges(), &fake_chaos(3, false));
+        let failures = compare(&base, &cur, 0.99).expect_err("chaos losses must fail");
+        assert!(
+            failures.iter().any(|f| f.contains("3 lost responses")),
+            "{failures:?}"
+        );
+        assert!(
+            failures.iter().any(|f| f.contains("diverged")),
             "{failures:?}"
         );
     }

@@ -18,7 +18,10 @@ pub struct Args {
 }
 
 /// Option keys that take a value (everything else after `--` is a switch).
-const VALUE_KEYS: [&str; 28] = [
+const VALUE_KEYS: [&str; 31] = [
+    "cluster",
+    "nodes",
+    "replicas",
     "addr",
     "h3-addr",
     "transport",
@@ -124,5 +127,15 @@ mod tests {
     fn empty_input() {
         let a = parse("");
         assert!(a.command.is_empty());
+    }
+
+    #[test]
+    fn cluster_options_take_values() {
+        let a = parse("serve --cluster 4 --replicas 128");
+        assert_eq!(a.opt("cluster", ""), "4");
+        assert_eq!(a.opt("replicas", ""), "128");
+        let b = parse("bench-cluster --nodes 1,2,4 --chaos seed=7");
+        assert_eq!(b.opt("nodes", ""), "1,2,4");
+        assert_eq!(b.opt("chaos", ""), "seed=7");
     }
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! sww serve  [--addr 127.0.0.1:0] [--site blog|wikimedia] [--naive]
 //!            [--transport h2|h3|both] [--h3-addr 127.0.0.1:0]
+//!            [--cluster N] [--replicas N]
 //!            [--workers N] [--shards N] [--queue N] [--chaos SPEC]
 //!            [--batch-max N] [--batch-wait MS] [--kernel-tiles N]
 //!            [--deadline-ms MS]
@@ -22,6 +23,8 @@
 //! sww bench-pr6 [--tiles 1,2,4,8] [--out FILE]
 //! sww bench-transport [--pages 5] [--recipes 4] [--gen-latency-ms 25]
 //!                     [--chaos SPEC]
+//! sww bench-cluster [--nodes 1,2,4] [--threads 2] [--requests 10]
+//!                   [--prompts 10] [--replicas 64] [--chaos SPEC]
 //! sww bench-compare <baseline.json> <current.json> [--tolerance 0.10]
 //! ```
 //!
@@ -33,13 +36,15 @@
 //! N data-parallel kernel lanes on a dedicated worker pool — still
 //! bit-identical per image (see DESIGN.md "Kernel & memory model").
 //!
-//! `bench-pr6` runs the E17 tiled-kernel sweeps and emits the
-//! machine-readable `BENCH_PR6.json` report (schema `sww-bench-pr6/2`,
+//! `bench-pr6` runs the E17 tiled-kernel sweeps, the E18 transport
+//! shoot-out, and the E19 edge-cluster sweep, and emits the
+//! machine-readable `BENCH_PR6.json` report (schema `sww-bench-pr6/3`,
 //! documented in PERFORMANCE.md); tables go to stderr so `--out -`-less
 //! stdout stays parseable. `bench-compare` gates a fresh report against a
 //! checked-in baseline and exits non-zero on a modelled-throughput
-//! regression, a missing record, a headline speedup under 1.5x, or any
-//! steady-state pool allocation.
+//! regression, a missing record, a headline speedup under 1.5x, any
+//! steady-state pool allocation, a non-increasing E19 hit rate, or a
+//! lossy E19 node-kill.
 //!
 //! `--deadline-ms MS` gives every request that carries no
 //! `x-sww-deadline-ms` header a deadline budget: expiry answers `504`,
@@ -55,6 +60,15 @@
 //! running server when given an address; with no address it runs a small
 //! in-process demo fetch and dumps this process's own metrics registry.
 //! Every series it prints is documented in OBSERVABILITY.md.
+//!
+//! `--cluster N` turns `sww serve` into an N-node generative edge
+//! cluster behind one listener: each node wraps a full server over the
+//! same prompt-form site, recipes consistent-hash onto owner nodes
+//! (`--replicas` vnodes each), and connections round-robin across entry
+//! nodes with peer cache-fill on miss (DESIGN.md "Edge tier").
+//! `bench-cluster` is the E19 harness: aggregate throughput and global
+//! hit rate vs node count, plus a chaos node-kill scenario that must
+//! lose zero responses.
 //!
 //! `--transport h3` serves over the HTTP/3 framing (QUIC-lite stream
 //! mux) instead of HTTP/2; `--transport both` binds two listeners (the
@@ -154,6 +168,7 @@ fn main() {
         "stats" => rt.block_on(cmd_stats(&args)),
         "bench-concurrent" => cmd_bench_concurrent(&args),
         "bench-pr6" => cmd_bench_pr6(&args),
+        "bench-cluster" => cmd_bench_cluster(&args),
         "bench-transport" => cmd_bench_transport(&args),
         "bench-compare" => cmd_bench_compare(&args),
         _ => usage(),
@@ -196,6 +211,9 @@ fn server_config_from(args: &Args) -> ServerConfig {
 
 async fn cmd_serve(args: &Args) {
     install_chaos(args);
+    if let Some(nodes) = args.options.get("cluster").and_then(|s| s.parse().ok()) {
+        return cmd_serve_cluster(args, nodes).await;
+    }
     let config = server_config_from(args);
     let ability = config.ability;
     let (batch_max, batch_wait_ms) = (config.batch_max, config.batch_wait.as_millis());
@@ -266,6 +284,71 @@ async fn cmd_serve(args: &Args) {
         );
         return;
     }
+    loop {
+        tokio::time::sleep(std::time::Duration::from_secs(3600)).await;
+    }
+}
+
+/// `sww serve --cluster N`: one listener in front of an N-node edge
+/// cluster. Every per-node knob (`--workers`, `--batch-max`, …) applies
+/// to each node; connections round-robin across entry nodes.
+async fn cmd_serve_cluster(args: &Args, nodes: usize) {
+    let nodes = nodes.max(1);
+    let replicas: usize = args
+        .opt("replicas", "64")
+        .parse()
+        .unwrap_or(sww_core::edge::DEFAULT_VNODES)
+        .max(1);
+    // Freeze the per-node knobs out of the template config: ServerConfig
+    // itself is not Clone (it owns the site), so the factory rebuilds it
+    // per node from these plain values.
+    let template = server_config_from(args);
+    let site = template.site.clone();
+    let ability = template.ability;
+    let (workers, queue_capacity, cache_shards) = (
+        template.workers,
+        template.queue_capacity,
+        template.cache_shards,
+    );
+    let (batch_max, batch_wait, kernel_tiles) = (
+        template.batch_max,
+        template.batch_wait,
+        template.kernel_tiles,
+    );
+    let (default_deadline, breaker) = (template.default_deadline, template.breaker);
+    let router = sww_core::EdgeRouter::new(
+        sww_core::EdgeConfig {
+            nodes,
+            replicas,
+            ..sww_core::EdgeConfig::default()
+        },
+        site,
+        move |site| {
+            GenerativeServer::from_config(ServerConfig {
+                site,
+                ability,
+                workers,
+                queue_capacity,
+                cache_shards,
+                batch_max,
+                batch_wait,
+                kernel_tiles,
+                default_deadline,
+                breaker,
+                ..ServerConfig::default()
+            })
+        },
+    );
+    let addr = router
+        .spawn_tcp(args.opt("addr", "127.0.0.1:0"))
+        .await
+        .expect("bind cluster");
+    println!(
+        "serving edge cluster on {addr}: {} nodes [{}], {replicas} vnodes each (ability: {:?})",
+        router.node_count(),
+        router.node_ids().join(", "),
+        ability.bits()
+    );
     loop {
         tokio::time::sleep(std::time::Duration::from_secs(3600)).await;
     }
@@ -501,7 +584,7 @@ fn cmd_bench_concurrent(args: &Args) {
 /// Human-readable tables go to **stderr**; the JSON report goes to
 /// stdout, or to `--out FILE` so `ci.sh` can archive and gate it.
 fn cmd_bench_pr6(args: &Args) {
-    use sww_bench::experiments::{kernel, transport};
+    use sww_bench::experiments::{edge, kernel, transport};
     use sww_bench::report;
     let tiles: Vec<usize> = args
         .opt("tiles", "1,2,4,8")
@@ -523,6 +606,18 @@ fn cmd_bench_pr6(args: &Args) {
     let tcfg = transport::TransportConfig::default();
     let trun = transport::run_with_latency(tcfg);
     eprintln!("{}", transport::table(tcfg, &trun).render());
+    // E19: the edge-cluster sweep (no chaos — the gated numbers are the
+    // deterministic modelled ones), then the chaos node-kill under a
+    // deterministic generation latency that widens the kill window.
+    let ecfg = edge::EdgeClusterConfig::default();
+    let edge_samples = edge::run(&ecfg);
+    eprintln!("{}", edge::table(&ecfg, &edge_samples).render());
+    let chaos_spec = sww_core::ChaosSpec::parse("seed=7,engine.generate=latency:1.0:10")
+        .expect("E19 chaos spec");
+    sww_core::faults::install(&chaos_spec);
+    let chaos = edge::chaos_kill(&ecfg);
+    sww_core::faults::clear();
+    eprintln!("{}", edge::chaos_table(&chaos).render());
     let text = report::render(&report::pr6_report(
         kcfg,
         &kernel_samples,
@@ -530,6 +625,11 @@ fn cmd_bench_pr6(args: &Args) {
         &serving_samples,
         tcfg,
         &[trun.h2, trun.h3],
+        report::EdgeSection {
+            cfg: &ecfg,
+            sweep: &edge_samples,
+            chaos: &chaos,
+        },
     ));
     match args.options.get("out") {
         Some(path) => {
@@ -538,6 +638,68 @@ fn cmd_bench_pr6(args: &Args) {
         }
         None => print!("{text}"),
     }
+}
+
+/// Run the E19 edge-cluster sweep on its own: aggregate throughput and
+/// global hit rate vs node count, then the chaos node-kill scenario.
+/// With `--chaos` the caller's spec drives the fault layer for the whole
+/// run; otherwise the kill scenario installs its own deterministic
+/// generation latency. Exits non-zero when the node-kill loses a
+/// response, diverges from the 1-node baseline byte-wise, or the global
+/// hit rate fails to strictly increase with node count.
+fn cmd_bench_cluster(args: &Args) {
+    use sww_bench::experiments::edge;
+    let cfg = edge::EdgeClusterConfig {
+        node_counts: args
+            .opt("nodes", "1,2,4")
+            .split(',')
+            .filter_map(|n| n.trim().parse().ok())
+            .collect(),
+        threads_per_node: args.opt("threads", "2").parse().unwrap_or(2).max(1),
+        requests_per_thread: args.opt("requests", "10").parse().unwrap_or(10).max(1),
+        prompts: args.opt("prompts", "10").parse().unwrap_or(10).max(1),
+        replicas: args.opt("replicas", "64").parse().unwrap_or(64).max(1),
+    };
+    let caller_chaos = args.options.contains_key("chaos");
+    if caller_chaos {
+        install_chaos(args);
+    }
+    let samples = edge::run(&cfg);
+    println!("{}", edge::table(&cfg, &samples).render());
+    println!("{}", edge::modelled_table(&cfg).render());
+    if !caller_chaos {
+        let spec = sww_core::ChaosSpec::parse("seed=7,engine.generate=latency:1.0:10")
+            .expect("E19 chaos spec");
+        sww_core::faults::install(&spec);
+    }
+    let chaos = edge::chaos_kill(&cfg);
+    sww_core::faults::clear();
+    println!("{}", edge::chaos_table(&chaos).render());
+    let mut failed = false;
+    for pair in samples.windows(2) {
+        if pair[1].hit_rate <= pair[0].hit_rate {
+            eprintln!(
+                "FAIL: hit rate must strictly increase with nodes ({} -> {})",
+                pair[0].nodes, pair[1].nodes
+            );
+            failed = true;
+        }
+    }
+    if chaos.lost != 0 {
+        eprintln!("FAIL: node-kill lost {} responses", chaos.lost);
+        failed = true;
+    }
+    if !chaos.byte_identical {
+        eprintln!("FAIL: failover payloads diverged from the 1-node baseline");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "node-kill ({}): {} failovers, {} retries, zero lost, payloads byte-identical",
+        chaos.killed, chaos.failovers, chaos.retries
+    );
 }
 
 /// Run the E18 transport shoot-out on its own: h2 vs h3 page loads with

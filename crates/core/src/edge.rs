@@ -1,0 +1,1103 @@
+//! Distributed generative edge: a consistent-hash CDN tier of
+//! cooperating [`GenerativeServer`] nodes (paper §2.2).
+//!
+//! The paper argues generative servers will be deployed like a CDN — a
+//! tier of edges close to users, each able to *expand* prompt-form
+//! content on demand. This module promotes the E13 deployment model
+//! (`crate::cdn`) to a running system:
+//!
+//! * a [`HashRing`] consistent-hashes **recipe keys**
+//!   (model × prompt × params, hashed through `sww-hash`) onto node
+//!   ids, so every entry edge agrees on one *owner* per recipe;
+//! * an [`EdgeRouter`] fronts N [`EdgeNode`]s, each wrapping a full
+//!   [`GenerativeServer`] with its own cache, pool and breaker;
+//! * a miss at a non-owner edge performs **peer cache-fill**: the
+//!   finished media is fetched from the owner and stored in the entry's
+//!   bounded fill cache — or, when the client itself advertises
+//!   `SETTINGS_SWW_GEN_ABILITY`, the entry serves the *recipe itself*
+//!   (prompt form is replicated at every edge, so no hop is needed);
+//! * the entry generates locally only when the owner is down: failover
+//!   walks the ring in successor order, so every edge converges on the
+//!   same *acting owner* and generation stays exactly-once cluster-wide
+//!   even through node loss.
+//!
+//! Because all entries funnel a recipe to one owner, the single-flight
+//! machinery from PRs 2/5 becomes **global**: M clients × N nodes over
+//! P shared prompts still cost exactly P generations. Per-node circuit
+//! breakers (and overload shedding) surface as 5xx at the owner, which
+//! the router treats as node-unhealthy and fails over — breakers feed
+//! router-level failover. Node join/leave rebalances deterministically
+//! (the ring is a pure function of membership); leave unpublishes the
+//! node from the ring *first* and then reuses PR 5's
+//! [`GenerativeServer::drain`], so no in-flight response is lost.
+//!
+//! Routed and local dispatches land in `/metrics` under the
+//! [`TransportKind::Edge`](crate::TransportKind::Edge) label; the
+//! router's own counters are the
+//! `sww_edge_*` family (OBSERVABILITY.md), every one carrying a `node`
+//! label.
+
+use crate::cache::Recipe;
+use crate::negotiate::{decide, ServeMode};
+use crate::server::{DrainReport, GenerativeServer, SiteContent};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use sww_energy::device::{profile as device_profile, DeviceKind};
+use sww_hash::sha256;
+use sww_html::gencontent::{self, ContentType};
+use sww_html::parse;
+use sww_http2::server::{serve_connection_until, ServeStats};
+use sww_http2::{GenAbility, H2Error, Request, Response};
+use tokio::io::{AsyncRead, AsyncWrite};
+
+/// Virtual nodes per physical node — enough that a 10k-key workload
+/// spreads within a small factor of uniform (see `proptest_ring`).
+pub const DEFAULT_VNODES: usize = 64;
+
+/// A point on the 64-bit ring: the first 8 bytes of `sha256(bytes)`.
+fn ring_point(bytes: &[u8]) -> u64 {
+    let digest = sha256(bytes);
+    u64::from_be_bytes(digest[..8].try_into().expect("sha256 is 32 bytes"))
+}
+
+/// The canonical routing key for a recipe: `model|WxH|steps|prompt`.
+/// Every edge derives the same key for the same recipe, which is what
+/// makes ownership a cluster-wide agreement rather than a per-node
+/// guess.
+pub fn recipe_key(recipe: &Recipe) -> String {
+    format!(
+        "{:?}|{}x{}|{}|{}",
+        recipe.model, recipe.width, recipe.height, recipe.steps, recipe.prompt
+    )
+}
+
+/// A consistent-hash ring mapping keys to node ids.
+///
+/// The ring is a **pure function of membership**: vnode points depend
+/// only on `(node id, replica index)`, so any two rings built from the
+/// same node set — in any insertion order, through any join/leave
+/// history — assign every key identically. That purity is what makes
+/// rebalancing deterministic and replayable (see
+/// `crates/core/tests/proptest_ring.rs`).
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Sorted `(point, index into nodes)` pairs.
+    points: Vec<(u64, usize)>,
+    /// Sorted member ids (sorted so `points` indices are canonical).
+    nodes: Vec<String>,
+    /// Vnodes per member.
+    replicas: usize,
+}
+
+impl HashRing {
+    /// An empty ring with `replicas` vnodes per member (0 is clamped
+    /// to 1).
+    pub fn new(replicas: usize) -> HashRing {
+        HashRing {
+            points: Vec::new(),
+            nodes: Vec::new(),
+            replicas: replicas.max(1),
+        }
+    }
+
+    /// A ring populated from `nodes`.
+    pub fn with_nodes<I, S>(replicas: usize, nodes: I) -> HashRing
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut ring = HashRing::new(replicas);
+        for node in nodes {
+            ring.add(&node.into());
+        }
+        ring
+    }
+
+    fn rebuild(&mut self) {
+        self.points.clear();
+        for (idx, node) in self.nodes.iter().enumerate() {
+            for replica in 0..self.replicas {
+                self.points
+                    .push((ring_point(format!("{node}#{replica}").as_bytes()), idx));
+            }
+        }
+        // Ties (a sha256 collision between two vnode labels) are broken
+        // by node index, which is itself canonical (sorted ids).
+        self.points.sort_unstable();
+    }
+
+    /// Add a member; returns `false` if it was already present.
+    pub fn add(&mut self, node: &str) -> bool {
+        if self.contains(node) {
+            return false;
+        }
+        self.nodes.push(node.to_owned());
+        self.nodes.sort_unstable();
+        self.rebuild();
+        true
+    }
+
+    /// Remove a member; returns `false` if it was not present.
+    pub fn remove(&mut self, node: &str) -> bool {
+        let Some(pos) = self.nodes.iter().position(|n| n == node) else {
+            return false;
+        };
+        self.nodes.remove(pos);
+        self.rebuild();
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, node: &str) -> bool {
+        self.nodes.iter().any(|n| n == node)
+    }
+
+    /// Member ids, sorted.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no members remain.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Vnodes per member.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Index into `points` of the first vnode at or after `key`'s point
+    /// (wrapping past the top of the ring).
+    fn start_index(&self, key: &[u8]) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let point = ring_point(key);
+        let idx = self.points.partition_point(|&(p, _)| p < point);
+        Some(idx % self.points.len())
+    }
+
+    /// The owner of `key`: the member whose vnode follows the key's
+    /// point clockwise.
+    pub fn owner(&self, key: &[u8]) -> Option<&str> {
+        let start = self.start_index(key)?;
+        Some(self.nodes[self.points[start].1].as_str())
+    }
+
+    /// Every member in ring order from `key`'s owner — the failover
+    /// chain. The first entry is the owner; each subsequent entry is the
+    /// next *distinct* member clockwise, so when the owner is down every
+    /// edge converges on the same acting owner.
+    pub fn successors(&self, key: &[u8]) -> Vec<&str> {
+        let Some(start) = self.start_index(key) else {
+            return Vec::new();
+        };
+        let mut seen = vec![false; self.nodes.len()];
+        let mut chain = Vec::with_capacity(self.nodes.len());
+        for offset in 0..self.points.len() {
+            let (_, idx) = self.points[(start + offset) % self.points.len()];
+            if !seen[idx] {
+                seen[idx] = true;
+                chain.push(self.nodes[idx].as_str());
+                if chain.len() == self.nodes.len() {
+                    break;
+                }
+            }
+        }
+        chain
+    }
+
+    /// How many of `keys` each member owns (keys in unowned rings are
+    /// dropped). Used by E19 to model per-node generation load.
+    pub fn ownership<K: AsRef<[u8]>>(&self, keys: &[K]) -> HashMap<String, usize> {
+        let mut counts: HashMap<String, usize> =
+            self.nodes.iter().map(|n| (n.clone(), 0)).collect();
+        for key in keys {
+            if let Some(owner) = self.owner(key.as_ref()) {
+                *counts.get_mut(owner).expect("owner is a member") += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// A finished response held in an edge's fill cache.
+#[derive(Debug, Clone)]
+struct FillEntry {
+    resp: Response,
+    bytes: u64,
+    stamp: u64,
+}
+
+/// Bounded per-node cache of peer-filled responses, LRU by touch order.
+#[derive(Debug)]
+struct FillCache {
+    budget: u64,
+    inner: Mutex<FillInner>,
+}
+
+#[derive(Debug, Default)]
+struct FillInner {
+    map: HashMap<String, FillEntry>,
+    bytes: u64,
+    clock: u64,
+}
+
+impl FillCache {
+    fn new(budget: u64) -> FillCache {
+        FillCache {
+            budget,
+            inner: Mutex::new(FillInner::default()),
+        }
+    }
+
+    fn get(&self, key: &str) -> Option<Response> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        let entry = inner.map.get_mut(key)?;
+        entry.stamp = clock;
+        Some(entry.resp.clone())
+    }
+
+    fn put(&self, key: &str, resp: &Response) {
+        let bytes = resp.body.len() as u64;
+        if bytes > self.budget {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        if let Some(old) = inner.map.insert(
+            key.to_owned(),
+            FillEntry {
+                resp: resp.clone(),
+                bytes,
+                stamp,
+            },
+        ) {
+            inner.bytes -= old.bytes;
+        }
+        inner.bytes += bytes;
+        while inner.bytes > self.budget {
+            let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            let evicted = inner.map.remove(&oldest).expect("key just observed");
+            inner.bytes -= evicted.bytes;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    fn stored_bytes(&self) -> u64 {
+        self.inner.lock().bytes
+    }
+}
+
+/// Per-node router counters, mirrored into the `sww_edge_*` metric
+/// family. Kept on the node too so tests and benches can read exact
+/// deltas without the process-global registry.
+#[derive(Debug, Default)]
+struct NodeCounters {
+    requests: AtomicU64,
+    prompt_local: AtomicU64,
+    local_media: AtomicU64,
+    peer_serves: AtomicU64,
+    fills: AtomicU64,
+    fill_hits: AtomicU64,
+    failovers: AtomicU64,
+}
+
+/// A read-only snapshot of one node's router counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Requests that entered the cluster at this node.
+    pub requests: u64,
+    /// Prompt-form pages served locally to generative clients.
+    pub prompt_local: u64,
+    /// Media served locally because this entry was the acting owner.
+    pub local_media: u64,
+    /// Requests this node served as acting owner on behalf of a peer
+    /// entry (the target side of `sww_edge_routed_total`).
+    pub peer_serves: u64,
+    /// Responses this entry filled into its cache from a peer.
+    pub fills: u64,
+    /// Requests this entry answered from its fill cache.
+    pub fill_hits: u64,
+    /// Times this node was skipped over (dead or erroring) during
+    /// failover.
+    pub failovers: u64,
+}
+
+/// One edge: a full [`GenerativeServer`] plus its liveness flag and
+/// fill cache.
+pub struct EdgeNode {
+    id: String,
+    server: GenerativeServer,
+    alive: AtomicBool,
+    fill: FillCache,
+    counters: NodeCounters,
+}
+
+impl EdgeNode {
+    fn new(id: String, server: GenerativeServer, fill_budget: u64) -> EdgeNode {
+        EdgeNode {
+            id,
+            server,
+            alive: AtomicBool::new(true),
+            fill: FillCache::new(fill_budget),
+            counters: NodeCounters::default(),
+        }
+    }
+
+    /// The node's ring id (`n0`, `n1`, …) — also its `node` metric
+    /// label.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The wrapped server (own cache/pool/breaker).
+    pub fn server(&self) -> &GenerativeServer {
+        &self.server
+    }
+
+    /// Liveness as the router sees it (flipped by
+    /// [`EdgeRouter::kill`] / [`EdgeRouter::revive`]).
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot of this node's router counters.
+    pub fn stats(&self) -> NodeStats {
+        NodeStats {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            prompt_local: self.counters.prompt_local.load(Ordering::Relaxed),
+            local_media: self.counters.local_media.load(Ordering::Relaxed),
+            peer_serves: self.counters.peer_serves.load(Ordering::Relaxed),
+            fills: self.counters.fills.load(Ordering::Relaxed),
+            fill_hits: self.counters.fill_hits.load(Ordering::Relaxed),
+            failovers: self.counters.failovers.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Entries currently in the fill cache.
+    pub fn fill_len(&self) -> usize {
+        self.fill.len()
+    }
+
+    /// Octets currently in the fill cache (≤ the configured budget).
+    pub fn fill_bytes(&self) -> u64 {
+        self.fill.stored_bytes()
+    }
+
+    fn count(&self, which: &AtomicU64, metric: &'static str) {
+        which.fetch_add(1, Ordering::Relaxed);
+        sww_obs::counter(metric, &[("node", &self.id)]).inc();
+    }
+}
+
+/// Cluster-tier configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeConfig {
+    /// Initial node count.
+    pub nodes: usize,
+    /// Vnodes per node on the ring ([`DEFAULT_VNODES`]).
+    pub replicas: usize,
+    /// Per-node fill-cache budget in octets.
+    pub fill_bytes: u64,
+}
+
+impl Default for EdgeConfig {
+    fn default() -> EdgeConfig {
+        EdgeConfig {
+            nodes: 2,
+            replicas: DEFAULT_VNODES,
+            fill_bytes: 8 << 20,
+        }
+    }
+}
+
+/// Everything the router's clones share.
+struct RouterInner {
+    site: SiteContent,
+    factory: Box<dyn Fn(SiteContent) -> GenerativeServer + Send + Sync>,
+    fill_bytes: u64,
+    /// Path → routing key. Pages with generated images key on their
+    /// first image recipe, and each `/generated/<name>` asset keys on
+    /// its page's recipe, so a page and its media co-locate on one
+    /// owner. Unlisted paths fall back to hashing the path itself.
+    keys: HashMap<String, String>,
+    state: RwLock<ClusterState>,
+    seq: AtomicUsize,
+    round_robin: AtomicUsize,
+}
+
+#[derive(Clone)]
+struct ClusterState {
+    ring: HashRing,
+    nodes: Vec<Arc<EdgeNode>>,
+}
+
+impl ClusterState {
+    fn by_id(&self, id: &str) -> Option<&Arc<EdgeNode>> {
+        self.nodes.iter().find(|n| n.id == id)
+    }
+}
+
+/// The cluster front door: consistent-hash routing, peer cache-fill,
+/// and ring-order failover over N [`EdgeNode`]s. Cheap to clone (all
+/// clones share one cluster state).
+#[derive(Clone)]
+pub struct EdgeRouter {
+    inner: Arc<RouterInner>,
+}
+
+impl EdgeRouter {
+    /// Build a cluster of `config.nodes` nodes. `factory` constructs
+    /// each node's server from a clone of `site` — prompt-form content
+    /// is replicated at every edge, exactly the §2.2 deployment (the
+    /// prompts are tiny; the expanded media is what the ring shards).
+    pub fn new<F>(config: EdgeConfig, site: SiteContent, factory: F) -> EdgeRouter
+    where
+        F: Fn(SiteContent) -> GenerativeServer + Send + Sync + 'static,
+    {
+        let keys = routing_keys(&site);
+        let router = EdgeRouter {
+            inner: Arc::new(RouterInner {
+                site,
+                factory: Box::new(factory),
+                fill_bytes: config.fill_bytes,
+                keys,
+                state: RwLock::new(ClusterState {
+                    ring: HashRing::new(config.replicas.max(1)),
+                    nodes: Vec::new(),
+                }),
+                seq: AtomicUsize::new(0),
+                round_robin: AtomicUsize::new(0),
+            }),
+        };
+        for _ in 0..config.nodes {
+            router.join();
+        }
+        router
+    }
+
+    /// Add a node (fresh server from the factory) to the ring; returns
+    /// its id. Rebalancing is deterministic: the ring is a pure
+    /// function of the new membership, so only ~K/N keys change owner.
+    pub fn join(&self) -> String {
+        let id = format!("n{}", self.inner.seq.fetch_add(1, Ordering::SeqCst));
+        let server = (self.inner.factory)(self.inner.site.clone());
+        let node = Arc::new(EdgeNode::new(id.clone(), server, self.inner.fill_bytes));
+        {
+            let mut state = self.inner.state.write();
+            state.ring.add(&id);
+            state.nodes.push(node);
+        }
+        self.publish_gauges();
+        id
+    }
+
+    /// Remove a node gracefully: unpublish it from the ring *first*
+    /// (new requests re-route to its ring successors immediately), then
+    /// drain the wrapped server — PR 5's [`GenerativeServer::drain`]
+    /// finishes every in-flight exchange before the node is dropped, so
+    /// leave loses no responses. Returns the drain report, or `None`
+    /// for an unknown id.
+    pub fn leave(&self, id: &str) -> Option<DrainReport> {
+        let node = {
+            let mut state = self.inner.state.write();
+            if !state.ring.remove(id) {
+                return None;
+            }
+            let pos = state
+                .nodes
+                .iter()
+                .position(|n| n.id == id)
+                .expect("ring and node list stay in sync");
+            state.nodes.remove(pos)
+        };
+        let report = node.server.drain();
+        self.publish_gauges();
+        Some(report)
+    }
+
+    /// Chaos: mark a node dead. It stays on the ring (the failure
+    /// detector, not the membership protocol, saw it go), but the
+    /// router skips it — and discards responses from dispatches that
+    /// were mid-flight when the kill landed, retrying them on the next
+    /// successor, so a kill never loses a response.
+    pub fn kill(&self, id: &str) -> bool {
+        self.set_alive(id, false)
+    }
+
+    /// Chaos: bring a killed node back.
+    pub fn revive(&self, id: &str) -> bool {
+        self.set_alive(id, true)
+    }
+
+    fn set_alive(&self, id: &str, alive: bool) -> bool {
+        let state = self.inner.state.read();
+        let Some(node) = state.by_id(id) else {
+            return false;
+        };
+        node.alive.store(alive, Ordering::SeqCst);
+        sww_obs::gauge("sww_edge_node_alive", &[("node", id)]).set(if alive { 1.0 } else { 0.0 });
+        true
+    }
+
+    fn publish_gauges(&self) {
+        let state = self.inner.state.read();
+        sww_obs::gauge("sww_edge_ring_nodes", &[]).set(state.ring.len() as f64);
+        for node in &state.nodes {
+            sww_obs::gauge("sww_edge_node_alive", &[("node", &node.id)]).set(if node.is_alive() {
+                1.0
+            } else {
+                0.0
+            });
+        }
+    }
+
+    /// Current node count.
+    pub fn node_count(&self) -> usize {
+        self.inner.state.read().nodes.len()
+    }
+
+    /// Node ids in join order (entry index i maps to `node_ids()[i %
+    /// len]`).
+    pub fn node_ids(&self) -> Vec<String> {
+        let state = self.inner.state.read();
+        state.nodes.iter().map(|n| n.id.clone()).collect()
+    }
+
+    /// Handle to one node.
+    pub fn node(&self, id: &str) -> Option<Arc<EdgeNode>> {
+        self.inner.state.read().by_id(id).cloned()
+    }
+
+    /// All node handles, in join order.
+    pub fn nodes(&self) -> Vec<Arc<EdgeNode>> {
+        self.inner.state.read().nodes.clone()
+    }
+
+    /// A snapshot of the ring.
+    pub fn ring(&self) -> HashRing {
+        self.inner.state.read().ring.clone()
+    }
+
+    /// The routing key `path` hashes under (a recipe key for pages with
+    /// generated images and their assets, the path itself otherwise).
+    pub fn routing_key(&self, path: &str) -> String {
+        self.inner
+            .keys
+            .get(path)
+            .cloned()
+            .unwrap_or_else(|| path.to_owned())
+    }
+
+    /// Which node owns `path` right now.
+    pub fn owner_of(&self, path: &str) -> Option<String> {
+        let key = self.routing_key(path);
+        let state = self.inner.state.read();
+        state.ring.owner(key.as_bytes()).map(str::to_owned)
+    }
+
+    /// Serve one request entering the cluster at entry node `entry`
+    /// (modulo the node count).
+    ///
+    /// The decision tree, in order:
+    ///
+    /// 1. `/metrics` answers at the entry (the registry is shared).
+    /// 2. A client that negotiates a generative mode gets the **recipe
+    ///    itself**, served from the entry's replicated prompt store —
+    ///    no routing hop at all.
+    /// 3. Otherwise the entry consults its fill cache, then routes to
+    ///    the acting owner: the first *alive* node in the key's ring
+    ///    successor chain. A peer-served 200 is filled into the entry's
+    ///    cache (`sww_edge_peer_fill_total`).
+    /// 4. Dead nodes — and nodes whose dispatch returned a
+    ///    breaker/overload-shaped 5xx, and nodes killed while the
+    ///    dispatch was mid-flight — are skipped
+    ///    (`sww_edge_failover_total`), walking toward the entry's own
+    ///    position: the entry generates locally only when the owners
+    ///    ahead of it are down.
+    pub fn handle(&self, entry: usize, client_ability: GenAbility, req: &Request) -> Response {
+        let state = self.inner.state.read().clone();
+        if state.nodes.is_empty() {
+            return cluster_down_response();
+        }
+        let entry_node = Arc::clone(&state.nodes[entry % state.nodes.len()]);
+        entry_node.count(&entry_node.counters.requests, "sww_edge_requests_total");
+        if !entry_node.is_alive() {
+            entry_node.count(&entry_node.counters.failovers, "sww_edge_failover_total");
+            return node_down_response(&entry_node.id);
+        }
+        if req.path == "/metrics" {
+            return entry_node.server.dispatch_edge(client_ability, req);
+        }
+        let mode = decide(
+            entry_node.server.ability(),
+            client_ability,
+            entry_node.server.policy(),
+        );
+        if matches!(mode, ServeMode::Generative | ServeMode::UpscaleAssisted) {
+            entry_node.count(
+                &entry_node.counters.prompt_local,
+                "sww_edge_prompt_local_total",
+            );
+            return entry_node.server.dispatch_edge(client_ability, req);
+        }
+        // Naive client: finished media. Conditional revalidations skip
+        // the fill cache (it stores full 200s, not 304 bookkeeping).
+        let revalidate = req.headers.get("if-none-match").is_some();
+        let fill_key = format!("{}|{}", req.path, mode_tag(mode));
+        if !revalidate {
+            if let Some(resp) = entry_node.fill.get(&fill_key) {
+                entry_node.count(&entry_node.counters.fill_hits, "sww_edge_fill_hits_total");
+                return resp;
+            }
+        }
+        let key = self.routing_key(&req.path);
+        let mut last = None;
+        for id in state.ring.successors(key.as_bytes()) {
+            let node = state.by_id(id).expect("successors are members");
+            if !node.is_alive() {
+                node.count(&node.counters.failovers, "sww_edge_failover_total");
+                continue;
+            }
+            let resp = node.server.dispatch_edge(client_ability, req);
+            if !node.is_alive() {
+                // Killed while the dispatch was in flight: the response
+                // is deemed lost on the wire. Retry on the successor —
+                // this is the zero-lost-responses half of the chaos
+                // node-kill scenario.
+                node.count(&node.counters.failovers, "sww_edge_failover_total");
+                continue;
+            }
+            if node_unhealthy(resp.status) {
+                node.count(&node.counters.failovers, "sww_edge_failover_total");
+                last = Some(resp);
+                continue;
+            }
+            if node.id == entry_node.id {
+                entry_node.count(&entry_node.counters.local_media, "sww_edge_local_total");
+            } else {
+                node.count(&node.counters.peer_serves, "sww_edge_routed_total");
+                if resp.status == 200 && !revalidate {
+                    entry_node.fill.put(&fill_key, &resp);
+                    entry_node.count(&entry_node.counters.fills, "sww_edge_peer_fill_total");
+                }
+            }
+            return resp;
+        }
+        last.unwrap_or_else(cluster_down_response)
+    }
+
+    /// Serve one HTTP/2 connection whose requests enter at `entry` —
+    /// the per-connection half of [`spawn_tcp`](EdgeRouter::spawn_tcp).
+    pub async fn serve_stream<T>(&self, entry: usize, io: T) -> Result<ServeStats, H2Error>
+    where
+        T: AsyncRead + AsyncWrite + Unpin,
+    {
+        let ability = {
+            let state = self.inner.state.read();
+            match state.nodes.get(entry % state.nodes.len().max(1)) {
+                Some(node) => node.server.ability(),
+                None => GenAbility::none(),
+            }
+        };
+        let router = self.clone();
+        serve_connection_until(
+            io,
+            ability,
+            move |req, ctx| router.handle(entry, ctx.client_ability, &req),
+            || false,
+        )
+        .await
+    }
+
+    /// Bind a TCP listener for the whole cluster: connections are
+    /// assigned entry nodes round-robin (a stand-in for the DNS/anycast
+    /// spraying a real CDN front end does). Returns the bound address.
+    pub async fn spawn_tcp(&self, addr: &str) -> std::io::Result<std::net::SocketAddr> {
+        let listener = tokio::net::TcpListener::bind(addr).await?;
+        let local = listener.local_addr()?;
+        let router = self.clone();
+        tokio::spawn(async move {
+            while let Ok((sock, _)) = listener.accept().await {
+                let entry = router.inner.round_robin.fetch_add(1, Ordering::Relaxed);
+                let router = router.clone();
+                tokio::spawn(async move {
+                    let _ = router.serve_stream(entry, sock).await;
+                });
+            }
+        });
+        Ok(local)
+    }
+}
+
+/// Statuses after which the router stops trusting a node for this
+/// request: its breaker is open (503), it shed under overload (503),
+/// missed a deadline (504), or failed outright (500/502).
+fn node_unhealthy(status: u16) -> bool {
+    matches!(status, 500 | 502 | 503 | 504)
+}
+
+/// Fill-cache key component for the negotiated mode (distinct modes
+/// carry distinct `x-sww-mode` headers, so they must not share cached
+/// bodies).
+fn mode_tag(mode: ServeMode) -> &'static str {
+    match mode {
+        ServeMode::Generative => "gen",
+        ServeMode::UpscaleAssisted => "upscale",
+        ServeMode::ServerGenerated => "server-gen",
+        ServeMode::Traditional => "traditional",
+    }
+}
+
+fn cluster_down_response() -> Response {
+    let mut resp = Response::status(503);
+    resp.headers.insert("retry-after", "1");
+    resp.headers
+        .insert("x-sww-error", "edge-cluster-unavailable");
+    resp
+}
+
+fn node_down_response(id: &str) -> Response {
+    let mut resp = Response::status(503);
+    resp.headers.insert("retry-after", "1");
+    resp.headers.insert("x-sww-error", "edge-node-down");
+    resp.headers.insert("x-sww-edge-node", id);
+    resp
+}
+
+/// Derive the path → routing-key map for a site: each page with
+/// generated images keys on its first image recipe (model × prompt ×
+/// params), and every `/generated/<name>` asset a page's materialized
+/// form references keys on the *same* recipe, so the page and its media
+/// land on one owner.
+fn routing_keys(site: &SiteContent) -> HashMap<String, String> {
+    let generator = crate::mediagen::MediaGenerator::new(device_profile(DeviceKind::Workstation));
+    let (model, steps) = (generator.image_model(), generator.inference_steps());
+    let mut keys = HashMap::new();
+    for path in site.page_paths() {
+        let page = site.page(path).expect("path came from the site");
+        let items = gencontent::extract(&parse(&page.html));
+        let mut page_key = None;
+        for item in &items {
+            if item.content_type != ContentType::Img {
+                continue;
+            }
+            let recipe = Recipe {
+                prompt: item.prompt().to_owned(),
+                model,
+                width: item.width(),
+                height: item.height(),
+                steps,
+            };
+            let key = recipe_key(&recipe);
+            if page_key.is_none() {
+                page_key = Some(key.clone());
+            }
+            keys.insert(
+                format!("/generated/{}", item.name()),
+                page_key.clone().expect("set just above"),
+            );
+        }
+        if let Some(key) = page_key {
+            keys.insert(path.to_owned(), key);
+        }
+    }
+    keys
+}
+
+/// A tiny in-module smoke surface; the heavy proofs live in
+/// `crates/core/tests/proptest_ring.rs` and `tests/edge_cluster.rs`.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+    use bytes::Bytes;
+    use sww_genai::diffusion::ImageModelKind;
+
+    fn ring(nodes: &[&str]) -> HashRing {
+        HashRing::with_nodes(DEFAULT_VNODES, nodes.iter().copied())
+    }
+
+    fn demo_site() -> SiteContent {
+        let mut site = SiteContent::new();
+        for p in 0..4 {
+            site.add_page(
+                format!("/page/{p}"),
+                format!(
+                    "<html><body>{}</body></html>",
+                    gencontent::image_div(
+                        &format!("edge prompt {p} basalt arch"),
+                        &format!("edge{p}.jpg"),
+                        32,
+                        32,
+                    )
+                ),
+            );
+        }
+        site.add_page("/plain", "<html><body>no images</body></html>");
+        site
+    }
+
+    fn demo_router(nodes: usize) -> EdgeRouter {
+        EdgeRouter::new(
+            EdgeConfig {
+                nodes,
+                ..EdgeConfig::default()
+            },
+            demo_site(),
+            |site| {
+                GenerativeServer::from_config(ServerConfig {
+                    site,
+                    ..ServerConfig::default()
+                })
+            },
+        )
+    }
+
+    #[test]
+    fn ring_point_is_stable() {
+        // The ring hash is a wire-adjacent contract: changing it
+        // reshuffles every deployed cluster at once.
+        assert_eq!(ring_point(b"n0#0"), ring_point(b"n0#0"));
+        assert_ne!(ring_point(b"n0#0"), ring_point(b"n0#1"));
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let ring = HashRing::new(DEFAULT_VNODES);
+        assert!(ring.is_empty());
+        assert_eq!(ring.owner(b"k"), None);
+        assert!(ring.successors(b"k").is_empty());
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let ring = ring(&["n0"]);
+        for k in 0..100u32 {
+            assert_eq!(ring.owner(format!("key{k}").as_bytes()), Some("n0"));
+        }
+    }
+
+    #[test]
+    fn owner_is_insertion_order_independent() {
+        let a = ring(&["n0", "n1", "n2"]);
+        let b = ring(&["n2", "n0", "n1"]);
+        for k in 0..200u32 {
+            let key = format!("key{k}");
+            assert_eq!(a.owner(key.as_bytes()), b.owner(key.as_bytes()));
+        }
+    }
+
+    #[test]
+    fn successors_start_at_owner_and_cover_all_nodes() {
+        let ring = ring(&["n0", "n1", "n2", "n3"]);
+        for k in 0..50u32 {
+            let key = format!("key{k}");
+            let chain = ring.successors(key.as_bytes());
+            assert_eq!(chain.len(), 4);
+            assert_eq!(chain[0], ring.owner(key.as_bytes()).unwrap());
+            let mut sorted: Vec<&str> = chain.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, ["n0", "n1", "n2", "n3"]);
+        }
+    }
+
+    #[test]
+    fn add_and_remove_report_membership_changes() {
+        let mut ring = HashRing::new(8);
+        assert!(ring.add("n0"));
+        assert!(!ring.add("n0"), "double add is a no-op");
+        assert!(ring.contains("n0"));
+        assert!(ring.remove("n0"));
+        assert!(!ring.remove("n0"), "double remove is a no-op");
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn ownership_counts_every_key_once() {
+        let ring = ring(&["n0", "n1", "n2"]);
+        let keys: Vec<String> = (0..300).map(|k| format!("key{k}")).collect();
+        let counts = ring.ownership(&keys);
+        assert_eq!(counts.values().sum::<usize>(), keys.len());
+        assert_eq!(counts.len(), 3);
+    }
+
+    #[test]
+    fn recipe_key_is_canonical() {
+        let recipe = Recipe {
+            prompt: "a basalt arch".into(),
+            model: ImageModelKind::Sd3Medium,
+            width: 64,
+            height: 48,
+            steps: 15,
+        };
+        assert_eq!(recipe_key(&recipe), "Sd3Medium|64x48|15|a basalt arch");
+    }
+
+    #[test]
+    fn fill_cache_evicts_lru_within_budget() {
+        let cache = FillCache::new(10);
+        let resp = |body: &str| Response::ok(Bytes::from(body.to_owned()));
+        cache.put("a", &resp("aaaa"));
+        cache.put("b", &resp("bbbb"));
+        assert!(cache.get("a").is_some(), "touch a so b is the LRU");
+        cache.put("c", &resp("cccc"));
+        assert!(cache.get("b").is_none(), "b was least recently used");
+        assert!(cache.get("a").is_some() && cache.get("c").is_some());
+        assert!(cache.stored_bytes() <= 10);
+    }
+
+    #[test]
+    fn fill_cache_rejects_oversized_bodies() {
+        let cache = FillCache::new(3);
+        cache.put("big", &Response::ok(Bytes::from_static(b"toolarge")));
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn pages_and_their_assets_share_a_routing_key() {
+        let router = demo_router(3);
+        let page_key = router.routing_key("/page/0");
+        assert!(page_key.contains("edge prompt 0"), "{page_key}");
+        assert_eq!(router.routing_key("/generated/edge0.jpg"), page_key);
+        // A page with no generated images hashes on its own path.
+        assert_eq!(router.routing_key("/plain"), "/plain");
+        assert_eq!(router.routing_key("/nowhere"), "/nowhere");
+    }
+
+    #[test]
+    fn generative_clients_are_served_at_the_entry() {
+        let router = demo_router(3);
+        let resp = router.handle(1, GenAbility::full(), &Request::get("/page/0"));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.headers.get("x-sww-mode"), Some("generative"));
+        let ids = router.node_ids();
+        let entry = router.node(&ids[1]).unwrap();
+        assert_eq!(entry.stats().prompt_local, 1);
+        assert_eq!(entry.stats().fills, 0, "no peer hop for prompt form");
+    }
+
+    #[test]
+    fn naive_miss_routes_to_owner_and_fills_the_entry() {
+        let router = demo_router(3);
+        let owner = router.owner_of("/page/1").unwrap();
+        let ids = router.node_ids();
+        let entry_idx = ids
+            .iter()
+            .position(|id| *id != owner)
+            .expect("3 nodes, someone is not the owner");
+        let resp = router.handle(entry_idx, GenAbility::none(), &Request::get("/page/1"));
+        assert_eq!(resp.status, 200);
+        let entry = router.node(&ids[entry_idx]).unwrap();
+        let owner_node = router.node(&owner).unwrap();
+        assert_eq!(entry.stats().fills, 1);
+        assert_eq!(owner_node.stats().peer_serves, 1);
+        assert_eq!(owner_node.server().engine().generations(), 1);
+        assert_eq!(entry.server().engine().generations(), 0);
+        // The second request at the same entry is a fill hit: no hop.
+        let again = router.handle(entry_idx, GenAbility::none(), &Request::get("/page/1"));
+        assert_eq!(again.body, resp.body);
+        assert_eq!(entry.stats().fill_hits, 1);
+        assert_eq!(owner_node.stats().peer_serves, 1, "no second hop");
+    }
+
+    #[test]
+    fn owner_kill_fails_over_with_identical_bytes() {
+        let router = demo_router(3);
+        let owner = router.owner_of("/page/2").unwrap();
+        let ids = router.node_ids();
+        let entry_idx = ids.iter().position(|id| *id != owner).unwrap();
+        let before = router.handle(entry_idx, GenAbility::none(), &Request::get("/page/2"));
+        assert_eq!(before.status, 200);
+        assert!(router.kill(&owner));
+        // The *other* non-owner node as entry: its fill cache is empty,
+        // and the key's ring chain still starts at the dead owner.
+        let other_idx = ids
+            .iter()
+            .position(|id| *id != owner && *id != ids[entry_idx])
+            .expect("3 nodes: two non-owners");
+        let after = router.handle(other_idx, GenAbility::none(), &Request::get("/page/2"));
+        assert_eq!(after.status, 200);
+        assert_eq!(
+            after.body, before.body,
+            "failover regenerates deterministically"
+        );
+        let killed = router.node(&owner).unwrap();
+        assert!(killed.stats().failovers >= 1, "the dead owner was skipped");
+        assert!(router.revive(&owner));
+        assert!(router.node(&owner).unwrap().is_alive());
+    }
+
+    #[test]
+    fn leave_unpublishes_then_drains() {
+        let router = demo_router(3);
+        let ids = router.node_ids();
+        let report = router.leave(&ids[0]).expect("member leaves");
+        assert_eq!(report.inflight_at_start, 0, "nothing was in flight");
+        assert_eq!(router.node_count(), 2);
+        assert!(!router.ring().contains(&ids[0]));
+        assert!(router.leave(&ids[0]).is_none(), "second leave is a no-op");
+        // The cluster still answers.
+        let resp = router.handle(0, GenAbility::none(), &Request::get("/page/3"));
+        assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn empty_cluster_returns_503() {
+        let router = demo_router(1);
+        let ids = router.node_ids();
+        router.leave(&ids[0]);
+        let resp = router.handle(0, GenAbility::none(), &Request::get("/page/0"));
+        assert_eq!(resp.status, 503);
+        assert_eq!(
+            resp.headers.get("x-sww-error"),
+            Some("edge-cluster-unavailable")
+        );
+    }
+
+    #[test]
+    fn dead_entry_refuses_with_node_down() {
+        let router = demo_router(2);
+        let ids = router.node_ids();
+        router.kill(&ids[0]);
+        let resp = router.handle(0, GenAbility::none(), &Request::get("/page/0"));
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.headers.get("x-sww-error"), Some("edge-node-down"));
+        assert_eq!(resp.headers.get("x-sww-edge-node"), Some(ids[0].as_str()));
+    }
+
+    #[test]
+    fn revalidation_bypasses_the_fill_cache() {
+        let router = demo_router(2);
+        let first = router.handle(0, GenAbility::none(), &Request::get("/page/0"));
+        let etag = first.headers.get("etag").expect("pages carry etags");
+        let mut req = Request::get("/page/0");
+        req.headers.insert("if-none-match", etag);
+        let resp = router.handle(0, GenAbility::none(), &req);
+        assert_eq!(resp.status, 304);
+        let hits: u64 = router.nodes().iter().map(|n| n.stats().fill_hits).sum();
+        assert_eq!(hits, 0, "revalidations never consult the fill cache");
+    }
+}

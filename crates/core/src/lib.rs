@@ -14,6 +14,7 @@ pub mod cdn;
 pub mod client;
 pub mod cms;
 pub mod convert;
+pub mod edge;
 pub mod engine;
 pub mod error;
 pub mod faults;
@@ -35,6 +36,7 @@ pub mod workpool;
 pub use batch::{BatchConfig, BatchKey, BatchOutcome, BatchScheduler, BatchStats};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use client::GenerativeClient;
+pub use edge::{EdgeConfig, EdgeNode, EdgeRouter, HashRing};
 pub use engine::{FetchOutcome, GenerationEngine, ShardedGenerationCache};
 pub use error::SwwError;
 pub use faults::{ChaosSpec, FaultKind, FaultSite};

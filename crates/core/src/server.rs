@@ -140,6 +140,12 @@ impl SiteContent {
         self.pages.get(path)
     }
 
+    /// Iterate over page paths (unordered). The edge tier walks these
+    /// to derive each page's recipe routing key.
+    pub fn page_paths(&self) -> impl Iterator<Item = &str> {
+        self.pages.keys().map(String::as_str)
+    }
+
     /// Number of pages.
     pub fn page_count(&self) -> usize {
         self.pages.len()
@@ -476,6 +482,21 @@ impl GenerativeServer {
     /// The ability this server advertises.
     pub fn ability(&self) -> GenAbility {
         self.shared.ability
+    }
+
+    /// The serving policy this node was built with. The edge tier reads
+    /// it to negotiate a mode at the entry node before deciding whether
+    /// a request needs a routing hop at all.
+    pub fn policy(&self) -> &ServerPolicy {
+        &self.shared.policy
+    }
+
+    /// Drive one request through the transport-agnostic dispatch path
+    /// under the [`TransportKind::Edge`] label — the entry point the
+    /// cluster tier ([`crate::edge::EdgeRouter`]) uses for both
+    /// local serves and peer cache-fill fetches.
+    pub(crate) fn dispatch_edge(&self, client_ability: GenAbility, req: &Request) -> Response {
+        dispatch(&self.shared, client_ability, req, TransportKind::Edge)
     }
 
     /// Accept a (transport-independent) session for a client advertising

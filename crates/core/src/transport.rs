@@ -15,6 +15,10 @@ pub enum TransportKind {
     /// No wire at all: a [`Session`](crate::Session) driven in-process
     /// (tests, benches, library embedding).
     Inproc,
+    /// A dispatch driven by the cluster tier's
+    /// [`EdgeRouter`](crate::edge::EdgeRouter) — either served at the
+    /// entry edge or proxied to the owning node for peer cache-fill.
+    Edge,
 }
 
 impl TransportKind {
@@ -24,6 +28,7 @@ impl TransportKind {
             TransportKind::H2 => "h2",
             TransportKind::H3 => "h3",
             TransportKind::Inproc => "inproc",
+            TransportKind::Edge => "edge",
         }
     }
 }
@@ -45,6 +50,7 @@ mod tests {
         assert_eq!(TransportKind::H2.label(), "h2");
         assert_eq!(TransportKind::H3.label(), "h3");
         assert_eq!(TransportKind::Inproc.label(), "inproc");
+        assert_eq!(TransportKind::Edge.label(), "edge");
         assert_eq!(TransportKind::H3.to_string(), "h3");
     }
 }

@@ -1,0 +1,43 @@
+//! Helpers shared by the integration suites (`mod common;` per test
+//! crate — compiled into each, so unused helpers in any one suite are
+//! expected).
+//!
+//! Every real-TCP test binds [`EPHEMERAL`]: the kernel assigns a free
+//! port per listener, so suites running in parallel (and repeated runs
+//! on a busy CI host) can never collide on a hard-coded port.
+
+#![allow(dead_code)]
+
+use std::net::SocketAddr;
+use sww::core::{EdgeRouter, GenerativeServer};
+
+/// The port-0 wildcard address every test listener binds.
+pub const EPHEMERAL: &str = "127.0.0.1:0";
+
+/// Bind an HTTP/2 listener for `server` on an ephemeral port and return
+/// the address the kernel picked.
+pub async fn spawn_h2(server: &GenerativeServer) -> SocketAddr {
+    server.spawn_tcp(EPHEMERAL).await.expect("bind h2 listener")
+}
+
+/// Bind an HTTP/3 listener for `server` on an ephemeral port.
+pub async fn spawn_h3(server: &GenerativeServer) -> SocketAddr {
+    server
+        .spawn_tcp_h3(EPHEMERAL)
+        .await
+        .expect("bind h3 listener")
+}
+
+/// Bind an edge cluster's front listener on an ephemeral port
+/// (connections round-robin across entry nodes).
+pub async fn spawn_edge(router: &EdgeRouter) -> SocketAddr {
+    router
+        .spawn_tcp(EPHEMERAL)
+        .await
+        .expect("bind edge listener")
+}
+
+/// Connect to a listener one of the spawn helpers bound.
+pub async fn connect(addr: SocketAddr) -> tokio::net::TcpStream {
+    tokio::net::TcpStream::connect(addr).await.expect("connect")
+}

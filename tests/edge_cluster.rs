@@ -1,0 +1,391 @@
+//! The distributed generative edge, end to end: an [`EdgeRouter`]
+//! cluster must generate each recipe **exactly once cluster-wide**, keep
+//! its `/metrics` exposition in exact agreement with per-node counters,
+//! survive a chaos node-kill with zero lost responses and byte-identical
+//! payloads, and rebalance on join/leave without dropping in-flight
+//! work. These are the PR 8 acceptance scenarios (DESIGN.md "Edge
+//! tier"), driven through the public surface only.
+//!
+//! The metrics registry and the chaos fault layer are process-global, so
+//! every test in this binary holds [`SERIAL`] — the suite trades
+//! parallelism for exact counter arithmetic.
+
+mod common;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use sww::core::{
+    EdgeConfig, EdgeRouter, GenAbility, GenerativeClient, GenerativeServer, ServerConfig,
+    SiteContent,
+};
+use sww::energy::device::{profile, DeviceKind};
+use sww::html::gencontent;
+use sww::http2::{Request, Response};
+
+/// Serializes the whole binary: chaos installs and registry resets are
+/// process-wide, and the reconciliation test needs exclusive counters.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+const PROMPTS: usize = 10;
+
+/// Ten one-image pages; each page's image recipe is its routing key.
+fn edge_site() -> SiteContent {
+    let mut site = SiteContent::new();
+    for p in 0..PROMPTS {
+        site.add_page(
+            format!("/page/{p}"),
+            format!(
+                "<html><body>{}</body></html>",
+                gencontent::image_div(
+                    &format!("edge prompt {p} over a basalt shore"),
+                    &format!("edge{p}.jpg"),
+                    64,
+                    64
+                )
+            ),
+        );
+    }
+    site
+}
+
+fn cluster(nodes: usize) -> EdgeRouter {
+    EdgeRouter::new(
+        EdgeConfig {
+            nodes,
+            ..EdgeConfig::default()
+        },
+        edge_site(),
+        |site| {
+            GenerativeServer::from_config(ServerConfig {
+                site,
+                ..ServerConfig::default()
+            })
+        },
+    )
+}
+
+/// One naive GET with bounded retry; a 5xx (dead entry, mid-flight kill)
+/// rotates to the next entry node, as a real client re-resolving to a
+/// healthy PoP would. Returns the 200 response, or None if every attempt
+/// failed — a lost response.
+fn get_with_retry(
+    router: &EdgeRouter,
+    entry: usize,
+    path: &str,
+    retries: &AtomicU64,
+) -> Option<Response> {
+    let nodes = router.node_count().max(1);
+    for attempt in 0..20 {
+        let resp = router.handle(
+            (entry + attempt) % nodes,
+            GenAbility::none(),
+            &Request::get(path),
+        );
+        if resp.status == 200 {
+            return Some(resp);
+        }
+        retries.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    None
+}
+
+/// Sum of every sample of `name` in a Prometheus-text exposition,
+/// across all label sets (e.g. the per-node `node="nX"` series).
+fn series_sum(text: &str, name: &str) -> f64 {
+    text.lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter_map(|l| {
+            let rest = l.strip_prefix(name)?;
+            let rest = rest
+                .strip_prefix('{')
+                .map_or(rest, |r| r.split_once('}').map(|(_, v)| v).unwrap_or(rest));
+            rest.trim().parse::<f64>().ok()
+        })
+        .sum()
+}
+
+/// M clients × N nodes over 10 prompts: exactly 10 generations
+/// cluster-wide, and the `/metrics` exposition reconciles **exactly**
+/// with the per-node counters — every request is a fill-cache hit, a
+/// local serve, or a routed peer serve; every engine fetch is a hit, a
+/// coalesce, or one of the 10 generations.
+#[test]
+fn cluster_generates_each_prompt_exactly_once_and_metrics_reconcile() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    sww::obs::reset();
+
+    let nodes = 4usize;
+    let threads = 8usize;
+    let per_thread = PROMPTS;
+    let router = cluster(nodes);
+    let retries = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let router = router.clone();
+            let retries = Arc::clone(&retries);
+            std::thread::spawn(move || {
+                for r in 0..per_thread {
+                    let p = (t + r) % PROMPTS;
+                    get_with_retry(&router, t % nodes, &format!("/page/{p}"), &retries)
+                        .expect("no chaos, no lost responses");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let requests = (threads * per_thread) as u64;
+    assert_eq!(retries.load(Ordering::Relaxed), 0, "healthy cluster");
+
+    // Cluster-wide exactly-once: 10 prompts, 10 generations, no matter
+    // that 8 clients × 4 entry nodes asked 80 times.
+    let all = router.nodes();
+    let generations: u64 = all.iter().map(|n| n.server().engine().generations()).sum();
+    assert_eq!(generations, PROMPTS as u64, "global single-flight");
+
+    // Per-node counter accounting covers every request exactly once.
+    let stats: Vec<_> = all.iter().map(|n| n.stats()).collect();
+    let fill_hits: u64 = stats.iter().map(|s| s.fill_hits).sum();
+    let local: u64 = stats.iter().map(|s| s.local_media).sum();
+    let routed: u64 = stats.iter().map(|s| s.peer_serves).sum();
+    assert_eq!(
+        fill_hits + local + routed,
+        requests,
+        "fill hits + local + routed must cover every request: {stats:?}"
+    );
+
+    // Engine accounting covers every dispatch that reached an owner:
+    // `coalesced()` counts the amortized requests (shard-cache hits plus
+    // in-flight joins), `generations()` the ones that paid.
+    let coalesced: u64 = all.iter().map(|n| n.server().engine().coalesced()).sum();
+    assert_eq!(
+        coalesced + generations,
+        local + routed,
+        "every non-fill-cache request is amortized or generates"
+    );
+
+    // The /metrics exposition (scraped through the cluster itself) must
+    // agree with the in-process counters, number for number.
+    let scrape = router.handle(0, GenAbility::none(), &Request::get("/metrics"));
+    assert_eq!(scrape.status, 200);
+    let text = String::from_utf8(scrape.body.to_vec()).unwrap();
+    // The scrape itself is counted at the entry before the text is
+    // rendered, so the exposition includes it: requests + 1.
+    assert_eq!(
+        series_sum(&text, "sww_edge_requests_total"),
+        (requests + 1) as f64
+    );
+    let fills: u64 = stats.iter().map(|s| s.fills).sum();
+    assert_eq!(series_sum(&text, "sww_edge_peer_fill_total"), fills as f64);
+    assert_eq!(
+        series_sum(&text, "sww_edge_fill_hits_total"),
+        fill_hits as f64
+    );
+    assert_eq!(series_sum(&text, "sww_edge_local_total"), local as f64);
+    assert_eq!(series_sum(&text, "sww_edge_routed_total"), routed as f64);
+    assert_eq!(series_sum(&text, "sww_edge_failover_total"), 0.0);
+    assert_eq!(
+        series_sum(&text, "sww_cache_coalesced_total"),
+        coalesced as f64,
+        "global coalesce series vs per-node engine counters"
+    );
+    assert_eq!(series_sum(&text, "sww_edge_ring_nodes"), nodes as f64);
+    assert_eq!(series_sum(&text, "sww_edge_node_alive"), nodes as f64);
+}
+
+/// Chaos node-kill: kill the owner of the hottest recipes mid-flight.
+/// The router fails over along the ring, clients retry any 5xx, and the
+/// run must end with zero lost responses and payloads byte-identical to
+/// a 1-node cluster — failover must not change a single byte.
+#[test]
+fn node_kill_mid_flight_loses_nothing_and_keeps_bytes_identical() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // Deterministic generation latency widens the mid-flight window so
+    // the kill lands while requests are in the air.
+    let spec = sww::core::ChaosSpec::parse("seed=11,engine.generate=latency:1.0:10").unwrap();
+    sww::core::faults::install(&spec);
+
+    // Ground truth: a 1-node cluster's page and asset bytes.
+    let baseline = cluster(1);
+    let mut pages = Vec::new();
+    for p in 0..PROMPTS {
+        let resp = baseline.handle(0, GenAbility::none(), &Request::get(format!("/page/{p}")));
+        assert_eq!(resp.status, 200);
+        pages.push(resp.body.to_vec());
+    }
+    let asset0 = baseline.handle(0, GenAbility::none(), &Request::get("/generated/edge0.jpg"));
+    assert_eq!(asset0.status, 200);
+
+    let router = cluster(3);
+    // Kill the node owning the most prompts — the worst case.
+    let keys: Vec<String> = (0..PROMPTS).map(|p| format!("/page/{p}")).collect();
+    let victim = {
+        let mut owned = std::collections::HashMap::new();
+        for key in &keys {
+            *owned.entry(router.owner_of(key).unwrap()).or_insert(0usize) += 1;
+        }
+        owned.into_iter().max_by_key(|&(_, n)| n).unwrap().0
+    };
+    {
+        let router = router.clone();
+        let victim = victim.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(15));
+            router.kill(&victim);
+        });
+    }
+    let retries = Arc::new(AtomicU64::new(0));
+    let lost = Arc::new(AtomicU64::new(0));
+    let mismatched = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..6usize)
+        .map(|t| {
+            let router = router.clone();
+            let retries = Arc::clone(&retries);
+            let lost = Arc::clone(&lost);
+            let mismatched = Arc::clone(&mismatched);
+            let pages = pages.clone();
+            std::thread::spawn(move || {
+                for r in 0..PROMPTS {
+                    let p = (t + r) % PROMPTS;
+                    match get_with_retry(&router, t % 3, &format!("/page/{p}"), &retries) {
+                        Some(resp) => {
+                            if resp.body.as_ref() != pages[p].as_slice() {
+                                mismatched.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        None => {
+                            lost.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("chaos client thread");
+    }
+    sww::core::faults::clear();
+
+    assert_eq!(lost.load(Ordering::Relaxed), 0, "zero lost responses");
+    assert_eq!(
+        mismatched.load(Ordering::Relaxed),
+        0,
+        "failover payloads must match the 1-node baseline byte for byte"
+    );
+    let failovers: u64 = router.nodes().iter().map(|n| n.stats().failovers).sum();
+    assert!(failovers > 0, "the killed owner must have been skipped");
+    // The media asset survives failover byte-identically too: the acting
+    // owner regenerated it from the same recipe.
+    let after =
+        get_with_retry(&router, 0, "/generated/edge0.jpg", &retries).expect("asset after failover");
+    assert_eq!(after.body, asset0.body, "regenerated media is identical");
+}
+
+/// Join/leave rebalancing: adding a node remaps some recipes onto it
+/// without changing a payload byte; removing it drains cleanly (no
+/// in-flight work abandoned) and restores the exact pre-join ownership —
+/// the ring is a pure function of membership.
+#[test]
+fn join_then_leave_rebalances_and_drains_without_losing_work() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let router = cluster(2);
+    let retries = AtomicU64::new(0);
+    let paths: Vec<String> = (0..PROMPTS).map(|p| format!("/page/{p}")).collect();
+    let owners_before: Vec<String> = paths.iter().map(|p| router.owner_of(p).unwrap()).collect();
+    let bodies: Vec<Vec<u8>> = paths
+        .iter()
+        .map(|p| {
+            get_with_retry(&router, 0, p, &retries)
+                .expect("healthy fetch")
+                .body
+                .to_vec()
+        })
+        .collect();
+
+    let newcomer = router.join();
+    assert_eq!(router.node_count(), 3);
+    let owners_joined: Vec<String> = paths.iter().map(|p| router.owner_of(p).unwrap()).collect();
+    // Bounded churn: a remapped key may only have moved to the newcomer.
+    for (p, (before, after)) in owners_before.iter().zip(&owners_joined).enumerate() {
+        if before != after {
+            assert_eq!(after, &newcomer, "page {p} moved to a non-newcomer");
+        }
+    }
+    // Every page still serves the same bytes from every entry node.
+    for entry in 0..3 {
+        for (p, path) in paths.iter().enumerate() {
+            let resp = get_with_retry(&router, entry, path, &retries).expect("post-join fetch");
+            assert_eq!(resp.body.as_ref(), bodies[p].as_slice(), "entry {entry}");
+        }
+    }
+
+    let report = router.leave(&newcomer).expect("newcomer was a member");
+    assert_eq!(
+        report.inflight_at_start, 0,
+        "leave() unpublishes before draining, so nothing was in flight"
+    );
+    assert_eq!(router.node_count(), 2);
+    // Pure function of membership: ownership reverts exactly.
+    let owners_after: Vec<String> = paths.iter().map(|p| router.owner_of(p).unwrap()).collect();
+    assert_eq!(owners_before, owners_after);
+    for (p, path) in paths.iter().enumerate() {
+        let resp = get_with_retry(&router, 1, path, &retries).expect("post-leave fetch");
+        assert_eq!(resp.body.as_ref(), bodies[p].as_slice());
+    }
+    assert_eq!(retries.load(Ordering::Relaxed), 0, "no 5xx at any point");
+}
+
+/// The cluster's TCP front door: one listener round-robins connections
+/// across entry nodes; a naive HTTP/2 client and a full generative
+/// client both get correct, deterministic answers.
+#[test]
+fn edge_cluster_serves_over_real_tcp() {
+    // A plain test with its own runtime: the suite-serialization guard
+    // (std `Mutex`) must not be held across await points, so the async
+    // body runs under `block_on` instead of `#[tokio::test]`.
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(2)
+        .enable_all()
+        .build()
+        .unwrap();
+    rt.block_on(edge_cluster_over_tcp());
+}
+
+async fn edge_cluster_over_tcp() {
+    let router = cluster(3);
+    let addr = common::spawn_edge(&router).await;
+
+    // Two naive connections land on different entry nodes (round-robin)
+    // yet serve identical bytes.
+    let mut naive_bodies = Vec::new();
+    for _ in 0..2 {
+        let sock = common::connect(addr).await;
+        let mut conn = sww::http2::ClientConnection::handshake(sock, GenAbility::none())
+            .await
+            .unwrap();
+        let resp = conn.send_request(&Request::get("/page/3")).await.unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.headers.get("x-sww-mode"), Some("server-generated"));
+        naive_bodies.push(resp.body.to_vec());
+        let _ = conn.close().await;
+    }
+    assert_eq!(naive_bodies[0], naive_bodies[1]);
+
+    // A generative client gets the prompt form straight from its entry
+    // node — no ring hop, the recipe is the payload.
+    let sock = common::connect(addr).await;
+    let mut client =
+        GenerativeClient::connect(sock, GenAbility::full(), profile(DeviceKind::Laptop))
+            .await
+            .unwrap();
+    assert!(client.negotiated_ability().can_generate());
+    let (page, stats) = client.fetch_page("/page/7").await.unwrap();
+    assert_eq!(page.generated_count(), 1);
+    assert!(stats.wire_bytes < stats.traditional_bytes);
+    client.close().await.unwrap();
+    let prompt_local: u64 = router.nodes().iter().map(|n| n.stats().prompt_local).sum();
+    assert_eq!(prompt_local, 1, "generative page served at the entry");
+}

@@ -2,6 +2,8 @@
 //! generative server and client, media generation, rendering and
 //! accounting — over real sockets and in-memory streams.
 
+mod common;
+
 use sww::core::{GenAbility, GenerativeClient, GenerativeServer, ServerPolicy, SiteContent};
 use sww::energy::device::{profile, DeviceKind};
 use sww::html::gencontent;
@@ -26,8 +28,8 @@ async fn generative_flow_over_tcp() {
         .site(two_item_site())
         .ability(GenAbility::full())
         .build();
-    let addr = server.spawn_tcp("127.0.0.1:0").await.unwrap();
-    let sock = tokio::net::TcpStream::connect(addr).await.unwrap();
+    let addr = common::spawn_h2(&server).await;
+    let sock = common::connect(addr).await;
     let mut client =
         GenerativeClient::connect(sock, GenAbility::full(), profile(DeviceKind::Laptop))
             .await
@@ -82,10 +84,10 @@ async fn generated_media_is_deterministic_across_clients() {
         .site(two_item_site())
         .ability(GenAbility::full())
         .build();
-    let addr = server.spawn_tcp("127.0.0.1:0").await.unwrap();
+    let addr = common::spawn_h2(&server).await;
     let mut hashes = Vec::new();
     for _ in 0..2 {
-        let sock = tokio::net::TcpStream::connect(addr).await.unwrap();
+        let sock = common::connect(addr).await;
         let mut client =
             GenerativeClient::connect(sock, GenAbility::full(), profile(DeviceKind::Laptop))
                 .await
@@ -104,10 +106,10 @@ async fn device_changes_cost_not_content() {
         .site(two_item_site())
         .ability(GenAbility::full())
         .build();
-    let addr = server.spawn_tcp("127.0.0.1:0").await.unwrap();
+    let addr = common::spawn_h2(&server).await;
     let mut results = Vec::new();
     for device in [DeviceKind::Laptop, DeviceKind::Workstation] {
-        let sock = tokio::net::TcpStream::connect(addr).await.unwrap();
+        let sock = common::connect(addr).await;
         let mut client = GenerativeClient::connect(sock, GenAbility::full(), profile(device))
             .await
             .unwrap();
@@ -161,14 +163,14 @@ async fn personalization_changes_pixels_only_when_opted_in() {
         .site(two_item_site())
         .ability(GenAbility::full())
         .build();
-    let addr = server.spawn_tcp("127.0.0.1:0").await.unwrap();
+    let addr = common::spawn_h2(&server).await;
     let mut images = Vec::new();
     for profile_opt in [
         None,
         Some(UserProfile::with_interests(["astronomy"])),
         Some(UserProfile::with_interests(["sailing"])),
     ] {
-        let sock = tokio::net::TcpStream::connect(addr).await.unwrap();
+        let sock = common::connect(addr).await;
         let mut client =
             GenerativeClient::connect(sock, GenAbility::full(), profile(DeviceKind::Workstation))
                 .await

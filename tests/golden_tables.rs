@@ -16,7 +16,7 @@
 //! then review and commit the updated snapshots like any other diff.
 
 use std::path::Path;
-use sww_bench::experiments::{compression, models};
+use sww_bench::experiments::{compression, edge, models};
 
 /// Compare `rendered` against `tests/golden/<name>`, or rewrite the
 /// snapshot when `SWW_BLESS=1` is set.
@@ -60,6 +60,18 @@ fn e8_compression_table_matches_golden() {
     assert_matches_golden("e8_table2.txt", &rendered);
 }
 
+/// E19: the modelled edge-cluster scaling table — ring ownership and the
+/// deterministic cost model only, no wall clocks, so it is bit-stable
+/// across hosts. Pins both the consistent-hash placement (a ring change
+/// silently remapping recipes shows up here) and the hit-rate/throughput
+/// scaling story.
+#[test]
+fn e19_edge_cluster_modelled_table_matches_golden() {
+    let cfg = edge::EdgeClusterConfig::default();
+    let rendered = edge::modelled_table(&cfg).render();
+    assert_matches_golden("e19_edge_cluster.txt", &rendered);
+}
+
 /// The comparer itself must be deterministic: rendering twice in one
 /// process yields identical bytes (guards against accidental map-order
 /// or timing dependence sneaking into the table code).
@@ -72,5 +84,10 @@ fn golden_targets_render_deterministically() {
     assert_eq!(
         compression::table(&compression::run()).render(),
         compression::table(&compression::run()).render()
+    );
+    let ecfg = edge::EdgeClusterConfig::default();
+    assert_eq!(
+        edge::modelled_table(&ecfg).render(),
+        edge::modelled_table(&ecfg).render()
     );
 }

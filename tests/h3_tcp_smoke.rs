@@ -3,6 +3,8 @@
 //! and fetches — the surface `sww serve --transport h3|both` exposes,
 //! which the duplex-based suites never touch.
 
+mod common;
+
 use sww::core::{GenAbility, GenerativeServer, SiteContent};
 use sww::html::gencontent;
 use sww::http2::Request;
@@ -22,9 +24,9 @@ async fn h3_listener_serves_over_real_tcp() {
         .site(site)
         .ability(GenAbility::full())
         .build();
-    let addr = server.spawn_tcp_h3("127.0.0.1:0").await.unwrap();
+    let addr = common::spawn_h3(&server).await;
 
-    let sock = tokio::net::TcpStream::connect(addr).await.unwrap();
+    let sock = common::connect(addr).await;
     let mut client = H3ClientConnection::handshake(sock, GenAbility::full())
         .await
         .unwrap();
