@@ -88,9 +88,25 @@ echo "==> bench-cluster --chaos (E19 edge gate)"
 echo "==> cargo test -p sww-html --test proptest_gencontent (generated-content property suite)"
 cargo test -p sww-html --test proptest_gencontent -q
 
+echo "==> cargo test -p sww-workload --test proptest_smallworld (Watts-Strogatz property suite)"
+cargo test -p sww-workload --test proptest_smallworld -q
+
+echo "==> cargo test --release --test workload_replay (E20 seeded-replay determinism + /metrics reconciliation)"
+cargo test --release --test workload_replay -q
+
+# E20 gate: the small-world workload sweep and live replay from the
+# command line exactly as a user would run it, under chaos. Exits
+# non-zero if the bounded-cache hit rate is not strictly increasing
+# with graph clustering, any modelled p99 breaks the deadline, or two
+# seeded replays diverge (trace digests must match even under chaos;
+# response digests are waived — the fault stream is process-global).
+echo "==> bench-workload --chaos (E20 workload gate)"
+./target/release/sww-cli bench-workload --requests 20000 --live-requests 150 \
+    --chaos "seed=9,engine.generate=latency:0.5:5" >/dev/null
+
 # Ratchet: the workspace test count must never silently shrink. Raise the
 # floor when a PR adds tests; a drop below it means tests were lost.
-TEST_FLOOR=800
+TEST_FLOOR=840
 echo "==> workspace test-count floor (>= ${TEST_FLOOR})"
 TEST_COUNT=$(cargo test --workspace -- --list 2>/dev/null | grep -c ": test$")
 echo "    ${TEST_COUNT} tests"

@@ -1,4 +1,4 @@
-//! The experiment implementations, one per table/figure (DESIGN.md E1–E19)
+//! The experiment implementations, one per table/figure (DESIGN.md E1–E20)
 //! plus the design-choice ablations.
 
 pub mod ablations;
@@ -16,6 +16,7 @@ pub mod negotiation;
 pub mod transport;
 pub mod video_cdn;
 pub mod wikimedia;
+pub mod workload;
 
 /// Serializes tests that read global-registry counter deltas around a
 /// pooled server (the worker-pool and batch counters are process-wide,

@@ -2,9 +2,10 @@
 //! gate that compares a fresh run against a checked-in baseline.
 //!
 //! The PR 6 report captures the E17 tiled-kernel sweeps, the E18
-//! transport shoot-out, and the E19 edge-cluster scaling sweep in the
-//! `sww-bench-pr6/3` schema (documented in PERFORMANCE.md). Two kinds of
-//! numbers live side by side and are treated differently:
+//! transport shoot-out, the E19 edge-cluster scaling sweep, and the E20
+//! small-world workload sweep in the `sww-bench-pr6/4` schema
+//! (documented in PERFORMANCE.md). Two kinds of numbers live side by
+//! side and are treated differently:
 //!
 //! * **Modelled** throughput (`modelled_qps`, `speedup`) comes from the
 //!   deterministic cost model, so it is bit-reproducible across hosts —
@@ -17,19 +18,25 @@
 //! still exist, modelled throughput must be within tolerance, the
 //! headline speedups must clear the PR 6 floor, the steady-state
 //! allocation counters must read zero, the E19 global hit rate must
-//! strictly increase with node count, and the chaos node-kill must lose
-//! zero responses with byte-identical payloads.
+//! strictly increase with node count, the chaos node-kill must lose
+//! zero responses with byte-identical payloads, the E20 workload hit
+//! rate must strictly increase with graph clustering while the modelled
+//! p99 stays under its deadline, and the E20 replay must be
+//! deterministic.
 
 use crate::experiments::edge::{EdgeChaosOutcome, EdgeClusterConfig, EdgeSample};
 use crate::experiments::kernel::{KernelConfig, KernelSample, ServingConfig, ServingSample};
 use crate::experiments::transport::{TransportConfig, TransportSample};
+use crate::experiments::workload::{DeterminismOutcome, E20Config, LiveSample, WorkloadRow};
 use sww_json::Value;
 
 /// Schema tag every PR 6 report carries. `/2` added the E18
 /// `page_load_transport` records and the `transport_h3_speedup` headline;
 /// `/3` added the E19 `edge_cluster` scaling records (keyed by `nodes`)
-/// and the `edge_chaos` node-kill record.
-pub const PR6_SCHEMA: &str = "sww-bench-pr6/3";
+/// and the `edge_chaos` node-kill record; `/4` added the E20
+/// `smallworld_modelled` records (keyed by `clustering`), the
+/// `workload_replay` scorecards, and the `workload_determinism` witness.
+pub const PR6_SCHEMA: &str = "sww-bench-pr6/4";
 
 /// Modelled-speedup floor from the PR 6 acceptance criterion: the tiled
 /// kernel must buy ≥ 1.5× at batch 8.
@@ -134,6 +141,78 @@ fn chaos_record(o: &EdgeChaosOutcome) -> Value {
     ])
 }
 
+/// One E20 modelled row: the small-world workload at one clustering
+/// coefficient. Every column is a pure function of the seed (graph,
+/// popularity, walks, arrivals, and the discrete-event queue all derive
+/// from it), so the hit rate and the modelled p99 are gated exactly.
+fn workload_record(cfg: &E20Config, r: &WorkloadRow) -> Value {
+    Value::object([
+        ("experiment", Value::from("smallworld_modelled")),
+        ("clustering", Value::from(r3(r.clustering))),
+        ("beta", Value::from(r3(r.beta))),
+        ("nodes", Value::from(cfg.cluster_nodes)),
+        ("transport", Value::from("modelled")),
+        ("kernel_tiles", Value::from(1usize)),
+        ("requests", Value::from(r.slo.requests as usize)),
+        ("unique_pages", Value::from(r.slo.unique_pages)),
+        ("hit_rate", Value::from(r3(r.slo.hit_rate))),
+        ("deadline_ms", Value::from(r3(cfg.deadline_ms))),
+        ("p99_ms", Value::from(r3(r.slo.p99_ms))),
+        ("mean_ms", Value::from(r3(r.slo.mean_ms))),
+        ("modelled_qps", Value::from(r3(r.slo.offered_qps))),
+        ("alloc_bytes_steady", Value::from(0usize)),
+    ])
+}
+
+/// One E20 live replay scorecard. Wall-clock columns ride along ungated
+/// (`modelled_qps` is pinned at zero so the throughput check is inert);
+/// the deterministic columns (`generations`, `hit_rate`) are covered by
+/// the determinism record's digest equality.
+fn replay_record(clustering: f64, s: &LiveSample) -> Value {
+    let card = &s.outcome.scorecard;
+    Value::object([
+        ("experiment", Value::from("workload_replay")),
+        ("transport", Value::from(s.target.as_str())),
+        ("clustering", Value::from(r3(clustering))),
+        ("nodes", Value::from(s.nodes)),
+        ("kernel_tiles", Value::from(1usize)),
+        ("requests", Value::from(card.requests as usize)),
+        ("ok", Value::from(card.ok as usize)),
+        ("shed", Value::from(card.shed as usize)),
+        ("deadline_hits", Value::from(card.deadline as usize)),
+        ("errors", Value::from(card.errors as usize)),
+        ("retries", Value::from(card.retries as usize)),
+        ("generations", Value::from(s.outcome.generations as usize)),
+        ("coalesced", Value::from(s.outcome.coalesced as usize)),
+        ("hit_rate", Value::from(r3(s.outcome.hit_rate))),
+        ("wall_qps", Value::from(r3(card.qps()))),
+        ("p50_ms", Value::from(r3(card.p50_ms()))),
+        ("p99_ms", Value::from(r3(card.p99_ms()))),
+        ("modelled_qps", Value::from(0.0)),
+        ("alloc_bytes_steady", Value::from(0usize)),
+    ])
+}
+
+/// The E20 replay-determinism witness: two independent pipeline runs
+/// (trace generation included) plus the single-vs-edge payload digest
+/// comparison, each reduced to a gated boolean.
+fn determinism_record(d: &DeterminismOutcome) -> Value {
+    Value::object([
+        ("experiment", Value::from("workload_determinism")),
+        ("transport", Value::from("single")),
+        ("nodes", Value::from(1usize)),
+        ("kernel_tiles", Value::from(1usize)),
+        ("trace_match", Value::from(d.trace_match)),
+        ("response_match", Value::from(d.response_match)),
+        (
+            "cross_target_identical",
+            Value::from(d.cross_target_identical),
+        ),
+        ("modelled_qps", Value::from(0.0)),
+        ("alloc_bytes_steady", Value::from(0usize)),
+    ])
+}
+
 /// The E19 inputs to a report: sweep config, per-width samples, and the
 /// chaos node-kill outcome — grouped so `pr6_report` keeps a sane arity
 /// as experiments accumulate.
@@ -146,8 +225,26 @@ pub struct EdgeSection<'a> {
     pub chaos: &'a EdgeChaosOutcome,
 }
 
+/// The E20 inputs to a report: sweep config, modelled rows, live replay
+/// scorecards (with the clustering coefficient of the live workload's
+/// graph), and the determinism witness.
+pub struct WorkloadSection<'a> {
+    /// Sweep configuration (betas, graph shape, cache, deadline).
+    pub cfg: &'a E20Config,
+    /// One modelled row per `β`, in sweep order.
+    pub modelled: &'a [WorkloadRow],
+    /// Live replay scorecards (single / h3 / edge).
+    pub live: &'a [LiveSample],
+    /// Clustering coefficient of the graph the live replays browsed.
+    pub live_clustering: f64,
+    /// The replay-determinism witness.
+    pub determinism: &'a DeterminismOutcome,
+}
+
 /// Assemble the PR 6 report from both E17 sweeps, the E18 transport
-/// comparison, and the E19 edge-cluster sweep + chaos outcome.
+/// comparison, the E19 edge-cluster sweep + chaos outcome, and the E20
+/// small-world workload sweep.
+#[allow(clippy::too_many_arguments)]
 pub fn pr6_report(
     kcfg: KernelConfig,
     kernel: &[KernelSample],
@@ -156,6 +253,7 @@ pub fn pr6_report(
     tcfg: TransportConfig,
     transports: &[TransportSample],
     edge: EdgeSection<'_>,
+    workload: WorkloadSection<'_>,
 ) -> Value {
     let records: Vec<Value> = kernel
         .iter()
@@ -164,6 +262,19 @@ pub fn pr6_report(
         .chain(transports.iter().map(|s| transport_record(tcfg, s)))
         .chain(edge.sweep.iter().map(|s| edge_record(edge.cfg, s)))
         .chain(std::iter::once(chaos_record(edge.chaos)))
+        .chain(
+            workload
+                .modelled
+                .iter()
+                .map(|r| workload_record(workload.cfg, r)),
+        )
+        .chain(
+            workload
+                .live
+                .iter()
+                .map(|s| replay_record(workload.live_clustering, s)),
+        )
+        .chain(std::iter::once(determinism_record(workload.determinism)))
         .collect();
     let widest = |speedups: Vec<(usize, f64)>| {
         speedups
@@ -201,6 +312,12 @@ pub fn pr6_report(
         .iter()
         .max_by_key(|s| s.nodes)
         .map_or(0.0, |s| s.hit_rate);
+    // E20 headline: the hit rate of the most clustered workload.
+    let workload_hit_rate = workload
+        .modelled
+        .iter()
+        .max_by(|a, b| a.clustering.total_cmp(&b.clustering))
+        .map_or(0.0, |r| r.slo.hit_rate);
     Value::object([
         ("schema", Value::from(PR6_SCHEMA)),
         ("records", Value::Array(records)),
@@ -212,6 +329,14 @@ pub fn pr6_report(
                 ("transport_h3_speedup", Value::from(r3(transport_speedup))),
                 ("edge_hit_rate_peak", Value::from(r3(edge_hit_rate))),
                 ("edge_chaos_lost", Value::from(edge.chaos.lost as usize)),
+                (
+                    "workload_hit_rate_clustered",
+                    Value::from(r3(workload_hit_rate)),
+                ),
+                (
+                    "workload_replay_deterministic",
+                    Value::from(workload.determinism.deterministic()),
+                ),
                 ("steady_state_alloc_bytes", Value::from(steady as usize)),
             ]),
         ),
@@ -227,16 +352,22 @@ pub fn render(report: &Value) -> String {
 }
 
 /// A record's identity within a report: `(experiment, kernel_tiles,
-/// transport, nodes)` — the transport component is empty for the E17
-/// kernel and serving records (which exist once per lane count), and the
-/// nodes component is zero for everything but the E19 edge records
-/// (which exist once per cluster size).
-fn record_key(record: &Value) -> (String, u64, String, u64) {
+/// transport, nodes, clustering)` — the transport component is empty for
+/// the E17 kernel and serving records (which exist once per lane count),
+/// the nodes component is zero for everything but the E19 edge records
+/// (which exist once per cluster size), and the clustering component is
+/// empty for everything but the E20 workload records (which exist once
+/// per graph topology).
+fn record_key(record: &Value) -> (String, u64, String, u64, String) {
     (
         record["experiment"].as_str().unwrap_or("?").to_owned(),
         record["kernel_tiles"].as_u64().unwrap_or(0),
         record["transport"].as_str().unwrap_or("").to_owned(),
         record["nodes"].as_u64().unwrap_or(0),
+        record["clustering"]
+            .as_f64()
+            .map(|c| format!("{c:.3}"))
+            .unwrap_or_default(),
     )
 }
 
@@ -254,7 +385,12 @@ fn record_key(record: &Value) -> (String, u64, String, u64) {
 /// 6. the E19 `edge_cluster` hit rate **strictly increases** with node
 ///    count — the cluster-wide exactly-once property in one number;
 /// 7. every `edge_chaos` record lost zero responses and kept payloads
-///    byte-identical to the single-node baseline.
+///    byte-identical to the single-node baseline;
+/// 8. the E20 `smallworld_modelled` hit rate **strictly increases** with
+///    graph clustering (locality is what the bounded cache converts into
+///    hits) and every modelled p99 stays under its recorded deadline;
+/// 9. every `workload_determinism` record witnessed bit-identical traces,
+///    matching response digests, and topology-independent payloads.
 ///
 /// Returns the per-check log lines on success, the failure messages
 /// otherwise.
@@ -351,6 +487,71 @@ pub fn compare(
             ));
         }
     }
+    // E20: the workload hit rate must strictly increase with graph
+    // clustering — clustered neighbourhoods keep random-walk revisits
+    // inside the bounded LRU; if the curve flattens, the cache stopped
+    // converting locality into hits. The modelled p99 must also stay
+    // under the deadline each record carries.
+    let mut workload_rows: Vec<(f64, f64)> = cur_records
+        .iter()
+        .filter(|r| r["experiment"].as_str() == Some("smallworld_modelled"))
+        .map(|r| {
+            (
+                r["clustering"].as_f64().unwrap_or(0.0),
+                r["hit_rate"].as_f64().unwrap_or(0.0),
+            )
+        })
+        .collect();
+    workload_rows.sort_by(|a, b| a.0.total_cmp(&b.0));
+    for pair in workload_rows.windows(2) {
+        let ((c0, h0), (c1, h1)) = (pair[0], pair[1]);
+        if h1 <= h0 {
+            bad.push(format!(
+                "smallworld_modelled: hit rate must strictly increase with clustering \
+                 (C {c0:.3}: {h0:.3} -> C {c1:.3}: {h1:.3})"
+            ));
+        } else {
+            ok.push(format!(
+                "smallworld_modelled: hit rate {h0:.3} @ C {c0:.3} < {h1:.3} @ C {c1:.3}"
+            ));
+        }
+    }
+    for row in cur_records
+        .iter()
+        .filter(|r| r["experiment"].as_str() == Some("smallworld_modelled"))
+    {
+        let clustering = row["clustering"].as_f64().unwrap_or(0.0);
+        let p99 = row["p99_ms"].as_f64().unwrap_or(f64::MAX);
+        let deadline = row["deadline_ms"].as_f64().unwrap_or(0.0);
+        if p99 > deadline {
+            bad.push(format!(
+                "smallworld_modelled @ C {clustering:.3}: modelled p99 {p99:.3} ms \
+                 over the {deadline:.0} ms deadline"
+            ));
+        } else {
+            ok.push(format!(
+                "smallworld_modelled @ C {clustering:.3}: p99 {p99:.3} ms under \
+                 {deadline:.0} ms"
+            ));
+        }
+    }
+    // E20 determinism: every witness bit must hold.
+    for det in cur_records
+        .iter()
+        .filter(|r| r["experiment"].as_str() == Some("workload_determinism"))
+    {
+        for (field, what) in [
+            ("trace_match", "trace digests"),
+            ("response_match", "response digests"),
+            ("cross_target_identical", "cross-topology payloads"),
+        ] {
+            if det[field].as_bool() != Some(true) {
+                bad.push(format!("workload_determinism: {what} diverged"));
+            } else {
+                ok.push(format!("workload_determinism: {what} agree"));
+            }
+        }
+    }
     for headline in [
         "kernel_speedup_batch8",
         "serving_speedup_batch8",
@@ -375,6 +576,86 @@ pub fn compare(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sww_workload::replay::{ModelledSlo, ReplayOutcome};
+    use sww_workload::scorecard::Scorecard;
+
+    fn fake_row(beta: f64, clustering: f64, hit: f64, p99: f64) -> WorkloadRow {
+        WorkloadRow {
+            beta,
+            clustering,
+            mean_path: 3.0,
+            slo: ModelledSlo {
+                requests: 20_000,
+                unique_pages: 192,
+                hit_rate: hit,
+                offered_qps: 48.0,
+                p99_ms: p99,
+                mean_ms: 60.0,
+            },
+        }
+    }
+
+    fn fake_live(target: &str, nodes: usize) -> LiveSample {
+        let mut card = Scorecard::new(target);
+        for _ in 0..12 {
+            card.record(200, 900);
+        }
+        card.finish(0.4);
+        LiveSample {
+            target: target.into(),
+            nodes,
+            outcome: ReplayOutcome {
+                scorecard: card,
+                trace_digest: 11,
+                response_digest: 22,
+                generations: 5,
+                coalesced: 3,
+                naive_requests: 6,
+                hit_rate: 0.25,
+            },
+        }
+    }
+
+    /// Owned E20 fakes; `section` borrows them into a [`WorkloadSection`].
+    struct WlFakes {
+        cfg: E20Config,
+        rows: Vec<WorkloadRow>,
+        live: Vec<LiveSample>,
+        det: DeterminismOutcome,
+    }
+
+    impl WlFakes {
+        fn ok() -> WlFakes {
+            WlFakes {
+                cfg: E20Config::default(),
+                rows: vec![
+                    fake_row(0.02, 0.614, 0.780, 1300.0),
+                    fake_row(0.20, 0.367, 0.744, 1800.0),
+                    fake_row(1.00, 0.034, 0.730, 1990.0),
+                ],
+                live: vec![
+                    fake_live("single", 1),
+                    fake_live("h3", 1),
+                    fake_live("edge4", 4),
+                ],
+                det: DeterminismOutcome {
+                    trace_match: true,
+                    response_match: true,
+                    cross_target_identical: true,
+                },
+            }
+        }
+
+        fn section(&self) -> WorkloadSection<'_> {
+            WorkloadSection {
+                cfg: &self.cfg,
+                modelled: &self.rows,
+                live: &self.live,
+                live_clustering: 0.614,
+                determinism: &self.det,
+            }
+        }
+    }
 
     fn fake_kernel(tiles: usize, rate: f64, speedup: f64) -> KernelSample {
         KernelSample {
@@ -462,7 +743,7 @@ mod tests {
         }
     }
 
-    fn report_with(edge: &[EdgeSample], chaos: &EdgeChaosOutcome) -> Value {
+    fn report_with_wl(edge: &[EdgeSample], chaos: &EdgeChaosOutcome, wl: &WlFakes) -> Value {
         pr6_report(
             KernelConfig::default(),
             &[fake_kernel(1, 4.0, 1.0), fake_kernel(8, 12.4, 3.1)],
@@ -475,7 +756,12 @@ mod tests {
                 sweep: edge,
                 chaos,
             },
+            wl.section(),
         )
+    }
+
+    fn report_with(edge: &[EdgeSample], chaos: &EdgeChaosOutcome) -> Value {
+        report_with_wl(edge, chaos, &WlFakes::ok())
     }
 
     fn report() -> Value {
@@ -489,8 +775,17 @@ mod tests {
         let back = sww_json::parse(&text).expect("render must emit valid JSON");
         assert_eq!(back, r);
         assert_eq!(back["schema"].as_str(), Some(PR6_SCHEMA));
-        // 2 kernel + 2 serving + 2 transport + 3 edge + 1 chaos.
-        assert_eq!(back["records"].as_array().unwrap().len(), 10);
+        // 2 kernel + 2 serving + 2 transport + 3 edge + 1 chaos
+        // + 3 workload modelled + 3 workload replay + 1 determinism.
+        assert_eq!(back["records"].as_array().unwrap().len(), 17);
+        assert_eq!(
+            back["summary"]["workload_hit_rate_clustered"].as_f64(),
+            Some(0.78)
+        );
+        assert_eq!(
+            back["summary"]["workload_replay_deterministic"].as_bool(),
+            Some(true)
+        );
         assert_eq!(back["summary"]["kernel_speedup_batch8"].as_f64(), Some(3.1));
         assert_eq!(back["summary"]["transport_h3_speedup"].as_f64(), Some(4.0));
         assert_eq!(back["summary"]["edge_hit_rate_peak"].as_f64(), Some(0.875));
@@ -520,6 +815,7 @@ mod tests {
                 sweep: &fake_edges(),
                 chaos: &fake_chaos(0, true),
             },
+            WlFakes::ok().section(),
         );
         let failures = compare(&base, &cur, 0.10).expect_err("regression must fail");
         assert!(
@@ -543,6 +839,7 @@ mod tests {
                 sweep: &fake_edges(),
                 chaos: &fake_chaos(0, true),
             },
+            WlFakes::ok().section(),
         );
         let failures = compare(&base, &cur, 0.99).expect_err("floor must bind");
         assert!(
@@ -568,6 +865,7 @@ mod tests {
                 sweep: &fake_edges(),
                 chaos: &fake_chaos(0, true),
             },
+            WlFakes::ok().section(),
         );
         let failures = compare(&base, &cur, 0.10).expect_err("allocation must fail");
         assert!(
@@ -593,6 +891,7 @@ mod tests {
                 sweep: &fake_edges(),
                 chaos: &fake_chaos(0, true),
             },
+            WlFakes::ok().section(),
         );
         let failures = compare(&base, &cur, 0.10).expect_err("missing h3 row must fail");
         assert!(
@@ -624,6 +923,7 @@ mod tests {
                 sweep: &fake_edges(),
                 chaos: &fake_chaos(0, true),
             },
+            WlFakes::ok().section(),
         );
         let failures = compare(&base, &cur, 0.10).expect_err("missing record must fail");
         assert!(
@@ -668,6 +968,82 @@ mod tests {
             failures
                 .iter()
                 .any(|f| f.contains("strictly increase with nodes")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn workload_rows_are_keyed_by_clustering() {
+        let base = report();
+        // Dropping the most clustered row must fail presence even though
+        // two smallworld_modelled records with the same experiment,
+        // tiles, transport, and nodes remain — clustering disambiguates.
+        let mut wl = WlFakes::ok();
+        wl.rows.remove(0);
+        let cur = report_with_wl(&fake_edges(), &fake_chaos(0, true), &wl);
+        let failures = compare(&base, &cur, 0.10).expect_err("missing clustered row must fail");
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("smallworld_modelled") && f.contains("missing")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn flat_workload_hit_rate_fails_the_gate() {
+        let base = report();
+        // The clustered graph no better than the mid one: the bounded
+        // cache stopped converting locality into hits.
+        let mut wl = WlFakes::ok();
+        wl.rows[0].slo.hit_rate = wl.rows[1].slo.hit_rate;
+        let cur = report_with_wl(&fake_edges(), &fake_chaos(0, true), &wl);
+        let failures = compare(&base, &cur, 0.99).expect_err("flat hit rate must fail");
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("strictly increase with clustering")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn workload_p99_over_deadline_fails_the_gate() {
+        let base = report();
+        let mut wl = WlFakes::ok();
+        wl.rows[2].slo.p99_ms = wl.cfg.deadline_ms + 0.5;
+        let cur = report_with_wl(&fake_edges(), &fake_chaos(0, true), &wl);
+        let failures = compare(&base, &cur, 0.99).expect_err("p99 over deadline must fail");
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("over the") && f.contains("deadline")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn replay_nondeterminism_fails_the_gate() {
+        let base = report();
+        let mut wl = WlFakes::ok();
+        wl.det.response_match = false;
+        wl.det.cross_target_identical = false;
+        let cur = report_with_wl(&fake_edges(), &fake_chaos(0, true), &wl);
+        assert_eq!(
+            cur["summary"]["workload_replay_deterministic"].as_bool(),
+            Some(false)
+        );
+        let failures = compare(&base, &cur, 0.99).expect_err("nondeterminism must fail");
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("response digests diverged")),
+            "{failures:?}"
+        );
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("cross-topology payloads diverged")),
             "{failures:?}"
         );
     }

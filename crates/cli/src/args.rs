@@ -18,7 +18,12 @@ pub struct Args {
 }
 
 /// Option keys that take a value (everything else after `--` is a switch).
-const VALUE_KEYS: [&str; 31] = [
+const VALUE_KEYS: [&str; 36] = [
+    "betas",
+    "cache",
+    "k",
+    "live-requests",
+    "seed",
     "cluster",
     "nodes",
     "replicas",
@@ -127,6 +132,19 @@ mod tests {
     fn empty_input() {
         let a = parse("");
         assert!(a.command.is_empty());
+    }
+
+    #[test]
+    fn workload_options_take_values() {
+        let a = parse(
+            "bench-workload --betas 0.02,0.2,1.0 --k 8 --cache 32 --live-requests 150 --seed 42",
+        );
+        assert_eq!(a.opt("betas", ""), "0.02,0.2,1.0");
+        assert_eq!(a.opt("k", ""), "8");
+        assert_eq!(a.opt("cache", ""), "32");
+        assert_eq!(a.opt("live-requests", ""), "150");
+        assert_eq!(a.opt("seed", ""), "42");
+        assert!(a.positionals.is_empty());
     }
 
     #[test]

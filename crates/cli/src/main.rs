@@ -25,6 +25,11 @@
 //!                     [--chaos SPEC]
 //! sww bench-cluster [--nodes 1,2,4] [--threads 2] [--requests 10]
 //!                   [--prompts 10] [--replicas 64] [--chaos SPEC]
+//! sww bench-workload [--betas 0.02,0.2,1.0] [--pages 192] [--k 8]
+//!                    [--requests 1000000] [--live-requests 600]
+//!                    [--transport h2|h3] [--cluster 4] [--cache 32]
+//!                    [--deadline-ms 2500] [--threads 4] [--seed 42]
+//!                    [--chaos SPEC]
 //! sww bench-compare <baseline.json> <current.json> [--tolerance 0.10]
 //! ```
 //!
@@ -37,14 +42,16 @@
 //! bit-identical per image (see DESIGN.md "Kernel & memory model").
 //!
 //! `bench-pr6` runs the E17 tiled-kernel sweeps, the E18 transport
-//! shoot-out, and the E19 edge-cluster sweep, and emits the
-//! machine-readable `BENCH_PR6.json` report (schema `sww-bench-pr6/3`,
-//! documented in PERFORMANCE.md); tables go to stderr so `--out -`-less
-//! stdout stays parseable. `bench-compare` gates a fresh report against a
-//! checked-in baseline and exits non-zero on a modelled-throughput
-//! regression, a missing record, a headline speedup under 1.5x, any
-//! steady-state pool allocation, a non-increasing E19 hit rate, or a
-//! lossy E19 node-kill.
+//! shoot-out, the E19 edge-cluster sweep, and the E20 small-world
+//! workload sweep, and emits the machine-readable `BENCH_PR6.json`
+//! report (schema `sww-bench-pr6/4`, documented in PERFORMANCE.md);
+//! tables go to stderr so `--out -`-less stdout stays parseable.
+//! `bench-compare` gates a fresh report against a checked-in baseline
+//! and exits non-zero on a modelled-throughput regression, a missing
+//! record, a headline speedup under 1.5x, any steady-state pool
+//! allocation, a non-increasing E19 hit rate, a lossy E19 node-kill, a
+//! non-monotone E20 hit-rate-vs-clustering curve, an E20 modelled p99
+//! over its deadline, or an E20 replay-determinism failure.
 //!
 //! `--deadline-ms MS` gives every request that carries no
 //! `x-sww-deadline-ms` header a deadline budget: expiry answers `504`,
@@ -69,6 +76,19 @@
 //! `bench-cluster` is the E19 harness: aggregate throughput and global
 //! hit rate vs node count, plus a chaos node-kill scenario that must
 //! lose zero responses.
+//!
+//! `bench-workload` is the E20 harness: it generates one seeded
+//! Watts–Strogatz workload per `--betas` entry (Zipf popularity,
+//! random-walk sessions with restart, diurnal arrivals, the E14 device
+//! mix), runs the modelled discrete-event simulator over each at
+//! `--requests` scale, and replays a `--live-requests` trace through the
+//! real stack — in-process single node, HTTP/3, and a `--cluster N` edge
+//! ring (or just the one target named by `--transport`). It exits
+//! non-zero when the cache hit rate fails to rise monotonically with
+//! graph clustering, the modelled p99 exceeds `--deadline-ms`, or two
+//! independent replays of the same seed diverge (under `--chaos` the
+//! response-digest check is waived — fault draws come from one
+//! process-global stream — but the trace itself must stay bit-identical).
 //!
 //! `--transport h3` serves over the HTTP/3 framing (QUIC-lite stream
 //! mux) instead of HTTP/2; `--transport both` binds two listeners (the
@@ -170,6 +190,7 @@ fn main() {
         "bench-pr6" => cmd_bench_pr6(&args),
         "bench-cluster" => cmd_bench_cluster(&args),
         "bench-transport" => cmd_bench_transport(&args),
+        "bench-workload" => cmd_bench_workload(&args),
         "bench-compare" => cmd_bench_compare(&args),
         _ => usage(),
     }
@@ -584,7 +605,7 @@ fn cmd_bench_concurrent(args: &Args) {
 /// Human-readable tables go to **stderr**; the JSON report goes to
 /// stdout, or to `--out FILE` so `ci.sh` can archive and gate it.
 fn cmd_bench_pr6(args: &Args) {
-    use sww_bench::experiments::{edge, kernel, transport};
+    use sww_bench::experiments::{edge, kernel, transport, workload};
     use sww_bench::report;
     let tiles: Vec<usize> = args
         .opt("tiles", "1,2,4,8")
@@ -618,6 +639,22 @@ fn cmd_bench_pr6(args: &Args) {
     let chaos = edge::chaos_kill(&ecfg);
     sww_core::faults::clear();
     eprintln!("{}", edge::chaos_table(&chaos).render());
+    // E20: the small-world workload sweep — modelled rows at full scale,
+    // live replays through single node / h3 / the edge ring, and the
+    // replay-determinism witness.
+    let wcfg = workload::E20Config::default();
+    let workload_rows = workload::modelled_sweep(&wcfg);
+    eprintln!(
+        "{}",
+        workload::modelled_table(&wcfg, &workload_rows).render()
+    );
+    let workload_live = workload::live_sweep(&wcfg, &workload::live_targets(&wcfg));
+    eprintln!("{}", workload::live_table(&wcfg, &workload_live).render());
+    let determinism = workload::determinism_check(&wcfg, &workload_live, true);
+    let live_clustering = wcfg
+        .workload(wcfg.live_beta, wcfg.live_requests)
+        .site_graph()
+        .clustering_coefficient();
     let text = report::render(&report::pr6_report(
         kcfg,
         &kernel_samples,
@@ -629,6 +666,13 @@ fn cmd_bench_pr6(args: &Args) {
             cfg: &ecfg,
             sweep: &edge_samples,
             chaos: &chaos,
+        },
+        report::WorkloadSection {
+            cfg: &wcfg,
+            modelled: &workload_rows,
+            live: &workload_live,
+            live_clustering,
+            determinism: &determinism,
         },
     ));
     match args.options.get("out") {
@@ -733,6 +777,105 @@ fn cmd_bench_transport(args: &Args) {
         std::process::exit(1);
     }
     println!("payloads byte-identical across transports");
+}
+
+/// Translate `bench-workload` flags into an E20 sweep config.
+fn e20_config_from(args: &Args) -> sww_bench::experiments::workload::E20Config {
+    use sww_bench::experiments::workload::E20Config;
+    let d = E20Config::default();
+    E20Config {
+        betas: args
+            .opt("betas", "0.02,0.2,1.0")
+            .split(',')
+            .filter_map(|b| b.trim().parse().ok())
+            .collect(),
+        graph_nodes: args.opt("pages", "192").parse().unwrap_or(d.graph_nodes),
+        k: args.opt("k", "8").parse().unwrap_or(d.k),
+        cache_capacity: args.opt("cache", "32").parse().unwrap_or(d.cache_capacity),
+        cluster_nodes: args
+            .opt("cluster", "4")
+            .parse()
+            .unwrap_or(d.cluster_nodes)
+            .max(1),
+        deadline_ms: args
+            .opt("deadline-ms", "2500")
+            .parse()
+            .unwrap_or(d.deadline_ms),
+        modelled_requests: args
+            .opt("requests", "1000000")
+            .parse()
+            .unwrap_or(d.modelled_requests),
+        live_requests: args
+            .opt("live-requests", "600")
+            .parse()
+            .unwrap_or(d.live_requests),
+        threads: args.opt("threads", "4").parse().unwrap_or(d.threads).max(1),
+        seed: args.opt("seed", "42").parse().unwrap_or(d.seed),
+        ..d
+    }
+}
+
+/// Run the E20 small-world workload harness: the modelled sweep over
+/// every `--betas` entry, the live trace replays, and the
+/// replay-determinism check. Exits non-zero when `slo_failures` reports
+/// any gate violation (non-monotone hit rate vs clustering, modelled
+/// p99 over the deadline, or replay nondeterminism).
+fn cmd_bench_workload(args: &Args) {
+    use sww_bench::experiments::workload;
+    use sww_workload::replay::ReplayTarget;
+    let chaos = args.options.contains_key("chaos");
+    if chaos {
+        install_chaos(args);
+    }
+    let cfg = e20_config_from(args);
+    let rows = workload::modelled_sweep(&cfg);
+    println!("{}", workload::modelled_table(&cfg, &rows).render());
+    // --transport narrows the live run to one framing path; --cluster
+    // always adds the edge ring unless a single transport was asked for.
+    let targets = match args.options.get("transport").map(String::as_str) {
+        Some("h2") => vec![ReplayTarget::H2],
+        Some("h3") => vec![ReplayTarget::H3],
+        Some("single") => vec![ReplayTarget::Single],
+        Some(other) => {
+            eprintln!("bad --transport {other:?}: expected single, h2 or h3");
+            std::process::exit(2);
+        }
+        None => workload::live_targets(&cfg),
+    };
+    let live = workload::live_sweep(&cfg, &targets);
+    println!("{}", workload::live_table(&cfg, &live).render());
+    let det = workload::determinism_check(&cfg, &live, !chaos);
+    println!(
+        "replay determinism: trace {}, responses {}, cross-topology {}{}",
+        if det.trace_match { "match" } else { "DIVERGED" },
+        if det.response_match {
+            "match"
+        } else {
+            "DIVERGED"
+        },
+        if det.cross_target_identical {
+            "identical"
+        } else {
+            "DIVERGED"
+        },
+        if chaos {
+            " (response digests waived under --chaos)"
+        } else {
+            ""
+        }
+    );
+    let failures = workload::slo_failures(&cfg, &rows, &det);
+    if !failures.is_empty() {
+        for line in &failures {
+            eprintln!("FAIL: {line}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "workload SLO gates passed ({} modelled rows, {} live replays)",
+        rows.len(),
+        live.len()
+    );
 }
 
 /// Gate a fresh `BENCH_PR6.json` against the checked-in baseline; exits

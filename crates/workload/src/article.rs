@@ -1,8 +1,12 @@
 //! The §6.2 text workload: a newspaper article of ≈2400 bytes whose
 //! bullet-point form is ≈778 bytes (3.1× compression).
 
+use crate::graph::RecipeSpec;
 use sww_genai::text::bullets;
-use sww_html::gencontent;
+
+/// Request path of the article page when served (also the path of its
+/// anchor node in the small-world site graph).
+pub const PAGE_PATH: &str = "/news/light-rail";
 
 /// The article text (written for this repository; ≈2400 bytes of typical
 /// regional-news prose).
@@ -48,9 +52,27 @@ pub fn article_bullets() -> Vec<String> {
     bullets::to_bullets(ARTICLE, 6)
 }
 
+/// The article's recipe — the single source of truth the on-the-wire
+/// division and the graph anchor node both assemble from.
+pub fn page_recipe() -> RecipeSpec {
+    RecipeSpec::Text {
+        bullets: article_bullets(),
+        words: target_words(),
+    }
+}
+
 /// The on-the-wire generated-content division for the article.
 pub fn news_article() -> String {
-    gencontent::text_div(&article_bullets(), target_words())
+    page_recipe().div()
+}
+
+/// Prompt-form HTML of the article as a servable page.
+pub fn page_html() -> String {
+    let title = "Light rail extension approved";
+    format!(
+        "<html><head><title>{title}</title></head><body><h1>{title}</h1>{}</body></html>",
+        news_article()
+    )
 }
 
 /// Original and converted byte sizes `(original, converted)`.
@@ -64,6 +86,7 @@ pub fn sizes() -> (usize, usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sww_html::gencontent;
 
     #[test]
     fn article_is_about_2400_bytes() {
@@ -90,6 +113,14 @@ mod tests {
         assert_eq!(items.len(), 1);
         assert_eq!(items[0].words(), target_words());
         assert!(items[0].bullets().len() >= 10);
+    }
+
+    #[test]
+    fn page_html_serves_the_single_recipe() {
+        let doc = sww_html::parse(&page_html());
+        let items = gencontent::extract(&doc);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].words(), target_words());
     }
 
     #[test]

@@ -2,57 +2,76 @@
 //! (generatable) content with unique content — "the details of a specific
 //! hiking route or pictures taken during the hike".
 
+use crate::graph::RecipeSpec;
 use sww_core::{SiteContent, SwwPage};
 use sww_genai::diffusion::{DiffusionModel, ImageModelKind};
 use sww_genai::image::codec;
-use sww_html::gencontent;
 
 /// Paths of the unique hike photographs kept as real files.
 pub const UNIQUE_PHOTOS: [&str; 2] = ["/photos/summit-2025.jpg", "/photos/ridge-camp.jpg"];
 
-/// Build the travel-blog site: one page with two generic stock images
-/// (prompts), one generic intro text block (bullets), the route-specific
-/// text kept verbatim, and two unique photographs stored as assets.
-pub fn travel_blog() -> SiteContent {
-    let mut site = SiteContent::new();
+/// The page's generative recipes in document order — two generic stock
+/// images and one generic intro text block (the second stock image sits
+/// after the unique-photo section in the rendered page). The unique route
+/// text and hike photos are *not* recipes: they are the §2.1 content that
+/// must stay verbatim.
+pub fn page_recipes() -> Vec<RecipeSpec> {
+    vec![
+        RecipeSpec::Image {
+            prompt: "a scenic mountain landscape with hiking trail winding through green alpine \
+                     meadows, photographed in soft morning light, high quality travel photography"
+                .into(),
+            name: "stock-header.jpg".into(),
+            width: 512,
+            height: 512,
+        },
+        RecipeSpec::Text {
+            bullets: vec![
+                "hiking preparation essentials boots water layers".into(),
+                "mountain weather changes quickly check forecast".into(),
+                "trail etiquette respect nature carry out litter".into(),
+            ],
+            words: 140,
+        },
+        RecipeSpec::Image {
+            prompt: "a wooden signpost on a mountain pass pointing toward distant peaks under a \
+                     clear blue sky, classic stock travel photo composition"
+                .into(),
+            name: "stock-signpost.jpg".into(),
+            width: 256,
+            height: 256,
+        },
+    ]
+}
 
-    let stock1 = gencontent::image_div(
-        "a scenic mountain landscape with hiking trail winding through green alpine meadows, \
-         photographed in soft morning light, high quality travel photography",
-        "stock-header.jpg",
-        512,
-        512,
-    );
-    let stock2 = gencontent::image_div(
-        "a wooden signpost on a mountain pass pointing toward distant peaks under a clear blue \
-         sky, classic stock travel photo composition",
-        "stock-signpost.jpg",
-        256,
-        256,
-    );
-    let generic_text = gencontent::text_div(
-        &[
-            "hiking preparation essentials boots water layers".into(),
-            "mountain weather changes quickly check forecast".into(),
-            "trail etiquette respect nature carry out litter".into(),
-        ],
-        140,
-    );
+/// Prompt-form HTML of the blog page, assembled from [`page_recipes`]
+/// plus the unique (non-generative) content.
+pub fn page_html() -> String {
+    let recipes = page_recipes();
+    let divs: Vec<String> = recipes.iter().map(RecipeSpec::div).collect();
+    let (stock1, generic_text, stock2) = (&divs[0], &divs[1], &divs[2]);
     // Route-specific text is unique information, kept as-is (§2.1).
     let route_text = "<p class=\"route\">The Gherdeina ridge route starts at the Dantercepies \
          lift (2298 m), follows marker 12A past the Crespëina lake, and descends to Colfosco in \
          about 4h30. The exposed section after the lake has fixed cables; bring a via ferrata set \
          in early season.</p>";
 
-    let html = format!(
+    format!(
         "<html><head><title>Hiking the Gherdeina Ridge</title></head><body>\
          <h1>Hiking the Gherdeina Ridge</h1>{stock1}{generic_text}{route_text}\
          <h2>Photos from the hike</h2>\
          <img src=\"{}\" width=\"512\" height=\"512\">\
          <img src=\"{}\" width=\"512\" height=\"512\">{stock2}</body></html>",
         UNIQUE_PHOTOS[0], UNIQUE_PHOTOS[1]
-    );
-    site.add_page("/blog/gherdeina-ridge", html);
+    )
+}
+
+/// Build the travel-blog site: one page with two generic stock images
+/// (prompts), one generic intro text block (bullets), the route-specific
+/// text kept verbatim, and two unique photographs stored as assets.
+pub fn travel_blog() -> SiteContent {
+    let mut site = SiteContent::new();
+    site.add_page(BLOG_PATH, page_html());
 
     // The unique photographs: real encoded images (generated once here as
     // stand-ins for camera files, then stored as opaque assets).
@@ -75,6 +94,23 @@ pub fn blog_page(site: &SiteContent) -> &SwwPage {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sww_html::gencontent;
+
+    #[test]
+    fn recipes_match_the_rendered_page() {
+        // The recipes extracted from the served page are exactly the
+        // ones `page_recipes` declares, in document order.
+        let doc = sww_html::parse(&page_html());
+        let extracted = gencontent::extract(&doc);
+        let recipes = page_recipes();
+        assert_eq!(extracted.len(), recipes.len());
+        for (item, recipe) in extracted.iter().zip(&recipes) {
+            match recipe {
+                RecipeSpec::Image { prompt, .. } => assert_eq!(item.prompt(), *prompt),
+                RecipeSpec::Text { words, .. } => assert_eq!(item.words(), *words),
+            }
+        }
+    }
 
     #[test]
     fn blog_mixes_generated_and_unique() {

@@ -1,0 +1,273 @@
+//! The SLO scorecard: what one replay run measured.
+//!
+//! A [`Scorecard`] accumulates per-request outcomes (status classes,
+//! retries, wall latencies) plus the lifecycle counters the serving
+//! stack exports (`sww_shed_total{reason}`, `sww_cancelled_total`,
+//! `sww_deadline_exceeded_total`, `sww_client_fallbacks_total`) read as
+//! before/after deltas of the global registry — the same reconciliation
+//! the `/metrics` endpoint serves, so a scorecard and a scrape must
+//! agree.
+//!
+//! Wall-clock numbers (p50/p99, qps) are **recorded but never gated** —
+//! the repo-wide convention; the gated SLO quantities (modelled p99 vs
+//! deadline, hit-rate monotonicity, replay determinism) are pure
+//! functions of the seed and live in the modelled layer.
+
+/// A point-in-time reading of the lifecycle counters the scorecard
+/// reconciles. Take one before and one after a run; subtract.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LifecycleSnapshot {
+    /// `sww_shed_total{reason="deadline"}`.
+    pub shed_deadline: u64,
+    /// `sww_shed_total{reason="breaker"}`.
+    pub shed_breaker: u64,
+    /// `sww_shed_total{reason="draining"}`.
+    pub shed_draining: u64,
+    /// `sww_cancelled_total` summed over all sites.
+    pub cancelled: u64,
+    /// `sww_deadline_exceeded_total`.
+    pub deadline_exceeded: u64,
+    /// `sww_client_fallbacks_total`.
+    pub fallbacks: u64,
+}
+
+impl LifecycleSnapshot {
+    /// Read the current global counter values.
+    pub fn take() -> LifecycleSnapshot {
+        let shed = |reason| sww_obs::counter("sww_shed_total", &[("reason", reason)]).get();
+        let cancelled = [
+            "engine.wait",
+            "engine.handoff",
+            "denoise",
+            "batch.wait",
+            "pool.queue",
+        ]
+        .iter()
+        .map(|site| sww_obs::counter("sww_cancelled_total", &[("site", site)]).get())
+        .sum();
+        LifecycleSnapshot {
+            shed_deadline: shed("deadline"),
+            shed_breaker: shed("breaker"),
+            shed_draining: shed("draining"),
+            cancelled,
+            deadline_exceeded: sww_obs::counter("sww_deadline_exceeded_total", &[]).get(),
+            fallbacks: sww_obs::counter("sww_client_fallbacks_total", &[]).get(),
+        }
+    }
+
+    /// Counter movement between `self` (earlier) and `later`.
+    pub fn delta(&self, later: &LifecycleSnapshot) -> LifecycleSnapshot {
+        LifecycleSnapshot {
+            shed_deadline: later.shed_deadline - self.shed_deadline,
+            shed_breaker: later.shed_breaker - self.shed_breaker,
+            shed_draining: later.shed_draining - self.shed_draining,
+            cancelled: later.cancelled - self.cancelled,
+            deadline_exceeded: later.deadline_exceeded - self.deadline_exceeded,
+            fallbacks: later.fallbacks - self.fallbacks,
+        }
+    }
+}
+
+/// Accumulated outcomes of one replay run.
+#[derive(Debug, Clone, Default)]
+pub struct Scorecard {
+    /// Human label (target + config).
+    pub label: String,
+    /// Requests attempted (first tries, not counting retries).
+    pub requests: u64,
+    /// 200 responses.
+    pub ok: u64,
+    /// 503 responses (shed / at-capacity).
+    pub shed: u64,
+    /// 504 responses (deadline exceeded).
+    pub deadline: u64,
+    /// Any other non-200 final outcome.
+    pub errors: u64,
+    /// Retries performed after retryable statuses.
+    pub retries: u64,
+    /// Server-side generations the run caused (engine counter delta).
+    pub generations: u64,
+    /// Coalesced waiters (single-flight hits; engine counter delta).
+    pub coalesced: u64,
+    /// Lifecycle counter movement over the run.
+    pub lifecycle: LifecycleSnapshot,
+    /// Wall-clock run duration in seconds.
+    pub wall_seconds: f64,
+    /// Per-request wall latencies in microseconds (drained by
+    /// [`Scorecard::finish`]).
+    latencies_us: Vec<u64>,
+    /// Sorted latencies after `finish`.
+    sorted_us: Vec<u64>,
+}
+
+impl Scorecard {
+    /// Start an empty scorecard.
+    pub fn new(label: impl Into<String>) -> Scorecard {
+        Scorecard {
+            label: label.into(),
+            ..Scorecard::default()
+        }
+    }
+
+    /// Record one request's final status and wall latency.
+    pub fn record(&mut self, status: u16, wall_us: u64) {
+        self.requests += 1;
+        match status {
+            200 => self.ok += 1,
+            503 => self.shed += 1,
+            504 => self.deadline += 1,
+            _ => self.errors += 1,
+        }
+        self.latencies_us.push(wall_us);
+    }
+
+    /// Record `n` retries.
+    pub fn add_retries(&mut self, n: u64) {
+        self.retries += n;
+    }
+
+    /// Merge a concurrently collected shard into this scorecard.
+    pub fn absorb(&mut self, other: Scorecard) {
+        self.requests += other.requests;
+        self.ok += other.ok;
+        self.shed += other.shed;
+        self.deadline += other.deadline;
+        self.errors += other.errors;
+        self.retries += other.retries;
+        self.latencies_us.extend(other.latencies_us);
+    }
+
+    /// Finalize: sort latencies and stamp the run duration.
+    pub fn finish(&mut self, wall_seconds: f64) {
+        self.wall_seconds = wall_seconds;
+        self.sorted_us = std::mem::take(&mut self.latencies_us);
+        self.sorted_us.sort_unstable();
+    }
+
+    fn percentile_us(&self, pct: f64) -> u64 {
+        if self.sorted_us.is_empty() {
+            return 0;
+        }
+        let rank = ((pct / 100.0) * self.sorted_us.len() as f64).ceil() as usize;
+        self.sorted_us[rank.clamp(1, self.sorted_us.len()) - 1]
+    }
+
+    /// Median wall latency in milliseconds.
+    pub fn p50_ms(&self) -> f64 {
+        self.percentile_us(50.0) as f64 / 1000.0
+    }
+
+    /// 99th-percentile wall latency in milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.percentile_us(99.0) as f64 / 1000.0
+    }
+
+    /// Sustained wall-clock request rate.
+    pub fn qps(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.requests as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of requests that ended 200.
+    pub fn ok_rate(&self) -> f64 {
+        self.rate(self.ok)
+    }
+
+    /// Fraction shed with 503.
+    pub fn shed_rate(&self) -> f64 {
+        self.rate(self.shed)
+    }
+
+    /// Fraction that exceeded their deadline (504).
+    pub fn deadline_rate(&self) -> f64 {
+        self.rate(self.deadline)
+    }
+
+    /// Fraction with other errors.
+    pub fn error_rate(&self) -> f64 {
+        self.rate(self.errors)
+    }
+
+    fn rate(&self, n: u64) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            n as f64 / self.requests as f64
+        }
+    }
+
+    /// Single-flight efficiency: coalesced waiters per generation.
+    pub fn coalesce_ratio(&self) -> f64 {
+        if self.generations == 0 {
+            0.0
+        } else {
+            self.coalesced as f64 / self.generations as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statuses_land_in_their_buckets() {
+        let mut s = Scorecard::new("t");
+        for (status, n) in [(200u16, 6u64), (503, 2), (504, 1), (500, 1)] {
+            for _ in 0..n {
+                s.record(status, 1000);
+            }
+        }
+        s.finish(2.0);
+        assert_eq!(
+            (s.requests, s.ok, s.shed, s.deadline, s.errors),
+            (10, 6, 2, 1, 1)
+        );
+        assert!((s.ok_rate() - 0.6).abs() < 1e-9);
+        assert!((s.qps() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut s = Scorecard::new("t");
+        for us in [1000u64, 2000, 3000, 4000, 100_000] {
+            s.record(200, us);
+        }
+        s.finish(1.0);
+        assert!((s.p50_ms() - 3.0).abs() < 1e-9);
+        assert!((s.p99_ms() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorb_merges_shards() {
+        let mut a = Scorecard::new("a");
+        a.record(200, 10);
+        let mut b = Scorecard::new("b");
+        b.record(503, 20);
+        b.add_retries(3);
+        a.absorb(b);
+        a.finish(1.0);
+        assert_eq!(a.requests, 2);
+        assert_eq!(a.shed, 1);
+        assert_eq!(a.retries, 3);
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts() {
+        let before = LifecycleSnapshot {
+            shed_deadline: 1,
+            ..Default::default()
+        };
+        let after = LifecycleSnapshot {
+            shed_deadline: 4,
+            cancelled: 2,
+            ..Default::default()
+        };
+        let d = before.delta(&after);
+        assert_eq!(d.shed_deadline, 3);
+        assert_eq!(d.cancelled, 2);
+    }
+}

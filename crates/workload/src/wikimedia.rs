@@ -2,12 +2,17 @@
 //! "Landscape" — 49 thumbnail images totalling ≈1.4 MB, converted to
 //! prompts of 120–262 characters (paper §6.2).
 
+use crate::graph::RecipeSpec;
 use sww_genai::diffusion::{DiffusionModel, ImageModelKind};
 use sww_genai::image::codec;
 use sww_html::gencontent;
 
 /// Number of images on the search-results page.
 pub const IMAGE_COUNT: usize = 49;
+
+/// Request path of the search-results page when served (also the path of
+/// its anchor node in the small-world site graph).
+pub const PAGE_PATH: &str = "/wiki/landscape";
 
 /// Thumbnail side used for the original media (pixels). Chosen together
 /// with the codec quality so the measured page total lands near the
@@ -103,6 +108,37 @@ pub fn prompts() -> Vec<String> {
         .collect()
 }
 
+/// The page's recipes in document order — the single source of truth the
+/// prompt-form HTML, the graph anchor node, and the byte accounting all
+/// assemble from.
+pub fn page_recipes() -> Vec<RecipeSpec> {
+    prompts()
+        .into_iter()
+        .enumerate()
+        .map(|(i, prompt)| RecipeSpec::Image {
+            prompt,
+            name: format!("landscape_{i:02}.jpg"),
+            width: THUMB_SIDE,
+            height: THUMB_SIDE,
+        })
+        .collect()
+}
+
+fn wrap(body: &str) -> String {
+    format!(
+        "<html><head><title>Search results for Landscape - Wikimedia Commons</title></head>\
+         <body><h1>Landscape</h1><div class=\"results\">{body}</div></body></html>"
+    )
+}
+
+/// Prompt-form HTML of the page, assembled from [`page_recipes`] without
+/// generating any original media (cheap; byte-identical to
+/// [`LandscapePage::sww_html`]).
+pub fn page_html() -> String {
+    let body: String = page_recipes().iter().map(RecipeSpec::div).collect();
+    wrap(&body)
+}
+
 /// Codec quality for the original thumbnails, calibrated (together with
 /// the photographic grain below) so the 49-image total lands near the
 /// paper's 1.4 MB.
@@ -128,8 +164,10 @@ fn build_landscape_page() -> LandscapePage {
     let mut images = Vec::with_capacity(IMAGE_COUNT);
     let mut sww_body = String::new();
     let mut trad_body = String::new();
-    for (i, prompt) in prompts().into_iter().enumerate() {
-        let name = format!("landscape_{i:02}.jpg");
+    for (i, recipe) in page_recipes().into_iter().enumerate() {
+        let RecipeSpec::Image { prompt, name, .. } = recipe else {
+            unreachable!("landscape page carries only image recipes");
+        };
         let mut img = model.generate(&prompt, THUMB_SIDE, THUMB_SIDE, 15);
         // Photographic grain: the originals stand in for real photos.
         let mut rng = sww_genai::rng::Rng::new(0x9e1e_c0de ^ i as u64);
@@ -156,12 +194,6 @@ fn build_landscape_page() -> LandscapePage {
             original_bytes,
         });
     }
-    let wrap = |body: &str| {
-        format!(
-            "<html><head><title>Search results for Landscape - Wikimedia Commons</title></head>\
-             <body><h1>Landscape</h1><div class=\"results\">{body}</div></body></html>"
-        )
-    };
     LandscapePage {
         sww_html: wrap(&sww_body),
         traditional_html: wrap(&trad_body),
@@ -227,6 +259,33 @@ mod tests {
         let doc = sww_html::parse(&page.traditional_html);
         let imgs = sww_html::query::by_tag(&doc, doc.root(), "img");
         assert_eq!(imgs.len(), IMAGE_COUNT);
+    }
+
+    #[test]
+    fn page_html_matches_full_build() {
+        // The cheap recipe-routed page and the full (media-generating)
+        // build must agree byte for byte — one recipe path, two callers.
+        assert_eq!(page_html(), landscape_search_page().sww_html);
+    }
+
+    #[test]
+    fn recipes_carry_the_prompts_in_order() {
+        let recipes = page_recipes();
+        assert_eq!(recipes.len(), IMAGE_COUNT);
+        for (recipe, prompt) in recipes.iter().zip(prompts()) {
+            match recipe {
+                RecipeSpec::Image {
+                    prompt: p,
+                    width,
+                    height,
+                    ..
+                } => {
+                    assert_eq!(*p, prompt);
+                    assert_eq!((*width, *height), (THUMB_SIDE, THUMB_SIDE));
+                }
+                RecipeSpec::Text { .. } => panic!("unexpected text recipe"),
+            }
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! then review and commit the updated snapshots like any other diff.
 
 use std::path::Path;
-use sww_bench::experiments::{compression, edge, models};
+use sww_bench::experiments::{compression, edge, models, workload};
 
 /// Compare `rendered` against `tests/golden/<name>`, or rewrite the
 /// snapshot when `SWW_BLESS=1` is set.
@@ -72,6 +72,20 @@ fn e19_edge_cluster_modelled_table_matches_golden() {
     assert_matches_golden("e19_edge_cluster.txt", &rendered);
 }
 
+/// E20: the modelled small-world workload scorecard — graph metrics,
+/// bounded-LRU hit rates, and queueing percentiles are all pure
+/// functions of the seed, so the table is bit-stable across hosts. Pins
+/// the clustering→hit-rate story the compare gate enforces: a change to
+/// the graph generator, the Zipf sampler, the walk, or the SLO model
+/// shows up here as a diff.
+#[test]
+fn e20_workload_scorecard_matches_golden() {
+    let cfg = workload::E20Config::quick();
+    let rows = workload::modelled_sweep(&cfg);
+    let rendered = workload::modelled_table(&cfg, &rows).render();
+    assert_matches_golden("e20_workload.txt", &rendered);
+}
+
 /// The comparer itself must be deterministic: rendering twice in one
 /// process yields identical bytes (guards against accidental map-order
 /// or timing dependence sneaking into the table code).
@@ -89,5 +103,10 @@ fn golden_targets_render_deterministically() {
     assert_eq!(
         edge::modelled_table(&ecfg).render(),
         edge::modelled_table(&ecfg).render()
+    );
+    let wcfg = workload::E20Config::quick();
+    assert_eq!(
+        workload::modelled_table(&wcfg, &workload::modelled_sweep(&wcfg)).render(),
+        workload::modelled_table(&wcfg, &workload::modelled_sweep(&wcfg)).render()
     );
 }
