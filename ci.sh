@@ -74,15 +74,22 @@ echo "==> bench-transport --chaos (E18 h2-vs-h3 gate)"
 echo "==> cargo test -p sww-core --test proptest_ring (consistent-hash ring property suite)"
 cargo test -p sww-core --test proptest_ring -q
 
-echo "==> cargo test --release --test edge_cluster (E19 exactly-once + chaos node-kill battery)"
+echo "==> cargo test -p sww-core --test proptest_gossip (SWIM failure-detector property suite)"
+cargo test -p sww-core --test proptest_gossip -q
+
+echo "==> cargo test --release --test edge_cluster (E19/E21 exactly-once + kill/replication battery)"
 cargo test --release --test edge_cluster -q
 
-# E19 gate: the edge-cluster sweep and node-kill chaos run from the
-# command line exactly as a user would run it. Exits non-zero if the
-# global hit rate is not strictly increasing with node count, any
-# response is lost across the kill, or payloads diverge after failover.
-echo "==> bench-cluster --chaos (E19 edge gate)"
+# E19+E21 gate: the edge-cluster sweep, node-kill chaos run, and the
+# replication failover + gossip partition scenarios from the command
+# line exactly as a user would run them. Exits non-zero if the global
+# hit rate is not strictly increasing with node count, any response is
+# lost across a kill, payloads diverge after failover, the replicated
+# failover pays a regeneration (or the unreplicated control pays none),
+# or the gossip partition misses its deterministic heal bound.
+echo "==> bench-cluster --chaos --replication 2 (E19+E21 edge gate)"
 ./target/release/sww-cli bench-cluster --nodes 1,2 --threads 2 --requests 5 \
+    --replication 2 \
     --chaos "seed=7,engine.generate=latency:1.0:10" >/dev/null
 
 echo "==> cargo test -p sww-html --test proptest_gencontent (generated-content property suite)"
@@ -98,15 +105,16 @@ cargo test --release --test workload_replay -q
 # command line exactly as a user would run it, under chaos. Exits
 # non-zero if the bounded-cache hit rate is not strictly increasing
 # with graph clustering, any modelled p99 breaks the deadline, or two
-# seeded replays diverge (trace digests must match even under chaos;
-# response digests are waived — the fault stream is process-global).
+# seeded replays diverge — response digests included even under chaos:
+# each server draws faults from its own seeded scope, so the fault
+# schedule replays per instance (the PR 9 waiver is gone).
 echo "==> bench-workload --chaos (E20 workload gate)"
 ./target/release/sww-cli bench-workload --requests 20000 --live-requests 150 \
     --chaos "seed=9,engine.generate=latency:0.5:5" >/dev/null
 
 # Ratchet: the workspace test count must never silently shrink. Raise the
 # floor when a PR adds tests; a drop below it means tests were lost.
-TEST_FLOOR=840
+TEST_FLOOR=885
 echo "==> workspace test-count floor (>= ${TEST_FLOOR})"
 TEST_COUNT=$(cargo test --workspace -- --list 2>/dev/null | grep -c ": test$")
 echo "    ${TEST_COUNT} tests"

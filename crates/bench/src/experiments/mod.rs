@@ -1,4 +1,4 @@
-//! The experiment implementations, one per table/figure (DESIGN.md E1–E20)
+//! The experiment implementations, one per table/figure (DESIGN.md E1–E21)
 //! plus the design-choice ablations.
 
 pub mod ablations;
@@ -13,6 +13,7 @@ pub mod kernel;
 pub mod mobile;
 pub mod models;
 pub mod negotiation;
+pub mod resilience;
 pub mod transport;
 pub mod video_cdn;
 pub mod wikimedia;

@@ -2,10 +2,10 @@
 //! gate that compares a fresh run against a checked-in baseline.
 //!
 //! The PR 6 report captures the E17 tiled-kernel sweeps, the E18
-//! transport shoot-out, the E19 edge-cluster scaling sweep, and the E20
-//! small-world workload sweep in the `sww-bench-pr6/4` schema
-//! (documented in PERFORMANCE.md). Two kinds of numbers live side by
-//! side and are treated differently:
+//! transport shoot-out, the E19 edge-cluster scaling sweep, the E20
+//! small-world workload sweep, and the E21 edge-resilience scenarios in
+//! the `sww-bench-pr6/5` schema (documented in PERFORMANCE.md). Two
+//! kinds of numbers live side by side and are treated differently:
 //!
 //! * **Modelled** throughput (`modelled_qps`, `speedup`) comes from the
 //!   deterministic cost model, so it is bit-reproducible across hosts —
@@ -21,11 +21,14 @@
 //! strictly increase with node count, the chaos node-kill must lose
 //! zero responses with byte-identical payloads, the E20 workload hit
 //! rate must strictly increase with graph clustering while the modelled
-//! p99 stays under its deadline, and the E20 replay must be
-//! deterministic.
+//! p99 stays under its deadline, the E20 replay must be deterministic,
+//! the E21 replicated failover must cost zero regenerations (and the
+//! unreplicated control at least one), and the E21 gossip partition
+//! must heal within its deterministic round bound.
 
 use crate::experiments::edge::{EdgeChaosOutcome, EdgeClusterConfig, EdgeSample};
 use crate::experiments::kernel::{KernelConfig, KernelSample, ServingConfig, ServingSample};
+use crate::experiments::resilience::{FailoverOutcome, PartitionOutcome};
 use crate::experiments::transport::{TransportConfig, TransportSample};
 use crate::experiments::workload::{DeterminismOutcome, E20Config, LiveSample, WorkloadRow};
 use sww_json::Value;
@@ -35,8 +38,10 @@ use sww_json::Value;
 /// `/3` added the E19 `edge_cluster` scaling records (keyed by `nodes`)
 /// and the `edge_chaos` node-kill record; `/4` added the E20
 /// `smallworld_modelled` records (keyed by `clustering`), the
-/// `workload_replay` scorecards, and the `workload_determinism` witness.
-pub const PR6_SCHEMA: &str = "sww-bench-pr6/4";
+/// `workload_replay` scorecards, and the `workload_determinism` witness;
+/// `/5` added the E21 `edge_resilience` records (keyed by `replication`)
+/// and the `gossip_partition` heal witness.
+pub const PR6_SCHEMA: &str = "sww-bench-pr6/5";
 
 /// Modelled-speedup floor from the PR 6 acceptance criterion: the tiled
 /// kernel must buy ≥ 1.5× at batch 8.
@@ -141,6 +146,46 @@ fn chaos_record(o: &EdgeChaosOutcome) -> Value {
     ])
 }
 
+/// One E21 failover row: the owner-kill scenario at one replication
+/// level. `modelled_qps` is pinned at zero — the scenario is gated on
+/// its own invariants (`lost == 0`, `byte_identical`, `regenerations`
+/// exactly zero with replicas and nonzero without), not on throughput.
+fn resilience_record(o: &FailoverOutcome) -> Value {
+    Value::object([
+        ("experiment", Value::from("edge_resilience")),
+        ("nodes", Value::from(o.nodes)),
+        ("replication", Value::from(o.replication)),
+        ("kernel_tiles", Value::from(1usize)),
+        ("requests", Value::from(o.requests as usize)),
+        ("completed", Value::from(o.completed as usize)),
+        ("lost", Value::from(o.lost as usize)),
+        ("byte_identical", Value::from(o.byte_identical)),
+        ("regenerations", Value::from(o.regenerations as usize)),
+        ("replica_pushes", Value::from(o.replica_pushes as usize)),
+        ("replica_hits", Value::from(o.replica_hits as usize)),
+        ("modelled_qps", Value::from(0.0)),
+        ("alloc_bytes_steady", Value::from(0usize)),
+    ])
+}
+
+/// The E21 gossip partition-heal witness: the partition must be
+/// noticed, the heal must converge within the deterministic bound, and
+/// two runs from the same seed must agree round for round.
+fn partition_record(o: &PartitionOutcome) -> Value {
+    Value::object([
+        ("experiment", Value::from("gossip_partition")),
+        ("nodes", Value::from(o.nodes)),
+        ("kernel_tiles", Value::from(1usize)),
+        ("diverged", Value::from(o.diverged)),
+        ("rounds_to_heal", Value::from(o.rounds_to_heal as usize)),
+        ("bound", Value::from(o.bound as usize)),
+        ("converged", Value::from(o.converged)),
+        ("deterministic", Value::from(o.deterministic)),
+        ("modelled_qps", Value::from(0.0)),
+        ("alloc_bytes_steady", Value::from(0usize)),
+    ])
+}
+
 /// One E20 modelled row: the small-world workload at one clustering
 /// coefficient. Every column is a pure function of the seed (graph,
 /// popularity, walks, arrivals, and the discrete-event queue all derive
@@ -225,6 +270,15 @@ pub struct EdgeSection<'a> {
     pub chaos: &'a EdgeChaosOutcome,
 }
 
+/// The E21 inputs to a report: one failover outcome per replication
+/// level plus the gossip partition-heal witness.
+pub struct ResilienceSection<'a> {
+    /// One outcome per replication level, in sweep order.
+    pub failover: &'a [FailoverOutcome],
+    /// The partition-heal outcome.
+    pub partition: &'a PartitionOutcome,
+}
+
 /// The E20 inputs to a report: sweep config, modelled rows, live replay
 /// scorecards (with the clustering coefficient of the live workload's
 /// graph), and the determinism witness.
@@ -242,8 +296,8 @@ pub struct WorkloadSection<'a> {
 }
 
 /// Assemble the PR 6 report from both E17 sweeps, the E18 transport
-/// comparison, the E19 edge-cluster sweep + chaos outcome, and the E20
-/// small-world workload sweep.
+/// comparison, the E19 edge-cluster sweep + chaos outcome, the E20
+/// small-world workload sweep, and the E21 resilience scenarios.
 #[allow(clippy::too_many_arguments)]
 pub fn pr6_report(
     kcfg: KernelConfig,
@@ -254,6 +308,7 @@ pub fn pr6_report(
     transports: &[TransportSample],
     edge: EdgeSection<'_>,
     workload: WorkloadSection<'_>,
+    resilience: ResilienceSection<'_>,
 ) -> Value {
     let records: Vec<Value> = kernel
         .iter()
@@ -275,6 +330,8 @@ pub fn pr6_report(
                 .map(|s| replay_record(workload.live_clustering, s)),
         )
         .chain(std::iter::once(determinism_record(workload.determinism)))
+        .chain(resilience.failover.iter().map(resilience_record))
+        .chain(std::iter::once(partition_record(resilience.partition)))
         .collect();
     let widest = |speedups: Vec<(usize, f64)>| {
         speedups
@@ -337,6 +394,22 @@ pub fn pr6_report(
                     "workload_replay_deterministic",
                     Value::from(workload.determinism.deterministic()),
                 ),
+                (
+                    // Regenerations at the highest replication level —
+                    // zero when replicas fully absorb the owner kill.
+                    "resilience_replicated_regen",
+                    Value::from(
+                        resilience
+                            .failover
+                            .iter()
+                            .max_by_key(|o| o.replication)
+                            .map_or(0, |o| o.regenerations as usize),
+                    ),
+                ),
+                (
+                    "gossip_heal_rounds",
+                    Value::from(resilience.partition.rounds_to_heal as usize),
+                ),
                 ("steady_state_alloc_bytes", Value::from(steady as usize)),
             ]),
         ),
@@ -352,13 +425,15 @@ pub fn render(report: &Value) -> String {
 }
 
 /// A record's identity within a report: `(experiment, kernel_tiles,
-/// transport, nodes, clustering)` — the transport component is empty for
-/// the E17 kernel and serving records (which exist once per lane count),
-/// the nodes component is zero for everything but the E19 edge records
-/// (which exist once per cluster size), and the clustering component is
-/// empty for everything but the E20 workload records (which exist once
-/// per graph topology).
-fn record_key(record: &Value) -> (String, u64, String, u64, String) {
+/// transport, nodes, clustering, replication)` — the transport component
+/// is empty for the E17 kernel and serving records (which exist once per
+/// lane count), the nodes component is zero for everything but the E19
+/// edge records (which exist once per cluster size), the clustering
+/// component is empty for everything but the E20 workload records (which
+/// exist once per graph topology), and the replication component is zero
+/// for everything but the E21 resilience records (which exist once per
+/// replication level).
+fn record_key(record: &Value) -> (String, u64, String, u64, String, u64) {
     (
         record["experiment"].as_str().unwrap_or("?").to_owned(),
         record["kernel_tiles"].as_u64().unwrap_or(0),
@@ -368,6 +443,7 @@ fn record_key(record: &Value) -> (String, u64, String, u64, String) {
             .as_f64()
             .map(|c| format!("{c:.3}"))
             .unwrap_or_default(),
+        record["replication"].as_u64().unwrap_or(0),
     )
 }
 
@@ -390,7 +466,15 @@ fn record_key(record: &Value) -> (String, u64, String, u64, String) {
 ///    graph clustering (locality is what the bounded cache converts into
 ///    hits) and every modelled p99 stays under its recorded deadline;
 /// 9. every `workload_determinism` record witnessed bit-identical traces,
-///    matching response digests, and topology-independent payloads.
+///    matching response digests, and topology-independent payloads;
+/// 10. every E21 `edge_resilience` record lost zero responses with
+///     byte-identical payloads, replicated runs (`replication ≥ 2`) cost
+///     **zero** regenerations while serving from replicas, and the
+///     unreplicated control re-rendered at least once — the contrast
+///     that proves replicas carried the failover;
+/// 11. every `gossip_partition` record diverged under the partition,
+///     healed to a converged view within its deterministic round bound,
+///     and replayed identically from the same seed.
 ///
 /// Returns the per-check log lines on success, the failure messages
 /// otherwise.
@@ -550,6 +634,100 @@ pub fn compare(
             } else {
                 ok.push(format!("workload_determinism: {what} agree"));
             }
+        }
+    }
+    // E21 failover: an owner kill may never lose a response or change a
+    // byte; with replicas it must also cost zero regenerations, and the
+    // unreplicated control must pay at least one — otherwise the gate
+    // would pass vacuously on a cluster that never replicated at all.
+    for res in cur_records
+        .iter()
+        .filter(|r| r["experiment"].as_str() == Some("edge_resilience"))
+    {
+        let replication = res["replication"].as_u64().unwrap_or(0);
+        let lost = res["lost"].as_u64().unwrap_or(u64::MAX);
+        let regen = res["regenerations"].as_u64().unwrap_or(u64::MAX);
+        let hits = res["replica_hits"].as_u64().unwrap_or(0);
+        if lost != 0 {
+            bad.push(format!(
+                "edge_resilience @ replication {replication}: {lost} lost responses"
+            ));
+        } else {
+            ok.push(format!(
+                "edge_resilience @ replication {replication}: zero lost responses"
+            ));
+        }
+        if res["byte_identical"].as_bool() != Some(true) {
+            bad.push(format!(
+                "edge_resilience @ replication {replication}: payloads diverged \
+                 from the owner's bytes"
+            ));
+        } else {
+            ok.push(format!(
+                "edge_resilience @ replication {replication}: payloads byte-identical"
+            ));
+        }
+        if replication >= 2 {
+            if regen != 0 {
+                bad.push(format!(
+                    "edge_resilience @ replication {replication}: owner kill cost \
+                     {regen} regenerations (replicas must absorb it)"
+                ));
+            } else {
+                ok.push(format!(
+                    "edge_resilience @ replication {replication}: zero regenerations"
+                ));
+            }
+            if hits == 0 {
+                bad.push(format!(
+                    "edge_resilience @ replication {replication}: no replica hits — \
+                     the failover never touched a replica"
+                ));
+            } else {
+                ok.push(format!(
+                    "edge_resilience @ replication {replication}: {hits} replica hits"
+                ));
+            }
+        } else if regen == 0 {
+            bad.push(format!(
+                "edge_resilience @ replication {replication}: the unreplicated \
+                 control did not re-render — the contrast is vacuous"
+            ));
+        } else {
+            ok.push(format!(
+                "edge_resilience @ replication {replication}: control re-rendered \
+                 {regen} time(s)"
+            ));
+        }
+    }
+    // E21 partition: noticed, healed in bound, replayed bit-for-bit.
+    for part in cur_records
+        .iter()
+        .filter(|r| r["experiment"].as_str() == Some("gossip_partition"))
+    {
+        let nodes = part["nodes"].as_u64().unwrap_or(0);
+        let rounds = part["rounds_to_heal"].as_u64().unwrap_or(u64::MAX);
+        let bound = part["bound"].as_u64().unwrap_or(0);
+        for (field, what) in [
+            ("diverged", "the partition was never noticed"),
+            ("converged", "the heal never converged"),
+            ("deterministic", "the heal did not replay deterministically"),
+        ] {
+            if part[field].as_bool() != Some(true) {
+                bad.push(format!("gossip_partition @ {nodes} nodes: {what}"));
+            } else {
+                ok.push(format!("gossip_partition @ {nodes} nodes: {field}"));
+            }
+        }
+        if rounds > bound {
+            bad.push(format!(
+                "gossip_partition @ {nodes} nodes: healed in {rounds} rounds, \
+                 over the {bound}-round bound"
+            ));
+        } else {
+            ok.push(format!(
+                "gossip_partition @ {nodes} nodes: healed in {rounds}/{bound} rounds"
+            ));
         }
     }
     for headline in [
@@ -743,6 +921,56 @@ mod tests {
         }
     }
 
+    fn fake_failover(replication: usize, regen: u64, hits: u64) -> FailoverOutcome {
+        FailoverOutcome {
+            replication,
+            nodes: 3,
+            requests: 30,
+            completed: 30,
+            lost: 0,
+            byte_identical: true,
+            warm_generations: 10,
+            regenerations: regen,
+            replica_pushes: if replication >= 2 { 10 } else { 0 },
+            replica_hits: hits,
+            killed: "n0".into(),
+        }
+    }
+
+    fn fake_partition() -> PartitionOutcome {
+        PartitionOutcome {
+            nodes: 3,
+            diverged: true,
+            rounds_to_heal: 7,
+            bound: 24,
+            converged: true,
+            deterministic: true,
+            digest: 0xfeed,
+        }
+    }
+
+    /// Owned E21 fakes; `section` borrows them into a [`ResilienceSection`].
+    struct ResFakes {
+        failover: Vec<FailoverOutcome>,
+        partition: PartitionOutcome,
+    }
+
+    impl ResFakes {
+        fn ok() -> ResFakes {
+            ResFakes {
+                failover: vec![fake_failover(1, 4, 0), fake_failover(2, 0, 12)],
+                partition: fake_partition(),
+            }
+        }
+
+        fn section(&self) -> ResilienceSection<'_> {
+            ResilienceSection {
+                failover: &self.failover,
+                partition: &self.partition,
+            }
+        }
+    }
+
     fn report_with_wl(edge: &[EdgeSample], chaos: &EdgeChaosOutcome, wl: &WlFakes) -> Value {
         pr6_report(
             KernelConfig::default(),
@@ -757,11 +985,30 @@ mod tests {
                 chaos,
             },
             wl.section(),
+            ResFakes::ok().section(),
         )
     }
 
     fn report_with(edge: &[EdgeSample], chaos: &EdgeChaosOutcome) -> Value {
         report_with_wl(edge, chaos, &WlFakes::ok())
+    }
+
+    fn report_with_res(res: &ResFakes) -> Value {
+        pr6_report(
+            KernelConfig::default(),
+            &[fake_kernel(1, 4.0, 1.0), fake_kernel(8, 12.4, 3.1)],
+            ServingConfig::default(),
+            &[fake_serving(1, 4.0, 1.0), fake_serving(8, 12.4, 3.1)],
+            TransportConfig::default(),
+            &fake_transports(),
+            EdgeSection {
+                cfg: &EdgeClusterConfig::default(),
+                sweep: &fake_edges(),
+                chaos: &fake_chaos(0, true),
+            },
+            WlFakes::ok().section(),
+            res.section(),
+        )
     }
 
     fn report() -> Value {
@@ -776,8 +1023,9 @@ mod tests {
         assert_eq!(back, r);
         assert_eq!(back["schema"].as_str(), Some(PR6_SCHEMA));
         // 2 kernel + 2 serving + 2 transport + 3 edge + 1 chaos
-        // + 3 workload modelled + 3 workload replay + 1 determinism.
-        assert_eq!(back["records"].as_array().unwrap().len(), 17);
+        // + 3 workload modelled + 3 workload replay + 1 determinism
+        // + 2 edge_resilience + 1 gossip_partition.
+        assert_eq!(back["records"].as_array().unwrap().len(), 20);
         assert_eq!(
             back["summary"]["workload_hit_rate_clustered"].as_f64(),
             Some(0.78)
@@ -816,6 +1064,7 @@ mod tests {
                 chaos: &fake_chaos(0, true),
             },
             WlFakes::ok().section(),
+            ResFakes::ok().section(),
         );
         let failures = compare(&base, &cur, 0.10).expect_err("regression must fail");
         assert!(
@@ -840,6 +1089,7 @@ mod tests {
                 chaos: &fake_chaos(0, true),
             },
             WlFakes::ok().section(),
+            ResFakes::ok().section(),
         );
         let failures = compare(&base, &cur, 0.99).expect_err("floor must bind");
         assert!(
@@ -866,6 +1116,7 @@ mod tests {
                 chaos: &fake_chaos(0, true),
             },
             WlFakes::ok().section(),
+            ResFakes::ok().section(),
         );
         let failures = compare(&base, &cur, 0.10).expect_err("allocation must fail");
         assert!(
@@ -892,6 +1143,7 @@ mod tests {
                 chaos: &fake_chaos(0, true),
             },
             WlFakes::ok().section(),
+            ResFakes::ok().section(),
         );
         let failures = compare(&base, &cur, 0.10).expect_err("missing h3 row must fail");
         assert!(
@@ -924,6 +1176,7 @@ mod tests {
                 chaos: &fake_chaos(0, true),
             },
             WlFakes::ok().section(),
+            ResFakes::ok().section(),
         );
         let failures = compare(&base, &cur, 0.10).expect_err("missing record must fail");
         assert!(
@@ -1044,6 +1297,88 @@ mod tests {
             failures
                 .iter()
                 .any(|f| f.contains("cross-topology payloads diverged")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn resilience_records_are_keyed_by_replication() {
+        let base = report();
+        // Dropping the replicated row must fail presence even though an
+        // edge_resilience record with the same experiment, tiles,
+        // transport, and nodes remains — replication disambiguates.
+        let mut res = ResFakes::ok();
+        res.failover.retain(|o| o.replication < 2);
+        let failures =
+            compare(&base, &report_with_res(&res), 0.10).expect_err("missing level must fail");
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("edge_resilience") && f.contains("missing")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn replicated_regeneration_fails_the_gate() {
+        let base = report();
+        // A replicated failover that still re-rendered: replicas failed.
+        let mut res = ResFakes::ok();
+        res.failover[1] = fake_failover(2, 3, 12);
+        let failures = compare(&base, &report_with_res(&res), 0.99).expect_err("regen must fail");
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("3 regenerations") && f.contains("replicas must absorb")),
+            "{failures:?}"
+        );
+        // ... and one that never touched a replica at all.
+        res.failover[1] = fake_failover(2, 0, 0);
+        let failures = compare(&base, &report_with_res(&res), 0.99).expect_err("no hits must fail");
+        assert!(
+            failures.iter().any(|f| f.contains("no replica hits")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn vacuous_unreplicated_control_fails_the_gate() {
+        let base = report();
+        // The replication-1 control not re-rendering means the scenario
+        // never actually exercised the owner's keys.
+        let mut res = ResFakes::ok();
+        res.failover[0] = fake_failover(1, 0, 0);
+        let failures =
+            compare(&base, &report_with_res(&res), 0.99).expect_err("vacuous control must fail");
+        assert!(
+            failures.iter().any(|f| f.contains("contrast is vacuous")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn unhealed_or_slow_partition_fails_the_gate() {
+        let base = report();
+        let mut res = ResFakes::ok();
+        res.partition.converged = false;
+        res.partition.deterministic = false;
+        res.partition.rounds_to_heal = res.partition.bound + 1;
+        let failures =
+            compare(&base, &report_with_res(&res), 0.99).expect_err("bad partition must fail");
+        assert!(
+            failures.iter().any(|f| f.contains("never converged")),
+            "{failures:?}"
+        );
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("did not replay deterministically")),
+            "{failures:?}"
+        );
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("over the 24-round bound")),
             "{failures:?}"
         );
     }

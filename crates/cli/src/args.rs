@@ -18,7 +18,7 @@ pub struct Args {
 }
 
 /// Option keys that take a value (everything else after `--` is a switch).
-const VALUE_KEYS: [&str; 36] = [
+const VALUE_KEYS: [&str; 38] = [
     "betas",
     "cache",
     "k",
@@ -27,6 +27,8 @@ const VALUE_KEYS: [&str; 36] = [
     "cluster",
     "nodes",
     "replicas",
+    "replication",
+    "gossip-interval-ms",
     "addr",
     "h3-addr",
     "transport",
@@ -149,11 +151,14 @@ mod tests {
 
     #[test]
     fn cluster_options_take_values() {
-        let a = parse("serve --cluster 4 --replicas 128");
+        let a = parse("serve --cluster 4 --replicas 128 --replication 2 --gossip-interval-ms 100");
         assert_eq!(a.opt("cluster", ""), "4");
         assert_eq!(a.opt("replicas", ""), "128");
-        let b = parse("bench-cluster --nodes 1,2,4 --chaos seed=7");
+        assert_eq!(a.opt("replication", ""), "2");
+        assert_eq!(a.opt("gossip-interval-ms", ""), "100");
+        let b = parse("bench-cluster --nodes 1,2,4 --chaos seed=7 --replication 2");
         assert_eq!(b.opt("nodes", ""), "1,2,4");
         assert_eq!(b.opt("chaos", ""), "seed=7");
+        assert_eq!(b.opt("replication", ""), "2");
     }
 }

@@ -3,7 +3,8 @@
 //! ```text
 //! sww serve  [--addr 127.0.0.1:0] [--site blog|wikimedia] [--naive]
 //!            [--transport h2|h3|both] [--h3-addr 127.0.0.1:0]
-//!            [--cluster N] [--replicas N]
+//!            [--cluster N] [--replicas N] [--replication N]
+//!            [--gossip-interval-ms MS]
 //!            [--workers N] [--shards N] [--queue N] [--chaos SPEC]
 //!            [--batch-max N] [--batch-wait MS] [--kernel-tiles N]
 //!            [--deadline-ms MS]
@@ -25,6 +26,7 @@
 //!                     [--chaos SPEC]
 //! sww bench-cluster [--nodes 1,2,4] [--threads 2] [--requests 10]
 //!                   [--prompts 10] [--replicas 64] [--chaos SPEC]
+//!                   [--replication N]
 //! sww bench-workload [--betas 0.02,0.2,1.0] [--pages 192] [--k 8]
 //!                    [--requests 1000000] [--live-requests 600]
 //!                    [--transport h2|h3] [--cluster 4] [--cache 32]
@@ -42,16 +44,19 @@
 //! bit-identical per image (see DESIGN.md "Kernel & memory model").
 //!
 //! `bench-pr6` runs the E17 tiled-kernel sweeps, the E18 transport
-//! shoot-out, the E19 edge-cluster sweep, and the E20 small-world
-//! workload sweep, and emits the machine-readable `BENCH_PR6.json`
-//! report (schema `sww-bench-pr6/4`, documented in PERFORMANCE.md);
-//! tables go to stderr so `--out -`-less stdout stays parseable.
-//! `bench-compare` gates a fresh report against a checked-in baseline
-//! and exits non-zero on a modelled-throughput regression, a missing
-//! record, a headline speedup under 1.5x, any steady-state pool
-//! allocation, a non-increasing E19 hit rate, a lossy E19 node-kill, a
-//! non-monotone E20 hit-rate-vs-clustering curve, an E20 modelled p99
-//! over its deadline, or an E20 replay-determinism failure.
+//! shoot-out, the E19 edge-cluster sweep, the E20 small-world workload
+//! sweep, and the E21 edge-resilience scenarios, and emits the
+//! machine-readable `BENCH_PR6.json` report (schema `sww-bench-pr6/5`,
+//! documented in PERFORMANCE.md); tables go to stderr so `--out -`-less
+//! stdout stays parseable. `bench-compare` gates a fresh report against
+//! a checked-in baseline and exits non-zero on a modelled-throughput
+//! regression, a missing record, a headline speedup under 1.5x, any
+//! steady-state pool allocation, a non-increasing E19 hit rate, a lossy
+//! E19 node-kill, a non-monotone E20 hit-rate-vs-clustering curve, an
+//! E20 modelled p99 over its deadline, an E20 replay-determinism
+//! failure, an E21 replicated failover that lost a response or paid a
+//! regeneration (or an unreplicated control that did not), or an E21
+//! gossip partition that failed to heal within its round bound.
 //!
 //! `--deadline-ms MS` gives every request that carries no
 //! `x-sww-deadline-ms` header a deadline budget: expiry answers `504`,
@@ -73,9 +78,18 @@
 //! same prompt-form site, recipes consistent-hash onto owner nodes
 //! (`--replicas` vnodes each), and connections round-robin across entry
 //! nodes with peer cache-fill on miss (DESIGN.md "Edge tier").
+//! `--replication N` (N ≥ 2) turns on hot-key replication: each owner
+//! pushes entries that cross the hot threshold to its N−1 ring
+//! successors, so an owner death serves hot keys from replicas with
+//! zero regeneration. `--gossip-interval-ms MS` sets the cadence of the
+//! SWIM failure-detector rounds the cluster ticks in the background
+//! (default 200; membership health feeds the successor walk).
 //! `bench-cluster` is the E19 harness: aggregate throughput and global
 //! hit rate vs node count, plus a chaos node-kill scenario that must
-//! lose zero responses.
+//! lose zero responses; with `--replication N` it also runs the E21
+//! failover scenario and gates zero regenerations at N against at least
+//! one in the unreplicated control, plus the gossip partition-heal
+//! bound.
 //!
 //! `bench-workload` is the E20 harness: it generates one seeded
 //! Watts–Strogatz workload per `--betas` entry (Zipf popularity,
@@ -86,9 +100,9 @@
 //! ring (or just the one target named by `--transport`). It exits
 //! non-zero when the cache hit rate fails to rise monotonically with
 //! graph clustering, the modelled p99 exceeds `--deadline-ms`, or two
-//! independent replays of the same seed diverge (under `--chaos` the
-//! response-digest check is waived — fault draws come from one
-//! process-global stream — but the trace itself must stay bit-identical).
+//! independent replays of the same seed diverge — response digests
+//! included, chaos installed or not: every server draws faults from its
+//! own seeded scope, so the schedule replays per instance.
 //!
 //! `--transport h3` serves over the HTTP/3 framing (QUIC-lite stream
 //! mux) instead of HTTP/2; `--transport both` binds two listeners (the
@@ -320,6 +334,12 @@ async fn cmd_serve_cluster(args: &Args, nodes: usize) {
         .parse()
         .unwrap_or(sww_core::edge::DEFAULT_VNODES)
         .max(1);
+    let replication: usize = args.opt("replication", "1").parse().unwrap_or(1).max(1);
+    let gossip_interval_ms: u64 = args
+        .opt("gossip-interval-ms", "200")
+        .parse()
+        .unwrap_or(200)
+        .max(1);
     // Freeze the per-node knobs out of the template config: ServerConfig
     // itself is not Clone (it owns the site), so the factory rebuilds it
     // per node from these plain values.
@@ -341,6 +361,11 @@ async fn cmd_serve_cluster(args: &Args, nodes: usize) {
         sww_core::EdgeConfig {
             nodes,
             replicas,
+            replication,
+            gossip: sww_core::GossipConfig {
+                interval_ms: gossip_interval_ms,
+                ..sww_core::GossipConfig::default()
+            },
             ..sww_core::EdgeConfig::default()
         },
         site,
@@ -370,6 +395,21 @@ async fn cmd_serve_cluster(args: &Args, nodes: usize) {
         router.node_ids().join(", "),
         ability.bits()
     );
+    if replication > 1 {
+        println!("hot-key replication: {replication} copies per hot key (owner included)");
+    }
+    println!("gossip: SWIM rounds every {gossip_interval_ms} ms");
+    // Background failure detector: one virtual-clock round per interval.
+    // Membership health feeds the successor walk (suspect/dead peers are
+    // skipped proactively) and delivers parked hinted-handoff pushes
+    // when a replica rejoins.
+    let ticker = router.clone();
+    tokio::spawn(async move {
+        loop {
+            tokio::time::sleep(std::time::Duration::from_millis(gossip_interval_ms)).await;
+            ticker.tick_gossip(1);
+        }
+    });
     loop {
         tokio::time::sleep(std::time::Duration::from_secs(3600)).await;
     }
@@ -605,7 +645,7 @@ fn cmd_bench_concurrent(args: &Args) {
 /// Human-readable tables go to **stderr**; the JSON report goes to
 /// stdout, or to `--out FILE` so `ci.sh` can archive and gate it.
 fn cmd_bench_pr6(args: &Args) {
-    use sww_bench::experiments::{edge, kernel, transport, workload};
+    use sww_bench::experiments::{edge, kernel, resilience, transport, workload};
     use sww_bench::report;
     let tiles: Vec<usize> = args
         .opt("tiles", "1,2,4,8")
@@ -650,11 +690,19 @@ fn cmd_bench_pr6(args: &Args) {
     );
     let workload_live = workload::live_sweep(&wcfg, &workload::live_targets(&wcfg));
     eprintln!("{}", workload::live_table(&wcfg, &workload_live).render());
-    let determinism = workload::determinism_check(&wcfg, &workload_live, true);
+    let determinism = workload::determinism_check(&wcfg, &workload_live);
     let live_clustering = wcfg
         .workload(wcfg.live_beta, wcfg.live_requests)
         .site_graph()
         .clustering_coefficient();
+    // E21: the owner-kill failover at every replication level, then the
+    // gossip partition-heal witness — fully deterministic, no chaos spec
+    // needed (the kill and the partition are the faults).
+    let rcfg = resilience::ResilienceConfig::default();
+    let failover = resilience::failover_sweep(&rcfg);
+    eprintln!("{}", resilience::failover_table(&rcfg, &failover).render());
+    let partition = resilience::partition_heal(&rcfg);
+    eprintln!("{}", resilience::partition_table(&partition).render());
     let text = report::render(&report::pr6_report(
         kcfg,
         &kernel_samples,
@@ -674,6 +722,10 @@ fn cmd_bench_pr6(args: &Args) {
             live_clustering,
             determinism: &determinism,
         },
+        report::ResilienceSection {
+            failover: &failover,
+            partition: &partition,
+        },
     ));
     match args.options.get("out") {
         Some(path) => {
@@ -688,11 +740,14 @@ fn cmd_bench_pr6(args: &Args) {
 /// global hit rate vs node count, then the chaos node-kill scenario.
 /// With `--chaos` the caller's spec drives the fault layer for the whole
 /// run; otherwise the kill scenario installs its own deterministic
-/// generation latency. Exits non-zero when the node-kill loses a
-/// response, diverges from the 1-node baseline byte-wise, or the global
-/// hit rate fails to strictly increase with node count.
+/// generation latency. With `--replication N` (N ≥ 2) the E21 failover
+/// and partition scenarios run too. Exits non-zero when the node-kill
+/// loses a response, diverges from the 1-node baseline byte-wise, the
+/// global hit rate fails to strictly increase with node count, the
+/// replicated failover pays a regeneration (or the unreplicated control
+/// pays none), or the gossip partition misses its heal bound.
 fn cmd_bench_cluster(args: &Args) {
-    use sww_bench::experiments::edge;
+    use sww_bench::experiments::{edge, resilience};
     let cfg = edge::EdgeClusterConfig {
         node_counts: args
             .opt("nodes", "1,2,4")
@@ -737,6 +792,58 @@ fn cmd_bench_cluster(args: &Args) {
         eprintln!("FAIL: failover payloads diverged from the 1-node baseline");
         failed = true;
     }
+    // E21, opt-in via --replication N (N ≥ 2): hot-key replication
+    // failover at 1 and N copies, plus the gossip partition heal.
+    let replication: usize = args.opt("replication", "1").parse().unwrap_or(1).max(1);
+    if replication > 1 {
+        let rcfg = resilience::ResilienceConfig {
+            prompts: cfg.prompts,
+            replicas: cfg.replicas,
+            replication_levels: vec![1, replication],
+            ..resilience::ResilienceConfig::default()
+        };
+        let failover = resilience::failover_sweep(&rcfg);
+        println!("{}", resilience::failover_table(&rcfg, &failover).render());
+        for o in &failover {
+            if o.lost != 0 || !o.byte_identical {
+                eprintln!(
+                    "FAIL: replication {} failover lost {} responses (byte-identical: {})",
+                    o.replication, o.lost, o.byte_identical
+                );
+                failed = true;
+            }
+            if o.replication >= 2 && (o.regenerations != 0 || o.replica_hits == 0) {
+                eprintln!(
+                    "FAIL: replication {} failover cost {} regenerations, {} replica hits \
+                     (replicas must absorb the kill)",
+                    o.replication, o.regenerations, o.replica_hits
+                );
+                failed = true;
+            }
+            if o.replication == 1 && o.regenerations == 0 {
+                eprintln!("FAIL: the unreplicated control did not re-render — vacuous contrast");
+                failed = true;
+            }
+        }
+        let partition = resilience::partition_heal(&rcfg);
+        println!("{}", resilience::partition_table(&partition).render());
+        if !partition.diverged
+            || !partition.converged
+            || !partition.deterministic
+            || partition.rounds_to_heal > partition.bound
+        {
+            eprintln!(
+                "FAIL: gossip partition heal (diverged: {}, converged: {}, deterministic: {}, \
+                 {}/{} rounds)",
+                partition.diverged,
+                partition.converged,
+                partition.deterministic,
+                partition.rounds_to_heal,
+                partition.bound
+            );
+            failed = true;
+        }
+    }
     if failed {
         std::process::exit(1);
     }
@@ -744,6 +851,12 @@ fn cmd_bench_cluster(args: &Args) {
         "node-kill ({}): {} failovers, {} retries, zero lost, payloads byte-identical",
         chaos.killed, chaos.failovers, chaos.retries
     );
+    if replication > 1 {
+        println!(
+            "replication {replication}: owner kill served from replicas with zero \
+             regenerations; partition healed deterministically in bound"
+        );
+    }
 }
 
 /// Run the E18 transport shoot-out on its own: h2 vs h3 page loads with
@@ -844,9 +957,9 @@ fn cmd_bench_workload(args: &Args) {
     };
     let live = workload::live_sweep(&cfg, &targets);
     println!("{}", workload::live_table(&cfg, &live).render());
-    let det = workload::determinism_check(&cfg, &live, !chaos);
+    let det = workload::determinism_check(&cfg, &live);
     println!(
-        "replay determinism: trace {}, responses {}, cross-topology {}{}",
+        "replay determinism: trace {}, responses {}, cross-topology {}",
         if det.trace_match { "match" } else { "DIVERGED" },
         if det.response_match {
             "match"
@@ -857,11 +970,6 @@ fn cmd_bench_workload(args: &Args) {
             "identical"
         } else {
             "DIVERGED"
-        },
-        if chaos {
-            " (response digests waived under --chaos)"
-        } else {
-            ""
         }
     );
     let failures = workload::slo_failures(&cfg, &rows, &det);

@@ -31,13 +31,32 @@
 //! node from the ring *first* and then reuses PR 5's
 //! [`GenerativeServer::drain`], so no in-flight response is lost.
 //!
+//! Since PR 10 the router also runs a SWIM-style **gossip layer**
+//! ([`crate::gossip`]) as its second health signal: the static `alive`
+//! flag still models the physical process (connection failures), while
+//! gossip supplies the *distributed* view — suspect→dead timelines,
+//! incarnation-numbered rejoin, partition healing — that the successor
+//! walk consults to skip nodes the entry's view has declared unusable.
+//! On top of it sits **hot-key replication**: once a key's hit count at
+//! its acting owner crosses [`EdgeConfig::hot_threshold`], the owner
+//! pushes the finished response to the next `replication - 1` ring
+//! successors, with *hinted handoff* (the push is parked and delivered
+//! on rejoin) when a replica is down and anti-entropy delivery during
+//! [`EdgeRouter::tick_gossip`]. The walk then serves hot keys from
+//! replicas on owner death with **zero regeneration** — byte-identical
+//! bodies, no second generation — where the pre-replication tier had
+//! to re-render.
+//!
 //! Routed and local dispatches land in `/metrics` under the
 //! [`TransportKind::Edge`](crate::TransportKind::Edge) label; the
 //! router's own counters are the
 //! `sww_edge_*` family (OBSERVABILITY.md), every one carrying a `node`
-//! label.
+//! label; replication adds `sww_edge_replica_*` and the gossip layer
+//! `sww_gossip_*`.
 
 use crate::cache::Recipe;
+use crate::error::retryable_status;
+use crate::gossip::{Gossip, GossipConfig, Health};
 use crate::negotiate::{decide, ServeMode};
 use crate::server::{DrainReport, GenerativeServer, SiteContent};
 use parking_lot::{Mutex, RwLock};
@@ -301,6 +320,10 @@ impl FillCache {
         }
     }
 
+    fn contains(&self, key: &str) -> bool {
+        self.inner.lock().map.contains_key(key)
+    }
+
     fn len(&self) -> usize {
         self.inner.lock().map.len()
     }
@@ -322,6 +345,10 @@ struct NodeCounters {
     fills: AtomicU64,
     fill_hits: AtomicU64,
     failovers: AtomicU64,
+    replica_pushes: AtomicU64,
+    replica_hits: AtomicU64,
+    replica_hints: AtomicU64,
+    replica_handoffs: AtomicU64,
 }
 
 /// A read-only snapshot of one node's router counters.
@@ -340,9 +367,19 @@ pub struct NodeStats {
     pub fills: u64,
     /// Requests this entry answered from its fill cache.
     pub fill_hits: u64,
-    /// Times this node was skipped over (dead or erroring) during
-    /// failover.
+    /// Times this node was skipped over (dead, erroring, or declared
+    /// unusable by gossip) during failover.
     pub failovers: u64,
+    /// Hot-key responses this node, as acting owner, pushed to a
+    /// replica.
+    pub replica_pushes: u64,
+    /// Requests this node answered from its replica store — the
+    /// zero-regeneration path.
+    pub replica_hits: u64,
+    /// Pushes this node parked as hints because the replica was down.
+    pub replica_hints: u64,
+    /// Hinted writes delivered *to* this node on rejoin (anti-entropy).
+    pub replica_handoffs: u64,
 }
 
 /// One edge: a full [`GenerativeServer`] plus its liveness flag and
@@ -352,6 +389,12 @@ pub struct EdgeNode {
     server: GenerativeServer,
     alive: AtomicBool,
     fill: FillCache,
+    /// Replicated hot-key responses pushed to this node by acting
+    /// owners — served with zero regeneration when the owner dies.
+    replica: FillCache,
+    /// Per-key hit counts at this node *as acting owner*; crossing
+    /// [`EdgeConfig::hot_threshold`] triggers replication.
+    hot: Mutex<HashMap<String, u64>>,
     counters: NodeCounters,
 }
 
@@ -362,8 +405,18 @@ impl EdgeNode {
             server,
             alive: AtomicBool::new(true),
             fill: FillCache::new(fill_budget),
+            replica: FillCache::new(fill_budget),
+            hot: Mutex::new(HashMap::new()),
             counters: NodeCounters::default(),
         }
+    }
+
+    /// Count one acting-owner serve of `key`; returns the new total.
+    fn note_hit(&self, key: &str) -> u64 {
+        let mut hot = self.hot.lock();
+        let count = hot.entry(key.to_owned()).or_insert(0);
+        *count += 1;
+        *count
     }
 
     /// The node's ring id (`n0`, `n1`, …) — also its `node` metric
@@ -393,6 +446,10 @@ impl EdgeNode {
             fills: self.counters.fills.load(Ordering::Relaxed),
             fill_hits: self.counters.fill_hits.load(Ordering::Relaxed),
             failovers: self.counters.failovers.load(Ordering::Relaxed),
+            replica_pushes: self.counters.replica_pushes.load(Ordering::Relaxed),
+            replica_hits: self.counters.replica_hits.load(Ordering::Relaxed),
+            replica_hints: self.counters.replica_hints.load(Ordering::Relaxed),
+            replica_handoffs: self.counters.replica_handoffs.load(Ordering::Relaxed),
         }
     }
 
@@ -404,6 +461,11 @@ impl EdgeNode {
     /// Octets currently in the fill cache (≤ the configured budget).
     pub fn fill_bytes(&self) -> u64 {
         self.fill.stored_bytes()
+    }
+
+    /// Hot-key entries currently replicated *to* this node.
+    pub fn replica_len(&self) -> usize {
+        self.replica.len()
     }
 
     fn count(&self, which: &AtomicU64, metric: &'static str) {
@@ -421,6 +483,14 @@ pub struct EdgeConfig {
     pub replicas: usize,
     /// Per-node fill-cache budget in octets.
     pub fill_bytes: u64,
+    /// Total copies of each hot key, *including* the acting owner.
+    /// `1` (the default) disables hot-key replication entirely.
+    pub replication: usize,
+    /// Acting-owner hit count at which a key becomes hot and is pushed
+    /// to its replicas.
+    pub hot_threshold: u64,
+    /// Gossip failure-detector tuning ([`GossipConfig`]).
+    pub gossip: GossipConfig,
 }
 
 impl Default for EdgeConfig {
@@ -429,6 +499,9 @@ impl Default for EdgeConfig {
             nodes: 2,
             replicas: DEFAULT_VNODES,
             fill_bytes: 8 << 20,
+            replication: 1,
+            hot_threshold: 3,
+            gossip: GossipConfig::default(),
         }
     }
 }
@@ -446,6 +519,24 @@ struct RouterInner {
     state: RwLock<ClusterState>,
     seq: AtomicUsize,
     round_robin: AtomicUsize,
+    /// Total copies of each hot key, including the acting owner.
+    replication: usize,
+    /// Acting-owner hit count at which a key is pushed to replicas.
+    hot_threshold: u64,
+    /// The SWIM failure detector. Locked after `state` everywhere (the
+    /// router never takes `state` while holding this lock).
+    gossip: Mutex<Gossip>,
+    /// Parked replica pushes awaiting their target's rejoin, newest
+    /// write per `(target, key)` pair.
+    hints: Mutex<Vec<Hint>>,
+}
+
+/// One parked replica push: delivered by [`EdgeRouter::tick_gossip`]
+/// once `target` is back and the membership view agrees it is alive.
+struct Hint {
+    target: String,
+    key: String,
+    resp: Response,
 }
 
 #[derive(Clone)]
@@ -490,6 +581,10 @@ impl EdgeRouter {
                 }),
                 seq: AtomicUsize::new(0),
                 round_robin: AtomicUsize::new(0),
+                replication: config.replication.max(1),
+                hot_threshold: config.hot_threshold.max(1),
+                gossip: Mutex::new(Gossip::new(config.gossip, Vec::<String>::new())),
+                hints: Mutex::new(Vec::new()),
             }),
         };
         for _ in 0..config.nodes {
@@ -504,12 +599,16 @@ impl EdgeRouter {
     pub fn join(&self) -> String {
         let id = format!("n{}", self.inner.seq.fetch_add(1, Ordering::SeqCst));
         let server = (self.inner.factory)(self.inner.site.clone());
+        // Each node draws chaos decisions from its own seeded stream so
+        // multi-node fault runs are per-node independent and replayable.
+        server.set_fault_domain(&id);
         let node = Arc::new(EdgeNode::new(id.clone(), server, self.inner.fill_bytes));
         {
             let mut state = self.inner.state.write();
             state.ring.add(&id);
             state.nodes.push(node);
         }
+        self.inner.gossip.lock().add_member(&id);
         self.publish_gauges();
         id
     }
@@ -533,6 +632,8 @@ impl EdgeRouter {
                 .expect("ring and node list stay in sync");
             state.nodes.remove(pos)
         };
+        self.inner.gossip.lock().remove_member(id);
+        self.inner.hints.lock().retain(|h| h.target != id);
         let report = node.server.drain();
         self.publish_gauges();
         Some(report)
@@ -558,6 +659,10 @@ impl EdgeRouter {
             return false;
         };
         node.alive.store(alive, Ordering::SeqCst);
+        // The failure detector sees the process stop answering probes
+        // (it learns the death over subsequent `tick_gossip` rounds; a
+        // revival re-announces with a bumped incarnation).
+        self.inner.gossip.lock().set_process_alive(id, alive);
         sww_obs::gauge("sww_edge_node_alive", &[("node", id)]).set(if alive { 1.0 } else { 0.0 });
         true
     }
@@ -601,6 +706,101 @@ impl EdgeRouter {
         self.inner.state.read().ring.clone()
     }
 
+    /// Advance the failure detector by `rounds` virtual-clock rounds,
+    /// then run anti-entropy: publish consensus-health gauges and
+    /// deliver parked hinted-handoff writes whose targets have
+    /// rejoined. Tests and benches call this explicitly; `sww serve
+    /// --cluster` drives it from a timer at `--gossip-interval-ms`.
+    pub fn tick_gossip(&self, rounds: u64) {
+        let state = self.inner.state.read().clone();
+        {
+            let mut gossip = self.inner.gossip.lock();
+            for _ in 0..rounds {
+                gossip.tick();
+            }
+            for node in &state.nodes {
+                if let Some(health) = gossip.consensus_health(&node.id) {
+                    let value = match health {
+                        Health::Alive => 0.0,
+                        Health::Suspect => 1.0,
+                        Health::Dead => 2.0,
+                    };
+                    sww_obs::gauge("sww_gossip_member_health", &[("node", &node.id)]).set(value);
+                }
+            }
+        }
+        self.deliver_hints(&state);
+        for node in &state.nodes {
+            sww_obs::gauge("sww_edge_replica_entries", &[("node", &node.id)])
+                .set(node.replica.len() as f64);
+        }
+    }
+
+    /// Deliver every parked hint whose target is back: process-alive
+    /// *and* agreed Alive by the membership view — the anti-entropy
+    /// half of hinted handoff.
+    fn deliver_hints(&self, state: &ClusterState) {
+        let mut hints = self.inner.hints.lock();
+        if hints.is_empty() {
+            return;
+        }
+        let gossip = self.inner.gossip.lock();
+        hints.retain(|hint| {
+            let rejoined = state.by_id(&hint.target).is_some_and(|n| n.is_alive())
+                && gossip.process_alive(&hint.target)
+                && gossip.consensus_health(&hint.target) == Some(Health::Alive);
+            if !rejoined {
+                return true;
+            }
+            let target = state.by_id(&hint.target).expect("checked just above");
+            target.replica.put(&hint.key, &hint.resp);
+            target.count(
+                &target.counters.replica_handoffs,
+                "sww_edge_replica_handoffs_total",
+            );
+            false
+        });
+    }
+
+    /// Inject a network partition into the gossip layer: members in
+    /// different groups cannot exchange probes until
+    /// [`heal_partition`](EdgeRouter::heal_partition).
+    pub fn set_partition(&self, groups: &[Vec<String>]) {
+        self.inner.gossip.lock().set_partition(groups);
+    }
+
+    /// Remove an injected partition.
+    pub fn heal_partition(&self) {
+        self.inner.gossip.lock().heal_partition();
+    }
+
+    /// Whether every live member's membership view is identical.
+    pub fn gossip_converged(&self) -> bool {
+        self.inner.gossip.lock().converged()
+    }
+
+    /// Completed gossip rounds (the virtual clock).
+    pub fn gossip_round(&self) -> u64 {
+        self.inner.gossip.lock().round()
+    }
+
+    /// Order-independent digest of every live member's view — the
+    /// replay witness for deterministic chaos runs.
+    pub fn gossip_digest(&self) -> u64 {
+        self.inner.gossip.lock().digest()
+    }
+
+    /// The newest cluster-wide opinion of `id`'s health, or `None` for
+    /// an unknown member.
+    pub fn consensus_health(&self, id: &str) -> Option<Health> {
+        self.inner.gossip.lock().consensus_health(id)
+    }
+
+    /// Parked hinted-handoff writes not yet delivered.
+    pub fn pending_hints(&self) -> usize {
+        self.inner.hints.lock().len()
+    }
+
     /// The routing key `path` hashes under (a recipe key for pages with
     /// generated images and their assets, the path itself otherwise).
     pub fn routing_key(&self, path: &str) -> String {
@@ -627,16 +827,22 @@ impl EdgeRouter {
     /// 2. A client that negotiates a generative mode gets the **recipe
     ///    itself**, served from the entry's replicated prompt store —
     ///    no routing hop at all.
-    /// 3. Otherwise the entry consults its fill cache, then routes to
-    ///    the acting owner: the first *alive* node in the key's ring
-    ///    successor chain. A peer-served 200 is filled into the entry's
-    ///    cache (`sww_edge_peer_fill_total`).
-    /// 4. Dead nodes — and nodes whose dispatch returned a
-    ///    breaker/overload-shaped 5xx, and nodes killed while the
-    ///    dispatch was mid-flight — are skipped
-    ///    (`sww_edge_failover_total`), walking toward the entry's own
-    ///    position: the entry generates locally only when the owners
-    ///    ahead of it are down.
+    /// 3. Otherwise the entry consults its fill cache and replica
+    ///    store, then routes to the acting owner: the first *alive*
+    ///    node in the key's ring successor chain. A peer-served 200 is
+    ///    filled into the entry's cache (`sww_edge_peer_fill_total`).
+    /// 4. Dead nodes — and nodes the entry's gossip view declares
+    ///    unusable, nodes whose dispatch returned a breaker/overload-
+    ///    shaped 5xx, and nodes killed while the dispatch was
+    ///    mid-flight — are skipped (`sww_edge_failover_total`), walking
+    ///    toward the entry's own position. At each surviving chain node
+    ///    the replica store is checked *before* dispatching: a hot key
+    ///    whose owner died is served from a replica byte-identically,
+    ///    with zero regeneration (`sww_edge_replica_hits_total`).
+    /// 5. A 200 at the acting owner bumps the key's hit count; crossing
+    ///    [`EdgeConfig::hot_threshold`] (with `replication > 1`) pushes
+    ///    the response to the next `replication - 1` ring successors,
+    ///    parking a hint instead for any replica that is down.
     pub fn handle(&self, entry: usize, client_ability: GenAbility, req: &Request) -> Response {
         let state = self.inner.state.read().clone();
         if state.nodes.is_empty() {
@@ -672,14 +878,41 @@ impl EdgeRouter {
                 entry_node.count(&entry_node.counters.fill_hits, "sww_edge_fill_hits_total");
                 return resp;
             }
+            if let Some(resp) = entry_node.replica.get(&fill_key) {
+                entry_node.count(
+                    &entry_node.counters.replica_hits,
+                    "sww_edge_replica_hits_total",
+                );
+                return resp;
+            }
         }
         let key = self.routing_key(&req.path);
+        let chain: Vec<String> = {
+            let successors = state.ring.successors(key.as_bytes());
+            successors.iter().map(|s| (*s).to_owned()).collect()
+        };
         let mut last = None;
-        for id in state.ring.successors(key.as_bytes()) {
+        for id in &chain {
             let node = state.by_id(id).expect("successors are members");
             if !node.is_alive() {
                 node.count(&node.counters.failovers, "sww_edge_failover_total");
                 continue;
+            }
+            if *id != entry_node.id && !self.inner.gossip.lock().usable(&entry_node.id, id) {
+                // The entry's membership view has this node suspect or
+                // dead: skip it proactively instead of burning a
+                // dispatch that will fail.
+                node.count(&node.counters.failovers, "sww_edge_failover_total");
+                continue;
+            }
+            if !revalidate {
+                if let Some(resp) = node.replica.get(&fill_key) {
+                    // A replica of a hot key survives its owner: serve
+                    // the stored owner response — byte-identical, zero
+                    // regeneration.
+                    node.count(&node.counters.replica_hits, "sww_edge_replica_hits_total");
+                    return resp;
+                }
             }
             let resp = node.server.dispatch_edge(client_ability, req);
             if !node.is_alive() {
@@ -695,6 +928,9 @@ impl EdgeRouter {
                 last = Some(resp);
                 continue;
             }
+            if resp.status == 200 && !revalidate {
+                self.note_hot(&state, node, &chain, &fill_key, &resp);
+            }
             if node.id == entry_node.id {
                 entry_node.count(&entry_node.counters.local_media, "sww_edge_local_total");
             } else {
@@ -707,6 +943,65 @@ impl EdgeRouter {
             return resp;
         }
         last.unwrap_or_else(cluster_down_response)
+    }
+
+    /// Hot-key accounting at the acting owner: bump `fill_key`'s hit
+    /// count on `owner` and, once it crosses the threshold (with
+    /// replication enabled), push the finished response to the next
+    /// `replication - 1` distinct chain members. A replica seat whose
+    /// node is down or gossip-unusable gets a *hint* instead — parked
+    /// until [`tick_gossip`](EdgeRouter::tick_gossip) observes the
+    /// rejoin. Seats already holding the key are skipped, so steady
+    /// traffic repairs evicted replicas without re-pushing every hit.
+    fn note_hot(
+        &self,
+        state: &ClusterState,
+        owner: &Arc<EdgeNode>,
+        chain: &[String],
+        fill_key: &str,
+        resp: &Response,
+    ) {
+        if self.inner.replication <= 1 {
+            return;
+        }
+        if owner.note_hit(fill_key) < self.inner.hot_threshold {
+            return;
+        }
+        let mut seats = 0;
+        for id in chain {
+            if seats == self.inner.replication - 1 {
+                break;
+            }
+            if *id == owner.id {
+                continue;
+            }
+            seats += 1;
+            let target = state.by_id(id).expect("successors are members");
+            if target.replica.contains(fill_key) {
+                continue;
+            }
+            let reachable =
+                target.is_alive() && self.inner.gossip.lock().usable(&owner.id, &target.id);
+            if reachable {
+                target.replica.put(fill_key, resp);
+                owner.count(
+                    &owner.counters.replica_pushes,
+                    "sww_edge_replica_pushes_total",
+                );
+            } else {
+                let mut hints = self.inner.hints.lock();
+                hints.retain(|h| !(h.target == *id && h.key == fill_key));
+                hints.push(Hint {
+                    target: id.clone(),
+                    key: fill_key.to_owned(),
+                    resp: resp.clone(),
+                });
+                owner.count(
+                    &owner.counters.replica_hints,
+                    "sww_edge_replica_hints_total",
+                );
+            }
+        }
     }
 
     /// Serve one HTTP/2 connection whose requests enter at `entry` —
@@ -754,9 +1049,11 @@ impl EdgeRouter {
 
 /// Statuses after which the router stops trusting a node for this
 /// request: its breaker is open (503), it shed under overload (503),
-/// missed a deadline (504), or failed outright (500/502).
+/// missed a deadline (504), or failed outright (500/502). One shared
+/// predicate ([`retryable_status`]) decides this for the router, the
+/// client retry policy, and the workload replayer alike.
 fn node_unhealthy(status: u16) -> bool {
-    matches!(status, 500 | 502 | 503 | 504)
+    retryable_status(status)
 }
 
 /// Fill-cache key component for the negotiated mode (distinct modes
@@ -1086,6 +1383,174 @@ mod tests {
         assert_eq!(resp.status, 503);
         assert_eq!(resp.headers.get("x-sww-error"), Some("edge-node-down"));
         assert_eq!(resp.headers.get("x-sww-edge-node"), Some(ids[0].as_str()));
+    }
+
+    fn replicated_router(nodes: usize, replication: usize, hot_threshold: u64) -> EdgeRouter {
+        EdgeRouter::new(
+            EdgeConfig {
+                nodes,
+                replication,
+                hot_threshold,
+                ..EdgeConfig::default()
+            },
+            demo_site(),
+            |site| {
+                GenerativeServer::from_config(ServerConfig {
+                    site,
+                    ..ServerConfig::default()
+                })
+            },
+        )
+    }
+
+    #[test]
+    fn all_nodes_dead_answers_node_down_without_panicking() {
+        // The degenerate ring walk: every member dead must be a clean
+        // 503, not a panic or an unbounded retry loop.
+        let router = demo_router(3);
+        for id in router.node_ids() {
+            assert!(router.kill(&id));
+        }
+        let resp = router.handle(1, GenAbility::none(), &Request::get("/page/0"));
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.headers.get("x-sww-error"), Some("edge-node-down"));
+        let generations: u64 = router
+            .nodes()
+            .iter()
+            .map(|n| n.server().engine().generations())
+            .sum();
+        assert_eq!(generations, 0, "a dead cluster must not generate");
+    }
+
+    #[test]
+    fn hot_key_crosses_threshold_and_replicates_to_successors() {
+        let router = replicated_router(3, 2, 2);
+        let owner = router.owner_of("/page/0").unwrap();
+        let ids = router.node_ids();
+        let owner_idx = ids.iter().position(|id| *id == owner).unwrap();
+        // Warm through the owner as entry so fill caches stay empty and
+        // only the replica machinery moves bytes.
+        for _ in 0..3 {
+            let resp = router.handle(owner_idx, GenAbility::none(), &Request::get("/page/0"));
+            assert_eq!(resp.status, 200);
+        }
+        let owner_node = router.node(&owner).unwrap();
+        assert_eq!(owner_node.stats().replica_pushes, 1, "one seat, one push");
+        let chain: Vec<String> = router
+            .ring()
+            .successors(router.routing_key("/page/0").as_bytes())
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let seat = router.node(&chain[1]).unwrap();
+        assert_eq!(seat.replica_len(), 1, "first successor holds the replica");
+        assert_eq!(
+            router.node(&chain[2]).unwrap().replica_len(),
+            0,
+            "replication=2 means exactly one seat beyond the owner"
+        );
+    }
+
+    #[test]
+    fn replica_serves_owner_death_with_zero_regeneration() {
+        let router = replicated_router(3, 2, 2);
+        let owner = router.owner_of("/page/2").unwrap();
+        let ids = router.node_ids();
+        let owner_idx = ids.iter().position(|id| *id == owner).unwrap();
+        let mut before = None;
+        for _ in 0..3 {
+            before = Some(router.handle(owner_idx, GenAbility::none(), &Request::get("/page/2")));
+        }
+        let before = before.unwrap();
+        assert_eq!(before.status, 200);
+        router.kill(&owner);
+        let survivor_generations: u64 = router
+            .nodes()
+            .iter()
+            .filter(|n| n.id() != owner)
+            .map(|n| n.server().engine().generations())
+            .sum();
+        assert_eq!(survivor_generations, 0, "only the owner generated so far");
+        for entry_idx in (0..3).filter(|i| *i != owner_idx) {
+            let after = router.handle(entry_idx, GenAbility::none(), &Request::get("/page/2"));
+            assert_eq!(after.status, 200);
+            assert_eq!(after.body, before.body, "replica serves the owner's bytes");
+        }
+        let survivors_after: u64 = router
+            .nodes()
+            .iter()
+            .filter(|n| n.id() != owner)
+            .map(|n| n.server().engine().generations())
+            .sum();
+        assert_eq!(survivors_after, 0, "zero regeneration on owner death");
+        let replica_hits: u64 = router.nodes().iter().map(|n| n.stats().replica_hits).sum();
+        assert!(replica_hits >= 2, "both survivors answered from replicas");
+    }
+
+    #[test]
+    fn push_to_a_dead_replica_parks_a_hint_delivered_on_rejoin() {
+        let router = replicated_router(3, 2, 1);
+        let owner = router.owner_of("/page/1").unwrap();
+        let ids = router.node_ids();
+        let owner_idx = ids.iter().position(|id| *id == owner).unwrap();
+        let chain: Vec<String> = router
+            .ring()
+            .successors(router.routing_key("/page/1").as_bytes())
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let seat = chain[1].clone();
+        router.kill(&seat);
+        let resp = router.handle(owner_idx, GenAbility::none(), &Request::get("/page/1"));
+        assert_eq!(resp.status, 200);
+        assert_eq!(router.pending_hints(), 1, "the push parked as a hint");
+        assert_eq!(router.node(&owner).unwrap().stats().replica_hints, 1);
+        // Let the failure detector actually observe the death, then the
+        // rejoin — delivery requires the membership view to agree.
+        router.tick_gossip(8);
+        assert_eq!(router.pending_hints(), 1, "no delivery while dead");
+        assert_eq!(router.consensus_health(&seat), Some(Health::Dead));
+        router.revive(&seat);
+        router.tick_gossip(8);
+        assert_eq!(router.pending_hints(), 0, "hint delivered on rejoin");
+        let seat_node = router.node(&seat).unwrap();
+        assert_eq!(seat_node.stats().replica_handoffs, 1);
+        assert_eq!(seat_node.replica_len(), 1);
+        assert_eq!(router.consensus_health(&seat), Some(Health::Alive));
+    }
+
+    #[test]
+    fn gossip_view_skips_suspect_nodes_proactively() {
+        let router = demo_router(3);
+        let owner = router.owner_of("/page/3").unwrap();
+        let ids = router.node_ids();
+        let entry_idx = ids.iter().position(|id| *id != owner).unwrap();
+        router.kill(&owner);
+        router.tick_gossip(8);
+        assert_eq!(router.consensus_health(&owner), Some(Health::Dead));
+        let resp = router.handle(entry_idx, GenAbility::none(), &Request::get("/page/3"));
+        assert_eq!(resp.status, 200, "the walk fails over past the dead owner");
+        assert!(router.gossip_converged(), "healthy members agree");
+    }
+
+    #[test]
+    fn router_partition_diverges_then_heals_to_convergence() {
+        let router = demo_router(3);
+        let ids = router.node_ids();
+        router.set_partition(&[vec![ids[0].clone()], vec![ids[1].clone(), ids[2].clone()]]);
+        router.tick_gossip(10);
+        assert!(
+            !router.gossip_converged(),
+            "cross-group probes are dropped, so views must diverge"
+        );
+        router.heal_partition();
+        let mut rounds = 0u64;
+        while !router.gossip_converged() {
+            router.tick_gossip(1);
+            rounds += 1;
+            assert!(rounds <= 32, "healing must converge in bounded rounds");
+        }
+        assert!(router.gossip_converged());
     }
 
     #[test]

@@ -12,6 +12,21 @@ use std::fmt;
 use std::time::Duration;
 use sww_http2::H2Error;
 
+/// Whether an HTTP status from a peer means "this node is in trouble —
+/// try elsewhere": overload (`503`), gateway/generation failures
+/// (`500`/`502`), and deadline misses (`504`) are transient; everything
+/// else (routing errors, capability mismatches, `501`) is terminal for
+/// the request no matter which node answers.
+///
+/// This is the single retryability predicate for status codes: the edge
+/// tier's successor walk ([`crate::edge`]), the client's
+/// [`RetryPolicy`](crate::RetryPolicy), and the workload replayer all
+/// classify through it, so "which statuses mean try elsewhere" cannot
+/// drift between layers.
+pub fn retryable_status(status: u16) -> bool {
+    matches!(status, 500 | 502 | 503 | 504)
+}
+
 /// Everything that can go wrong between accepting a request and
 /// producing a response (or between sending a request and rendering a
 /// page, on the client side).
@@ -102,7 +117,7 @@ impl SwwError {
             | SwwError::Generation { .. }
             | SwwError::DeadlineExceeded { .. }
             | SwwError::Internal { .. } => true,
-            SwwError::UpstreamStatus { status, .. } => matches!(status, 500 | 502 | 503 | 504),
+            SwwError::UpstreamStatus { status, .. } => retryable_status(*status),
             SwwError::NotFound { .. }
             | SwwError::MethodNotAllowed { .. }
             | SwwError::UnsupportedModel { .. }
@@ -237,6 +252,7 @@ mod tests {
         assert!(SwwError::Transport(H2Error::protocol("x")).is_retryable());
         assert!(SwwError::DeadlineExceeded { budget_ms: 100 }.is_retryable());
         for status in [500u16, 502, 503, 504] {
+            assert!(retryable_status(status));
             assert!(SwwError::UpstreamStatus {
                 path: "/p".into(),
                 status,
@@ -244,7 +260,8 @@ mod tests {
             }
             .is_retryable());
         }
-        for status in [404u16, 405, 501] {
+        for status in [200u16, 404, 405, 501] {
+            assert!(!retryable_status(status));
             assert!(!SwwError::UpstreamStatus {
                 path: "/p".into(),
                 status,

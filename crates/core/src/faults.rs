@@ -4,7 +4,7 @@
 //! either end — ability negotiation exists precisely so a peer can fall
 //! back to traditional media (§3, §7) — yet a failure path that cannot
 //! be exercised on demand is a failure path that rots. This module is a
-//! seeded failpoint registry: five well-known **sites** in the stack can
+//! seeded failpoint registry: six well-known **sites** in the stack can
 //! be made to inject errors, added latency, or payload truncation with
 //! per-site probabilities, and every decision is drawn from a seeded
 //! PRNG so a chaos run is reproducible.
@@ -16,6 +16,7 @@
 //! | `cache.get`       | `GenerationCache::get` (lookup becomes a miss)   |
 //! | `h2.read`         | `GenerativeClient` transport reads               |
 //! | `server.respond`  | `server::dispatch`, wrapping the whole response  |
+//! | `gossip.send`     | `Gossip::tick` message delivery (drops only)     |
 //!
 //! # Determinism
 //!
@@ -26,18 +27,42 @@
 //! even though which request draws which decision depends on thread
 //! interleaving.
 //!
+//! # Scoped streams
+//!
+//! The registry is installed process-wide, but draws can be **scoped**:
+//! a [`FaultScope`] derives an independent decision stream from
+//! `(spec seed ⊕ scope label)` with its own counters, rebuilt fresh
+//! whenever a new spec is installed. Every [`GenerativeServer`] owns a
+//! scope (label `server`, relabelled to the node id when it joins an
+//! edge cluster) and enters it for the duration of each dispatch, so:
+//!
+//! * multi-node chaos runs inject *independent per-node* streams — one
+//!   node's draw volume no longer shifts another node's decisions;
+//! * two runs on fresh stacks replay identically even when an earlier
+//!   run already consumed the global stream (scope counters start at
+//!   zero per instance), which is what lets `bench-workload` keep its
+//!   response-digest determinism gate armed under `--chaos`.
+//!
+//! Draws outside any scope (client-side sites, gossip delivery) fall
+//! through to the global stream. Pool-worker threads execute jobs
+//! outside the dispatching thread's scope and also use the global
+//! stream.
+//!
 //! # Zero cost when off
 //!
 //! [`at`] is a single relaxed atomic load when no spec is installed —
 //! the hot path pays nothing until chaos is explicitly enabled via
 //! [`install`] (e.g. `sww serve --chaos <spec>`).
 //!
-//! Observability: every injected fault increments
-//! `sww_faults_injected_total{site,kind}` and an internal tally
+//! Observability: every injected fault — scoped or global — increments
+//! `sww_faults_injected_total{site,kind}` and one process-wide tally
 //! (readable via [`injected_total`] / [`injected_counts`]) so chaos
 //! suites can reconcile the exposition against ground truth.
+//!
+//! [`GenerativeServer`]: crate::GenerativeServer
 
 use parking_lot::Mutex;
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -55,15 +80,22 @@ pub enum FaultSite {
     H2Read,
     /// The server producing a response.
     ServerRespond,
+    /// A gossip message about to be delivered (`error` drops it; other
+    /// kinds are no-ops under the virtual clock).
+    GossipSend,
 }
 
+/// The number of sites.
+const SITES: usize = 6;
+
 /// All sites, in spec/display order.
-pub const ALL_SITES: [FaultSite; 5] = [
+pub const ALL_SITES: [FaultSite; SITES] = [
     FaultSite::EngineGenerate,
     FaultSite::PoolEnqueue,
     FaultSite::CacheGet,
     FaultSite::H2Read,
     FaultSite::ServerRespond,
+    FaultSite::GossipSend,
 ];
 
 impl FaultSite {
@@ -75,6 +107,7 @@ impl FaultSite {
             FaultSite::CacheGet => "cache.get",
             FaultSite::H2Read => "h2.read",
             FaultSite::ServerRespond => "server.respond",
+            FaultSite::GossipSend => "gossip.send",
         }
     }
 
@@ -89,6 +122,7 @@ impl FaultSite {
             FaultSite::CacheGet => 2,
             FaultSite::H2Read => 3,
             FaultSite::ServerRespond => 4,
+            FaultSite::GossipSend => 5,
         }
     }
 }
@@ -124,6 +158,16 @@ pub enum FaultAction {
     Latency(Duration),
     /// Keep only this percentage of the payload (1..=99).
     TruncateKeepPct(u8),
+}
+
+impl FaultAction {
+    fn kind(self) -> FaultKind {
+        match self {
+            FaultAction::Error => FaultKind::Error,
+            FaultAction::Latency(_) => FaultKind::Latency,
+            FaultAction::TruncateKeepPct(_) => FaultKind::Truncate,
+        }
+    }
 }
 
 /// One parsed rule: inject `kind` at `site` with `probability`.
@@ -234,27 +278,33 @@ impl ChaosSpec {
 /// The number of distinct (site, kind) cells tracked by the tally.
 const KINDS: usize = 3;
 
-/// Live chaos state: the compiled spec plus per-site decision counters
-/// and per-(site, kind) injection tallies.
+/// One compiled decision stream: per-site rules, sequence counters, and
+/// a local injection tally. The global stream and every scope hold one.
 #[derive(Debug)]
 struct ChaosState {
     seed: u64,
     /// Rules grouped per site (probability thresholds evaluated in order).
-    per_site: [Vec<(FaultKind, f64, u64)>; 5],
+    per_site: [Vec<(FaultKind, f64, u64)>; SITES],
     /// Evaluation sequence number per site.
-    seq: [AtomicU64; 5],
-    /// Injection tally per (site, kind).
-    injected: [[AtomicU64; KINDS]; 5],
+    seq: [AtomicU64; SITES],
+    /// Injection tally per (site, kind) for this stream alone.
+    injected: [[AtomicU64; KINDS]; SITES],
 }
 
 impl ChaosState {
     fn new(spec: &ChaosSpec) -> ChaosState {
-        let mut per_site: [Vec<(FaultKind, f64, u64)>; 5] = Default::default();
+        ChaosState::with_seed(spec, spec.seed)
+    }
+
+    /// Compile `spec`'s rules but draw from `seed` — how scopes derive
+    /// independent streams from one installed spec.
+    fn with_seed(spec: &ChaosSpec, seed: u64) -> ChaosState {
+        let mut per_site: [Vec<(FaultKind, f64, u64)>; SITES] = Default::default();
         for rule in &spec.rules {
             per_site[rule.site.index()].push((rule.kind, rule.probability, rule.param));
         }
         ChaosState {
-            seed: spec.seed,
+            seed,
             per_site,
             seq: Default::default(),
             injected: Default::default(),
@@ -276,11 +326,6 @@ impl ChaosState {
             threshold += probability;
             if r < threshold {
                 self.injected[idx][kind_index(kind)].fetch_add(1, Ordering::Relaxed);
-                sww_obs::counter(
-                    "sww_faults_injected_total",
-                    &[("site", site.key()), ("kind", kind.label())],
-                )
-                .inc();
                 return Some(match kind {
                     FaultKind::Error => FaultAction::Error,
                     FaultKind::Latency => FaultAction::Latency(Duration::from_millis(param)),
@@ -291,6 +336,9 @@ impl ChaosState {
         None
     }
 
+    /// This stream's own tally (unit-test surface; the process-wide
+    /// tally the chaos suites reconcile against is [`injected_total`]).
+    #[cfg(test)]
     fn injected_total(&self) -> u64 {
         self.injected
             .iter()
@@ -326,15 +374,57 @@ fn unit_from(seed: u64, site: u64, n: u64) -> f64 {
 /// Fast-path switch: callers pay one relaxed load when chaos is off.
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
-fn state_slot() -> &'static Mutex<Option<Arc<ChaosState>>> {
-    static SLOT: std::sync::OnceLock<Mutex<Option<Arc<ChaosState>>>> = std::sync::OnceLock::new();
+/// Bumped on every install/clear so scopes know to rebuild their
+/// derived streams (fresh counters) against the new spec.
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+
+/// The installed spec plus its compiled global stream.
+struct Installed {
+    spec: ChaosSpec,
+    state: Arc<ChaosState>,
+}
+
+fn state_slot() -> &'static Mutex<Option<Installed>> {
+    static SLOT: std::sync::OnceLock<Mutex<Option<Installed>>> = std::sync::OnceLock::new();
     SLOT.get_or_init(|| Mutex::new(None))
 }
 
+/// Process-wide injection tally per (site, kind), fed by every stream —
+/// global and scoped — so `/metrics` reconciliation sees one truth.
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO_ROW: [AtomicU64; KINDS] = [ZERO; KINDS];
+static INJECTED: [[AtomicU64; KINDS]; SITES] = [ZERO_ROW; SITES];
+
+fn reset_tallies() {
+    for site in &INJECTED {
+        for cell in site {
+            cell.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Record one injection in the process-wide tally and the exposition.
+fn record(site: FaultSite, kind: FaultKind) {
+    INJECTED[site.index()][kind_index(kind)].fetch_add(1, Ordering::Relaxed);
+    sww_obs::counter(
+        "sww_faults_injected_total",
+        &[("site", site.key()), ("kind", kind.label())],
+    )
+    .inc();
+}
+
 /// Install a chaos spec process-wide, arming every failpoint it names.
-/// Replaces any previously installed spec (tallies restart at zero).
+/// Replaces any previously installed spec (tallies restart at zero, and
+/// every [`FaultScope`] rebuilds its derived stream on next use).
 pub fn install(spec: &ChaosSpec) {
-    *state_slot().lock() = Some(Arc::new(ChaosState::new(spec)));
+    *state_slot().lock() = Some(Installed {
+        spec: spec.clone(),
+        state: Arc::new(ChaosState::new(spec)),
+    });
+    reset_tallies();
+    GENERATION.fetch_add(1, Ordering::SeqCst);
     ENABLED.store(true, Ordering::SeqCst);
 }
 
@@ -342,6 +432,8 @@ pub fn install(spec: &ChaosSpec) {
 pub fn clear() {
     ENABLED.store(false, Ordering::SeqCst);
     *state_slot().lock() = None;
+    reset_tallies();
+    GENERATION.fetch_add(1, Ordering::SeqCst);
 }
 
 /// Whether a chaos spec is currently installed.
@@ -349,35 +441,141 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// A derived per-scope decision stream (one per server/edge node).
+///
+/// A scope compiles the installed spec against `seed ⊕ hash(label)`
+/// with its own sequence counters, lazily and once per installed spec:
+/// two fresh instances with the same label replay the same stream, and
+/// two different labels draw independent streams. See the module-level
+/// *Scoped streams* section.
+#[derive(Debug)]
+pub struct FaultScope {
+    inner: Mutex<ScopeInner>,
+}
+
+#[derive(Debug)]
+struct ScopeInner {
+    label_seed: u64,
+    built_generation: u64,
+    state: Option<Arc<ChaosState>>,
+}
+
+impl FaultScope {
+    /// A scope deriving its stream from `label`.
+    pub fn new(label: &str) -> FaultScope {
+        FaultScope {
+            inner: Mutex::new(ScopeInner {
+                label_seed: label_seed(label),
+                built_generation: 0,
+                state: None,
+            }),
+        }
+    }
+
+    /// Re-derive the scope from a new label (the edge router relabels a
+    /// node's server scope to the node id on join). Drops any compiled
+    /// stream so counters restart under the new label.
+    pub fn relabel(&self, label: &str) {
+        let mut inner = self.inner.lock();
+        inner.label_seed = label_seed(label);
+        inner.state = None;
+    }
+
+    fn decide(&self, site: FaultSite) -> Option<FaultAction> {
+        let state = {
+            let mut inner = self.inner.lock();
+            let generation = GENERATION.load(Ordering::SeqCst);
+            if inner.state.is_none() || inner.built_generation != generation {
+                inner.state = state_slot().lock().as_ref().map(|installed| {
+                    Arc::new(ChaosState::with_seed(
+                        &installed.spec,
+                        installed.spec.seed ^ inner.label_seed,
+                    ))
+                });
+                inner.built_generation = generation;
+            }
+            inner.state.clone()
+        }?;
+        state.decide(site)
+    }
+}
+
+/// Stable label hash for scope-seed derivation.
+fn label_seed(label: &str) -> u64 {
+    let mut acc = 0x73_63_6f_70_65_u64; // "scope"
+    for &b in label.as_bytes() {
+        acc = splitmix64(acc ^ u64::from(b));
+    }
+    acc
+}
+
+thread_local! {
+    /// The stack of scopes the current thread has entered; draws use
+    /// the innermost.
+    static ACTIVE_SCOPES: RefCell<Vec<Arc<FaultScope>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII token from [`enter`]; leaving the scope is dropping it.
+#[must_use = "dropping the guard leaves the scope immediately"]
+pub struct ScopeGuard {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        ACTIVE_SCOPES.with(|scopes| {
+            scopes.borrow_mut().pop();
+        });
+    }
+}
+
+/// Route this thread's fault draws through `scope` until the returned
+/// guard drops. Scopes nest; the innermost wins.
+pub fn enter(scope: &Arc<FaultScope>) -> ScopeGuard {
+    ACTIVE_SCOPES.with(|scopes| scopes.borrow_mut().push(Arc::clone(scope)));
+    ScopeGuard {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
 /// Evaluate the failpoint at `site`: `None` (the overwhelmingly common
 /// answer, and a single atomic load when chaos is off) means proceed
-/// normally; `Some(action)` tells the call site what to inject.
+/// normally; `Some(action)` tells the call site what to inject. Draws
+/// come from the innermost entered [`FaultScope`] on this thread, or
+/// the global stream outside any scope.
 pub fn at(site: FaultSite) -> Option<FaultAction> {
     if !ENABLED.load(Ordering::Relaxed) {
         return None;
     }
-    let state = state_slot().lock().clone()?;
-    state.decide(site)
+    let scoped = ACTIVE_SCOPES.with(|scopes| scopes.borrow().last().cloned());
+    let action = match scoped {
+        Some(scope) => scope.decide(site)?,
+        None => {
+            let state = state_slot().lock().as_ref().map(|i| Arc::clone(&i.state))?;
+            state.decide(site)?
+        }
+    };
+    record(site, action.kind());
+    Some(action)
 }
 
-/// Total faults injected since the current spec was installed.
+/// Total faults injected since the current spec was installed, summed
+/// across the global stream and every scope.
 pub fn injected_total() -> u64 {
-    state_slot()
-        .lock()
-        .as_ref()
-        .map(|s| s.injected_total())
-        .unwrap_or(0)
+    INJECTED
+        .iter()
+        .flatten()
+        .map(|c| c.load(Ordering::Relaxed))
+        .sum()
 }
 
 /// Injection tally per `(site key, kind label)`, zero entries omitted.
+/// Like [`injected_total`], covers scoped and global draws alike.
 pub fn injected_counts() -> Vec<(&'static str, &'static str, u64)> {
-    let Some(state) = state_slot().lock().clone() else {
-        return Vec::new();
-    };
     let mut out = Vec::new();
     for site in ALL_SITES {
         for kind in [FaultKind::Error, FaultKind::Latency, FaultKind::Truncate] {
-            let n = state.injected[site.index()][kind_index(kind)].load(Ordering::Relaxed);
+            let n = INJECTED[site.index()][kind_index(kind)].load(Ordering::Relaxed);
             if n > 0 {
                 out.push((site.key(), kind.label(), n));
             }
@@ -393,8 +591,9 @@ mod tests {
     // These tests exercise `ChaosState` directly rather than the global
     // install/clear switch: unit tests across the crate run in parallel
     // threads of one process, and arming the process-wide registry here
-    // would inject faults into unrelated tests. Global behaviour is
-    // covered by `tests/chaos_resilience.rs`, which owns its binary.
+    // would inject faults into unrelated tests. Global behaviour —
+    // including scoped draws through `at` — is covered by
+    // `tests/chaos_resilience.rs`, which owns its binary.
 
     #[test]
     fn parses_full_spec() {
@@ -409,6 +608,13 @@ mod tests {
         assert_eq!(spec.rules[2].kind, FaultKind::Latency);
         assert_eq!(spec.rules[2].param, 15);
         assert_eq!(spec.rules[3].param, 75);
+    }
+
+    #[test]
+    fn parses_gossip_site() {
+        let spec = ChaosSpec::parse("seed=3,gossip.send=error:0.25").unwrap();
+        assert_eq!(spec.rules[0].site, FaultSite::GossipSend);
+        assert_eq!(spec.rules[0].kind, FaultKind::Error);
     }
 
     #[test]
@@ -482,6 +688,31 @@ mod tests {
     }
 
     #[test]
+    fn scope_seed_derivation_is_stable_and_label_dependent() {
+        // The scoped stream is `with_seed(spec, seed ^ hash(label))`:
+        // same label → identical replay, different label → independent.
+        let spec = ChaosSpec::parse("seed=11,engine.generate=error:0.5").unwrap();
+        let draws = |label: &str| {
+            let state = ChaosState::with_seed(&spec, spec.seed ^ label_seed(label));
+            (0..64)
+                .map(|_| state.decide(FaultSite::EngineGenerate).is_some())
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(draws("n0"), draws("n0"), "same label must replay");
+        assert_ne!(draws("n0"), draws("n1"), "labels must draw independently");
+        assert_ne!(
+            draws("n0"),
+            {
+                let state = ChaosState::new(&spec);
+                (0..64)
+                    .map(|_| state.decide(FaultSite::EngineGenerate).is_some())
+                    .collect::<Vec<bool>>()
+            },
+            "a scope must not mirror the global stream"
+        );
+    }
+
+    #[test]
     fn injection_rate_tracks_probability() {
         let spec = ChaosSpec::parse("seed=9,pool.enqueue=error:0.1").unwrap();
         let state = ChaosState::new(&spec);
@@ -529,7 +760,6 @@ mod tests {
         // touching any state. (Do not install here — see module note.)
         if !enabled() {
             assert_eq!(at(FaultSite::EngineGenerate), None);
-            assert_eq!(injected_total(), 0);
         }
     }
 }

@@ -18,6 +18,7 @@ pub mod edge;
 pub mod engine;
 pub mod error;
 pub mod faults;
+pub mod gossip;
 pub mod hls;
 pub mod lifecycle;
 pub mod mediagen;
@@ -38,8 +39,9 @@ pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use client::GenerativeClient;
 pub use edge::{EdgeConfig, EdgeNode, EdgeRouter, HashRing};
 pub use engine::{FetchOutcome, GenerationEngine, ShardedGenerationCache};
-pub use error::SwwError;
-pub use faults::{ChaosSpec, FaultKind, FaultSite};
+pub use error::{retryable_status, SwwError};
+pub use faults::{ChaosSpec, FaultKind, FaultScope, FaultSite};
+pub use gossip::{Gossip, GossipConfig, Health};
 pub use lifecycle::RequestCtx;
 pub use mediagen::MediaGenerator;
 pub use negotiate::{ServeMode, SessionAbilities};

@@ -41,7 +41,7 @@ use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::cache::Recipe;
 use crate::engine::GenerationEngine;
 use crate::error::SwwError;
-use crate::faults::{self, FaultAction, FaultSite};
+use crate::faults::{self, FaultAction, FaultScope, FaultSite};
 use crate::hls::{self, VideoAsset};
 use crate::lifecycle::{record_cancelled, record_shed, RequestCtx};
 use crate::mediagen::{GeneratedMedia, MediaGenerator};
@@ -189,6 +189,10 @@ struct ServerShared {
     default_deadline: Option<Duration>,
     /// Per-model circuit breaker, when enabled at build time.
     breaker: Option<CircuitBreaker>,
+    /// Per-server fault-injection scope: dispatch enters it so chaos
+    /// draws on this server's behalf come from its own seeded stream
+    /// (relabelled to the node id when it joins an edge cluster).
+    fault_scope: Arc<FaultScope>,
     /// Set by [`GenerativeServer::drain`]: stop admitting requests.
     draining: AtomicBool,
     /// Requests currently inside `dispatch` (admission through response).
@@ -473,6 +477,7 @@ impl GenerativeServer {
                 kernel_tiles,
                 default_deadline: config.default_deadline,
                 breaker: config.breaker.map(CircuitBreaker::new),
+                fault_scope: Arc::new(FaultScope::new("server")),
                 draining: AtomicBool::new(false),
                 inflight: AtomicUsize::new(0),
             }),
@@ -497,6 +502,14 @@ impl GenerativeServer {
     /// local serves and peer cache-fill fetches.
     pub(crate) fn dispatch_edge(&self, client_ability: GenAbility, req: &Request) -> Response {
         dispatch(&self.shared, client_ability, req, TransportKind::Edge)
+    }
+
+    /// Relabel this server's fault-injection scope ([`FaultScope`]).
+    /// The edge router calls this with the node id on join so each node
+    /// in a multi-node chaos run draws an independent, replayable fault
+    /// stream instead of sharing one process-global sequence.
+    pub fn set_fault_domain(&self, label: &str) {
+        self.shared.fault_scope.relabel(label);
     }
 
     /// Accept a (transport-independent) session for a client advertising
@@ -829,6 +842,7 @@ fn dispatch(
     transport: TransportKind,
 ) -> Response {
     let _inflight = InflightGuard::enter(shared);
+    let _fault_scope = faults::enter(&shared.fault_scope);
     if shared.draining.load(Ordering::SeqCst) && req.path != "/metrics" {
         record_shed("draining");
         return error_response(&SwwError::Saturated { retry_after_s: 1 });

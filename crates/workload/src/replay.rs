@@ -127,8 +127,13 @@ fn fnv(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Statuses worth a retry hop. Delegates to the protocol layer's single
+/// retryability predicate so the replayer, the client retry policy, and
+/// the edge successor walk cannot drift apart (this retired a local
+/// list that omitted `504` — a missed deadline is retryable here too,
+/// matching the client).
 fn retryable(status: u16) -> bool {
-    matches!(status, 500 | 502 | 503)
+    sww_core::retryable_status(status)
 }
 
 /// The replay harness: one trace, many targets.

@@ -21,9 +21,9 @@
 //!
 //! [`PageStats::retries`]: sww::core::PageStats
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
-use sww::core::faults::{self, ChaosSpec};
+use sww::core::faults::{self, ChaosSpec, FaultScope, FaultSite};
 use sww::core::{GenAbility, GenerativeClient, GenerativeServer, RetryPolicy, SiteContent};
 use sww::energy::device::{profile, DeviceKind};
 use sww::genai::ImageModelKind;
@@ -278,6 +278,88 @@ async fn deterministic_run(spec: &str) -> Snapshot {
     };
     faults::clear();
     snapshot
+}
+
+/// Per-node fault scoping (PR 10): draws made inside a [`FaultScope`]
+/// come from a label-derived stream with its own counters, so (a) two
+/// fresh scopes with the same label replay identically even after other
+/// streams were consumed, (b) different labels draw independently, and
+/// (c) every scoped injection still lands in the process-wide tally.
+#[test]
+fn scoped_streams_are_independent_and_replayable() {
+    let _serial = serial();
+    const SPEC: &str = "seed=11,engine.generate=error:0.5";
+    sww::obs::reset();
+    faults::clear();
+    faults::install(&ChaosSpec::parse(SPEC).expect("spec parses"));
+
+    let draws = |label: &str| {
+        let scope = Arc::new(FaultScope::new(label));
+        let _guard = faults::enter(&scope);
+        (0..64)
+            .map(|_| faults::at(FaultSite::EngineGenerate).is_some())
+            .collect::<Vec<bool>>()
+    };
+
+    // Consume part of the *global* stream first: scope replay must not
+    // depend on the global offset (this is exactly what broke the PR 9
+    // determinism gate under --chaos).
+    let global: Vec<bool> = (0..64)
+        .map(|_| faults::at(FaultSite::EngineGenerate).is_some())
+        .collect();
+    let n0_first = draws("n0");
+    let more_global: Vec<bool> = (0..64)
+        .map(|_| faults::at(FaultSite::EngineGenerate).is_some())
+        .collect();
+    let n0_second = draws("n0");
+    let n1 = draws("n1");
+    assert_eq!(
+        n0_first, n0_second,
+        "fresh same-label scopes must replay identically"
+    );
+    assert_ne!(n1, n0_first, "labels must draw independently");
+    assert_ne!(
+        n0_first, global,
+        "a scope must not mirror the global stream"
+    );
+    assert_ne!(global, more_global, "the global stream kept advancing");
+
+    // Relabelling re-derives the stream — the edge router relabels each
+    // node's "server" scope to its node id on join.
+    let relabelled = Arc::new(FaultScope::new("server"));
+    let probe_hit = {
+        let _guard = faults::enter(&relabelled);
+        faults::at(FaultSite::EngineGenerate).is_some()
+    };
+    relabelled.relabel("n0");
+    let via_relabel: Vec<bool> = {
+        let _guard = faults::enter(&relabelled);
+        (0..64)
+            .map(|_| faults::at(FaultSite::EngineGenerate).is_some())
+            .collect()
+    };
+    assert_eq!(
+        via_relabel, n0_first,
+        "relabel must reset to the label's stream from offset zero"
+    );
+
+    // Every draw above — global or scoped — reconciles into the one
+    // process-wide tally.
+    let hits = |v: &[bool]| v.iter().filter(|hit| **hit).count() as u64;
+    let expected = hits(&global)
+        + hits(&more_global)
+        + hits(&n0_first)
+        + hits(&n0_second)
+        + hits(&n1)
+        + hits(&via_relabel)
+        + u64::from(probe_hit);
+    assert_eq!(
+        faults::injected_total(),
+        expected,
+        "scoped and global injections must share the tally"
+    );
+    assert!(expected > 0, "a 50% coin must land across these draws");
+    faults::clear();
 }
 
 /// Bit-for-bit reproducibility: two consecutive runs of the same seeded

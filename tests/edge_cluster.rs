@@ -337,6 +337,276 @@ fn join_then_leave_rebalances_and_drains_without_losing_work() {
     assert_eq!(retries.load(Ordering::Relaxed), 0, "no 5xx at any point");
 }
 
+fn replicated_cluster(nodes: usize, replication: usize) -> EdgeRouter {
+    EdgeRouter::new(
+        EdgeConfig {
+            nodes,
+            replication,
+            hot_threshold: 2,
+            ..EdgeConfig::default()
+        },
+        edge_site(),
+        |site| {
+            GenerativeServer::from_config(ServerConfig {
+                site,
+                ..ServerConfig::default()
+            })
+        },
+    )
+}
+
+/// The node owning the most of the ten page keys (ties broken toward
+/// the lexicographically smaller id, like the E19 chaos scenario).
+fn most_loaded_owner(router: &EdgeRouter) -> String {
+    let mut owned = std::collections::HashMap::new();
+    for p in 0..PROMPTS {
+        *owned
+            .entry(router.owner_of(&format!("/page/{p}")).unwrap())
+            .or_insert(0usize) += 1;
+    }
+    owned
+        .into_iter()
+        .max_by_key(|(id, n)| (*n, std::cmp::Reverse(id.clone())))
+        .unwrap()
+        .0
+}
+
+/// Warm every page at its *owner* entry `rounds` times: fill caches
+/// stay empty (a local serve never peer-fills), so what survives an
+/// owner kill is the replica machinery alone. Returns the page bodies.
+fn warm_at_owners(router: &EdgeRouter, rounds: usize, retries: &AtomicU64) -> Vec<Vec<u8>> {
+    let ids = router.node_ids();
+    (0..PROMPTS)
+        .map(|p| {
+            let path = format!("/page/{p}");
+            let owner = router.owner_of(&path).unwrap();
+            let entry = ids.iter().position(|id| *id == owner).unwrap();
+            let mut body = Vec::new();
+            for _ in 0..rounds {
+                body = get_with_retry(router, entry, &path, retries)
+                    .expect("healthy warm fetch")
+                    .body
+                    .to_vec();
+            }
+            body
+        })
+        .collect()
+}
+
+/// PR 10 tentpole, end to end: with `replication 2`, killing the
+/// most-loaded owner mid-flight serves every in-flight and repeat
+/// hot-key request from replicas — zero lost responses, byte-identical
+/// payloads, **zero additional generations** — and `/metrics`
+/// reconciles exactly with the per-node replica counters. The same
+/// scenario at `replication 1` must regenerate at least once: the
+/// contrast that proves replicas (not caches) carried the failover.
+#[test]
+fn replicated_owner_kill_serves_hot_keys_with_zero_regeneration() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    sww::obs::reset();
+    let retries = Arc::new(AtomicU64::new(0));
+
+    let router = replicated_cluster(3, 2);
+    let bodies = warm_at_owners(&router, 3, &retries);
+    let generations_warm: u64 = router
+        .nodes()
+        .iter()
+        .map(|n| n.server().engine().generations())
+        .sum();
+    assert_eq!(generations_warm, PROMPTS as u64, "one generation per page");
+    let pushes: u64 = router
+        .nodes()
+        .iter()
+        .map(|n| n.stats().replica_pushes)
+        .sum();
+    assert_eq!(pushes, PROMPTS as u64, "every hot page pushed to one seat");
+
+    let victim = most_loaded_owner(&router);
+    {
+        let router = router.clone();
+        let victim = victim.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            router.kill(&victim);
+        });
+    }
+    let lost = Arc::new(AtomicU64::new(0));
+    let mismatched = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..6usize)
+        .map(|t| {
+            let router = router.clone();
+            let retries = Arc::clone(&retries);
+            let lost = Arc::clone(&lost);
+            let mismatched = Arc::clone(&mismatched);
+            let bodies = bodies.clone();
+            std::thread::spawn(move || {
+                for r in 0..2 * PROMPTS {
+                    let p = (t + r) % PROMPTS;
+                    match get_with_retry(&router, t % 3, &format!("/page/{p}"), &retries) {
+                        Some(resp) => {
+                            if resp.body.as_ref() != bodies[p].as_slice() {
+                                mismatched.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        None => {
+                            lost.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("replica client thread");
+    }
+
+    assert_eq!(lost.load(Ordering::Relaxed), 0, "zero lost responses");
+    assert_eq!(
+        mismatched.load(Ordering::Relaxed),
+        0,
+        "replica payloads must match the owner's bytes exactly"
+    );
+    let generations_after: u64 = router
+        .nodes()
+        .iter()
+        .map(|n| n.server().engine().generations())
+        .sum();
+    assert_eq!(
+        generations_after, generations_warm,
+        "owner death must cost zero additional generations"
+    );
+    let stats: Vec<_> = router.nodes().iter().map(|n| n.stats()).collect();
+    let replica_hits: u64 = stats.iter().map(|s| s.replica_hits).sum();
+    assert!(replica_hits > 0, "the victim's keys served from replicas");
+
+    // Exact /metrics reconciliation for the new replica families.
+    let scrape = {
+        let ids = router.node_ids();
+        let entry = ids.iter().position(|id| *id != victim).unwrap();
+        router.handle(entry, GenAbility::none(), &Request::get("/metrics"))
+    };
+    assert_eq!(scrape.status, 200);
+    let text = String::from_utf8(scrape.body.to_vec()).unwrap();
+    let stats: Vec<_> = router.nodes().iter().map(|n| n.stats()).collect();
+    assert_eq!(
+        series_sum(&text, "sww_edge_replica_pushes_total"),
+        stats.iter().map(|s| s.replica_pushes).sum::<u64>() as f64
+    );
+    assert_eq!(
+        series_sum(&text, "sww_edge_replica_hits_total"),
+        stats.iter().map(|s| s.replica_hits).sum::<u64>() as f64
+    );
+    assert_eq!(
+        series_sum(&text, "sww_edge_replica_hints_total"),
+        stats.iter().map(|s| s.replica_hints).sum::<u64>() as f64
+    );
+    assert_eq!(
+        series_sum(&text, "sww_edge_replica_handoffs_total"),
+        stats.iter().map(|s| s.replica_handoffs).sum::<u64>() as f64
+    );
+
+    // The contrast: replication 1 (no replicas) must pay at least one
+    // regeneration for the same kill.
+    let control = replicated_cluster(3, 1);
+    let control_retries = Arc::new(AtomicU64::new(0));
+    let control_bodies = warm_at_owners(&control, 3, &control_retries);
+    let control_warm: u64 = control
+        .nodes()
+        .iter()
+        .map(|n| n.server().engine().generations())
+        .sum();
+    let control_victim = most_loaded_owner(&control);
+    control.kill(&control_victim);
+    for (p, warm_body) in control_bodies.iter().enumerate() {
+        let resp = get_with_retry(&control, 0, &format!("/page/{p}"), &control_retries)
+            .expect("control fetch");
+        assert_eq!(resp.body.as_ref(), warm_body.as_slice());
+    }
+    let control_after: u64 = control
+        .nodes()
+        .iter()
+        .map(|n| n.server().engine().generations())
+        .sum();
+    assert!(
+        control_after > control_warm,
+        "without replicas, failover must re-render ({control_warm} -> {control_after})"
+    );
+}
+
+/// Degenerate walk, half two: a node flapping alive/dead while requests
+/// are mid-successor-walk. Every request must still yield exactly one
+/// response (no panic, no hang, no duplicate), byte-identical to the
+/// baseline, and no node may generate the page more than once — the
+/// engine cache bounds regeneration even under flapping.
+#[test]
+fn flapping_node_mid_walk_yields_exactly_one_response() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let baseline = cluster(1);
+    let retries = Arc::new(AtomicU64::new(0));
+    let expected = get_with_retry(&baseline, 0, "/page/0", &retries)
+        .expect("baseline fetch")
+        .body
+        .to_vec();
+
+    let router = cluster(3);
+    let flapper = router.owner_of("/page/0").unwrap();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let flap_handle = {
+        let router = router.clone();
+        let flapper = flapper.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut alive = true;
+            while !stop.load(Ordering::Relaxed) {
+                alive = !alive;
+                if alive {
+                    router.revive(&flapper);
+                } else {
+                    router.kill(&flapper);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            router.revive(&flapper);
+        })
+    };
+
+    let handles: Vec<_> = (0..4usize)
+        .map(|t| {
+            let router = router.clone();
+            let retries = Arc::clone(&retries);
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                for _ in 0..20 {
+                    let resp = get_with_retry(&router, t, "/page/0", &retries)
+                        .expect("flapping must not lose a response");
+                    assert_eq!(
+                        resp.body.as_ref(),
+                        expected.as_slice(),
+                        "flapping must not change a byte"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("flapping client thread");
+    }
+    stop.store(true, Ordering::Relaxed);
+    flap_handle.join().expect("flapper thread");
+
+    for node in router.nodes() {
+        assert!(
+            node.server().engine().generations() <= 1,
+            "node {} generated the page {} times — the engine cache must \
+             bound regeneration to once per node",
+            node.id(),
+            node.server().engine().generations()
+        );
+    }
+    let resp = get_with_retry(&router, 0, "/page/0", &retries).expect("post-flap fetch");
+    assert_eq!(resp.body.as_ref(), expected.as_slice());
+}
+
 /// The cluster's TCP front door: one listener round-robins connections
 /// across entry nodes; a naive HTTP/2 client and a full generative
 /// client both get correct, deterministic answers.
